@@ -1,0 +1,151 @@
+//! Model configuration: problem size, memory exponent `ε`, execution mode.
+
+/// Which computational model the executor is simulating.
+///
+/// The executor machinery is identical in both modes; what changes is the
+/// *adaptivity budget* an algorithm is allowed to use inside one round.
+/// AMPC machines may chain `Θ(N^ε)` dependent DHT reads in a single round;
+/// MPC machines must choose all reads up front, which the primitives in
+/// `ampc-primitives` express as 1 logical pointer hop per round (pointer
+/// doubling instead of adaptive multi-hop walking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Adaptive MPC: intra-round reads may depend on earlier reads.
+    Ampc,
+    /// Classic MPC: reads are fixed at the start of the round.
+    Mpc,
+}
+
+/// Configuration of a simulated AMPC/MPC deployment.
+#[derive(Debug, Clone)]
+pub struct AmpcConfig {
+    /// Problem size `N` that the `O(N^ε)` local-memory bound refers to.
+    pub n: usize,
+    /// Local-memory exponent `ε ∈ (0, 1)`.
+    pub epsilon: f64,
+    /// AMPC or MPC round semantics (see [`ExecMode`]).
+    pub mode: ExecMode,
+    /// Number of OS worker threads used to execute logical machines.
+    pub threads: usize,
+    /// If true, a round whose per-machine I/O exceeds
+    /// `memory_slack * local_capacity()` panics (memory-regression guard).
+    pub strict_memory: bool,
+    /// Constant slack `c` in the `c · N^ε` local-memory budget.
+    pub memory_slack: f64,
+}
+
+impl AmpcConfig {
+    /// A configuration for problem size `n` with memory exponent `epsilon`.
+    ///
+    /// Uses all-but-one available OS threads (at least 1), non-strict memory
+    /// accounting, and a slack constant of 8 (the algorithms in this
+    /// workspace keep per-machine I/O within a small constant of `N^ε`).
+    pub fn new(n: usize, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get().saturating_sub(1).max(1))
+            .unwrap_or(1);
+        Self { n, epsilon, mode: ExecMode::Ampc, threads, strict_memory: false, memory_slack: 8.0 }
+    }
+
+    /// Same configuration but simulating classic MPC.
+    pub fn mpc(mut self) -> Self {
+        self.mode = ExecMode::Mpc;
+        self
+    }
+
+    /// Enable strict per-machine memory enforcement.
+    pub fn strict(mut self) -> Self {
+        self.strict_memory = true;
+        self
+    }
+
+    /// Override the worker-thread count (useful for deterministic perf runs).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Override the memory slack constant.
+    pub fn with_slack(mut self, slack: f64) -> Self {
+        self.memory_slack = slack;
+        self
+    }
+
+    /// Local memory per machine: `⌈N^ε⌉`, floored at 16 so tiny test
+    /// instances remain runnable.
+    pub fn local_capacity(&self) -> usize {
+        let cap = (self.n.max(2) as f64).powf(self.epsilon).ceil() as usize;
+        cap.max(16)
+    }
+
+    /// How many dependent pointer hops a machine may take inside one round.
+    ///
+    /// AMPC: the local capacity (each hop is one adaptive DHT read).
+    /// MPC: 1 — the primitive must fall back to pointer doubling.
+    pub fn hop_budget(&self) -> usize {
+        match self.mode {
+            ExecMode::Ampc => self.local_capacity(),
+            ExecMode::Mpc => 1,
+        }
+    }
+
+    /// Number of machines needed so that `work` items spread across
+    /// machines with `local_capacity()` items each.
+    pub fn machines_for(&self, work: usize) -> usize {
+        let cap = self.local_capacity();
+        work.div_ceil(cap).max(1)
+    }
+
+    /// The hard per-machine I/O budget used by strict mode.
+    pub fn io_budget(&self) -> u64 {
+        (self.memory_slack * self.local_capacity() as f64).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_capacity_follows_power_law() {
+        let c = AmpcConfig::new(1 << 16, 0.5);
+        assert_eq!(c.local_capacity(), 256);
+        let c = AmpcConfig::new(1_000_000, 0.5);
+        assert_eq!(c.local_capacity(), 1000);
+    }
+
+    #[test]
+    fn local_capacity_has_floor() {
+        let c = AmpcConfig::new(4, 0.25);
+        assert_eq!(c.local_capacity(), 16);
+    }
+
+    #[test]
+    fn hop_budget_depends_on_mode() {
+        let c = AmpcConfig::new(1 << 16, 0.5);
+        assert_eq!(c.hop_budget(), 256);
+        assert_eq!(c.clone().mpc().hop_budget(), 1);
+    }
+
+    #[test]
+    fn machines_cover_work() {
+        let c = AmpcConfig::new(1 << 16, 0.5);
+        assert_eq!(c.machines_for(1024), 4);
+        assert_eq!(c.machines_for(1), 1);
+        assert_eq!(c.machines_for(0), 1);
+        assert_eq!(c.machines_for(257), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn epsilon_must_be_fractional() {
+        let _ = AmpcConfig::new(100, 1.0);
+    }
+
+    #[test]
+    fn io_budget_scales_with_slack() {
+        let c = AmpcConfig::new(1 << 16, 0.5).with_slack(2.0);
+        assert_eq!(c.io_budget(), 512);
+    }
+}

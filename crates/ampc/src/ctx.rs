@@ -1,0 +1,95 @@
+//! Per-machine execution context: identity and I/O accounting.
+
+use std::cell::Cell;
+
+/// The view a logical machine has of one round of execution.
+///
+/// A `MachineCtx` is created by the [`crate::Executor`] for each machine in
+/// each round. It carries the machine's identity and counts the machine's
+/// DHT reads (incremented by [`crate::Dht::get`]) and staged writes
+/// (incremented by [`MachineCtx::stage`]); reads + writes model the local
+/// memory the machine consumed, which the executor checks against the
+/// `O(N^ε)` budget.
+///
+/// It is intentionally `!Sync`: one context belongs to exactly one machine
+/// executing sequentially on one worker thread.
+pub struct MachineCtx {
+    machine: usize,
+    hop_budget: usize,
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+}
+
+impl MachineCtx {
+    pub(crate) fn new(machine: usize, hop_budget: usize) -> Self {
+        Self { machine, hop_budget, reads: Cell::new(0), writes: Cell::new(0) }
+    }
+
+    /// Index of this machine within the round (0-based).
+    pub fn machine(&self) -> usize {
+        self.machine
+    }
+
+    /// How many dependent reads this machine may chain this round
+    /// (`N^ε` in AMPC mode, 1 in MPC mode; see `AmpcConfig::hop_budget`).
+    pub fn hop_budget(&self) -> usize {
+        self.hop_budget
+    }
+
+    /// DHT reads performed so far this round.
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Writes staged so far this round.
+    pub fn writes(&self) -> u64 {
+        self.writes.get()
+    }
+
+    /// Stage a key/value pair for commit at the end of the round.
+    ///
+    /// The pair lands in `buf`, which the round closure returns to the
+    /// caller; the caller commits all buffers to the destination table
+    /// *after* the round barrier (AMPC write-visibility semantics).
+    #[inline]
+    pub fn stage<V>(&self, buf: &mut Vec<(u64, V)>, key: u64, value: V) {
+        self.writes.set(self.writes.get() + 1);
+        buf.push((key, value));
+    }
+
+    #[inline]
+    pub(crate) fn record_read(&self) {
+        self.reads.set(self.reads.get() + 1);
+    }
+
+    /// Record `n` extra units of local work that are not DHT reads but do
+    /// occupy local memory (e.g. receiving a pre-distributed input chunk).
+    #[inline]
+    pub fn charge_local(&self, n: u64) {
+        self.reads.set(self.reads.get() + n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staging_counts_writes() {
+        let ctx = MachineCtx::new(3, 64);
+        let mut buf = Vec::new();
+        ctx.stage(&mut buf, 1, "a");
+        ctx.stage(&mut buf, 2, "b");
+        assert_eq!(ctx.writes(), 2);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(ctx.machine(), 3);
+        assert_eq!(ctx.hop_budget(), 64);
+    }
+
+    #[test]
+    fn charge_local_adds_reads() {
+        let ctx = MachineCtx::new(0, 1);
+        ctx.charge_local(10);
+        assert_eq!(ctx.reads(), 10);
+    }
+}

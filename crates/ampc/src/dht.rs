@@ -1,0 +1,222 @@
+//! The distributed hash table: sharded, concurrently readable, committed
+//! at round barriers.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::ctx::MachineCtx;
+use crate::hasher::{splitmix64, KeyHashBuilder};
+
+/// Number of independently locked shards. Power of two; large enough that
+/// concurrent readers rarely contend on one lock.
+const SHARDS: usize = 64;
+
+/// One logical AMPC hash table `H_i`.
+///
+/// Within a round, machines call [`Dht::get`] freely and adaptively —
+/// reads are concurrent and lock shards only for shared access. Writes are
+/// *never* applied mid-round: machines stage `(key, value)` pairs via
+/// [`MachineCtx::stage`] and the algorithm commits the staged batches with
+/// [`Dht::commit`] after the round returns. This makes the simulator's
+/// visibility rules identical to the model's ("machines write to `H_{i+1}`").
+///
+/// Keys are `u64` (see [`crate::keys`]); values are cloned out on read, so
+/// keep them small and `Copy`-like (the algorithms in this workspace store
+/// packed integers).
+pub struct Dht<V> {
+    shards: Box<[RwLock<HashMap<u64, V, KeyHashBuilder>>]>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl<V: Clone> Dht<V> {
+    /// An empty table.
+    pub fn new() -> Self {
+        let shards = (0..SHARDS)
+            .map(|_| RwLock::new(HashMap::with_hasher(KeyHashBuilder::default())))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self { shards, reads: AtomicU64::new(0), writes: AtomicU64::new(0) }
+    }
+
+    #[inline]
+    fn shard(&self, key: u64) -> &RwLock<HashMap<u64, V, KeyHashBuilder>> {
+        // Use high bits of the mixed key so shard choice is independent of
+        // the in-shard bucket choice.
+        let h = splitmix64(key);
+        &self.shards[(h >> (64 - 6)) as usize]
+    }
+
+    /// Read a record. Counts one DHT query against `ctx`'s round budget.
+    #[inline]
+    pub fn get(&self, ctx: &MachineCtx, key: u64) -> Option<V> {
+        ctx.record_read();
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.shard(key).read().get(&key).cloned()
+    }
+
+    /// Read a record the caller knows must exist.
+    ///
+    /// Panics with the key when missing — algorithm bugs surface as loud
+    /// failures rather than silently absent data.
+    #[inline]
+    pub fn expect(&self, ctx: &MachineCtx, key: u64) -> V {
+        match self.get(ctx, key) {
+            Some(v) => v,
+            None => panic!("DHT record missing for key {key:#x}"),
+        }
+    }
+
+    /// Commit staged write batches (end-of-round barrier).
+    ///
+    /// Later batches overwrite earlier ones on key collisions; algorithms
+    /// that depend on collision resolution must ensure writers of the same
+    /// key write the same value (all in-workspace algorithms do).
+    pub fn commit<I>(&self, batches: I)
+    where
+        I: IntoIterator<Item = Vec<(u64, V)>>,
+    {
+        let mut n = 0u64;
+        for batch in batches {
+            n += batch.len() as u64;
+            for (k, v) in batch {
+                self.shard(k).write().insert(k, v);
+            }
+        }
+        self.writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Load the table outside of round accounting (input distribution:
+    /// "the input is initially distributed across machines").
+    pub fn bulk_load<I>(&self, records: I)
+    where
+        I: IntoIterator<Item = (u64, V)>,
+    {
+        for (k, v) in records {
+            self.shard(k).write().insert(k, v);
+        }
+    }
+
+    /// Remove a key outside of round accounting (used between phases when an
+    /// algorithm retires a table region; counted as a write).
+    pub fn remove(&self, key: u64) -> Option<V> {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.shard(key).write().remove(&key)
+    }
+
+    /// Number of records currently stored (counts toward total space).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Drop all records.
+    pub fn clear(&self) {
+        for s in self.shards.iter() {
+            s.write().clear();
+        }
+    }
+
+    /// Total reads ever served (across all rounds and machines).
+    pub fn total_reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Total writes ever committed.
+    pub fn total_writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+}
+
+impl<V: Clone> Default for Dht<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone> std::fmt::Debug for Dht<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dht")
+            .field("len", &self.len())
+            .field("total_reads", &self.total_reads())
+            .field("total_writes", &self.total_writes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> MachineCtx {
+        MachineCtx::new(0, 1024)
+    }
+
+    #[test]
+    fn get_after_commit() {
+        let dht: Dht<u64> = Dht::new();
+        let c = ctx();
+        assert_eq!(dht.get(&c, 7), None);
+        dht.commit([vec![(7, 70)]]);
+        assert_eq!(dht.get(&c, 7), Some(70));
+        assert_eq!(dht.len(), 1);
+    }
+
+    #[test]
+    fn reads_are_counted_on_ctx_and_table() {
+        let dht: Dht<u64> = Dht::new();
+        dht.bulk_load([(1, 10), (2, 20)]);
+        let c = ctx();
+        dht.get(&c, 1);
+        dht.get(&c, 2);
+        dht.get(&c, 3);
+        assert_eq!(c.reads(), 3);
+        assert_eq!(dht.total_reads(), 3);
+    }
+
+    #[test]
+    fn bulk_load_skips_accounting() {
+        let dht: Dht<u64> = Dht::new();
+        dht.bulk_load((0..100).map(|i| (i, i)));
+        assert_eq!(dht.total_writes(), 0);
+        assert_eq!(dht.len(), 100);
+    }
+
+    #[test]
+    fn later_batches_win_collisions() {
+        let dht: Dht<&'static str> = Dht::new();
+        dht.commit([vec![(1, "first")], vec![(1, "second")]]);
+        assert_eq!(dht.get(&ctx(), 1), Some("second"));
+    }
+
+    #[test]
+    fn clear_and_remove() {
+        let dht: Dht<u64> = Dht::new();
+        dht.bulk_load((0..10).map(|i| (i, i)));
+        assert_eq!(dht.remove(3), Some(3));
+        assert_eq!(dht.len(), 9);
+        dht.clear();
+        assert!(dht.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "DHT record missing")]
+    fn expect_panics_on_missing() {
+        let dht: Dht<u64> = Dht::new();
+        dht.expect(&ctx(), 42);
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let dht: Dht<u64> = Dht::new();
+        dht.bulk_load((0..(SHARDS as u64 * 100)).map(|i| (i, i)));
+        let populated = dht.shards.iter().filter(|s| !s.read().is_empty()).count();
+        assert!(populated > SHARDS / 2, "only {populated} shards populated");
+    }
+}

@@ -1,0 +1,255 @@
+//! The round executor: schedules logical machines over worker threads and
+//! enforces round barriers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::config::AmpcConfig;
+use crate::ctx::MachineCtx;
+use crate::stats::{RoundRecord, RunStats};
+
+/// Executes AMPC rounds and accumulates [`RunStats`].
+///
+/// One `Executor` represents one algorithm run. Every call to
+/// [`Executor::round`] is exactly one synchronous AMPC round: all machines
+/// run (in parallel over `cfg.threads` OS threads), then a barrier, then
+/// the caller commits staged writes. Nothing a machine stages is visible to
+/// any machine in the same round.
+pub struct Executor {
+    cfg: AmpcConfig,
+    stats: RunStats,
+}
+
+impl Executor {
+    /// New executor for the given configuration.
+    pub fn new(cfg: AmpcConfig) -> Self {
+        Self { cfg, stats: RunStats::default() }
+    }
+
+    /// The configuration this executor runs under.
+    pub fn cfg(&self) -> &AmpcConfig {
+        &self.cfg
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Consume the executor, returning its statistics.
+    pub fn into_stats(self) -> RunStats {
+        self.stats
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> usize {
+        self.stats.rounds()
+    }
+
+    /// Execute one round with `machines` logical machines.
+    ///
+    /// `f(ctx, i)` runs machine `i`; its return values are collected in
+    /// machine order. Machines must confine cross-machine communication to
+    /// DHT reads (of previously committed state) and staged writes.
+    ///
+    /// Panics in strict mode if any machine exceeds the configured
+    /// per-machine I/O budget.
+    pub fn round<T, F>(&mut self, label: &str, machines: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&MachineCtx, usize) -> T + Sync,
+    {
+        assert!(machines > 0, "a round needs at least one machine");
+        let hop_budget = self.cfg.hop_budget();
+        let threads = self.cfg.threads.min(machines).max(1);
+        let chunk = machines.div_ceil(threads);
+
+        let max_reads = AtomicU64::new(0);
+        let max_writes = AtomicU64::new(0);
+        let total_reads = AtomicU64::new(0);
+        let total_writes = AtomicU64::new(0);
+
+        let mut results: Vec<Option<T>> = (0..machines).map(|_| None).collect();
+
+        if threads == 1 {
+            run_chunk(0, &mut results[..], hop_budget, &f, &max_reads, &max_writes, &total_reads, &total_writes);
+        } else {
+            crossbeam::thread::scope(|scope| {
+                for (t, slice) in results.chunks_mut(chunk).enumerate() {
+                    let f = &f;
+                    let (mr, mw, tr, tw) = (&max_reads, &max_writes, &total_reads, &total_writes);
+                    scope.spawn(move |_| {
+                        run_chunk(t * chunk, slice, hop_budget, f, mr, mw, tr, tw);
+                    });
+                }
+            })
+            .expect("machine panicked during round");
+        }
+
+        let rec = RoundRecord {
+            label: label.to_string(),
+            machines,
+            max_reads: max_reads.into_inner(),
+            max_writes: max_writes.into_inner(),
+            total_reads: total_reads.into_inner(),
+            total_writes: total_writes.into_inner(),
+        };
+        if self.cfg.strict_memory {
+            let io = rec.max_reads + rec.max_writes;
+            assert!(
+                io <= self.cfg.io_budget(),
+                "round '{label}': machine I/O {io} exceeds budget {} (N={}, eps={})",
+                self.cfg.io_budget(),
+                self.cfg.n,
+                self.cfg.epsilon,
+            );
+        }
+        self.stats.per_round.push(rec);
+
+        results.into_iter().map(|r| r.expect("machine result missing")).collect()
+    }
+
+    /// Convenience: one round where every machine handles a contiguous
+    /// slice of `work` items sized to local memory; `f(ctx, range)` returns
+    /// that machine's output.
+    pub fn round_over<T, F>(&mut self, label: &str, work: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&MachineCtx, std::ops::Range<usize>) -> T + Sync,
+    {
+        let cap = self.cfg.local_capacity();
+        let machines = self.cfg.machines_for(work);
+        self.round(label, machines, move |ctx, i| {
+            let lo = i * cap;
+            let hi = ((i + 1) * cap).min(work);
+            f(ctx, lo..hi.max(lo))
+        })
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_chunk<T, F>(
+    base: usize,
+    slots: &mut [Option<T>],
+    hop_budget: usize,
+    f: &F,
+    max_reads: &AtomicU64,
+    max_writes: &AtomicU64,
+    total_reads: &AtomicU64,
+    total_writes: &AtomicU64,
+) where
+    F: Fn(&MachineCtx, usize) -> T + Sync,
+{
+    for (j, slot) in slots.iter_mut().enumerate() {
+        let id = base + j;
+        let ctx = MachineCtx::new(id, hop_budget);
+        *slot = Some(f(&ctx, id));
+        max_reads.fetch_max(ctx.reads(), Ordering::Relaxed);
+        max_writes.fetch_max(ctx.writes(), Ordering::Relaxed);
+        total_reads.fetch_add(ctx.reads(), Ordering::Relaxed);
+        total_writes.fetch_add(ctx.writes(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dht::Dht;
+
+    fn cfg() -> AmpcConfig {
+        AmpcConfig::new(1 << 12, 0.5).with_threads(4)
+    }
+
+    #[test]
+    fn results_arrive_in_machine_order() {
+        let mut ex = Executor::new(cfg());
+        let out = ex.round("id", 100, |_, i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+        assert_eq!(ex.rounds(), 1);
+    }
+
+    #[test]
+    fn writes_invisible_until_commit() {
+        let mut ex = Executor::new(cfg());
+        let dht: Dht<u64> = Dht::new();
+        // Round 1: every machine writes its id and tries to read machine 0's.
+        let batches = ex.round("w", 8, |ctx, i| {
+            let mut buf = Vec::new();
+            ctx.stage(&mut buf, i as u64, i as u64 + 100);
+            assert_eq!(dht.get(ctx, 0), None, "mid-round write must be invisible");
+            buf
+        });
+        dht.commit(batches);
+        // Round 2: all writes visible.
+        let seen = ex.round("r", 8, |ctx, i| dht.get(ctx, i as u64));
+        assert_eq!(seen, (0..8).map(|i| Some(i + 100)).collect::<Vec<_>>());
+        assert_eq!(ex.rounds(), 2);
+    }
+
+    #[test]
+    fn per_round_stats_track_maxima() {
+        let mut ex = Executor::new(cfg());
+        let dht: Dht<u64> = Dht::new();
+        dht.bulk_load((0..100u64).map(|i| (i, i)));
+        ex.round("uneven", 4, |ctx, i| {
+            for k in 0..(i as u64 + 1) * 3 {
+                dht.get(ctx, k % 100);
+            }
+        });
+        let rec = &ex.stats().per_round[0];
+        assert_eq!(rec.max_reads, 12);
+        assert_eq!(rec.total_reads, 3 + 6 + 9 + 12);
+        assert_eq!(rec.machines, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds budget")]
+    fn strict_mode_catches_memory_blowups() {
+        let mut ex = Executor::new(AmpcConfig::new(1 << 12, 0.5).strict().with_slack(1.0));
+        let dht: Dht<u64> = Dht::new();
+        ex.round("hog", 2, |ctx, _| {
+            for k in 0..10_000u64 {
+                dht.get(ctx, k);
+            }
+        });
+    }
+
+    #[test]
+    fn round_over_partitions_work() {
+        let mut ex = Executor::new(cfg());
+        let cap = ex.cfg().local_capacity();
+        let ranges = ex.round_over("split", 1000, |_, r| r);
+        assert_eq!(ranges.len(), 1000usize.div_ceil(cap));
+        assert_eq!(ranges[0], 0..cap.min(1000));
+        assert_eq!(ranges.last().unwrap().end, 1000);
+        // Ranges tile the work without gaps.
+        let covered: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, 1000);
+    }
+
+    #[test]
+    fn single_thread_executor_works() {
+        let mut ex = Executor::new(AmpcConfig::new(256, 0.5).with_threads(1));
+        let out = ex.round("one", 10, |_, i| i);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn parallel_execution_is_deterministic() {
+        let run = || {
+            let mut ex = Executor::new(cfg());
+            let dht: Dht<u64> = Dht::new();
+            dht.bulk_load((0..64u64).map(|i| (i, crate::hasher::splitmix64(i))));
+            let batches = ex.round("mix", 64, |ctx, i| {
+                let v = dht.expect(ctx, i as u64);
+                let mut buf = Vec::new();
+                ctx.stage(&mut buf, i as u64, v ^ 0xabcd);
+                buf
+            });
+            dht.commit(batches);
+            (0..64u64)
+                .map(|i| dht.get(&MachineCtx::new(0, 1024), i).unwrap())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

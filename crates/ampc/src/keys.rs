@@ -1,0 +1,57 @@
+//! Key-packing helpers for the `u64`-keyed DHT.
+//!
+//! Algorithms address DHT records by composite coordinates such as
+//! `(vertex, slot)` or `(level, vertex)`. Packing them into the table's
+//! native `u64` keys keeps reads allocation-free.
+
+/// Pack two 32-bit coordinates into one key: `hi` in the upper 32 bits.
+#[inline]
+pub fn pack2(hi: u32, lo: u32) -> u64 {
+    ((hi as u64) << 32) | lo as u64
+}
+
+/// Invert [`pack2`].
+#[inline]
+pub fn unpack2(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
+}
+
+/// Pack a small tag (< 256) with a 56-bit payload; used when one table
+/// multiplexes several record kinds.
+#[inline]
+pub fn pack_tag(tag: u8, payload: u64) -> u64 {
+    debug_assert!(payload < (1u64 << 56), "payload overflows 56 bits");
+    ((tag as u64) << 56) | payload
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack2_roundtrip() {
+        for &(a, b) in &[(0, 0), (1, 2), (u32::MAX, 0), (0, u32::MAX), (u32::MAX, u32::MAX)] {
+            assert_eq!(unpack2(pack2(a, b)), (a, b));
+        }
+    }
+
+    #[test]
+    fn pack2_is_injective_on_samples() {
+        assert_ne!(pack2(1, 2), pack2(2, 1));
+        assert_ne!(pack2(0, 5), pack2(5, 0));
+    }
+
+    #[test]
+    fn pack_tag_separates_namespaces() {
+        assert_ne!(pack_tag(1, 99), pack_tag(2, 99));
+        assert_eq!(pack_tag(3, 7) >> 56, 3);
+        assert_eq!(pack_tag(3, 7) & ((1 << 56) - 1), 7);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn pack_tag_rejects_wide_payload() {
+        let _ = pack_tag(1, 1u64 << 56);
+    }
+}

@@ -1,0 +1,45 @@
+//! # `ampc-model` — a simulator for the Adaptive Massively Parallel Computation model
+//!
+//! The AMPC model (Behnezhad et al., SPAA 2019) extends MPC with a family of
+//! distributed hash tables `H_0, H_1, …`: during round `i` every machine may
+//! **adaptively read** `H_{i-1}` (choosing each query based on the results of
+//! earlier queries in the same round) and may **write** records that become
+//! visible only in `H_i`, i.e. at the start of the next round. Per round, a
+//! machine's reads + writes are bounded by its local memory `O(N^ε)`.
+//!
+//! This crate simulates that model faithfully enough to *measure* the
+//! quantities the theory bounds:
+//!
+//! * **round counts** — every [`Executor::round`] call is one AMPC round;
+//! * **per-machine I/O** — [`MachineCtx`] counts every DHT read and staged
+//!   write; the executor records the per-round maxima and (optionally)
+//!   fails rounds that exceed the `O(N^ε)` budget;
+//! * **write-at-end-of-round semantics** — machine writes are staged in
+//!   per-machine buffers and committed by the caller only after the round's
+//!   barrier, so no machine can observe another machine's writes mid-round;
+//! * **total space** — [`Dht::len`] tracks the table population.
+//!
+//! Machines are logical: they are executed in parallel over a fixed pool of
+//! OS threads (crossbeam scoped threads). Because machines only read
+//! committed state and their own locals, execution is deterministic for a
+//! fixed seed regardless of thread schedule.
+//!
+//! The same executor hosts **MPC-mode** algorithms (no intra-round
+//! adaptivity, expressed as pointer-doubling-style code): the mode changes
+//! the *hop budget* exposed to algorithms ([`AmpcConfig::hop_budget`]),
+//! which is how the `O(1/ε)` AMPC vs `O(log n)` MPC gap is reproduced.
+
+pub mod config;
+pub mod ctx;
+pub mod dht;
+pub mod exec;
+pub mod hasher;
+pub mod keys;
+pub mod stats;
+
+pub use config::{AmpcConfig, ExecMode};
+pub use ctx::MachineCtx;
+pub use dht::Dht;
+pub use exec::Executor;
+pub use keys::{pack2, pack_tag, unpack2};
+pub use stats::{RoundRecord, RunStats};

@@ -1,0 +1,113 @@
+//! Round-by-round execution statistics.
+
+/// Record of a single executed round.
+#[derive(Debug, Clone)]
+pub struct RoundRecord {
+    /// Human-readable phase label (e.g. `"rooting/jump"`).
+    pub label: String,
+    /// Logical machines scheduled in this round.
+    pub machines: usize,
+    /// Maximum DHT reads by any single machine in this round.
+    pub max_reads: u64,
+    /// Maximum staged writes by any single machine in this round.
+    pub max_writes: u64,
+    /// Total DHT reads across all machines in this round.
+    pub total_reads: u64,
+    /// Total staged writes across all machines in this round.
+    pub total_writes: u64,
+}
+
+/// Aggregate statistics for a run (a sequence of rounds on one executor).
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Per-round records in execution order.
+    pub per_round: Vec<RoundRecord>,
+}
+
+impl RunStats {
+    /// Number of rounds executed.
+    pub fn rounds(&self) -> usize {
+        self.per_round.len()
+    }
+
+    /// Maximum per-machine I/O (reads + writes) over all rounds — the
+    /// quantity bounded by `O(N^ε)` in the model.
+    pub fn max_machine_io(&self) -> u64 {
+        self.per_round.iter().map(|r| r.max_reads + r.max_writes).max().unwrap_or(0)
+    }
+
+    /// Total DHT reads over the run.
+    pub fn total_reads(&self) -> u64 {
+        self.per_round.iter().map(|r| r.total_reads).sum()
+    }
+
+    /// Total writes over the run.
+    pub fn total_writes(&self) -> u64 {
+        self.per_round.iter().map(|r| r.total_writes).sum()
+    }
+
+    /// Rounds whose label starts with `prefix` (phase-level accounting).
+    pub fn rounds_labeled(&self, prefix: &str) -> usize {
+        self.per_round.iter().filter(|r| r.label.starts_with(prefix)).count()
+    }
+
+    /// Merge another run's rounds into this one (sequential composition).
+    pub fn absorb(&mut self, other: RunStats) {
+        self.per_round.extend(other.per_round);
+    }
+
+    /// A compact table for experiment binaries.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "rounds={} max_machine_io={} total_reads={} total_writes={}",
+            self.rounds(), self.max_machine_io(), self.total_reads(), self.total_writes());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(label: &str, max_r: u64, max_w: u64) -> RoundRecord {
+        RoundRecord {
+            label: label.to_string(),
+            machines: 4,
+            max_reads: max_r,
+            max_writes: max_w,
+            total_reads: max_r * 4,
+            total_writes: max_w * 4,
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut s = RunStats::default();
+        s.per_round.push(rec("a/x", 10, 2));
+        s.per_round.push(rec("a/y", 5, 20));
+        s.per_round.push(rec("b/x", 1, 1));
+        assert_eq!(s.rounds(), 3);
+        assert_eq!(s.max_machine_io(), 25);
+        assert_eq!(s.total_reads(), 64);
+        assert_eq!(s.rounds_labeled("a/"), 2);
+    }
+
+    #[test]
+    fn absorb_concatenates() {
+        let mut a = RunStats::default();
+        a.per_round.push(rec("x", 1, 1));
+        let mut b = RunStats::default();
+        b.per_round.push(rec("y", 2, 2));
+        a.absorb(b);
+        assert_eq!(a.rounds(), 2);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = RunStats::default();
+        assert_eq!(s.rounds(), 0);
+        assert_eq!(s.max_machine_io(), 0);
+        assert!(s.summary().contains("rounds=0"));
+    }
+}

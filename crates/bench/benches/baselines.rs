@@ -1,0 +1,30 @@
+//! E9 wall-clock companion: Karger / Karger–Stein vs the paper's engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cut_bench::rng_for;
+use cut_graph::gen;
+use mincut_core::baselines::{karger, karger_stein};
+use mincut_core::mincut::{approx_min_cut, MinCutOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    let n = 256usize;
+    let mut rng = rng_for("bench-e9", 0);
+    let g = gen::connected_gnm(n, 3 * n, 1..=8, &mut rng);
+
+    group.bench_function(BenchmarkId::new("karger_x20", n), |b| {
+        b.iter(|| karger(&g, 20, 5))
+    });
+    group.bench_function(BenchmarkId::new("karger_stein", n), |b| {
+        b.iter(|| karger_stein(&g, 5))
+    });
+    let opts = MinCutOptions { epsilon: 0.5, base_size: 32, repetitions: 1, seed: 5 };
+    group.bench_function(BenchmarkId::new("ampc_mincut_ref", n), |b| {
+        b.iter(|| approx_min_cut(&g, &opts))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

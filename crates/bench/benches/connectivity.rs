@@ -1,0 +1,32 @@
+//! E7 wall-clock companion: connectivity on the 1-vs-2-cycle workload.
+
+use ampc_model::{AmpcConfig, Executor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cut_bench::rng_for;
+use cut_graph::gen;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connectivity");
+    group.sample_size(10);
+    for &n in &[1024usize, 4096] {
+        let mut rng = rng_for("bench-e7", n as u64);
+        let g = gen::one_or_two_cycles(n, false, &mut rng);
+        let edges: Vec<(u32, u32)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
+        group.bench_with_input(BenchmarkId::new("ampc", n), &edges, |b, edges| {
+            b.iter(|| {
+                let mut exec = Executor::new(AmpcConfig::new(n, 0.5));
+                ampc_primitives::connectivity(&mut exec, n, edges)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mpc", n), &edges, |b, edges| {
+            b.iter(|| {
+                let mut exec = Executor::new(AmpcConfig::new(n, 0.5).mpc());
+                ampc_primitives::connectivity(&mut exec, n, edges)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

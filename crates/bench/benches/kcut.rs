@@ -1,0 +1,27 @@
+//! E6 wall-clock companion: APX-SPLIT across k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cut_bench::rng_for;
+use cut_graph::gen;
+use mincut_core::kcut::{apx_split, KCutOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kcut");
+    group.sample_size(10);
+    let mut rng = rng_for("bench-e6", 0);
+    let g = gen::planted_partition(6, 20, 0.5, 0.02, &mut rng);
+    if !g.is_connected() {
+        return;
+    }
+    for &k in &[2usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::new("apx_split", k), &g, |b, g| {
+            let mut opts = KCutOptions::new(k);
+            opts.mincut.repetitions = 2;
+            b.iter(|| apx_split(g, &opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E4 wall-clock companion: sequential vs in-model decomposition.
+
+use ampc_model::{AmpcConfig, Executor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cut_bench::rng_for;
+use cut_graph::gen;
+use cut_tree::{low_depth_decomposition, Hld, RootedForest};
+use mincut_core::model::ampc_low_depth_decomposition;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("low_depth_decomp");
+    group.sample_size(10);
+    for &n in &[1024usize, 4096] {
+        let mut rng = rng_for("bench-e4", n as u64);
+        let g = gen::random_tree(n, &mut rng);
+        let edges: Vec<(u32, u32)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
+        group.bench_with_input(BenchmarkId::new("sequential", n), &edges, |b, edges| {
+            b.iter(|| {
+                let f = RootedForest::from_edges(n, edges);
+                let h = Hld::new(&f);
+                low_depth_decomposition(&f, &h)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("in_model", n), &edges, |b, edges| {
+            b.iter(|| {
+                let mut exec = Executor::new(AmpcConfig::new(n, 0.5));
+                ampc_low_depth_decomposition(&mut exec, n, edges)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E1 wall-clock companion: in-model AMPC-MinCut, AMPC vs MPC mode.
+
+use ampc_model::AmpcConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cut_bench::rng_for;
+use cut_graph::gen;
+use mincut_core::mincut::MinCutOptions;
+use mincut_core::model::ampc_min_cut;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mincut_rounds");
+    group.sample_size(10);
+    for &n in &[256usize, 512] {
+        let mut rng = rng_for("bench-e1", n as u64);
+        let g = gen::connected_gnm(n, 3 * n, 1..=8, &mut rng);
+        let opts = MinCutOptions { epsilon: 0.5, base_size: 32, repetitions: 1, seed: 7 };
+        group.bench_with_input(BenchmarkId::new("ampc", n), &g, |b, g| {
+            b.iter(|| ampc_min_cut(g, &opts, &AmpcConfig::new(g.n(), 0.5)))
+        });
+        group.bench_with_input(BenchmarkId::new("mpc", n), &g, |b, g| {
+            b.iter(|| ampc_min_cut(g, &opts, &AmpcConfig::new(g.n(), 0.5).mpc()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

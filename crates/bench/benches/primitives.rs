@@ -1,0 +1,53 @@
+//! E8 wall-clock companion: substrate primitives.
+
+use ampc_model::{AmpcConfig, Executor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cut_bench::rng_for;
+use cut_graph::gen;
+use rand::Rng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    group.sample_size(10);
+    let n = 4096usize;
+    let mut rng = rng_for("bench-e8", 0);
+
+    let next: Vec<u32> = (0..n as u32).map(|i| (i + 1).min(n as u32 - 1)).collect();
+    let ones = vec![1u64; n];
+    group.bench_function(BenchmarkId::new("chain_aggregate", n), |b| {
+        b.iter(|| {
+            let mut exec = Executor::new(AmpcConfig::new(n, 0.5));
+            ampc_primitives::chain_aggregate(&mut exec, &next, &ones, "bench")
+        })
+    });
+
+    let t = gen::random_tree(n, &mut rng);
+    let tedges: Vec<(u32, u32)> = t.edges().iter().map(|e| (e.u, e.v)).collect();
+    group.bench_function(BenchmarkId::new("root_forest", n), |b| {
+        b.iter(|| {
+            let mut exec = Executor::new(AmpcConfig::new(n, 0.5));
+            ampc_primitives::root_forest(&mut exec, n, &tedges)
+        })
+    });
+
+    let keys: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+    group.bench_function(BenchmarkId::new("sample_sort", n), |b| {
+        b.iter(|| {
+            let mut exec = Executor::new(AmpcConfig::new(n, 0.5));
+            ampc_primitives::sample_sort(&mut exec, &keys)
+        })
+    });
+
+    let vals: Vec<i64> = (0..n).map(|_| rng.gen_range(-5..5)).collect();
+    group.bench_function(BenchmarkId::new("min_prefix_sum", n), |b| {
+        b.iter(|| {
+            let mut exec = Executor::new(AmpcConfig::new(n, 0.5));
+            ampc_primitives::min_prefix_sum(&mut exec, &vals)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E10 — Observations 1–3: structural facts of the heavy-light
+//! decomposition and binarized paths.
+//!
+//! * Observation 1: ≤ log₂ n light edges (hence heavy paths) on any
+//!   root-to-vertex path;
+//! * Observation 2: heavy paths partition the vertices, each ends at a
+//!   leaf;
+//! * Observation 3: the binarized path over L leaves has 2L-1 nodes and
+//!   ⌊log₂ L⌋ + 1 height.
+
+use cut_bench::{f2, header, row, rng_for};
+use cut_graph::gen;
+use cut_tree::{binpath, Hld, RootedForest};
+
+fn main() {
+    println!("## E10 — heavy-light and binarized-path structure (Observations 1–3)\n");
+    header(&["shape", "n", "max light edges to root", "log2 n", "heavy paths", "max path len"]);
+    for exp in [8usize, 10, 12, 14, 16] {
+        let n = 1usize << exp;
+        let mut rng = rng_for("e10", exp as u64);
+        let shapes: Vec<(&str, cut_graph::Graph)> = vec![
+            ("random", gen::random_tree(n, &mut rng)),
+            ("caterpillar", gen::caterpillar(n / 3, 2)),
+        ];
+        for (name, g) in shapes {
+            let edges: Vec<(u32, u32)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
+            let f = RootedForest::from_edges(g.n(), &edges);
+            let h = Hld::new(&f);
+            let max_light = (0..g.n() as u32)
+                .map(|v| h.light_edges_to_root(&f, v))
+                .max()
+                .unwrap();
+            let max_len = h.paths.iter().map(|p| p.len()).max().unwrap();
+            assert!(max_light as f64 <= (g.n() as f64).log2());
+            row(&[
+                name.to_string(),
+                g.n().to_string(),
+                max_light.to_string(),
+                f2((g.n() as f64).log2()),
+                h.path_count().to_string(),
+                max_len.to_string(),
+            ]);
+        }
+    }
+    println!("\nObservation 3 spot checks (L, nodes, height ⌈log2 L⌉+1):");
+    for len in [1u64, 2, 3, 5, 8, 100, 1000] {
+        let expect = (len as f64).log2().ceil() as u32 + 1;
+        println!(
+            "  L={len}: nodes={} (2L-1={}), height={} (⌈log2 L⌉+1={})",
+            binpath::nodes(len),
+            2 * len - 1,
+            binpath::height(len),
+            expect
+        );
+        assert_eq!(binpath::nodes(len), 2 * len - 1);
+        assert!(binpath::height(len) <= expect.max(1));
+    }
+}

@@ -1,0 +1,46 @@
+//! E2 — Theorem 1 approximation quality: `OPT ≤ AMPC-MinCut ≤ (2+ε)·OPT`.
+//!
+//! Expect: ratio 1.00 on almost every instance (the algorithm usually
+//! finds the exact cut), never above 2+ε.
+
+use cut_bench::{f2, header, row, rng_for};
+use cut_graph::{gen, stoer_wagner};
+use mincut_core::mincut::{approx_min_cut, MinCutOptions};
+
+fn main() {
+    println!("## E2 — approximation quality vs Stoer–Wagner (Theorem 1)\n");
+    header(&["family", "n", "m", "OPT", "AMPC-MinCut", "ratio", "bound 2+eps"]);
+    let opts = MinCutOptions { epsilon: 0.5, base_size: 32, repetitions: 4, seed: 11 };
+    let mut worst: f64 = 0.0;
+    for trial in 0..3u64 {
+        let mut rng = rng_for("e2", trial);
+        let cases: Vec<(&str, cut_graph::Graph)> = vec![
+            ("gnm-weighted", gen::connected_gnm(256, 768, 1..=20, &mut rng)),
+            ("planted-cut", gen::planted_cut(128, 400, 3, &mut rng)),
+            ("planted-partition", gen::planted_partition(2, 100, 0.25, 0.01, &mut rng)),
+            ("wheel", gen::wheel(200)),
+            ("barbell", gen::barbell(40)),
+            ("grid", gen::grid(12, 16)),
+        ];
+        for (name, g) in cases {
+            if !g.is_connected() {
+                continue;
+            }
+            let exact = stoer_wagner(&g).weight;
+            let approx = approx_min_cut(&g, &opts).weight;
+            let ratio = approx as f64 / exact.max(1) as f64;
+            worst = worst.max(ratio);
+            row(&[
+                name.to_string(),
+                g.n().to_string(),
+                g.m().to_string(),
+                exact.to_string(),
+                approx.to_string(),
+                f2(ratio),
+                "2.50".to_string(),
+            ]);
+        }
+    }
+    println!("\nworst ratio observed: {} (must be <= 2.50)", f2(worst));
+    assert!(worst <= 2.5);
+}

@@ -1,0 +1,47 @@
+//! E3 — Theorem 3: singleton-cut tracking is exact and needs `O(1/ε)`
+//! AMPC rounds (vs `Θ(log n)`-ish in MPC mode).
+//!
+//! Expect: tracking rounds flat in n for AMPC, growing for MPC; output
+//! equal to the contraction oracle everywhere.
+
+use ampc_model::{AmpcConfig, Executor};
+use cut_bench::{header, row, rng_for};
+use cut_graph::gen;
+use mincut_core::contraction::contraction_oracle;
+use mincut_core::model::ampc_smallest_singleton_cut;
+use mincut_core::priorities::exponential_priorities;
+
+fn main() {
+    println!("## E3 — SmallestSingletonCut: exactness and rounds (Theorem 3)\n");
+    header(&[
+        "n", "m", "AMPC track rounds", "AMPC MSF rounds", "MPC track rounds", "max mach. I/O",
+        "== oracle",
+    ]);
+    for exp in [6usize, 8, 10, 12] {
+        let n = 1usize << exp;
+        let mut rng = rng_for("e3", exp as u64);
+        let g = gen::connected_gnm(n, 3 * n, 1..=10, &mut rng);
+        let prio = exponential_priorities(&g, &mut rng);
+        let oracle = contraction_oracle(&g, &prio);
+
+        let mut ax = Executor::new(AmpcConfig::new(n, 0.5));
+        let arep = ampc_smallest_singleton_cut(&mut ax, &g, &prio);
+        let mut mx = Executor::new(AmpcConfig::new(n, 0.5).mpc());
+        let mrep = ampc_smallest_singleton_cut(&mut mx, &g, &prio);
+
+        row(&[
+            n.to_string(),
+            g.m().to_string(),
+            arep.tracking_rounds.to_string(),
+            arep.mst_rounds.to_string(),
+            mrep.tracking_rounds.to_string(),
+            ax.stats().max_machine_io().to_string(),
+            (arep.cut.weight == oracle.min_singleton
+                && mrep.cut.weight == oracle.min_singleton)
+                .to_string(),
+        ]);
+        assert_eq!(arep.cut.weight, oracle.min_singleton);
+    }
+    println!("\nShape check: AMPC tracking rounds stay near-constant as n grows 64x;");
+    println!("MPC tracking rounds grow with log n (doubling-based primitives).");
+}

@@ -1,0 +1,53 @@
+//! E9 — §2 baselines: Karger's single contraction succeeds with
+//! probability `Ω(1/n²)`-ish, Karger–Stein with `Ω(1/log n)` per run, and
+//! the boosted variants find the exact cut; AMPC-MinCut matches quality.
+//!
+//! Expect: per-run KS success rate ≫ per-run Karger success rate; both
+//! boosted baselines and AMPC-MinCut reach the planted cut.
+
+use cut_bench::{f2, header, row, rng_for};
+use cut_graph::{gen, stoer_wagner};
+use mincut_core::baselines::{karger_once, karger_stein};
+use mincut_core::mincut::{approx_min_cut, MinCutOptions};
+
+fn main() {
+    println!("## E9 — contraction baselines (§2, Lemma 1)\n");
+    header(&[
+        "n", "OPT", "P[karger run hits OPT]", "P[KS run hits OPT]", "AMPC-MinCut", "KS boosted",
+    ]);
+    for exp in [5usize, 6, 7] {
+        let n = 1usize << exp;
+        let mut rng = rng_for("e9", exp as u64);
+        let g = gen::connected_gnm(n, 3 * n, 1..=6, &mut rng);
+        let opt = stoer_wagner(&g).weight;
+
+        let trials = 200;
+        let mut k_hits = 0;
+        let mut ks_hits = 0;
+        for t in 0..trials {
+            use rand::SeedableRng;
+            let mut r = rand::rngs::SmallRng::seed_from_u64(t as u64);
+            if karger_once(&g, &mut r).weight == opt {
+                k_hits += 1;
+            }
+            if karger_stein(&g, t as u64).weight == opt {
+                ks_hits += 1;
+            }
+        }
+        let ampc = approx_min_cut(
+            &g,
+            &MinCutOptions { epsilon: 0.5, base_size: 16, repetitions: 4, seed: 1 },
+        );
+        let ks_boost = mincut_core::baselines::karger_stein_boosted(&g, 8, 42);
+        row(&[
+            n.to_string(),
+            opt.to_string(),
+            f2(k_hits as f64 / trials as f64),
+            f2(ks_hits as f64 / trials as f64),
+            ampc.weight.to_string(),
+            ks_boost.weight.to_string(),
+        ]);
+    }
+    println!("\nShape check: KS per-run success rate dominates Karger's and decays");
+    println!("slowly (the Ω(1/log n) of §2); Karger's decays much faster with n.");
+}

@@ -1,0 +1,74 @@
+//! F1–F3 — regenerate the paper's three illustrative figures as text:
+//! Figure 1 (heavy-light decomposition with subtree sizes), Figure 2 (the
+//! meta tree), Figure 3 (an MST with levels and the contraction-time
+//! intervals of edges with respect to a vertex).
+
+use cut_graph::{Edge, Graph};
+use cut_tree::{Hld, RootedForest};
+use mincut_core::singleton::SingletonEngine;
+
+fn main() {
+    // A 10-vertex tree in the spirit of Figure 1 (the paper's exact
+    // instance is only given as a drawing; this reconstruction has the
+    // same vertex count and a comparable mix of heavy-path lengths).
+    let edges = [(0u32, 1u32), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6), (4, 7), (5, 8), (8, 9)];
+    let f = RootedForest::from_edges(10, &edges);
+    let h = Hld::new(&f);
+
+    println!("## Figure 1 — heavy-light decomposition");
+    println!("(vertex: subtree size, heavy child)\n");
+    for v in 0..10u32 {
+        let hc = h.heavy_child[v as usize];
+        println!(
+            "  vertex {v}: subtree={}, heavy child={}",
+            f.subtree[v as usize],
+            if hc == u32::MAX { "—".to_string() } else { hc.to_string() }
+        );
+    }
+    println!("\nheavy paths:");
+    for (i, p) in h.paths.iter().enumerate() {
+        println!("  P{i} = {p:?}");
+    }
+
+    println!("\n## Figure 2 — the meta tree (heavy paths contracted)");
+    for i in 0..h.path_count() as u32 {
+        match h.meta_parent(i) {
+            u32::MAX => println!("  P{i} (root)"),
+            p => println!("  P{i} -> P{p} via light edge from vertex {}", h.path_parent_vertex[i as usize]),
+        }
+    }
+
+    // Figure 3: an MST with unique contraction times, decomposition
+    // levels, and edge time-intervals w.r.t. a chosen vertex v.
+    println!("\n## Figure 3 — MST, levels, and time intervals w.r.t. a vertex");
+    let g = Graph::new(
+        9,
+        vec![
+            Edge::new(0, 1, 1), // tree edges with priorities = positions
+            Edge::new(1, 2, 1),
+            Edge::new(1, 3, 1),
+            Edge::new(0, 4, 1),
+            Edge::new(4, 5, 1),
+            Edge::new(4, 6, 1),
+            Edge::new(0, 7, 1),
+            Edge::new(2, 8, 1), // non-tree-ish extras below
+            Edge::new(5, 8, 1),
+            Edge::new(3, 6, 1),
+        ],
+    );
+    let prio: Vec<u64> = (1..=g.m() as u64).collect();
+    let eng = SingletonEngine::new(&g, &prio);
+    println!("\nlevels (low-depth decomposition labels): {:?}", eng.label);
+    let v = 1u32;
+    println!("ldr_time({v}) = {}", eng.ldr[v as usize]);
+    let per_leader = eng.leader_intervals(&g);
+    println!("time intervals of edges with respect to vertex {v}:");
+    for &(s, t, w) in &per_leader[v as usize] {
+        println!("  interval [{s}, {t}] weight {w}  (contained in [0, {}])", eng.ldr[v as usize]);
+    }
+    let cut = eng.smallest(&g);
+    println!(
+        "\nsmallest singleton cut of the whole process: weight={} at (leader {}, time {})",
+        cut.weight, cut.leader, cut.time
+    );
+}

@@ -1,0 +1,45 @@
+//! Shared helpers for the experiment binaries (`src/bin/exp_*.rs`) and
+//! criterion benches. See DESIGN.md §4 for the experiment index.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Deterministic RNG for a named experiment and trial.
+pub fn rng_for(experiment: &str, trial: u64) -> SmallRng {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in experiment.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    SmallRng::seed_from_u64(h ^ trial.wrapping_mul(0x9e3779b97f4a7c15))
+}
+
+/// Print a markdown table header.
+pub fn header(cols: &[&str]) {
+    println!("| {} |", cols.join(" | "));
+    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// Print a markdown table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let a: u64 = rng_for("e1", 0).gen();
+        let b: u64 = rng_for("e1", 0).gen();
+        let c: u64 = rng_for("e2", 0).gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,146 @@
+//! Contraction baselines from §2: Karger's algorithm and Karger–Stein.
+//!
+//! These are the comparison points for E9: the same contraction substrate
+//! as `AMPC-MinCut` but without singleton tracking or boosting, so their
+//! success probabilities follow Lemma 1 (`Ω(1/t²)` preservation, hence
+//! `Ω(1/log n)` per Karger–Stein run).
+
+use cut_graph::{stoer_wagner, CutResult, Graph};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::contraction::contract_prefix;
+use crate::priorities::exponential_priorities;
+
+/// One run of Karger's contraction: contract uniformly (weight-biased)
+/// until two super-vertices remain; the crossing weight is the cut.
+pub fn karger_once(g: &Graph, rng: &mut impl Rng) -> CutResult {
+    assert!(g.n() >= 2);
+    let prio = exponential_priorities(g, rng);
+    let (h, labels) = contract_prefix(g, &prio, 2);
+    debug_assert!(h.n() == 2 || !g.is_connected());
+    let weight = h.total_weight();
+    let side: Vec<u32> =
+        (0..g.n() as u32).filter(|&v| labels[v as usize] == 0).collect();
+    CutResult { weight, side }
+}
+
+/// Repeat [`karger_once`] `runs` times and keep the best cut.
+pub fn karger(g: &Graph, runs: usize, seed: u64) -> CutResult {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut best: Option<CutResult> = None;
+    for _ in 0..runs.max(1) {
+        let c = karger_once(g, &mut rng);
+        if best.as_ref().map_or(true, |b| c.weight < b.weight) {
+            best = Some(c);
+        }
+    }
+    best.unwrap()
+}
+
+/// Karger–Stein recursive contraction (§2): two independent copies, each
+/// contracted by `1/√2`, recursing until the base size.
+pub fn karger_stein(g: &Graph, seed: u64) -> CutResult {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    ks_rec(g, &mut rng)
+}
+
+fn ks_rec(g: &Graph, rng: &mut SmallRng) -> CutResult {
+    let n = g.n();
+    if n <= 6 {
+        return stoer_wagner(g);
+    }
+    let target = ((n as f64) / std::f64::consts::SQRT_2).ceil() as usize;
+    let target = target.clamp(2, n - 1);
+    let mut best: Option<CutResult> = None;
+    for _ in 0..2 {
+        let prio = exponential_priorities(g, rng);
+        let (h, labels) = contract_prefix(g, &prio, target);
+        let sub = if h.n() >= 2 { ks_rec(&h, rng) } else { stoer_wagner(g) };
+        let in_side = sub.mask(h.n().max(1));
+        let side: Vec<u32> = (0..n as u32)
+            .filter(|&v| {
+                let l = labels[v as usize] as usize;
+                l < in_side.len() && in_side[l]
+            })
+            .collect();
+        let c = CutResult { weight: sub.weight, side };
+        if best.as_ref().map_or(true, |b| c.weight < b.weight) {
+            best = Some(c);
+        }
+    }
+    best.unwrap()
+}
+
+/// Repeated Karger–Stein (the paper boosts with `O(log² n)` runs for high
+/// probability).
+pub fn karger_stein_boosted(g: &Graph, runs: usize, seed: u64) -> CutResult {
+    let mut best: Option<CutResult> = None;
+    for r in 0..runs.max(1) {
+        let c = karger_stein(g, seed.wrapping_add(r as u64));
+        if best.as_ref().map_or(true, |b| c.weight < b.weight) {
+            best = Some(c);
+        }
+    }
+    best.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cut_graph::{cut_weight, gen};
+
+    fn assert_valid(g: &Graph, c: &CutResult) {
+        assert!(c.is_proper(g.n()));
+        assert_eq!(cut_weight(g, &c.mask(g.n())), c.weight);
+    }
+
+    #[test]
+    fn karger_returns_valid_cuts() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = gen::connected_gnm(30, 80, 1..=10, &mut rng);
+        let c = karger(&g, 20, 11);
+        assert_valid(&g, &c);
+        assert!(c.weight >= cut_graph::stoer_wagner(&g).weight);
+    }
+
+    #[test]
+    fn karger_finds_bridge_with_enough_runs() {
+        let g = gen::barbell(6);
+        // Min cut 1; with O(n² log n)-ish runs Karger should find it.
+        let c = karger(&g, 300, 5);
+        assert_eq!(c.weight, 1);
+    }
+
+    #[test]
+    fn karger_stein_matches_exact_on_moderate_graphs() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for seed in 0..5u64 {
+            let g = gen::connected_gnm(40, 120, 1..=8, &mut rng);
+            let exact = cut_graph::stoer_wagner(&g).weight;
+            let c = karger_stein_boosted(&g, 8, seed);
+            assert_valid(&g, &c);
+            assert!(c.weight >= exact);
+            // Boosted KS finds the exact cut with overwhelming probability
+            // at this size; allow one weight unit of slack for seed luck.
+            assert!(c.weight <= exact + 1, "{} vs {exact}", c.weight);
+        }
+    }
+
+    #[test]
+    fn karger_stein_base_case_is_exact() {
+        let g = gen::cycle(5);
+        let c = karger_stein(&g, 3);
+        assert_eq!(c.weight, 2);
+        assert_valid(&g, &c);
+    }
+
+    #[test]
+    fn boosting_never_hurts() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = gen::connected_gnm(30, 60, 1..=5, &mut rng);
+        let one = karger_stein(&g, 42);
+        let many = karger_stein_boosted(&g, 6, 42);
+        assert!(many.weight <= one.weight);
+    }
+}

@@ -1,0 +1,128 @@
+//! Time intervals and weighted stabbing minima (Lemmas 12–14,
+//! Observation 9).
+//!
+//! For a fixed leader `v`, each graph edge is on `v`'s bag boundary during
+//! one consecutive time interval (Lemma 12). The smallest `Δbag(v, t)` for
+//! `t ∈ [0, ldr_time(v)]` is then the minimum, over `t`, of the total
+//! *weight* of intervals covering `t` — a sweep over sorted endpoints plus
+//! a running (min-prefix) sum, exactly the reduction of Lemma 14 to the
+//! minimum-prefix-sum primitive (Theorem 5).
+
+/// A weighted inclusive time interval `[start, end]` with `weight > 0`.
+pub type WInterval = (u64, u64, u64);
+
+/// Minimum total weight of intervals covering any `t ∈ [0, horizon]`,
+/// together with the smallest `t` attaining it.
+///
+/// Interval ends are treated as clipped to `horizon` by the caller;
+/// intervals starting after `horizon` must not be passed.
+pub fn min_stabbing_weight(intervals: &[WInterval], horizon: u64) -> (u64, u64) {
+    // Events: +w at start, -w at end+1; a sentinel at t=0 makes the
+    // pre-first-event plateau (weight 0) a candidate, which is correct:
+    // with no interval covering t=0 the bag has no boundary at time 0.
+    let mut events: Vec<(u64, i64)> = Vec::with_capacity(2 * intervals.len() + 1);
+    events.push((0, 0));
+    for &(s, e, w) in intervals {
+        debug_assert!(s <= e, "empty interval");
+        debug_assert!(s <= horizon, "interval starts past horizon");
+        debug_assert!(e <= horizon, "interval not clipped to horizon");
+        events.push((s, w as i64));
+        if e + 1 <= horizon {
+            events.push((e + 1, -(w as i64)));
+        }
+    }
+    events.sort_unstable();
+    let mut cur: i64 = 0;
+    let mut best = (u64::MAX, 0u64);
+    let mut i = 0;
+    while i < events.len() {
+        let t = events[i].0;
+        while i < events.len() && events[i].0 == t {
+            cur += events[i].1;
+            i += 1;
+        }
+        debug_assert!(cur >= 0, "negative coverage");
+        if t <= horizon && (cur as u64) < best.0 {
+            best = (cur as u64, t);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn brute(intervals: &[WInterval], horizon: u64) -> (u64, u64) {
+        let mut best = (u64::MAX, 0);
+        for t in 0..=horizon {
+            let w: u64 = intervals
+                .iter()
+                .filter(|&&(s, e, _)| s <= t && t <= e)
+                .map(|&(_, _, w)| w)
+                .sum();
+            if w < best.0 {
+                best = (w, t);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_bruteforce_on_random_instances() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let horizon = rng.gen_range(0..40u64);
+            let k = rng.gen_range(0..12);
+            let intervals: Vec<WInterval> = (0..k)
+                .map(|_| {
+                    let s = rng.gen_range(0..=horizon);
+                    let e = rng.gen_range(s..=horizon);
+                    (s, e, rng.gen_range(1..10u64))
+                })
+                .collect();
+            assert_eq!(
+                min_stabbing_weight(&intervals, horizon),
+                brute(&intervals, horizon),
+                "intervals={intervals:?} horizon={horizon}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_means_zero_coverage() {
+        assert_eq!(min_stabbing_weight(&[], 10), (0, 0));
+        assert_eq!(min_stabbing_weight(&[], 0), (0, 0));
+    }
+
+    #[test]
+    fn full_coverage_returns_lightest_plateau() {
+        // [0,4]w3 and [2,4]w5: t in 0..=1 has weight 3.
+        assert_eq!(min_stabbing_weight(&[(0, 4, 3), (2, 4, 5)], 4), (3, 0));
+    }
+
+    #[test]
+    fn gap_after_last_interval_is_zero() {
+        assert_eq!(min_stabbing_weight(&[(0, 2, 7)], 5), (0, 3));
+    }
+
+    #[test]
+    fn gap_before_first_interval_is_zero() {
+        assert_eq!(min_stabbing_weight(&[(3, 5, 7)], 5), (0, 0));
+    }
+
+    #[test]
+    fn overlapping_weights_add() {
+        let iv = [(0, 10, 1), (0, 10, 2), (5, 10, 4)];
+        assert_eq!(min_stabbing_weight(&iv, 10), (3, 0));
+    }
+
+    #[test]
+    fn earliest_argmin_is_reported() {
+        let iv = [(0, 1, 5), (4, 5, 5)];
+        // Weight 0 at t=2 and t=3; earliest is 2.
+        assert_eq!(min_stabbing_weight(&iv, 5), (0, 2));
+    }
+}

@@ -1,0 +1,281 @@
+//! Algorithm 2 in-model: the generalized low-depth tree decomposition on
+//! the AMPC executor.
+//!
+//! Round structure (each step `O(1/ε)` AMPC rounds / `O(log n)` MPC):
+//!
+//! 1. root + orient the forest, subtree sizes (Euler tour, Lemma 4);
+//! 2. heavy children = per-vertex argmax over children subtree sizes
+//!    (chunked `N^ε`-ary aggregation);
+//! 3. heavy-path membership: `hp_next[v]` points to the parent iff `v` is
+//!    its heavy child; one chain compression gives every vertex its path
+//!    top and its position (= depth difference);
+//! 4. binarized-path depth offsets `d0` accumulate along the meta-parent
+//!    chain (a second chain compression over paths — the sum telescopes);
+//! 5. labels by pure arithmetic: `ℓ(v) = d0 + label_in_path(pos, len) - 1`
+//!    (Lemma 7's one-round step).
+
+use ampc_model::{pack2, Dht, Executor};
+use ampc_primitives::euler::{root_forest, InModelForest};
+use ampc_primitives::jump::chain_aggregate;
+use cut_tree::binpath;
+
+/// In-model decomposition output.
+#[derive(Debug, Clone)]
+pub struct InModelDecomposition {
+    /// The rooted forest (step 1).
+    pub forest: InModelForest,
+    /// Per-vertex heavy-path top vertex.
+    pub path_top: Vec<u32>,
+    /// Per-vertex position within its heavy path (0 = top).
+    pub pos_in_path: Vec<u32>,
+    /// Per-vertex length of its heavy path.
+    pub path_len: Vec<u32>,
+    /// Per-vertex expanded-meta-tree depth of the path's binarized root.
+    pub d0: Vec<u32>,
+    /// Definition-1 labels.
+    pub label: Vec<u32>,
+    /// Decomposition height.
+    pub height: u32,
+}
+
+/// Compute the generalized low-depth decomposition of a forest in-model.
+pub fn ampc_low_depth_decomposition(
+    exec: &mut Executor,
+    n: usize,
+    edges: &[(u32, u32)],
+) -> InModelDecomposition {
+    // Step 1: rooting (Lemma 4 functionality).
+    let forest = root_forest(exec, n, edges);
+    if n == 0 {
+        return InModelDecomposition {
+            forest,
+            path_top: vec![],
+            pos_in_path: vec![],
+            path_len: vec![],
+            d0: vec![],
+            label: vec![],
+            height: 0,
+        };
+    }
+
+    // Step 2: heavy children. Children lists in a DHT (the end-of-round
+    // shuffle groups children under parents); chunked max per parent.
+    let child_dht: Dht<u32> = Dht::new();
+    let cdeg_dht: Dht<u32> = Dht::new();
+    {
+        let mut kids: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for v in 0..n as u32 {
+            let p = forest.parent[v as usize];
+            if p != v {
+                kids[p as usize].push(v);
+            }
+        }
+        for (p, list) in kids.iter().enumerate() {
+            cdeg_dht.bulk_load([(p as u64, list.len() as u32)]);
+            child_dht.bulk_load(
+                list.iter().enumerate().map(|(i, &c)| (pack2(p as u32, i as u32), c)),
+            );
+        }
+    }
+    let size_dht: Dht<u32> = Dht::new();
+    size_dht.bulk_load((0..n).map(|v| (v as u64, forest.subtree[v])));
+    let cap = exec.cfg().local_capacity();
+    // Work units: (parent, chunk); fold (size, child) maxima, ties to the
+    // smaller child id — matching the reference Hld.
+    let mut units: Vec<(u32, u32)> = Vec::new();
+    let mut deg_of = vec![0u32; n];
+    for v in 0..n as u32 {
+        let p = forest.parent[v as usize];
+        if p != v {
+            deg_of[p as usize] += 1;
+        }
+    }
+    for (v, &d) in deg_of.iter().enumerate() {
+        for c in 0..(d as usize).div_ceil(cap) {
+            units.push((v as u32, c as u32));
+        }
+    }
+    let partials = exec.round("decomp/heavy", units.len().max(1), |ctx, mi| {
+        if units.is_empty() {
+            return (0u32, None);
+        }
+        let (p, c) = units[mi];
+        let deg = cdeg_dht.expect(ctx, p as u64) as usize;
+        let lo = c as usize * cap;
+        let hi = ((c as usize + 1) * cap).min(deg);
+        let mut best: Option<(u32, std::cmp::Reverse<u32>)> = None; // (size, Reverse(child))
+        for i in lo..hi {
+            let child = child_dht.expect(ctx, pack2(p, i as u32));
+            let s = size_dht.expect(ctx, child as u64);
+            let cand = (s, std::cmp::Reverse(child));
+            if best.map_or(true, |b| cand > b) {
+                best = Some(cand);
+            }
+        }
+        (p, best)
+    });
+    let mut heavy_child = vec![u32::MAX; n];
+    {
+        let mut best: Vec<Option<(u32, std::cmp::Reverse<u32>)>> = vec![None; n];
+        for (p, b) in partials {
+            if let Some(cand) = b {
+                if best[p as usize].map_or(true, |x| cand > x) {
+                    best[p as usize] = Some(cand);
+                }
+            }
+        }
+        for v in 0..n {
+            if let Some((_, std::cmp::Reverse(c))) = best[v] {
+                heavy_child[v] = c;
+            }
+        }
+    }
+
+    // Step 3: heavy-path tops and positions via one chain compression.
+    let hp_next: Vec<u32> = (0..n as u32)
+        .map(|v| {
+            let p = forest.parent[v as usize];
+            if p != v && heavy_child[p as usize] == v {
+                p
+            } else {
+                v
+            }
+        })
+        .collect();
+    let hp = chain_aggregate(exec, &hp_next, &vec![1u64; n], "decomp/heavy-paths");
+    let path_top: Vec<u32> = hp.root.clone();
+    let pos_in_path: Vec<u32> = hp.acc.iter().map(|&d| d as u32).collect();
+    // Path lengths: max position + 1, grouped per top (shuffle).
+    let mut path_len_of_top = vec![0u32; n];
+    for v in 0..n {
+        let t = path_top[v] as usize;
+        path_len_of_top[t] = path_len_of_top[t].max(pos_in_path[v] + 1);
+    }
+    let path_len: Vec<u32> = (0..n).map(|v| path_len_of_top[path_top[v] as usize]).collect();
+
+    // Step 4: d0 along the meta chain. For a path with top vertex `t`
+    // (non-root), its parent path is `path_top[parent(t)]`, and the
+    // telescoping increment is the binarized depth of the connecting leaf.
+    let mut meta_next: Vec<u32> = (0..n as u32).collect();
+    let mut meta_val = vec![0u64; n];
+    for t in 0..n as u32 {
+        if path_top[t as usize] != t {
+            continue; // only path tops participate
+        }
+        let p = forest.parent[t as usize];
+        if p == t {
+            continue; // root path: terminal
+        }
+        let q_top = path_top[p as usize];
+        meta_next[t as usize] = q_top;
+        let q_len = path_len[p as usize] as u64;
+        let q_pos = pos_in_path[p as usize] as u64;
+        meta_val[t as usize] = binpath::depth_of(binpath::leaf_at(q_pos, q_len)) as u64;
+    }
+    let meta = chain_aggregate(exec, &meta_next, &meta_val, "decomp/meta-depth");
+    let d0: Vec<u32> = (0..n)
+        .map(|v| (meta.acc[path_top[v] as usize] + 1) as u32)
+        .collect();
+
+    // Step 5: labels by local arithmetic (one round over vertices).
+    let labels = exec.round_over("decomp/label", n, |ctx, range| {
+        ctx.charge_local(range.len() as u64);
+        range
+            .map(|v| {
+                let len = path_len[v] as u64;
+                let pos = pos_in_path[v] as u64;
+                d0[v] + binpath::label_in_path(pos, len) - 1
+            })
+            .collect::<Vec<u32>>()
+    });
+    let label: Vec<u32> = labels.into_iter().flatten().collect();
+    let height = label.iter().copied().max().unwrap_or(0);
+
+    InModelDecomposition { forest, path_top, pos_in_path, path_len, d0, label, height }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_model::{AmpcConfig, ExecMode};
+    use cut_graph::gen;
+    use cut_tree::lowdepth::low_depth_decomposition;
+    use cut_tree::{Hld, RootedForest};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn compare_with_reference(n: usize, edges: &[(u32, u32)], mode: ExecMode) -> usize {
+        let mut cfg = AmpcConfig::new(n.max(4), 0.5).with_threads(2);
+        cfg.mode = mode;
+        let mut exec = Executor::new(cfg);
+        let got = ampc_low_depth_decomposition(&mut exec, n, edges);
+
+        let f = RootedForest::from_edges(n, edges);
+        let hld = Hld::new(&f);
+        let expect = low_depth_decomposition(&f, &hld);
+        assert_eq!(got.label, expect.label, "labels differ (n={n})");
+        assert_eq!(got.height, expect.height);
+        // Positions/lengths must agree with the reference HLD as well.
+        for v in 0..n as u32 {
+            assert_eq!(got.pos_in_path[v as usize], hld.pos_in_path[v as usize], "pos v={v}");
+            assert_eq!(
+                got.path_len[v as usize] as usize,
+                hld.path_of(v).len(),
+                "len v={v}"
+            );
+            assert_eq!(got.path_top[v as usize], hld.head(v), "top v={v}");
+        }
+        exec.rounds()
+    }
+
+    #[test]
+    fn matches_reference_on_fixed_trees() {
+        compare_with_reference(
+            10,
+            &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6), (4, 7), (5, 8), (8, 9)],
+            ExecMode::Ampc,
+        );
+        let path: Vec<(u32, u32)> = (1..64u32).map(|i| (i - 1, i)).collect();
+        compare_with_reference(64, &path, ExecMode::Ampc);
+        let star: Vec<(u32, u32)> = (1..50u32).map(|i| (0, i)).collect();
+        compare_with_reference(50, &star, ExecMode::Ampc);
+    }
+
+    #[test]
+    fn matches_reference_on_random_trees_both_modes() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for n in [2usize, 7, 33, 150, 700] {
+            let g = gen::random_tree(n, &mut rng);
+            let edges: Vec<(u32, u32)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
+            compare_with_reference(n, &edges, ExecMode::Ampc);
+            compare_with_reference(n, &edges, ExecMode::Mpc);
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_forests() {
+        compare_with_reference(9, &[(0, 1), (1, 2), (3, 4), (4, 5), (6, 7)], ExecMode::Ampc);
+        compare_with_reference(4, &[], ExecMode::Ampc);
+    }
+
+    #[test]
+    fn produces_valid_decompositions_on_big_trees() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = gen::random_tree(3000, &mut rng);
+        let edges: Vec<(u32, u32)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
+        let mut exec = Executor::new(AmpcConfig::new(3000, 0.5).with_threads(2));
+        let got = ampc_low_depth_decomposition(&mut exec, 3000, &edges);
+        let f = RootedForest::from_edges(3000, &edges);
+        assert!(cut_tree::validate_decomposition(&f, &got.label).is_ok());
+        let lg = 3000f64.log2() + 1.0;
+        assert!((got.height as f64) <= 1.5 * lg * lg);
+    }
+
+    #[test]
+    fn ampc_rounds_beat_mpc_on_paths() {
+        let path: Vec<(u32, u32)> = (1..4096u32).map(|i| (i - 1, i)).collect();
+        let ra = compare_with_reference(4096, &path, ExecMode::Ampc);
+        let rm = compare_with_reference(4096, &path, ExecMode::Mpc);
+        assert!(ra * 2 < rm, "ampc={ra} mpc={rm}");
+    }
+}

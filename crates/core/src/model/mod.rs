@@ -1,0 +1,18 @@
+//! In-model engines: the paper's algorithms executed on the `ampc-model`
+//! executor with measured rounds.
+//!
+//! The reference engines in the crate root compute the same outputs
+//! sequentially; these run the round-structured versions — AMPC mode uses
+//! adaptive multi-hop DHT walks (`O(1/ε)`-round primitives), MPC mode uses
+//! pointer doubling (`O(log n)`-round primitives) and serves as the
+//! Ghaffari–Nowicki-shaped baseline of Corollary 1.
+
+pub mod lowdepth;
+pub mod mincut;
+pub mod pathmax;
+pub mod singleton;
+
+pub use lowdepth::{ampc_low_depth_decomposition, InModelDecomposition};
+pub use mincut::{ampc_min_cut, AmpcMinCutReport};
+pub use pathmax::PathMax;
+pub use singleton::{ampc_smallest_singleton_cut, SingletonReport};

@@ -1,0 +1,263 @@
+//! In-model tree path-maximum queries: K-ary ancestor-jump tables with
+//! max aggregation.
+//!
+//! The paper queries path minima/maxima through the precomputed
+//! heavy-light + RMQ structure of Theorem 4 (`O(1/ε)` build rounds,
+//! `O(log n)` DHT queries per path query). This module provides the same
+//! contract with a jump-table layout that is natural for a DHT: row `r`
+//! stores, per vertex, its ancestor `fanin^r` levels up and the maximum
+//! edge priority on the way. Row `r+1` is built from row `r` by an
+//! *adaptive* `fanin`-hop walk (one round per row ⇒ `O(log_fanin depth)`
+//! build rounds); in MPC mode the walk degenerates to doubling
+//! (`fanin = 2` via a single non-adaptive read).
+//!
+//! Queries (`join_time`, i.e. pathmax through the LCA) are adaptive read
+//! chains of `O(fanin · log_fanin n)` DHT lookups — the Theorem 4 query
+//! budget up to constants.
+
+use ampc_model::{pack2, Dht, ExecMode, Executor, MachineCtx};
+
+/// The DHT-resident jump structure.
+pub struct PathMax {
+    rows: usize,
+    fanin: usize,
+    /// pack2(row, v) -> (ancestor, max prio along the jump).
+    table: Dht<(u32, u64)>,
+    /// v -> depth.
+    depth: Dht<u32>,
+}
+
+impl PathMax {
+    /// Build for a rooted forest: `parent[v]` (roots self-looped),
+    /// `edge_prio[v]` = priority of the edge to the parent, `depth[v]`.
+    pub fn build(
+        exec: &mut Executor,
+        parent: &[u32],
+        edge_prio: &[u64],
+        depth: &[u32],
+    ) -> PathMax {
+        let n = parent.len();
+        let fanin = match exec.cfg().mode {
+            ExecMode::Ampc => 4usize,
+            ExecMode::Mpc => 2,
+        };
+        let max_depth = depth.iter().copied().max().unwrap_or(0).max(1) as usize;
+        let mut rows = 1;
+        let mut span = 1usize;
+        while span < max_depth {
+            span = span.saturating_mul(fanin);
+            rows += 1;
+        }
+
+        let table: Dht<(u32, u64)> = Dht::new();
+        table.bulk_load((0..n).map(|v| {
+            let p = parent[v];
+            let prio = if p as usize == v { 0 } else { edge_prio[v] };
+            (pack2(0, v as u32), (p, prio))
+        }));
+        let depth_dht: Dht<u32> = Dht::new();
+        depth_dht.bulk_load((0..n).map(|v| (v as u64, depth[v])));
+
+        let cap = exec.cfg().local_capacity();
+        // Each node costs up to fanin+1 reads per row round.
+        let per_machine = (cap / (fanin + 1)).max(1);
+        let machines = n.div_ceil(per_machine).max(1);
+        for r in 1..rows {
+            let batches = exec.round(&format!("pathmax/row{r}"), machines, |ctx, mi| {
+                let lo = mi * per_machine;
+                let hi = ((mi + 1) * per_machine).min(n);
+                let mut writes = Vec::new();
+                for v in lo..hi {
+                    let (mut anc, mut mx) = table.expect(ctx, pack2(r as u32 - 1, v as u32));
+                    // Adaptive walk: compose fanin-1 more row-(r-1) jumps.
+                    for _ in 1..fanin {
+                        let (a2, m2) = table.expect(ctx, pack2(r as u32 - 1, anc));
+                        if a2 == anc {
+                            break;
+                        }
+                        mx = mx.max(m2);
+                        anc = a2;
+                    }
+                    ctx.stage(&mut writes, pack2(r as u32, v as u32), (anc, mx));
+                }
+                writes
+            });
+            table.commit(batches);
+        }
+        PathMax { rows, fanin, table, depth: depth_dht }
+    }
+
+    /// Depth lookup (one DHT read).
+    pub fn depth_of(&self, ctx: &MachineCtx, v: u32) -> u32 {
+        self.depth.expect(ctx, v as u64)
+    }
+
+    /// Upper-bound estimate of DHT reads per [`PathMax::join_time`] query,
+    /// used by callers to size per-machine work against the `N^ε` budget.
+    pub fn query_cost(&self) -> usize {
+        2 * (self.fanin + 1) * self.rows + 6
+    }
+
+    /// Ancestor of `v` exactly `d` levels up, with the path maximum.
+    fn lift(&self, ctx: &MachineCtx, mut v: u32, mut d: u64) -> (u32, u64) {
+        let mut mx = 0u64;
+        let mut r = self.rows;
+        while d > 0 {
+            r = r.saturating_sub(1);
+            let span = (self.fanin as u64).pow(r as u32);
+            while d >= span {
+                let (a, m) = self.table.expect(ctx, pack2(r as u32, v));
+                mx = mx.max(m);
+                v = a;
+                d -= span;
+            }
+            if r == 0 {
+                break;
+            }
+        }
+        debug_assert_eq!(d, 0);
+        (v, mx)
+    }
+
+    /// Maximum edge priority on the tree path `x … y` — the first
+    /// contraction time at which `x` and `y` share a bag. 0 if `x == y`.
+    ///
+    /// Panics (missing-record) if `x` and `y` are in different trees.
+    pub fn join_time(&self, ctx: &MachineCtx, x: u32, y: u32) -> u64 {
+        if x == y {
+            return 0;
+        }
+        let dx = self.depth_of(ctx, x) as u64;
+        let dy = self.depth_of(ctx, y) as u64;
+        let (mut a, mut b) = (x, y);
+        let mut mx = 0u64;
+        if dx > dy {
+            let (a2, m) = self.lift(ctx, a, dx - dy);
+            a = a2;
+            mx = mx.max(m);
+        } else if dy > dx {
+            let (b2, m) = self.lift(ctx, b, dy - dx);
+            b = b2;
+            mx = mx.max(m);
+        }
+        if a == b {
+            return mx;
+        }
+        // Descend rows keeping a != b strictly below the LCA.
+        for r in (0..self.rows).rev() {
+            loop {
+                let (na, ma) = self.table.expect(ctx, pack2(r as u32, a));
+                let (nb, mb) = self.table.expect(ctx, pack2(r as u32, b));
+                if na == nb {
+                    break; // would jump to/above the LCA
+                }
+                mx = mx.max(ma).max(mb);
+                a = na;
+                b = nb;
+            }
+        }
+        // a and b are now children of the LCA: take the last two edges.
+        let (pa, ma) = self.table.expect(ctx, pack2(0, a));
+        let (pb, mb) = self.table.expect(ctx, pack2(0, b));
+        debug_assert_eq!(pa, pb, "different components");
+        mx.max(ma).max(mb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_model::AmpcConfig;
+    use cut_graph::gen;
+    use cut_tree::rmq::{HldPathQuery, RmqOp};
+    use cut_tree::{Hld, RootedForest};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_tree(n: usize, seed: u64, mode: ExecMode) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = gen::random_tree(n, &mut rng);
+        let edges: Vec<(u32, u32)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
+        let f = RootedForest::from_edges(n, &edges);
+        let mut prio = vec![0u64; n];
+        for v in 0..n {
+            if !f.is_root(v as u32) {
+                prio[v] = rng.gen_range(1..1_000_000);
+            }
+        }
+        let mut cfg = AmpcConfig::new(n.max(4), 0.5).with_threads(2);
+        cfg.mode = mode;
+        let mut exec = Executor::new(cfg);
+        let pm = PathMax::build(&mut exec, &f.parent, &prio, &f.depth);
+
+        let hld = Hld::new(&f);
+        let reference = HldPathQuery::new(&f, &hld, &prio, RmqOp::Max);
+        let queries = exec.round("query", 1, |ctx, _| {
+            // Deterministic pseudo-random query pairs (LCG).
+            let mut res = Vec::new();
+            let mut state = 0x12345678u64;
+            for _ in 0..300 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let x = (state >> 33) as u32 % n as u32;
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let y = (state >> 33) as u32 % n as u32;
+                res.push((x, y, pm.join_time(ctx, x, y)));
+            }
+            res
+        });
+        for (x, y, got) in &queries[0] {
+            assert_eq!(*got, reference.join_time(*x, *y), "x={x} y={y} n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_hld_reference_on_random_trees() {
+        for (n, seed) in [(2usize, 1u64), (5, 2), (40, 3), (300, 4), (1500, 5)] {
+            check_tree(n, seed, ExecMode::Ampc);
+        }
+        check_tree(200, 6, ExecMode::Mpc);
+    }
+
+    #[test]
+    fn deep_path_tree() {
+        // A path: depths up to n-1 exercise multi-row lifts.
+        let n = 500;
+        let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (i - 1, i)).collect();
+        let f = RootedForest::from_edges(n, &edges);
+        let prio: Vec<u64> = (0..n as u64).map(|v| v * 7 % 1000 + 1).collect();
+        let mut exec = Executor::new(AmpcConfig::new(n, 0.5).with_threads(2));
+        let pm = PathMax::build(&mut exec, &f.parent, &prio, &f.depth);
+        let hld = Hld::new(&f);
+        let reference = HldPathQuery::new(&f, &hld, &prio, RmqOp::Max);
+        let res = exec.round("query", 1, |ctx, _| {
+            vec![
+                pm.join_time(ctx, 0, 499),
+                pm.join_time(ctx, 10, 11),
+                pm.join_time(ctx, 250, 250),
+                pm.join_time(ctx, 499, 0),
+            ]
+        });
+        assert_eq!(res[0][0], reference.join_time(0, 499));
+        assert_eq!(res[0][1], reference.join_time(10, 11));
+        assert_eq!(res[0][2], 0);
+        assert_eq!(res[0][3], res[0][0]);
+    }
+
+    #[test]
+    fn build_rounds_scale_with_mode() {
+        let n = 2048;
+        let edges: Vec<(u32, u32)> = (1..n as u32).map(|i| (i - 1, i)).collect();
+        let f = RootedForest::from_edges(n, &edges);
+        let prio = vec![1u64; n];
+        let rounds_of = |mode: ExecMode| {
+            let mut cfg = AmpcConfig::new(n, 0.5).with_threads(2);
+            cfg.mode = mode;
+            let mut exec = Executor::new(cfg);
+            let _ = PathMax::build(&mut exec, &f.parent, &prio, &f.depth);
+            exec.rounds()
+        };
+        let ra = rounds_of(ExecMode::Ampc);
+        let rm = rounds_of(ExecMode::Mpc);
+        assert!(ra < rm, "ampc={ra} mpc={rm}");
+    }
+}

@@ -1,0 +1,570 @@
+//! Algorithm 3 in-model: `SmallestSingletonCut` on the AMPC executor
+//! (Theorem 3).
+//!
+//! Round groups (labels in parentheses match `RunStats::rounds_labeled`):
+//!
+//! * `mst/…` — minimum spanning forest of the contraction priorities;
+//! * `euler/…`, `decomp/…` — rooting + generalized low-depth
+//!   decomposition (Algorithm 2);
+//! * `pathmax/…` — the Theorem-4-style path-maximum structure;
+//! * `singleton/sep` — separator parents from the ≤ 2 boundary edges of
+//!   each leader's component, located by pure binarized-path arithmetic
+//!   (Lemma 10) plus `O(1)` DHT reads per vertex;
+//! * `singleton/ldr` — `ldr_time` (Lemma 11) via boundary-edge path-max
+//!   queries;
+//! * `singleton/intervals` — per-edge leader-chain walks emitting the
+//!   Lemma 13 time intervals (adaptive chains of DHT reads);
+//! * `singleton/sweep` — per-leader weighted stabbing minima (Lemma 14);
+//!   leaders whose interval lists exceed local memory fall back to the
+//!   distributed sort + minimum-prefix-sum primitives (Theorem 5);
+//! * `singleton/reduce` — the final minimum (Observation 7).
+
+use ampc_model::{pack2, Dht, Executor};
+use ampc_primitives::jump::chain_aggregate;
+use ampc_primitives::mst::{minimum_spanning_forest, PrioEdge};
+use ampc_primitives::sample_sort;
+use cut_graph::Graph;
+use cut_tree::binpath;
+
+use crate::intervals::min_stabbing_weight;
+use crate::model::lowdepth::ampc_low_depth_decomposition;
+use crate::model::pathmax::PathMax;
+use crate::singleton::SingletonCut;
+
+const NONE: u32 = u32::MAX;
+
+/// Output of the in-model engine plus round accounting.
+#[derive(Debug, Clone)]
+pub struct SingletonReport {
+    /// The smallest singleton cut (identical to the reference engine's).
+    pub cut: SingletonCut,
+    /// Rounds spent in the MSF substrate.
+    pub mst_rounds: usize,
+    /// Rounds spent after the MSF (decomposition + tracking).
+    pub tracking_rounds: usize,
+    /// The spanning-forest edge indices (by increasing priority) — the
+    /// contraction-relevant edges, reused by `AMPC-MinCut` for prefix
+    /// contraction.
+    pub forest_edges: Vec<u32>,
+}
+
+/// Run Algorithm 3 in-model on `(g, prio)` using `exec` for rounds.
+pub fn ampc_smallest_singleton_cut(
+    exec: &mut Executor,
+    g: &Graph,
+    prio: &[u64],
+) -> SingletonReport {
+    let n = g.n();
+    assert!(n >= 2, "need at least 2 vertices");
+    assert_eq!(prio.len(), g.m());
+
+    // ---- MSF of the contraction priorities ----
+    let rounds_before_mst = exec.rounds();
+    let pedges: Vec<PrioEdge> = g
+        .edges()
+        .iter()
+        .zip(prio)
+        .map(|(e, &p)| PrioEdge { u: e.u, v: e.v, prio: p })
+        .collect();
+    let forest_edges = minimum_spanning_forest(exec, n, &pedges);
+    let mst_rounds = exec.rounds() - rounds_before_mst;
+    let tracking_start = exec.rounds();
+
+    // ---- Algorithm 2: decomposition ----
+    let tree_pairs: Vec<(u32, u32)> = forest_edges
+        .iter()
+        .map(|&ei| {
+            let e = g.edge(ei as usize);
+            (e.u, e.v)
+        })
+        .collect();
+    let de = ampc_low_depth_decomposition(exec, n, &tree_pairs);
+    let parent = &de.forest.parent;
+    // Parent-edge priorities.
+    let mut edge_prio = vec![0u64; n];
+    {
+        let mut prio_of_pair: std::collections::HashMap<(u32, u32), u64> =
+            std::collections::HashMap::new();
+        for &ei in &forest_edges {
+            let e = g.edge(ei as usize);
+            prio_of_pair.insert((e.u.min(e.v), e.u.max(e.v)), prio[ei as usize]);
+        }
+        for v in 0..n as u32 {
+            let p = parent[v as usize];
+            if p != v {
+                edge_prio[v as usize] = prio_of_pair[&(v.min(p), v.max(p))];
+            }
+        }
+    }
+
+    // ---- path-max structure (Theorem 4 stand-in) ----
+    let pm = PathMax::build(exec, parent, &edge_prio, &de.forest.depth);
+
+    // DHT mirrors of the decomposition state used by adaptive queries.
+    let label_dht: Dht<u32> = Dht::new();
+    label_dht.bulk_load((0..n).map(|v| (v as u64, de.label[v])));
+    // (path top, pos) -> vertex.
+    let at_pos: Dht<u32> = Dht::new();
+    at_pos.bulk_load((0..n).map(|v| (pack2(de.path_top[v], de.pos_in_path[v]), v as u32)));
+
+    let cap = exec.cfg().local_capacity();
+    // Each vertex costs ≤ ~5 DHT reads in the separator round.
+    let sep_per_machine = (cap / 6).max(1);
+    let sep_machines = n.div_ceil(sep_per_machine);
+
+    // ---- separator parents (Lemma 10 arithmetic) ----
+    let sep_parent_vecs = exec.round("singleton/sep", sep_machines, |ctx, mi| {
+        let lo = mi * sep_per_machine;
+        let hi = ((mi + 1) * sep_per_machine).min(n);
+        let mut out = Vec::with_capacity(hi - lo);
+        for v in lo..hi {
+            ctx.charge_local(1);
+            let top = de.path_top[v];
+            let len = de.path_len[v] as u64;
+            let pos = de.pos_in_path[v] as u64;
+            let x = de.label[v] + 1 - de.d0[v]; // in-path threshold ≥ 1
+            let (rlo, rhi) = binpath::run_bounds(pos, len, x);
+            // Boundary neighbor above the run.
+            let b_top = if rlo > 0 {
+                Some(at_pos.expect(ctx, pack2(top, rlo as u32 - 1)))
+            } else {
+                let p = parent[top as usize];
+                if p == top {
+                    None
+                } else {
+                    Some(p)
+                }
+            };
+            // Boundary neighbor below the run (heavy successor).
+            let b_bot = if rhi + 1 < len {
+                Some(at_pos.expect(ctx, pack2(top, rhi as u32 + 1)))
+            } else {
+                None
+            };
+            let sep = match (b_top, b_bot) {
+                (None, None) => NONE,
+                (Some(b), None) | (None, Some(b)) => b,
+                (Some(b1), Some(b2)) => {
+                    let l1 = label_dht.expect(ctx, b1 as u64);
+                    let l2 = label_dht.expect(ctx, b2 as u64);
+                    debug_assert_ne!(l1, l2, "boundary labels must differ");
+                    if l1 > l2 {
+                        b1
+                    } else {
+                        b2
+                    }
+                }
+            };
+            out.push((sep, b_top, b_bot));
+        }
+        out
+    });
+    let mut sep_parent = vec![NONE; n];
+    let mut boundary: Vec<(Option<u32>, Option<u32>)> = vec![(None, None); n];
+    for (mi, part) in sep_parent_vecs.into_iter().enumerate() {
+        for (j, (sep, bt, bb)) in part.into_iter().enumerate() {
+            sep_parent[mi * sep_per_machine + j] = sep;
+            boundary[mi * sep_per_machine + j] = (bt, bb);
+        }
+    }
+
+    // Separator depths (for meet detection): one chain compression.
+    let sep_next: Vec<u32> =
+        (0..n).map(|v| if sep_parent[v] == NONE { v as u32 } else { sep_parent[v] }).collect();
+    let sep_rank = chain_aggregate(exec, &sep_next, &vec![1u64; n], "singleton/sepdepth");
+    let sep_dht: Dht<(u32, u32)> = Dht::new(); // v -> (sep_parent, sep_depth)
+    sep_dht.bulk_load((0..n).map(|v| (v as u64, (sep_parent[v], sep_rank.acc[v] as u32))));
+
+    // ---- ldr_time (Lemma 11) ----
+    // Per-component max priority (for global leaders).
+    let mut comp_max = std::collections::HashMap::<u32, u64>::new();
+    let mut comp_size = std::collections::HashMap::<u32, u32>::new();
+    for v in 0..n {
+        let r = de.forest.comp_root[v];
+        *comp_size.entry(r).or_insert(0) += 1;
+        let e = comp_max.entry(r).or_insert(0);
+        if parent[v] != v as u32 {
+            *e = (*e).max(edge_prio[v]);
+        }
+    }
+    // ldr costs ≤ 2 path-max queries + O(1) reads per vertex.
+    let ldr_per_machine = (cap / (2 * pm.query_cost() + 2)).max(1);
+    let ldr_machines = n.div_ceil(ldr_per_machine);
+    let ldr_vecs = exec.round("singleton/ldr", ldr_machines, |ctx, mi| {
+        let lo = mi * ldr_per_machine;
+        let hi = ((mi + 1) * ldr_per_machine).min(n);
+        let mut out = Vec::with_capacity(hi - lo);
+        for v in lo..hi {
+            ctx.charge_local(1);
+            let (bt, bb) = boundary[v];
+            if bt.is_none() && bb.is_none() {
+                // Global leader: the bag may grow to the whole component.
+                let r = de.forest.comp_root[v];
+                let full_proper = (comp_size[&r] as usize) < n;
+                let mx = comp_max[&r];
+                out.push(if full_proper { mx } else { mx.saturating_sub(1) });
+                continue;
+            }
+            let mut best = u64::MAX;
+            for b in [bt, bb].into_iter().flatten() {
+                let jt = pm.join_time(ctx, v as u32, b);
+                debug_assert!(jt >= 1);
+                best = best.min(jt - 1);
+            }
+            out.push(best);
+        }
+        out
+    });
+    let ldr: Vec<u64> = ldr_vecs.into_iter().flatten().collect();
+    let ldr_dht: Dht<u64> = Dht::new();
+    ldr_dht.bulk_load((0..n).map(|v| (v as u64, ldr[v])));
+
+    // ---- intervals (Lemmas 12–13): one machine per edge ----
+    // An edge's chain walk costs O(chain · query_cost) reads — a polylog
+    // per edge, so one edge per machine keeps I/O within polylog · N^ε
+    // (the paper's Lemma 13 budget).
+    let m = g.m();
+    let interval_parts = exec.round("singleton/intervals", m.max(1), |ctx, mi| {
+        let lo = mi.min(m);
+        let hi = (mi + 1).min(m);
+        let mut out: Vec<(u32, (u64, u64, u64))> = Vec::new();
+        for ei in lo..hi {
+            let e = g.edge(ei);
+            let (x, y, w) = (e.u, e.v, e.w);
+            // Cross interval: the other endpoint stays outside `u`'s bag
+            // for u's whole leadership (Cases 2 / 3a).
+            let emit_cross = |ctx: &ampc_model::MachineCtx,
+                              out: &mut Vec<(u32, (u64, u64, u64))>,
+                              endpoint: u32,
+                              u: u32| {
+                let l = ldr_dht.expect(ctx, u as u64);
+                let t = pm.join_time(ctx, endpoint, u);
+                if t <= l {
+                    out.push((u, (t, l, w)));
+                }
+            };
+            // Walk both leader chains toward the meet; every element left
+            // behind gets a cross interval. On a tie both cursors advance
+            // (the deeper-or-equal side rule), and exhausted chains are
+            // detected before the equality test so two roots of different
+            // components are never mistaken for a meet.
+            let (mut ca, mut cb) = (x, y);
+            let (mut da, mut db) = (sep_dht.expect(ctx, x as u64).1, sep_dht.expect(ctx, y as u64).1);
+            let mut meet = NONE;
+            loop {
+                if ca == cb {
+                    meet = ca;
+                    break;
+                }
+                let adv_a = da >= db;
+                let adv_b = db >= da;
+                if adv_a {
+                    emit_cross(ctx, &mut out, x, ca);
+                    ca = sep_dht.expect(ctx, ca as u64).0;
+                    da = da.saturating_sub(1);
+                }
+                if adv_b {
+                    emit_cross(ctx, &mut out, y, cb);
+                    cb = sep_dht.expect(ctx, cb as u64).0;
+                    db = db.saturating_sub(1);
+                }
+                if ca == NONE || cb == NONE {
+                    break; // different components
+                }
+            }
+            if meet != NONE {
+                // Common suffix: both endpoints inside (Case 3b).
+                let mut u = meet;
+                loop {
+                    let l = ldr_dht.expect(ctx, u as u64);
+                    let tx = pm.join_time(ctx, x, u);
+                    let ty = pm.join_time(ctx, y, u);
+                    let s = tx.min(ty);
+                    let e_clip = tx.max(ty).saturating_sub(1).min(l);
+                    if s <= e_clip && s <= l {
+                        out.push((u, (s, e_clip, w)));
+                    }
+                    let p = sep_dht.expect(ctx, u as u64).0;
+                    if p == NONE {
+                        break;
+                    }
+                    u = p;
+                }
+            } else {
+                // Different components: drain the unexhausted chains.
+                while ca != NONE {
+                    emit_cross(ctx, &mut out, x, ca);
+                    ca = sep_dht.expect(ctx, ca as u64).0;
+                }
+                while cb != NONE {
+                    emit_cross(ctx, &mut out, y, cb);
+                    cb = sep_dht.expect(ctx, cb as u64).0;
+                }
+            }
+        }
+        out
+    });
+    // Shuffle: group intervals by leader.
+    let mut per_leader: Vec<Vec<(u64, u64, u64)>> = vec![Vec::new(); n];
+    for part in interval_parts {
+        for (u, iv) in part {
+            per_leader[u as usize].push(iv);
+        }
+    }
+
+    if std::env::var("MINCUT_DEBUG").is_ok() {
+        eprintln!("model labels: {:?}", de.label);
+        eprintln!("model sep:    {:?}", sep_parent);
+        eprintln!("model ldr:    {:?}", ldr);
+        eprintln!(
+            "model per-leader interval counts: {:?}",
+            per_leader.iter().map(|v| v.len()).collect::<Vec<_>>()
+        );
+    }
+
+    // ---- per-leader sweeps (Lemma 14) ----
+    let small: Vec<u32> =
+        (0..n as u32).filter(|&v| per_leader[v as usize].len() <= cap).collect();
+    let mut best = SingletonCut { weight: u64::MAX, leader: 0, time: 0 };
+    if !small.is_empty() {
+        let sweeps = exec.round("singleton/sweep", small.len(), |ctx, mi| {
+            let v = small[mi];
+            let ivs = &per_leader[v as usize];
+            ctx.charge_local(ivs.len() as u64 + 1);
+            let horizon = ldr_dht.expect(ctx, v as u64);
+            min_stabbing_weight(ivs, horizon)
+        });
+        for (i, (w, t)) in sweeps.into_iter().enumerate() {
+            if w < best.weight {
+                best = SingletonCut { weight: w, leader: small[i], time: t };
+            }
+        }
+    }
+    // Oversized leaders: ONE distributed event sort over all of them
+    // (leader id in the key's high bits groups segments), Lemma 14's
+    // same-time compression in the shuffle, then one scan round with a
+    // machine per leader segment — the Theorem 5 pipeline with all
+    // leaders processed in parallel, as the paper's level-parallel
+    // accounting requires.
+    let oversized: Vec<u32> =
+        (0..n as u32).filter(|&v| per_leader[v as usize].len() > cap).collect();
+    if !oversized.is_empty() {
+        // Key layout: leader(20) | time(22) | kind(1) | weight(21).
+        const WBITS: u32 = 21;
+        const TSHIFT: u32 = WBITS + 1;
+        const LSHIFT: u32 = TSHIFT + 22;
+        assert!(n < (1 << 20) && g.m() < (1 << 22), "instance too large for key packing");
+        let mut keys = Vec::new();
+        for &v in &oversized {
+            let horizon = ldr[v as usize];
+            let lv = (v as u64) << LSHIFT;
+            for &(s, e, w) in &per_leader[v as usize] {
+                assert!(w < (1 << WBITS), "edge weight too large for key packing");
+                keys.push(lv | (s << TSHIFT) | w);
+                if e + 1 <= horizon {
+                    keys.push(lv | ((e + 1) << TSHIFT) | (1 << WBITS) | w);
+                }
+            }
+        }
+        let sorted = sample_sort(exec, &keys);
+        // Shuffle: compress per (leader, time) and split into segments.
+        struct Seg {
+            leader: u32,
+            times: Vec<u64>,
+            deltas: Vec<i64>,
+        }
+        let mut segs: Vec<Seg> = Vec::new();
+        for &k in &sorted {
+            let v = (k >> LSHIFT) as u32;
+            let t = (k >> TSHIFT) & ((1 << 22) - 1);
+            let w = (k & ((1 << WBITS) - 1)) as i64;
+            let d = if (k >> WBITS) & 1 == 1 { -w } else { w };
+            if segs.last().map_or(true, |s| s.leader != v) {
+                // Coverage before a leader's first event is zero.
+                let mut s = Seg { leader: v, times: vec![], deltas: vec![] };
+                if t > 0 {
+                    s.times.push(0);
+                    s.deltas.push(0);
+                }
+                segs.push(s);
+            }
+            let s = segs.last_mut().unwrap();
+            if s.times.last() == Some(&t) {
+                *s.deltas.last_mut().unwrap() += d;
+            } else {
+                s.times.push(t);
+                s.deltas.push(d);
+            }
+        }
+        // Segmented parallel scan: one round over cap-sized chunks of the
+        // concatenated compressed events; each chunk reports (sum, min
+        // prefix, argmin) per segment-run it touches, combined per segment
+        // in the shuffle with the prefix-sum monoid. Events were already
+        // clipped to each leader's horizon at generation, so no filtering
+        // is needed here.
+        let flat: Vec<(u32, u64, i64)> = segs
+            .iter()
+            .flat_map(|s| {
+                s.times.iter().zip(&s.deltas).map(move |(&t, &d)| (s.leader, t, d))
+            })
+            .collect();
+        let chunks = flat.len().div_ceil(cap).max(1);
+        let partials = exec.round("singleton/scan", chunks, |ctx, mi| {
+            let lo = mi * cap;
+            let hi = ((mi + 1) * cap).min(flat.len());
+            ctx.charge_local((hi - lo) as u64);
+            // Per segment-run in this chunk: (leader, sum, minp, arg_time).
+            let mut out: Vec<(u32, i64, i64, u64)> = Vec::new();
+            for &(leader, t, d) in &flat[lo..hi] {
+                match out.last_mut() {
+                    Some((l, sum, minp, arg)) if *l == leader => {
+                        *sum += d;
+                        if *sum < *minp {
+                            *minp = *sum;
+                            *arg = t;
+                        }
+                    }
+                    _ => out.push((leader, d, d, t)),
+                }
+            }
+            out
+        });
+        // Shuffle-combine per leader (chunks arrive in order).
+        let mut agg: std::collections::HashMap<u32, (i64, i64, u64)> =
+            std::collections::HashMap::new();
+        for part in partials {
+            for (leader, sum, minp, arg) in part {
+                match agg.get_mut(&leader) {
+                    None => {
+                        agg.insert(leader, (sum, minp, arg));
+                    }
+                    Some((s0, m0, a0)) => {
+                        let shifted = *s0 + minp;
+                        if shifted < *m0 {
+                            *m0 = shifted;
+                            *a0 = arg;
+                        }
+                        *s0 += sum;
+                    }
+                }
+            }
+        }
+        for s in &segs {
+            let (total, mut mn, mut tt) = agg[&s.leader];
+            let horizon = ldr[s.leader as usize];
+            if *s.times.last().unwrap() < horizon && total < mn {
+                mn = total;
+                tt = s.times.last().unwrap() + 1;
+            }
+            debug_assert!(mn >= 0, "negative coverage: leader {}", s.leader);
+            let w = mn.max(0) as u64;
+            if w < best.weight {
+                best = SingletonCut { weight: w, leader: s.leader, time: tt };
+            }
+        }
+    }
+
+    let tracking_rounds = exec.rounds() - tracking_start;
+    SingletonReport { cut: best, mst_rounds, tracking_rounds, forest_edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::priorities::exponential_priorities;
+    use crate::singleton::smallest_singleton_cut;
+    use ampc_model::{AmpcConfig, ExecMode};
+    use cut_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn run(g: &Graph, prio: &[u64], mode: ExecMode) -> (SingletonReport, usize) {
+        let mut cfg = AmpcConfig::new(g.n().max(4), 0.5).with_threads(2);
+        cfg.mode = mode;
+        let mut exec = Executor::new(cfg);
+        let rep = ampc_smallest_singleton_cut(&mut exec, g, prio);
+        let rounds = exec.rounds();
+        (rep, rounds)
+    }
+
+    #[test]
+    fn matches_reference_engine_on_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(51);
+        for trial in 0..25 {
+            let n = rng.gen_range(2..30);
+            let max_m = n * (n - 1) / 2;
+            let m = rng.gen_range(1..=max_m);
+            let g = gen::gnm(n, m, 1..=9, &mut rng);
+            let prio = exponential_priorities(&g, &mut rng);
+            let expect = smallest_singleton_cut(&g, &prio);
+            let (got, _) = run(&g, &prio, ExecMode::Ampc);
+            assert_eq!(got.cut.weight, expect.weight, "trial={trial} n={n} m={m}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_in_mpc_mode() {
+        let mut rng = SmallRng::seed_from_u64(52);
+        for _ in 0..6 {
+            let n = rng.gen_range(3..25);
+            let g = gen::connected_gnm(n, 2 * n, 1..=10, &mut rng);
+            let prio = exponential_priorities(&g, &mut rng);
+            let expect = smallest_singleton_cut(&g, &prio);
+            let (got, _) = run(&g, &prio, ExecMode::Mpc);
+            assert_eq!(got.cut.weight, expect.weight);
+        }
+    }
+
+    #[test]
+    fn matches_on_structured_graphs() {
+        let mut rng = SmallRng::seed_from_u64(53);
+        for g in [gen::cycle(24), gen::barbell(8), gen::wheel(16), gen::grid(5, 6)] {
+            let prio = exponential_priorities(&g, &mut rng);
+            let expect = smallest_singleton_cut(&g, &prio);
+            let (got, _) = run(&g, &prio, ExecMode::Ampc);
+            assert_eq!(got.cut.weight, expect.weight);
+        }
+    }
+
+    #[test]
+    fn weighted_graphs_match() {
+        let mut rng = SmallRng::seed_from_u64(54);
+        for _ in 0..10 {
+            let n = rng.gen_range(4..40);
+            let g = gen::connected_gnm(n, 3 * n, 1..=100, &mut rng);
+            let prio = exponential_priorities(&g, &mut rng);
+            let expect = smallest_singleton_cut(&g, &prio);
+            let (got, _) = run(&g, &prio, ExecMode::Ampc);
+            assert_eq!(got.cut.weight, expect.weight);
+        }
+    }
+
+    #[test]
+    fn tracking_rounds_grow_slowly() {
+        // Theorem 3: tracking is O(1/ε) rounds — in particular the round
+        // count must grow (at most) logarithmically-slowly with n, while
+        // MPC-mode rounds grow like log n.
+        let mut rng = SmallRng::seed_from_u64(55);
+        let small = gen::connected_gnm(64, 192, 1..=5, &mut rng);
+        let big = gen::connected_gnm(2048, 6144, 1..=5, &mut rng);
+        let ps = exponential_priorities(&small, &mut rng);
+        let pb = exponential_priorities(&big, &mut rng);
+        let (rs, _) = run(&small, &ps, ExecMode::Ampc);
+        let (rb, _) = run(&big, &pb, ExecMode::Ampc);
+        // 32x the vertices: allow at most +8 tracking rounds.
+        assert!(
+            rb.tracking_rounds <= rs.tracking_rounds + 8,
+            "small={} big={}",
+            rs.tracking_rounds,
+            rb.tracking_rounds
+        );
+    }
+
+    #[test]
+    fn disconnected_graph_zero() {
+        let g = Graph::unit(6, &[(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let prio = vec![1, 2, 3, 4];
+        let (got, _) = run(&g, &prio, ExecMode::Ampc);
+        assert_eq!(got.cut.weight, 0);
+    }
+}

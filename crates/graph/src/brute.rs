@@ -1,0 +1,168 @@
+//! Exponential-time exact oracles for small instances.
+//!
+//! These are the trust anchors of the test suite: every approximation
+//! bound in the paper is checked against them on small graphs.
+
+use crate::cut::{kcut_weight, CutResult};
+use crate::graph::Graph;
+
+/// Exact global min cut by subset enumeration. `O(2^n · m)`; refuses
+/// graphs with more than 24 vertices.
+pub fn min_cut(g: &Graph) -> CutResult {
+    let n = g.n();
+    assert!((2..=24).contains(&n), "brute force needs 2..=24 vertices");
+    let mut best = u64::MAX;
+    let mut best_mask = 1u32;
+    // Fix vertex n-1 outside the side to halve the enumeration.
+    for mask in 1u32..(1 << (n - 1)) {
+        let mut w = 0u64;
+        for e in g.edges() {
+            let inu = e.u as usize != n - 1 && (mask >> e.u) & 1 == 1;
+            let inv = e.v as usize != n - 1 && (mask >> e.v) & 1 == 1;
+            if inu != inv {
+                w += e.w;
+                if w >= best {
+                    break;
+                }
+            }
+        }
+        if w < best {
+            best = w;
+            best_mask = mask;
+        }
+    }
+    let side: Vec<u32> = (0..(n - 1) as u32).filter(|&v| (best_mask >> v) & 1 == 1).collect();
+    CutResult { weight: best, side }
+}
+
+/// Exact minimum k-cut by enumerating set partitions into exactly `k`
+/// nonempty parts (restricted-growth strings). Practical to n ≈ 13.
+///
+/// Returns the optimal weight and a labeling.
+pub fn min_kcut(g: &Graph, k: usize) -> (u64, Vec<u32>) {
+    let n = g.n();
+    assert!(n <= 14, "brute-force k-cut needs n <= 14");
+    assert!((1..=n).contains(&k), "need 1 <= k <= n");
+    let mut label = vec![0u32; n];
+    let mut best = (u64::MAX, vec![0u32; n]);
+    fn rec(
+        g: &Graph,
+        k: usize,
+        v: usize,
+        used: u32,
+        label: &mut Vec<u32>,
+        best: &mut (u64, Vec<u32>),
+    ) {
+        let n = g.n();
+        if n - v < (k as usize).saturating_sub(used as usize) {
+            return; // not enough vertices left to open the remaining parts
+        }
+        if v == n {
+            if used as usize == k {
+                let w = kcut_weight(g, label);
+                if w < best.0 {
+                    *best = (w, label.clone());
+                }
+            }
+            return;
+        }
+        // Restricted growth: vertex v may join an existing part or open the
+        // next part (at most k parts).
+        let cap = (used + 1).min(k as u32);
+        for c in 0..cap {
+            label[v] = c;
+            let new_used = used.max(c + 1);
+            rec(g, k, v + 1, new_used, label, best);
+        }
+    }
+    rec(g, k, 0, 0, &mut label, &mut best);
+    assert!(best.0 != u64::MAX, "no partition found");
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cut::cut_weight;
+    use crate::gen;
+    use crate::graph::{Edge, Graph};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn min_cut_of_cycle() {
+        let c = min_cut(&gen::cycle(8));
+        assert_eq!(c.weight, 2);
+        assert!(c.is_proper(8));
+    }
+
+    #[test]
+    fn min_cut_respects_weights() {
+        let g = Graph::new(3, vec![Edge::new(0, 1, 10), Edge::new(1, 2, 2), Edge::new(0, 2, 3)]);
+        assert_eq!(min_cut(&g).weight, 5);
+    }
+
+    #[test]
+    fn min_cut_side_consistent() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..20 {
+            let n = rng.gen_range(3..10);
+            let g = gen::connected_gnm(n, n + 2, 1..=7, &mut rng);
+            let c = min_cut(&g);
+            assert_eq!(cut_weight(&g, &c.mask(n)), c.weight);
+        }
+    }
+
+    #[test]
+    fn min_kcut_k2_equals_min_cut() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..10 {
+            let n = rng.gen_range(3..9);
+            let g = gen::connected_gnm(n, n + 3, 1..=5, &mut rng);
+            let (w2, labels) = min_kcut(&g, 2);
+            assert_eq!(w2, min_cut(&g).weight);
+            assert_eq!(labels.iter().copied().max().unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn min_kcut_monotone_in_k() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = gen::connected_gnm(8, 16, 1..=6, &mut rng);
+        let mut last = 0;
+        for k in 1..=4 {
+            let (w, labels) = min_kcut(&g, k);
+            assert!(w >= last, "k-cut weight must be non-decreasing in k");
+            let parts: std::collections::HashSet<u32> = labels.iter().copied().collect();
+            assert_eq!(parts.len(), k);
+            last = w;
+        }
+    }
+
+    #[test]
+    fn min_kcut_n_parts_cuts_everything() {
+        let g = gen::cycle(5);
+        let (w, _) = min_kcut(&g, 5);
+        assert_eq!(w, g.total_weight());
+    }
+
+    #[test]
+    fn kcut_on_two_triangles_with_bridge() {
+        // Two triangles joined by one edge: 2-cut is the bridge.
+        let g = Graph::new(
+            6,
+            vec![
+                Edge::new(0, 1, 1),
+                Edge::new(1, 2, 1),
+                Edge::new(0, 2, 1),
+                Edge::new(3, 4, 1),
+                Edge::new(4, 5, 1),
+                Edge::new(3, 5, 1),
+                Edge::new(2, 3, 1),
+            ],
+        );
+        assert_eq!(min_kcut(&g, 2).0, 1);
+        // 3-cut: bridge + two edges of one triangle.
+        assert_eq!(min_kcut(&g, 3).0, 3);
+    }
+}

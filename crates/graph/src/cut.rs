@@ -1,0 +1,104 @@
+//! Cut evaluation helpers.
+
+use crate::graph::Graph;
+
+/// A cut: one side of the bipartition plus its weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CutResult {
+    /// Total weight of edges crossing the cut.
+    pub weight: u64,
+    /// Vertices on one side (the side is arbitrary but never empty and
+    /// never the full vertex set for proper cuts).
+    pub side: Vec<u32>,
+}
+
+impl CutResult {
+    /// A cut from a membership mask.
+    pub fn from_mask(g: &Graph, in_side: &[bool]) -> Self {
+        let side = (0..g.n() as u32).filter(|&v| in_side[v as usize]).collect();
+        Self { weight: cut_weight(g, in_side), side }
+    }
+
+    /// True when the side is a proper nonempty subset of the vertices.
+    pub fn is_proper(&self, n: usize) -> bool {
+        !self.side.is_empty() && self.side.len() < n
+    }
+
+    /// Membership mask of the side.
+    pub fn mask(&self, n: usize) -> Vec<bool> {
+        let mut m = vec![false; n];
+        for &v in &self.side {
+            m[v as usize] = true;
+        }
+        m
+    }
+}
+
+/// Weight of the cut induced by a membership mask: sum of weights of edges
+/// with exactly one endpoint inside.
+pub fn cut_weight(g: &Graph, in_side: &[bool]) -> u64 {
+    debug_assert_eq!(in_side.len(), g.n());
+    g.edges()
+        .iter()
+        .filter(|e| in_side[e.u as usize] != in_side[e.v as usize])
+        .map(|e| e.w)
+        .sum()
+}
+
+/// Weight of the k-cut induced by a partition labeling: sum of weights of
+/// edges whose endpoints carry different labels.
+pub fn kcut_weight(g: &Graph, label: &[u32]) -> u64 {
+    debug_assert_eq!(label.len(), g.n());
+    g.edges()
+        .iter()
+        .filter(|e| label[e.u as usize] != label[e.v as usize])
+        .map(|e| e.w)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Edge;
+
+    fn square() -> Graph {
+        Graph::new(
+            4,
+            vec![Edge::new(0, 1, 1), Edge::new(1, 2, 2), Edge::new(2, 3, 3), Edge::new(3, 0, 4)],
+        )
+    }
+
+    #[test]
+    fn cut_weight_counts_crossing_edges() {
+        let g = square();
+        assert_eq!(cut_weight(&g, &[true, true, false, false]), 2 + 4);
+        assert_eq!(cut_weight(&g, &[true, false, true, false]), 1 + 2 + 3 + 4);
+        assert_eq!(cut_weight(&g, &[true, true, true, true]), 0);
+    }
+
+    #[test]
+    fn cut_result_roundtrips_mask() {
+        let g = square();
+        let c = CutResult::from_mask(&g, &[false, true, true, false]);
+        assert_eq!(c.weight, 1 + 3);
+        assert_eq!(c.side, vec![1, 2]);
+        assert!(c.is_proper(4));
+        assert_eq!(c.mask(4), vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn improper_cuts_detected() {
+        let g = square();
+        assert!(!CutResult::from_mask(&g, &[false; 4]).is_proper(4));
+        assert!(!CutResult::from_mask(&g, &[true; 4]).is_proper(4));
+    }
+
+    #[test]
+    fn kcut_weight_three_parts() {
+        let g = square();
+        // Parts {0}, {1,2}, {3}: crossing edges 0-1 (1), 2-3 (3), 3-0 (4).
+        assert_eq!(kcut_weight(&g, &[0, 1, 1, 2]), 8);
+        // One part: nothing crosses.
+        assert_eq!(kcut_weight(&g, &[5, 5, 5, 5]), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Union–find (disjoint set union) with union by rank and path halving.
+
+/// Disjoint-set forest over `0..n`.
+#[derive(Debug, Clone)]
+pub struct Dsu {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl Dsu {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect(), rank: vec![0; n], sets: n }
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns `false` if already merged.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] { (ra, rb) } else { (rb, ra) };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.sets -= 1;
+        true
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the structure has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Contiguous labels `0..k` per set, in order of first appearance.
+    pub fn labels(&mut self) -> Vec<u32> {
+        let n = self.len();
+        let mut label = vec![u32::MAX; n];
+        let mut next = 0;
+        let mut out = vec![0u32; n];
+        for v in 0..n as u32 {
+            let r = self.find(v) as usize;
+            if label[r] == u32::MAX {
+                label[r] = next;
+                next += 1;
+            }
+            out[v as usize] = label[r];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut d = Dsu::new(5);
+        assert_eq!(d.set_count(), 5);
+        assert!(d.union(0, 1));
+        assert!(!d.union(1, 0));
+        assert!(d.union(2, 3));
+        assert!(d.same(0, 1));
+        assert!(!d.same(0, 2));
+        assert_eq!(d.set_count(), 3);
+        d.union(1, 3);
+        assert!(d.same(0, 2));
+        assert_eq!(d.set_count(), 2);
+    }
+
+    #[test]
+    fn labels_are_contiguous_first_appearance() {
+        let mut d = Dsu::new(6);
+        d.union(4, 5);
+        d.union(0, 2);
+        let l = d.labels();
+        assert_eq!(l[0], l[2]);
+        assert_eq!(l[4], l[5]);
+        assert_eq!(l[0], 0);
+        assert_eq!(l[1], 1);
+        assert_eq!(l[3], 3 - 1); // 0:{0,2} 1:{1} 2:{3} 3:{4,5}
+        assert_eq!(*l.iter().max().unwrap(), 3);
+    }
+
+    #[test]
+    fn chains_compress() {
+        let mut d = Dsu::new(1000);
+        for i in 0..999 {
+            d.union(i, i + 1);
+        }
+        assert_eq!(d.set_count(), 1);
+        for i in 0..1000 {
+            assert!(d.same(0, i));
+        }
+    }
+
+    #[test]
+    fn empty_dsu() {
+        let mut d = Dsu::new(0);
+        assert!(d.is_empty());
+        assert_eq!(d.labels(), Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,238 @@
+//! Gomory–Hu (equivalent-flow) trees via Gusfield's algorithm.
+//!
+//! Definition 8 of the paper: a weighted tree on `V(G)` such that for every
+//! pair `(s,t)` the minimum edge weight on the tree path equals the
+//! minimum s-t cut of `G`. Gusfield's variant computes such a tree with
+//! `n - 1` max-flow calls and no graph contraction.
+//!
+//! The k-cut machinery (§5) uses the tree in two ways:
+//! * the Saran–Vazirani `(2 - 2/k)`-approximate k-cut built from the
+//!   lightest tree cuts (Observation 10 / Theorem 6);
+//! * a certified lower bound `OPT_k ≥ (heaviest of the k-1 lightest GH
+//!   cuts) / 2`-style bounds used in tests.
+
+use crate::cut::CutResult;
+use crate::graph::Graph;
+use crate::maxflow::Dinic;
+
+/// A Gomory–Hu tree: `parent[v]` and `weight[v]` describe the tree edge
+/// `v — parent[v]` of weight `weight[v]`; vertex 0 is the root
+/// (`parent[0] = 0`, `weight[0]` unused).
+#[derive(Debug, Clone)]
+pub struct GomoryHuTree {
+    /// Parent links (vertex 0 is its own parent).
+    pub parent: Vec<u32>,
+    /// Weight of the edge to the parent (min s-t cut value).
+    pub weight: Vec<u64>,
+    /// For each non-root vertex, the side mask of the min cut separating it
+    /// from its parent (true = on `v`'s side).
+    sides: Vec<Vec<bool>>,
+}
+
+impl GomoryHuTree {
+    /// Build the tree for a connected graph `g` (n ≥ 1).
+    pub fn build(g: &Graph) -> Self {
+        let n = g.n();
+        let mut parent = vec![0u32; n];
+        let mut weight = vec![0u64; n];
+        let mut sides: Vec<Vec<bool>> = vec![Vec::new(); n];
+        if n <= 1 {
+            return Self { parent, weight, sides };
+        }
+        let mut dinic = Dinic::new(g);
+        for i in 1..n as u32 {
+            let p = parent[i as usize];
+            let f = dinic.max_flow(i, p);
+            let side = dinic.min_cut_side(i);
+            weight[i as usize] = f;
+            for j in (i + 1)..n as u32 {
+                if side[j as usize] && parent[j as usize] == p {
+                    parent[j as usize] = i;
+                }
+            }
+            sides[i as usize] = side;
+        }
+        Self { parent, weight, sides }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Minimum s-t cut value read off the tree: the minimum edge weight on
+    /// the tree path between `s` and `t`.
+    pub fn min_cut_value(&self, s: u32, t: u32) -> u64 {
+        assert_ne!(s, t);
+        // Walk both vertices to the root collecting path minima.
+        let depth = |mut v: u32| {
+            let mut d = 0;
+            while self.parent[v as usize] != v {
+                v = self.parent[v as usize];
+                d += 1;
+            }
+            d
+        };
+        let (mut a, mut b) = (s, t);
+        let (mut da, mut db) = (depth(a), depth(b));
+        let mut best = u64::MAX;
+        while da > db {
+            best = best.min(self.weight[a as usize]);
+            a = self.parent[a as usize];
+            da -= 1;
+        }
+        while db > da {
+            best = best.min(self.weight[b as usize]);
+            b = self.parent[b as usize];
+            db -= 1;
+        }
+        while a != b {
+            best = best.min(self.weight[a as usize]);
+            best = best.min(self.weight[b as usize]);
+            a = self.parent[a as usize];
+            b = self.parent[b as usize];
+        }
+        best
+    }
+
+    /// Tree edges `(v, parent[v], weight)` sorted by non-decreasing weight —
+    /// the candidate cuts of Saran–Vazirani.
+    pub fn edges_by_weight(&self) -> Vec<(u32, u32, u64)> {
+        let mut out: Vec<(u32, u32, u64)> = (1..self.n() as u32)
+            .map(|v| (v, self.parent[v as usize], self.weight[v as usize]))
+            .collect();
+        out.sort_by_key(|&(v, _, w)| (w, v));
+        out
+    }
+
+    /// The global min cut read off the tree (lightest tree edge) together
+    /// with its stored side.
+    pub fn global_min_cut(&self) -> CutResult {
+        let (v, _, w) = *self
+            .edges_by_weight()
+            .first()
+            .expect("tree needs at least one edge");
+        let side = &self.sides[v as usize];
+        CutResult {
+            weight: w,
+            side: (0..self.n() as u32).filter(|&x| side[x as usize]).collect(),
+        }
+    }
+
+    /// Saran–Vazirani greedy k-cut from the tree: union of the `k-1`
+    /// lightest tree cuts. Returns the total weight of the union of those
+    /// cut edge sets in `g` and a `k`-part labeling.
+    ///
+    /// By Theorem 6 this is a `(2 - 2/k)`-approximation of Min k-Cut.
+    pub fn greedy_kcut(&self, g: &Graph, k: usize) -> (u64, Vec<u32>) {
+        assert!(k >= 1 && k <= self.n());
+        let mut removed = vec![false; g.m()];
+        let mut chosen = 0usize;
+        for (v, _, _) in self.edges_by_weight() {
+            if chosen + 1 >= k {
+                break;
+            }
+            // Removing the union of cuts for the k-1 lightest tree edges.
+            let side = &self.sides[v as usize];
+            for (i, e) in g.edges().iter().enumerate() {
+                if side[e.u as usize] != side[e.v as usize] {
+                    removed[i] = true;
+                }
+            }
+            chosen += 1;
+        }
+        let kept: Vec<u32> = (0..g.m() as u32).filter(|&i| removed[i as usize]).collect();
+        let h = g.without_edges(
+            &(0..g.m() as u32).filter(|&i| !removed[i as usize]).collect::<Vec<_>>(),
+        );
+        // `h` now contains exactly the removed edges; weight of the k-cut is
+        // the weight of removed edges. Labeling comes from components of the
+        // graph without removed edges.
+        let weight = h.total_weight();
+        let residual = g.without_edges(&kept);
+        (weight, residual.components())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::maxflow::min_st_cut;
+    use crate::stoer_wagner::stoer_wagner;
+    use crate::graph::{Edge, Graph};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn tree_property_on_small_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..15 {
+            let n = rng.gen_range(2..14);
+            let g = gen::connected_gnm(n, (n - 1) + rng.gen_range(0..n), 1..=9, &mut rng);
+            let gh = GomoryHuTree::build(&g);
+            for s in 0..n as u32 {
+                for t in (s + 1)..n as u32 {
+                    assert_eq!(
+                        gh.min_cut_value(s, t),
+                        min_st_cut(&g, s, t),
+                        "n={n} s={s} t={t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn global_min_cut_matches_stoer_wagner() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..15 {
+            let n = rng.gen_range(3..20);
+            let g = gen::connected_gnm(n, 2 * n, 1..=9, &mut rng);
+            let gh = GomoryHuTree::build(&g);
+            let sw = stoer_wagner(&g);
+            let cut = gh.global_min_cut();
+            assert_eq!(cut.weight, sw.weight);
+            assert!(cut.is_proper(n));
+            assert_eq!(crate::cut::cut_weight(&g, &cut.mask(n)), cut.weight);
+        }
+    }
+
+    #[test]
+    fn path_tree_weights_are_bottlenecks() {
+        let g = Graph::new(4, vec![Edge::new(0, 1, 5), Edge::new(1, 2, 3), Edge::new(2, 3, 9)]);
+        let gh = GomoryHuTree::build(&g);
+        assert_eq!(gh.min_cut_value(0, 3), 3);
+        assert_eq!(gh.min_cut_value(2, 3), 9);
+        assert_eq!(gh.min_cut_value(0, 1), 5);
+    }
+
+    #[test]
+    fn greedy_kcut_splits_into_k_components() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = gen::planted_partition(3, 8, 0.9, 0.05, &mut rng);
+        if !g.is_connected() {
+            return; // seed-dependent; the property below needs connectivity
+        }
+        let gh = GomoryHuTree::build(&g);
+        let (w, labels) = gh.greedy_kcut(&g, 3);
+        let parts = labels.iter().copied().max().unwrap() + 1;
+        assert!(parts >= 3, "got {parts} parts");
+        assert_eq!(crate::cut::kcut_weight(&g, &labels), w);
+    }
+
+    #[test]
+    fn greedy_kcut_k1_is_trivial() {
+        let g = gen::cycle(6);
+        let gh = GomoryHuTree::build(&g);
+        let (w, labels) = gh.greedy_kcut(&g, 1);
+        assert_eq!(w, 0);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn single_vertex_tree() {
+        let gh = GomoryHuTree::build(&Graph::new(1, vec![]));
+        assert_eq!(gh.n(), 1);
+    }
+}

@@ -1,0 +1,165 @@
+//! `N^ε`-ary aggregation trees: sums and minimum prefix sums (Theorem 5).
+//!
+//! Aggregation is non-adaptive, so the fan-in is the local capacity in
+//! *both* models (MPC computes prefix sums in `O(1/ε)` rounds too); the
+//! primitive still runs on the executor so its rounds and memory are
+//! accounted.
+//!
+//! The minimum-prefix-sum combine rule over blocks:
+//! `sum = sumₗ + sumᵣ`, `minp = min(minpₗ, sumₗ + minpᵣ)` — which is what
+//! Lemma 14 needs to turn sorted interval endpoints into the minimum
+//! number (weight) of intersecting intervals.
+
+use ampc_model::{Dht, Executor};
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    sum: i64,
+    /// Minimum prefix sum over the block (prefixes of length ≥ 1).
+    minp: i64,
+    /// Index (into the original sequence) where the min prefix ends.
+    arg: u32,
+}
+
+fn combine(l: Node, r: Node) -> Node {
+    let right_shifted = l.sum + r.minp;
+    let (minp, arg) = if l.minp <= right_shifted { (l.minp, l.arg) } else { (right_shifted, r.arg) };
+    Node { sum: l.sum + r.sum, minp, arg }
+}
+
+fn reduce(exec: &mut Executor, values: &[i64], label: &str) -> Node {
+    let n = values.len();
+    assert!(n > 0);
+    let cap = exec.cfg().local_capacity();
+    // Level 0: blocks of `cap` raw values, folded locally on each machine.
+    let dht: Dht<(i64, i64, u32)> = Dht::new();
+    let machines = exec.cfg().machines_for(n);
+    let lvl0 = exec.round(&format!("{label}/leaf"), machines, |ctx, mi| {
+        let lo = mi * cap;
+        let hi = ((mi + 1) * cap).min(n);
+        ctx.charge_local((hi - lo) as u64);
+        let mut node: Option<Node> = None;
+        for (off, &v) in values[lo..hi].iter().enumerate() {
+            let leaf = Node { sum: v, minp: v, arg: (lo + off) as u32 };
+            node = Some(match node {
+                None => leaf,
+                Some(acc) => combine(acc, leaf),
+            });
+        }
+        node.expect("nonempty block")
+    });
+    let mut level: Vec<Node> = lvl0;
+    // Upsweep: fold `cap` block summaries per machine until one remains.
+    let mut depth = 0;
+    while level.len() > 1 {
+        depth += 1;
+        dht.clear();
+        dht.bulk_load(level.iter().enumerate().map(|(i, nd)| (i as u64, (nd.sum, nd.minp, nd.arg))));
+        let blocks = level.len();
+        let machines = exec.cfg().machines_for(blocks);
+        level = exec.round(&format!("{label}/up{depth}"), machines, |ctx, mi| {
+            let lo = mi * cap;
+            let hi = ((mi + 1) * cap).min(blocks);
+            let mut node: Option<Node> = None;
+            for i in lo..hi {
+                let (sum, minp, arg) = dht.expect(ctx, i as u64);
+                let cur = Node { sum, minp, arg };
+                node = Some(match node {
+                    None => cur,
+                    Some(acc) => combine(acc, cur),
+                });
+            }
+            node.expect("nonempty block")
+        });
+    }
+    level[0]
+}
+
+/// Sum of a sequence, computed in `O(1/ε)` rounds.
+pub fn total_sum(exec: &mut Executor, values: &[i64]) -> i64 {
+    if values.is_empty() {
+        return 0;
+    }
+    reduce(exec, values, "sum").sum
+}
+
+/// Minimum prefix sum (over nonempty prefixes) and the index at which it
+/// is attained (Theorem 5).
+pub fn min_prefix_sum(exec: &mut Executor, values: &[i64]) -> (i64, usize) {
+    assert!(!values.is_empty(), "need at least one value");
+    let node = reduce(exec, values, "minprefix");
+    (node.minp, node.arg as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_model::AmpcConfig;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn exec(n: usize) -> Executor {
+        Executor::new(AmpcConfig::new(n.max(4), 0.5).with_threads(2))
+    }
+
+    fn brute_minprefix(values: &[i64]) -> (i64, usize) {
+        let mut sum = 0;
+        let mut best = (i64::MAX, 0);
+        for (i, &v) in values.iter().enumerate() {
+            sum += v;
+            if sum < best.0 {
+                best = (sum, i);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn sums_match() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for n in [1usize, 5, 100, 1000] {
+            let vals: Vec<i64> = (0..n).map(|_| rng.gen_range(-50..50)).collect();
+            let mut ex = exec(n);
+            assert_eq!(total_sum(&mut ex, &vals), vals.iter().sum::<i64>());
+        }
+    }
+
+    #[test]
+    fn min_prefix_matches_brute_force() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for n in [1usize, 2, 17, 256, 2000] {
+            let vals: Vec<i64> = (0..n).map(|_| rng.gen_range(-9..9)).collect();
+            let mut ex = exec(n);
+            assert_eq!(min_prefix_sum(&mut ex, &vals), brute_minprefix(&vals), "n={n}");
+        }
+    }
+
+    #[test]
+    fn round_count_is_constant_ish() {
+        // With ε=0.5 the fan-in is √n: 1 leaf round + ≤ 2 upsweep rounds.
+        let n = 10_000;
+        let vals: Vec<i64> = (0..n as i64).map(|i| if i % 3 == 0 { -1 } else { 1 }).collect();
+        let mut ex = exec(n);
+        let _ = min_prefix_sum(&mut ex, &vals);
+        assert!(ex.rounds() <= 4, "rounds={}", ex.rounds());
+    }
+
+    #[test]
+    fn argmin_is_first_attainment() {
+        let vals = vec![-2, 1, -1, 0, -2, 2];
+        // Prefix sums: -2, -1, -2, -2, -4, -2 → min -4 at index 4.
+        let mut ex = exec(vals.len());
+        assert_eq!(min_prefix_sum(&mut ex, &vals), (-4, 4));
+        let vals = vec![-1, 0, 0];
+        // Min -1 first attained at index 0.
+        let mut ex = exec(vals.len());
+        assert_eq!(min_prefix_sum(&mut ex, &vals), (-1, 0));
+    }
+
+    #[test]
+    fn empty_sum_is_zero() {
+        let mut ex = exec(4);
+        assert_eq!(total_sum(&mut ex, &[]), 0);
+        assert_eq!(ex.rounds(), 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Connectivity via budgeted local exploration + hooking — the
+//! 1-vs-2-cycle workhorse (E7).
+//!
+//! Each phase, every super-vertex hooks to the minimum id it can *see*:
+//! in AMPC mode a machine adaptively explores up to `N^ε` adjacency
+//! records (a budgeted BFS ball — the adaptive walk the model is named
+//! for); in MPC mode it may only read its direct neighbors' ids
+//! (non-adaptive). The hooking forest is compressed with
+//! [`chain_aggregate`] and the super-graph contracted; phases repeat until
+//! no cross edges remain.
+//!
+//! Consequences measured in E7: a cycle of length `n` finishes in
+//! `O(log_{N^ε} n) = O(1/ε)` AMPC phases but needs `Ω(log n)` MPC phases
+//! — the round gap behind the 1-vs-2-cycle conjecture story of §1.
+
+use ampc_model::{pack2, Dht, ExecMode, Executor};
+
+use crate::jump::chain_aggregate;
+
+/// Component labels: `label[v]` = minimum vertex id in `v`'s component.
+pub fn connectivity(exec: &mut Executor, n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    if n == 0 || edges.is_empty() {
+        return label;
+    }
+    // Current super-graph edge list (between super ids = min original ids).
+    let mut super_edges: Vec<(u32, u32)> = edges.to_vec();
+    let max_phases = 2 * n.ilog2().max(1) as usize + 4;
+    let mut phase = 0;
+    while !super_edges.is_empty() {
+        phase += 1;
+        assert!(phase <= max_phases, "connectivity failed to converge");
+
+        // Super vertices present this phase + sorted adjacency (the
+        // end-of-round shuffle: adjacency sorted by neighbor id so the
+        // budgeted window always contains the minimum neighbor).
+        let mut adj: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+        for &(a, b) in &super_edges {
+            adj.entry(a).or_default().push(b);
+            adj.entry(b).or_default().push(a);
+        }
+        let mut supers: Vec<u32> = adj.keys().copied().collect();
+        supers.sort_unstable();
+        let deg_dht: Dht<u32> = Dht::new();
+        let adj_dht: Dht<u32> = Dht::new();
+        for (&v, list) in adj.iter_mut() {
+            list.sort_unstable();
+            list.dedup();
+            deg_dht.bulk_load([(v as u64, list.len() as u32)]);
+            adj_dht.bulk_load(
+                list.iter().enumerate().map(|(i, &to)| (pack2(v, i as u32), to)),
+            );
+        }
+
+        // Hooking round: every super finds the min id in its budgeted view.
+        let mode = exec.cfg().mode;
+        let cap = exec.cfg().local_capacity();
+        let ptrs = exec.round(&format!("conn/hook{phase}"), supers.len(), |ctx, mi| {
+            let v = supers[mi];
+            let mut best = v;
+            match mode {
+                ExecMode::Mpc => {
+                    // Non-adaptive: read direct neighbors only (≤ cap).
+                    let deg = deg_dht.expect(ctx, v as u64) as usize;
+                    for i in 0..deg.min(cap) {
+                        let to = adj_dht.expect(ctx, pack2(v, i as u32));
+                        best = best.min(to);
+                    }
+                }
+                ExecMode::Ampc => {
+                    // Adaptive budgeted BFS over the super-graph.
+                    let mut budget = cap;
+                    let mut seen = std::collections::HashSet::from([v]);
+                    let mut queue = std::collections::VecDeque::from([v]);
+                    while budget > 0 {
+                        let Some(u) = queue.pop_front() else { break };
+                        let deg = deg_dht.expect(ctx, u as u64) as usize;
+                        for i in 0..deg {
+                            if budget == 0 {
+                                break;
+                            }
+                            budget -= 1;
+                            let to = adj_dht.expect(ctx, pack2(u, i as u32));
+                            if seen.insert(to) {
+                                best = best.min(to);
+                                queue.push_back(to);
+                            }
+                        }
+                    }
+                }
+            }
+            best
+        });
+
+        // Compress hooking chains (min-id pointers are acyclic).
+        let mut next: Vec<u32> = (0..n as u32).collect();
+        for (i, &v) in supers.iter().enumerate() {
+            next[v as usize] = ptrs[i];
+        }
+        let zeros = vec![0u64; n];
+        let compressed = chain_aggregate(exec, &next, &zeros, &format!("conn/compress{phase}"));
+
+        // Contract: relabel originals and rebuild the cross-edge list
+        // (end-of-round shuffle: dedup + drop self-loops).
+        for l in label.iter_mut() {
+            *l = compressed.root[*l as usize];
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut next_edges = Vec::new();
+        for &(a, b) in &super_edges {
+            let (ra, rb) = (compressed.root[a as usize], compressed.root[b as usize]);
+            if ra != rb {
+                let key = (ra.min(rb), ra.max(rb));
+                if seen.insert(key) {
+                    next_edges.push(key);
+                }
+            }
+        }
+        super_edges = next_edges;
+    }
+    label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_model::AmpcConfig;
+    use cut_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn run(n: usize, edges: &[(u32, u32)], mode: ExecMode) -> (Vec<u32>, usize) {
+        let mut cfg = AmpcConfig::new(n.max(4), 0.5).with_threads(2);
+        cfg.mode = mode;
+        let mut exec = Executor::new(cfg);
+        let labels = connectivity(&mut exec, n, edges);
+        (labels, exec.rounds())
+    }
+
+    fn reference(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+        let mut dsu = cut_graph::Dsu::new(n);
+        for &(a, b) in edges {
+            dsu.union(a, b);
+        }
+        let mut min_of = (0..n as u32).collect::<Vec<u32>>();
+        for v in 0..n as u32 {
+            let r = dsu.find(v) as usize;
+            min_of[r] = min_of[r].min(v);
+        }
+        (0..n as u32).map(|v| min_of[dsu.find(v) as usize]).collect()
+    }
+
+    #[test]
+    fn matches_dsu_on_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..10 {
+            use rand::Rng;
+            let n = rng.gen_range(2..200usize);
+            let m = rng.gen_range(0..2 * n);
+            let g = gen::gnm(n, m.min(n * (n - 1) / 2), 1..=1, &mut rng);
+            let edges: Vec<(u32, u32)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
+            for mode in [ExecMode::Ampc, ExecMode::Mpc] {
+                let (labels, _) = run(n, &edges, mode);
+                assert_eq!(labels, reference(n, &edges), "n={n} mode={mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn distinguishes_one_from_two_cycles() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let one = gen::one_or_two_cycles(128, false, &mut rng);
+        let two = gen::one_or_two_cycles(128, true, &mut rng);
+        let e1: Vec<(u32, u32)> = one.edges().iter().map(|e| (e.u, e.v)).collect();
+        let e2: Vec<(u32, u32)> = two.edges().iter().map(|e| (e.u, e.v)).collect();
+        let (l1, _) = run(128, &e1, ExecMode::Ampc);
+        let (l2, _) = run(128, &e2, ExecMode::Ampc);
+        let c1 = l1.iter().collect::<std::collections::HashSet<_>>().len();
+        let c2 = l2.iter().collect::<std::collections::HashSet<_>>().len();
+        assert_eq!(c1, 1);
+        assert_eq!(c2, 2);
+    }
+
+    #[test]
+    fn ampc_rounds_beat_mpc_rounds_on_cycles() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = gen::one_or_two_cycles(4096, false, &mut rng);
+        let edges: Vec<(u32, u32)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
+        let (la, ra) = run(4096, &edges, ExecMode::Ampc);
+        let (lm, rm) = run(4096, &edges, ExecMode::Mpc);
+        assert_eq!(la, lm);
+        assert!(ra < rm, "ampc={ra} mpc={rm}");
+        assert!(rm >= 10, "MPC should need ≥ log n rounds, got {rm}");
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let (l, rounds) = run(5, &[], ExecMode::Ampc);
+        assert_eq!(l, vec![0, 1, 2, 3, 4]);
+        assert_eq!(rounds, 0);
+    }
+
+    #[test]
+    fn star_converges_in_one_phase() {
+        let edges: Vec<(u32, u32)> = (1..50u32).map(|i| (0, i)).collect();
+        let (l, rounds) = run(50, &edges, ExecMode::Ampc);
+        assert!(l.iter().all(|&x| x == 0));
+        assert!(rounds <= 4, "rounds={rounds}");
+    }
+}

@@ -1,0 +1,245 @@
+//! Chain compression with aggregation — the universal pointer-chasing
+//! primitive.
+//!
+//! Input: a pointer array `next` over `0..n` whose functional graph is a
+//! forest of chains/trees ending in self-loops (terminals), plus a value
+//! per node (the "length" of its outgoing pointer). Output: for every
+//! node, its terminal and the aggregated value along the path.
+//!
+//! Each round, every node's machine follows its current jump pointer
+//! chain for up to `hop_budget` compositions (each composition = one
+//! adaptive DHT read) and writes the composed pointer. With budget `K`,
+//! pointer spans multiply by at least `K+1` per round:
+//! `O(log_{K+1} n)` rounds — `O(1/ε)` in AMPC mode, classic
+//! `O(log n)` pointer doubling when `K = 1` (MPC mode).
+
+use ampc_model::{Dht, Executor};
+
+/// Result of [`chain_aggregate`].
+#[derive(Debug, Clone)]
+pub struct ChainResult {
+    /// Terminal node reached from each node.
+    pub root: Vec<u32>,
+    /// Sum of `val` along the path from the node to its terminal.
+    pub acc: Vec<u64>,
+}
+
+/// Compress all chains of `next`, aggregating `val` (see module docs).
+///
+/// `next[i] == i` marks a terminal; `val` of terminals is ignored.
+/// Panics if the pointer graph contains a cycle (no terminal reachable).
+pub fn chain_aggregate(exec: &mut Executor, next: &[u32], val: &[u64], label: &str) -> ChainResult {
+    let n = next.len();
+    assert_eq!(val.len(), n);
+    if n == 0 {
+        return ChainResult { root: vec![], acc: vec![] };
+    }
+    // Record per node: (target, accumulated value to target).
+    let dht: Dht<(u32, u64)> = Dht::new();
+    dht.bulk_load((0..n).map(|i| {
+        let t = next[i];
+        let v = if t as usize == i { 0 } else { val[i] };
+        (i as u64, (t, v))
+    }));
+
+    let cap = exec.cfg().local_capacity();
+    // A machine spends (hops + 1) reads per node, so it can own only
+    // cap / (hops + 1) nodes without breaching its N^ε budget — one node
+    // per machine in AMPC mode, cap/2 nodes in MPC (doubling) mode.
+    let per_machine = (cap / (exec.cfg().hop_budget() + 1)).max(1);
+    let machines = n.div_ceil(per_machine);
+    // log_{K+1}(n) + slack rounds always suffice; the loop exits early when
+    // a round makes no progress short of a terminal.
+    let max_rounds = 2 * n.ilog2().max(1) as usize + 4;
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        assert!(rounds <= max_rounds, "chain_aggregate: cycle in pointer graph?");
+        let results = exec.round(label, machines, |ctx, mi| {
+            let budget = ctx.hop_budget();
+            let mut writes = Vec::new();
+            let mut all_done = true;
+            let lo = mi * per_machine;
+            let hi = ((mi + 1) * per_machine).min(n);
+            for i in lo..hi {
+                let (mut tgt, mut acc) = dht.expect(ctx, i as u64);
+                if tgt as usize == i {
+                    continue;
+                }
+                let mut hops = 0;
+                loop {
+                    let (t2, a2) = dht.expect(ctx, tgt as u64);
+                    if t2 == tgt {
+                        break; // reached a terminal
+                    }
+                    acc += a2;
+                    tgt = t2;
+                    hops += 1;
+                    if hops >= budget {
+                        break;
+                    }
+                }
+                // Terminal-check read: one more lookup to decide doneness.
+                let (t2, _) = dht.expect(ctx, tgt as u64);
+                if t2 != tgt {
+                    all_done = false;
+                }
+                ctx.stage(&mut writes, i as u64, (tgt, acc));
+            }
+            (writes, all_done)
+        });
+        let mut done = true;
+        dht.commit(results.into_iter().map(|(w, d)| {
+            done &= d;
+            w
+        }));
+        if done {
+            break;
+        }
+    }
+
+    let mut root = vec![0u32; n];
+    let mut acc = vec![0u64; n];
+    // Final read-out round (counts as the output materialization); reads
+    // are 1 per node here, so machines own full cap-sized slices again.
+    let ro_machines = exec.cfg().machines_for(n);
+    let out = exec.round(&format!("{label}/readout"), ro_machines, |ctx, mi| {
+        let lo = mi * cap;
+        let hi = ((mi + 1) * cap).min(n);
+        let mut part = Vec::with_capacity(hi - lo);
+        for i in lo..hi {
+            part.push(dht.expect(ctx, i as u64));
+        }
+        part
+    });
+    for (mi, part) in out.into_iter().enumerate() {
+        for (j, (t, a)) in part.into_iter().enumerate() {
+            root[mi * cap + j] = t;
+            acc[mi * cap + j] = a;
+        }
+    }
+    ChainResult { root, acc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_model::{AmpcConfig, ExecMode};
+
+    fn run(next: &[u32], val: &[u64], mode: ExecMode) -> (ChainResult, usize) {
+        let mut cfg = AmpcConfig::new(next.len().max(4), 0.5).with_threads(2);
+        cfg.mode = mode;
+        let mut exec = Executor::new(cfg);
+        let r = chain_aggregate(&mut exec, next, val, "test");
+        let rounds = exec.rounds();
+        (r, rounds)
+    }
+
+    fn reference(next: &[u32], val: &[u64]) -> ChainResult {
+        let n = next.len();
+        let mut root = vec![0u32; n];
+        let mut acc = vec![0u64; n];
+        for i in 0..n {
+            let mut cur = i as u32;
+            let mut a = 0u64;
+            let mut steps = 0;
+            while next[cur as usize] != cur {
+                a += val[cur as usize];
+                cur = next[cur as usize];
+                steps += 1;
+                assert!(steps <= n, "cycle");
+            }
+            root[i] = cur;
+            acc[i] = a;
+        }
+        ChainResult { root, acc }
+    }
+
+    #[test]
+    fn single_chain_ranks() {
+        // 0 -> 1 -> 2 -> ... -> 9 (terminal).
+        let n = 10;
+        let next: Vec<u32> = (0..n as u32).map(|i| (i + 1).min(n as u32 - 1)).collect();
+        let val = vec![1u64; n];
+        let (r, _) = run(&next, &val, ExecMode::Ampc);
+        let expect = reference(&next, &val);
+        assert_eq!(r.root, expect.root);
+        assert_eq!(r.acc, expect.acc);
+        assert_eq!(r.acc[0], 9);
+    }
+
+    #[test]
+    fn branching_trees_and_multiple_terminals() {
+        //     4        9
+        //    / \       |
+        //   2   3      8
+        //  / \          \
+        // 0   1          7 <- 6 <- 5
+        let next = vec![2, 2, 4, 4, 4, 6, 7, 8, 9, 9];
+        let val = vec![1, 2, 3, 4, 0, 10, 20, 30, 40, 0];
+        for mode in [ExecMode::Ampc, ExecMode::Mpc] {
+            let (r, _) = run(&next, &val, mode);
+            let expect = reference(&next, &val);
+            assert_eq!(r.root, expect.root);
+            assert_eq!(r.acc, expect.acc);
+        }
+    }
+
+    #[test]
+    fn ampc_uses_fewer_rounds_than_mpc_on_long_chains() {
+        let n = 4096;
+        let next: Vec<u32> = (0..n as u32).map(|i| (i + 1).min(n as u32 - 1)).collect();
+        let val = vec![1u64; n];
+        let (ra, rounds_ampc) = run(&next, &val, ExecMode::Ampc);
+        let (rm, rounds_mpc) = run(&next, &val, ExecMode::Mpc);
+        assert_eq!(ra.root, rm.root);
+        assert_eq!(ra.acc, rm.acc);
+        // AMPC: log_{65}(4096) ≈ 2 compression rounds (+readout).
+        // MPC: log_2(4096) = 12 doubling rounds.
+        assert!(rounds_ampc <= 5, "AMPC rounds={rounds_ampc}");
+        assert!(rounds_mpc >= 10, "MPC rounds={rounds_mpc}");
+        assert!(rounds_mpc > 2 * rounds_ampc);
+    }
+
+    #[test]
+    fn all_terminals_is_one_round() {
+        let next = vec![0, 1, 2, 3];
+        let val = vec![5; 4];
+        let (r, rounds) = run(&next, &val, ExecMode::Ampc);
+        assert_eq!(r.root, vec![0, 1, 2, 3]);
+        assert_eq!(r.acc, vec![0; 4]);
+        assert!(rounds <= 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (r, _) = run(&[], &[], ExecMode::Ampc);
+        assert!(r.root.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn detects_cycles() {
+        let next = vec![1, 0];
+        let val = vec![1, 1];
+        let _ = run(&next, &val, ExecMode::Ampc);
+    }
+
+    #[test]
+    fn random_pointer_forests_match_reference() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(31);
+        for _ in 0..10 {
+            let n = rng.gen_range(1..300usize);
+            // Random forest: each node points to a smaller index or itself.
+            let next: Vec<u32> =
+                (0..n).map(|i| rng.gen_range(0..=i) as u32).collect();
+            let val: Vec<u64> = (0..n).map(|_| rng.gen_range(0..100)).collect();
+            let (r, _) = run(&next, &val, ExecMode::Ampc);
+            let expect = reference(&next, &val);
+            assert_eq!(r.root, expect.root);
+            assert_eq!(r.acc, expect.acc);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # `ampc-primitives` — in-model AMPC/MPC primitives
+//!
+//! The substrate results the paper cites from prior work (Behnezhad et
+//! al.), implemented as round-structured algorithms on the `ampc-model`
+//! executor. One code path serves both models: the primitives are
+//! parameterized by the executor's *hop budget* — `Θ(N^ε)` adaptive DHT
+//! reads per machine per round in AMPC mode, 1 in MPC mode (pointer
+//! doubling) — which reproduces the `O(1/ε)`-vs-`O(log n)` round gap the
+//! paper builds on.
+//!
+//! * [`jump`]: chain compression with aggregation — the universal
+//!   pointer-chasing primitive (multi-hop walking / doubling);
+//! * [`euler`]: Euler tours, forest rooting, depths, subtree sizes and
+//!   preorder numbers via list ranking (Lemma 4's functionality);
+//! * [`agg`]: `N^ε`-ary aggregation trees — sums, minima and minimum
+//!   prefix sums (Theorem 5);
+//! * [`sort`]: sample sort;
+//! * [`conn`]: connectivity via budgeted local exploration + hooking
+//!   (the 1-vs-2-cycle workhorse);
+//! * [`mst`]: minimum spanning forests (Borůvka hooking with budgeted
+//!   local growth).
+
+pub mod agg;
+pub mod conn;
+pub mod euler;
+pub mod jump;
+pub mod mst;
+pub mod sort;
+
+pub use agg::{min_prefix_sum, total_sum};
+pub use conn::connectivity;
+pub use euler::{root_forest, InModelForest};
+pub use jump::chain_aggregate;
+pub use mst::minimum_spanning_forest;
+pub use sort::sample_sort;

@@ -1,0 +1,260 @@
+//! Sample sort: `O(1/ε)` rounds in both models (sorting needs volume, not
+//! adaptivity).
+//!
+//! Level-parallel: every level samples each unsorted segment, picks per-
+//! segment splitters (≤ `N^ε`, so one machine per segment holds them),
+//! partitions, and locally sorts every bucket that fits in local memory.
+//! Oversized buckets — expected-constant many per level — form the next
+//! level's segments, all processed in the *same* rounds. Segment lengths
+//! shrink by a factor `Θ(N^ε)` per level ⇒ `O(1/ε)` levels of `O(1)`
+//! rounds each.
+//!
+//! Duplicate-heavy inputs are handled by emitting constant-value buckets
+//! directly and, when sampling fails to split a segment of distinct
+//! values, falling back to a value-range midpoint splitter (guaranteed
+//! progress).
+
+use ampc_model::{Dht, Executor};
+
+/// Sort `keys` ascending, in-model.
+pub fn sample_sort(exec: &mut Executor, keys: &[u64]) -> Vec<u64> {
+    let n = keys.len();
+    let cap = exec.cfg().local_capacity();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Pieces in output order; `None` payload = still unsorted.
+    enum Piece {
+        Sorted(Vec<u64>),
+        Todo(Vec<u64>),
+    }
+    let mut pieces: Vec<Piece> = vec![Piece::Todo(keys.to_vec())];
+
+    for level in 0..16 {
+        let todo_idx: Vec<usize> = pieces
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p, Piece::Todo(_)))
+            .map(|(i, _)| i)
+            .collect();
+        if todo_idx.is_empty() {
+            break;
+        }
+        assert!(level < 15, "sample sort failed to partition");
+
+        // Work units: (piece, chunk) pairs.
+        let seg: Vec<&Vec<u64>> = todo_idx
+            .iter()
+            .map(|&i| match &pieces[i] {
+                Piece::Todo(v) => v,
+                _ => unreachable!(),
+            })
+            .collect();
+        let mut units: Vec<(usize, usize)> = Vec::new(); // (segment idx, chunk)
+        for (si, s) in seg.iter().enumerate() {
+            for c in 0..s.len().div_ceil(cap) {
+                units.push((si, c));
+            }
+        }
+
+        // Round A: strided samples per unit, staged into a DHT keyed by
+        // (segment, running index).
+        let samples_dht: Dht<u64> = Dht::new();
+        let sample_parts = exec.round(&format!("sort/sample{level}"), units.len(), |ctx, mi| {
+            let (si, c) = units[mi];
+            let s = seg[si];
+            let lo = c * cap;
+            let hi = ((c + 1) * cap).min(s.len());
+            ctx.charge_local((hi - lo) as u64);
+            let stride = s.len().div_ceil(cap).max(1);
+            let picked: Vec<u64> = (lo..hi).filter(|i| i % stride == 0).map(|i| s[i]).collect();
+            (si, picked)
+        });
+        let mut per_seg_count = vec![0u64; seg.len()];
+        for (si, picked) in &sample_parts {
+            for &k in picked {
+                samples_dht.bulk_load([(ampc_model::pack2(*si as u32, per_seg_count[*si] as u32), k)]);
+                per_seg_count[*si] += 1;
+            }
+        }
+
+        // Round B: one machine per segment sorts its ≤ cap samples and
+        // publishes splitters (deduped; midpoint fallback on failure).
+        let seg_meta: Vec<(usize, u64, u64)> = seg
+            .iter()
+            .map(|s| {
+                let mn = *s.iter().min().unwrap();
+                let mx = *s.iter().max().unwrap();
+                (s.len(), mn, mx)
+            })
+            .collect();
+        let splitters_per_seg = exec.round(&format!("sort/split{level}"), seg.len(), |ctx, si| {
+            let cnt = per_seg_count[si];
+            let mut smp: Vec<u64> = (0..cnt)
+                .map(|i| samples_dht.expect(ctx, ampc_model::pack2(si as u32, i as u32)))
+                .collect();
+            smp.sort_unstable();
+            let (len, mn, mx) = seg_meta[si];
+            if mn == mx {
+                return Vec::new(); // constant segment: no split needed
+            }
+            let buckets = len.div_ceil(cap).max(2).min(cap);
+            let mut sp: Vec<u64> =
+                (1..buckets).map(|b| smp[b * smp.len() / buckets]).collect();
+            sp.dedup();
+            sp.retain(|&x| x > mn); // bucket 0 must be nonempty-able
+            if sp.is_empty() {
+                // Sampling saw one value but the segment has ≥ 2 distinct:
+                // split by value-range midpoint (strict progress).
+                sp.push(mn + (mx - mn) / 2 + 1);
+            }
+            sp
+        });
+
+        // Round C: partition each unit by its segment's splitters.
+        let parts = exec.round(&format!("sort/partition{level}"), units.len(), |ctx, mi| {
+            let (si, c) = units[mi];
+            let s = seg[si];
+            let lo = c * cap;
+            let hi = ((c + 1) * cap).min(s.len());
+            ctx.charge_local((hi - lo) as u64);
+            let sp = &splitters_per_seg[si];
+            let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); sp.len() + 1];
+            for &k in &s[lo..hi] {
+                let b = sp.partition_point(|&x| x <= k);
+                buckets[b].push(k);
+            }
+            (si, buckets)
+        });
+        let mut seg_buckets: Vec<Vec<Vec<u64>>> = seg
+            .iter()
+            .enumerate()
+            .map(|(si, _)| vec![Vec::new(); splitters_per_seg[si].len() + 1])
+            .collect();
+        for (si, buckets) in parts {
+            for (b, mut chunk) in buckets.into_iter().enumerate() {
+                seg_buckets[si][b].append(&mut chunk);
+            }
+        }
+
+        // Round D: locally sort every bucket that fits; oversized buckets
+        // become next-level segments. Constant buckets are emitted as-is.
+        let mut new_pieces_per_seg: Vec<Vec<Piece>> = Vec::with_capacity(seg.len());
+        let mut small: Vec<Vec<u64>> = Vec::new();
+        let mut small_slots: Vec<(usize, usize)> = Vec::new(); // (seg, piece idx)
+        for (si, buckets) in seg_buckets.into_iter().enumerate() {
+            let mut out = Vec::new();
+            for b in buckets {
+                if b.is_empty() {
+                    continue;
+                }
+                let mn = *b.iter().min().unwrap();
+                let mx = *b.iter().max().unwrap();
+                if mn == mx {
+                    out.push(Piece::Sorted(b));
+                } else if b.len() <= cap {
+                    small_slots.push((si, out.len()));
+                    out.push(Piece::Sorted(Vec::new())); // filled below
+                    small.push(b);
+                } else {
+                    out.push(Piece::Todo(b));
+                }
+            }
+            new_pieces_per_seg.push(out);
+        }
+        if !small.is_empty() {
+            let sorted_small = exec.round(&format!("sort/bucket{level}"), small.len(), |ctx, mi| {
+                ctx.charge_local(small[mi].len() as u64);
+                let mut v = small[mi].clone();
+                v.sort_unstable();
+                v
+            });
+            for ((si, pi), v) in small_slots.into_iter().zip(sorted_small) {
+                new_pieces_per_seg[si][pi] = Piece::Sorted(v);
+            }
+        }
+
+        // Splice the new pieces back in place of their parent segments.
+        let mut rebuilt: Vec<Piece> = Vec::new();
+        let mut seg_iter = new_pieces_per_seg.into_iter();
+        for (i, p) in pieces.into_iter().enumerate() {
+            if todo_idx.contains(&i) {
+                rebuilt.extend(seg_iter.next().unwrap());
+            } else {
+                rebuilt.push(p);
+            }
+        }
+        pieces = rebuilt;
+    }
+
+    pieces
+        .into_iter()
+        .flat_map(|p| match p {
+            Piece::Sorted(v) => v,
+            Piece::Todo(_) => unreachable!("loop exits only when all sorted"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_model::AmpcConfig;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn exec(n: usize) -> Executor {
+        Executor::new(AmpcConfig::new(n.max(4), 0.5).with_threads(2))
+    }
+
+    #[test]
+    fn sorts_random_inputs() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for n in [0usize, 1, 10, 100, 5000] {
+            let keys: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
+            let mut ex = exec(n);
+            let out = sample_sort(&mut ex, &keys);
+            let mut expect = keys.clone();
+            expect.sort_unstable();
+            assert_eq!(out, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn handles_duplicates_and_sorted_input() {
+        let mut ex = exec(3000);
+        let keys: Vec<u64> = (0..3000u64).map(|i| i % 7).collect();
+        let out = sample_sort(&mut ex, &keys);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(out, expect);
+
+        let mut ex = exec(3000);
+        let keys: Vec<u64> = (0..3000).collect();
+        assert_eq!(sample_sort(&mut ex, &keys), keys);
+
+        let mut ex = exec(2000);
+        let keys = vec![42u64; 2000];
+        assert_eq!(sample_sort(&mut ex, &keys), keys);
+    }
+
+    #[test]
+    fn adversarial_skew() {
+        // One outlier in a sea of equal keys.
+        let mut keys = vec![7u64; 4000];
+        keys[1234] = 1;
+        let mut ex = exec(4000);
+        let out = sample_sort(&mut ex, &keys);
+        assert_eq!(out[0], 1);
+        assert!(out[1..].iter().all(|&k| k == 7));
+    }
+
+    #[test]
+    fn rounds_stay_constant_ish() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let keys: Vec<u64> = (0..20_000).map(|_| rng.gen()).collect();
+        let mut ex = exec(20_000);
+        let _ = sample_sort(&mut ex, &keys);
+        assert!(ex.rounds() <= 12, "rounds={}", ex.rounds());
+    }
+}

@@ -1,0 +1,367 @@
+//! Binarized paths (Definition 5): almost complete binary trees over heavy
+//! paths, in closed form.
+//!
+//! A heavy path of `L` vertices is replaced by a heap-indexed almost
+//! complete binary tree with `N = 2L - 1` nodes (Observation 3): node `1`
+//! is the root, node `i` has children `2i, 2i+1`, nodes `L..=N` are the
+//! leaves, and the bottom layer is filled left to right. The path vertices
+//! map to the leaves **in pre-order** (Definition 5's "agreement").
+//!
+//! Everything here is pure arithmetic on `(position, L)` — no allocation,
+//! no traversal state — which is what lets the AMPC algorithm label
+//! vertices and locate component runs with `O(1)` local work per step
+//! (Lemma 7, Lemma 10: "positions … are functions of only the length of
+//! the path and the position of the vertex").
+//!
+//! Key derived facts (each property-tested against explicit traversal):
+//!
+//! * pre-order leaf order = bottom-layer leaves (indices `2^D..=N`) in
+//!   index order, then upper-layer leaves (`L..2^D`) in index order, where
+//!   `D = ⌊log₂ N⌋`;
+//! * the *anchor* of a leaf (the node above the last right-turn on the
+//!   root→leaf walk; the leaf itself if the walk is all-left) is
+//!   `h >> (tz(h) + 1)` for non-power-of-two `h` — and equals
+//!   `LCA(leaf p-1, leaf p)` for position `p ≥ 1`;
+//! * the in-path label of position `p` is the depth of its anchor
+//!   (depth 1 at the root), so labels over a contiguous run behave like a
+//!   bracket-depth sequence: each threshold-`x` run is exactly the leaf
+//!   interval under one depth-`x` node minus that interval's first leaf.
+
+/// Number of nodes of the binarized path over `L ≥ 1` leaves.
+#[inline]
+pub fn nodes(len: u64) -> u64 {
+    debug_assert!(len >= 1);
+    2 * len - 1
+}
+
+/// Depth of heap node `h` (root has depth 1).
+#[inline]
+pub fn depth_of(h: u64) -> u32 {
+    debug_assert!(h >= 1);
+    64 - h.leading_zeros()
+}
+
+/// Height of the tree: depth of its deepest leaf.
+#[inline]
+pub fn height(len: u64) -> u32 {
+    depth_of(nodes(len))
+}
+
+#[inline]
+fn bottom_start(len: u64) -> u64 {
+    // First index of the deepest layer: 2^D with D = ⌊log₂ N⌋.
+    1u64 << (depth_of(nodes(len)) - 1)
+}
+
+/// Heap index of the leaf at pre-order position `pos ∈ 0..L`.
+#[inline]
+pub fn leaf_at(pos: u64, len: u64) -> u64 {
+    debug_assert!(pos < len);
+    let n = nodes(len);
+    let bs = bottom_start(len);
+    let bottom = n - bs + 1; // number of deepest-layer nodes (all leaves)
+    if pos < bottom {
+        bs + pos
+    } else {
+        len + (pos - bottom)
+    }
+}
+
+/// Pre-order position of leaf `h` (inverse of [`leaf_at`]).
+#[inline]
+pub fn pos_of_leaf(h: u64, len: u64) -> u64 {
+    let n = nodes(len);
+    debug_assert!(h >= len && h <= n, "not a leaf: {h} (L={len})");
+    let bs = bottom_start(len);
+    let bottom = n - bs + 1;
+    if h >= bs {
+        h - bs
+    } else {
+        bottom + (h - len)
+    }
+}
+
+/// Anchor of the leaf at `pos`: the heap node above the last right-turn of
+/// the root-to-leaf walk, or the leaf itself if the walk is all-left.
+#[inline]
+pub fn anchor_of(pos: u64, len: u64) -> u64 {
+    let h = leaf_at(pos, len);
+    if h.is_power_of_two() {
+        h // all-left walk: the leaf anchors itself
+    } else {
+        h >> (h.trailing_zeros() + 1)
+    }
+}
+
+/// In-path label of position `pos`: depth of its anchor.
+///
+/// The global decomposition label of a path vertex is
+/// `d0 + label_in_path(pos, L) - 1` where `d0` is the expanded-meta-tree
+/// depth of this binarized path's root.
+#[inline]
+pub fn label_in_path(pos: u64, len: u64) -> u32 {
+    depth_of(anchor_of(pos, len))
+}
+
+/// Leftmost leaf in the subtree of heap node `a`.
+#[inline]
+pub fn leftmost_leaf(mut a: u64, len: u64) -> u64 {
+    let n = nodes(len);
+    while 2 * a <= n {
+        a *= 2;
+    }
+    a
+}
+
+/// Rightmost leaf in the subtree of heap node `a`.
+#[inline]
+pub fn rightmost_leaf(mut a: u64, len: u64) -> u64 {
+    let n = nodes(len);
+    while 2 * a <= n {
+        // N = 2L-1 is odd, so children always come in pairs.
+        a = 2 * a + 1;
+    }
+    a
+}
+
+/// The maximal run of positions around `pos` whose in-path label is `≥ x`,
+/// as an inclusive interval `(lo, hi)`.
+///
+/// Precondition: `label_in_path(pos, len) ≥ x` and `x ≥ 1`. This is the
+/// heavy-path segment of the component containing `pos` when all path
+/// vertices with in-path label `< x` are removed (Lemma 10's structure).
+pub fn run_bounds(pos: u64, len: u64, x: u32) -> (u64, u64) {
+    debug_assert!(x >= 1);
+    debug_assert!(label_in_path(pos, len) >= x, "pos not in a level-x run");
+    let h = leaf_at(pos, len);
+    let d = depth_of(h);
+    debug_assert!(d >= x);
+    let a = h >> (d - x); // ancestor of h at depth x
+    let lo = pos_of_leaf(leftmost_leaf(a, len), len);
+    let hi = pos_of_leaf(rightmost_leaf(a, len), len);
+    // The subtree's first leaf is anchored above `a` (label < x) unless it
+    // is the global position 0.
+    if lo == 0 {
+        (0, hi)
+    } else {
+        (lo + 1, hi)
+    }
+}
+
+/// Position of the unique minimum-label vertex inside the run around `pos`
+/// at threshold `x`, together with that label.
+///
+/// Same preconditions as [`run_bounds`]. The minimum label equals `x` when
+/// the depth-`x` ancestor anchors a leaf inside the run (always, except
+/// the degenerate single-leaf case where the minimum is `pos`'s own label).
+pub fn run_min(pos: u64, len: u64, x: u32) -> (u64, u32) {
+    let h = leaf_at(pos, len);
+    let d = depth_of(h);
+    let a = h >> (d - x);
+    let n = nodes(len);
+    if 2 * a > n {
+        // `a` is the leaf itself: singleton run, label = own label.
+        (pos, label_in_path(pos, len))
+    } else {
+        // `a` anchors the leftmost leaf of its right child.
+        let p = pos_of_leaf(leftmost_leaf(2 * a + 1, len), len);
+        (p, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Explicit reference: build the heap tree, traverse pre-order, and
+    /// derive leaves/anchors by walking.
+    struct Reference {
+        leaves_preorder: Vec<u64>,
+    }
+
+    impl Reference {
+        fn new(len: u64) -> Self {
+            let n = nodes(len);
+            let mut leaves = Vec::new();
+            let mut stack = vec![1u64];
+            while let Some(v) = stack.pop() {
+                if 2 * v > n {
+                    leaves.push(v);
+                } else {
+                    stack.push(2 * v + 1);
+                    stack.push(2 * v);
+                }
+            }
+            Self { leaves_preorder: leaves }
+        }
+
+        fn anchor(&self, pos: usize) -> u64 {
+            // Walk up from the leaf: the last right-turn of the downward
+            // walk is the lowest ancestor-or-self that is a right child
+            // (odd heap index); the anchor is its parent. All-left walks
+            // anchor the leaf itself.
+            let leaf = self.leaves_preorder[pos];
+            let mut v = leaf;
+            while v > 1 {
+                if v % 2 == 1 {
+                    return v / 2;
+                }
+                v /= 2;
+            }
+            leaf
+        }
+
+    }
+
+    #[test]
+    fn leaf_count_and_node_identity() {
+        for len in 1..=64u64 {
+            let r = Reference::new(len);
+            assert_eq!(r.leaves_preorder.len() as u64, len, "L={len}");
+            // Leaves are exactly indices L..=2L-1.
+            let mut sorted = r.leaves_preorder.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (len..=nodes(len)).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn leaf_at_matches_preorder_traversal() {
+        for len in 1..=64u64 {
+            let r = Reference::new(len);
+            for pos in 0..len {
+                assert_eq!(leaf_at(pos, len), r.leaves_preorder[pos as usize], "L={len} pos={pos}");
+                assert_eq!(pos_of_leaf(leaf_at(pos, len), len), pos);
+            }
+        }
+    }
+
+    #[test]
+    fn anchors_match_reference_walk() {
+        for len in 1..=64u64 {
+            let r = Reference::new(len);
+            for pos in 0..len {
+                assert_eq!(
+                    anchor_of(pos, len),
+                    r.anchor(pos as usize),
+                    "L={len} pos={pos} leaf={}",
+                    leaf_at(pos, len)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn anchor_is_lca_of_consecutive_leaves() {
+        // Observation 4 consequence: anchor(p) = LCA(leaf(p-1), leaf(p)).
+        let lca = |mut a: u64, mut b: u64| {
+            while a != b {
+                if depth_of(a) >= depth_of(b) {
+                    a /= 2;
+                } else {
+                    b /= 2;
+                }
+            }
+            a
+        };
+        for len in 2..=64u64 {
+            for pos in 1..len {
+                assert_eq!(
+                    anchor_of(pos, len),
+                    lca(leaf_at(pos - 1, len), leaf_at(pos, len)),
+                    "L={len} pos={pos}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct_per_internal_node() {
+        // Each internal node anchors exactly one leaf; plus the all-left
+        // leaf anchors itself. So anchors are pairwise distinct.
+        for len in 1..=64u64 {
+            let anchors: std::collections::HashSet<u64> =
+                (0..len).map(|p| anchor_of(p, len)).collect();
+            assert_eq!(anchors.len() as u64, len);
+        }
+    }
+
+    #[test]
+    fn height_is_logarithmic() {
+        assert_eq!(height(1), 1);
+        assert_eq!(height(2), 2);
+        assert_eq!(height(3), 3);
+        assert_eq!(height(4), 3);
+        assert_eq!(height(5), 4);
+        for len in 1..=2048u64 {
+            assert!(height(len) <= (len as f64).log2() as u32 + 2);
+        }
+    }
+
+    #[test]
+    fn observation_3_layer_shape() {
+        // Every layer full except the last.
+        for len in 2..=64u64 {
+            let n = nodes(len);
+            let d = depth_of(n);
+            let last_layer = n - (1 << (d - 1)) + 1;
+            assert!(last_layer >= 1);
+            // Upper layers are full: nodes above last layer = 2^(d-1) - 1.
+            assert_eq!(n - last_layer, (1 << (d - 1)) - 1);
+        }
+    }
+
+    #[test]
+    fn run_bounds_match_brute_force() {
+        for len in 1..=48u64 {
+            let labels: Vec<u32> = (0..len).map(|p| label_in_path(p, len)).collect();
+            for pos in 0..len {
+                for x in 1..=labels[pos as usize] {
+                    let (lo, hi) = run_bounds(pos, len, x);
+                    // Brute force: expand around pos while labels >= x.
+                    let mut blo = pos;
+                    while blo > 0 && labels[blo as usize - 1] >= x {
+                        blo -= 1;
+                    }
+                    let mut bhi = pos;
+                    while bhi + 1 < len && labels[bhi as usize + 1] >= x {
+                        bhi += 1;
+                    }
+                    assert_eq!((lo, hi), (blo, bhi), "L={len} pos={pos} x={x} labels={labels:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_min_is_unique_minimum() {
+        for len in 1..=48u64 {
+            let labels: Vec<u32> = (0..len).map(|p| label_in_path(p, len)).collect();
+            for pos in 0..len {
+                for x in 1..=labels[pos as usize] {
+                    let (lo, hi) = run_bounds(pos, len, x);
+                    let (mp, ml) = run_min(pos, len, x);
+                    assert!((lo..=hi).contains(&mp));
+                    assert_eq!(labels[mp as usize], ml);
+                    let brute_min = (lo..=hi).map(|p| labels[p as usize]).min().unwrap();
+                    assert_eq!(ml, brute_min, "L={len} pos={pos} x={x}");
+                    // Uniqueness of the minimum within the run.
+                    assert_eq!(
+                        (lo..=hi).filter(|&p| labels[p as usize] == ml).count(),
+                        1,
+                        "L={len} pos={pos} x={x} labels={labels:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_leaf_path() {
+        assert_eq!(nodes(1), 1);
+        assert_eq!(leaf_at(0, 1), 1);
+        assert_eq!(label_in_path(0, 1), 1);
+        assert_eq!(run_bounds(0, 1, 1), (0, 0));
+        assert_eq!(run_min(0, 1, 1), (0, 1));
+    }
+}

@@ -1,0 +1,252 @@
+//! Heavy-light decomposition (Definitions 2–4 of the paper) and the meta
+//! tree of heavy paths.
+//!
+//! Heavy edges follow Sleator–Tarjan: *every* internal vertex has exactly
+//! one heavy edge, to the child with the largest subtree (ties broken by
+//! smallest id). Consequently heavy paths partition the vertex set, every
+//! heavy path ends at a leaf, and the meta tree (heavy paths contracted)
+//! is connected by light edges (Observation 2).
+
+use crate::rooted::{RootedForest, NONE};
+
+/// Heavy-light decomposition of a rooted forest.
+#[derive(Debug, Clone)]
+pub struct Hld {
+    /// Heavy child of each vertex ([`NONE`] for leaves).
+    pub heavy_child: Vec<u32>,
+    /// Heavy-path id of each vertex.
+    pub path_id: Vec<u32>,
+    /// Position of each vertex within its heavy path (0 = topmost).
+    pub pos_in_path: Vec<u32>,
+    /// Vertex lists per path, top to bottom.
+    pub paths: Vec<Vec<u32>>,
+    /// For each path: the parent vertex of the path's top ([`NONE`] for
+    /// paths containing a tree root). This is the light edge to the parent
+    /// meta vertex.
+    pub path_parent_vertex: Vec<u32>,
+}
+
+impl Hld {
+    /// Decompose `forest`.
+    pub fn new(forest: &RootedForest) -> Self {
+        let n = forest.n();
+        let mut heavy_child = vec![NONE; n];
+        for v in 0..n as u32 {
+            let mut best = NONE;
+            let mut best_size = 0;
+            for &c in forest.children(v) {
+                let s = forest.subtree[c as usize];
+                // Ties: children() is sorted by id, strict '>' keeps smallest.
+                if s > best_size {
+                    best_size = s;
+                    best = c;
+                }
+            }
+            heavy_child[v as usize] = best;
+        }
+
+        let mut path_id = vec![NONE; n];
+        let mut pos_in_path = vec![0u32; n];
+        let mut paths = Vec::new();
+        let mut path_parent_vertex = Vec::new();
+        // A vertex starts a heavy path iff it's a root or a light child.
+        for &v in &forest.preorder {
+            let p = forest.parent[v as usize];
+            let starts = forest.is_root(v) || heavy_child[p as usize] != v;
+            if !starts {
+                continue;
+            }
+            let id = paths.len() as u32;
+            path_parent_vertex.push(if forest.is_root(v) { NONE } else { p });
+            let mut path = Vec::new();
+            let mut cur = v;
+            loop {
+                path_id[cur as usize] = id;
+                pos_in_path[cur as usize] = path.len() as u32;
+                path.push(cur);
+                match heavy_child[cur as usize] {
+                    c if c == NONE => break,
+                    c => cur = c,
+                }
+            }
+            paths.push(path);
+        }
+        Self { heavy_child, path_id, pos_in_path, paths, path_parent_vertex }
+    }
+
+    /// Number of heavy paths (= meta vertices).
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// The heavy path containing `v`, top to bottom.
+    pub fn path_of(&self, v: u32) -> &[u32] {
+        &self.paths[self.path_id[v as usize] as usize]
+    }
+
+    /// Top (closest-to-root) vertex of `v`'s heavy path.
+    pub fn head(&self, v: u32) -> u32 {
+        self.path_of(v)[0]
+    }
+
+    /// Meta-tree parent path of path `p` ([`NONE`] for root paths).
+    pub fn meta_parent(&self, p: u32) -> u32 {
+        match self.path_parent_vertex[p as usize] {
+            v if v == NONE => NONE,
+            v => self.path_id[v as usize],
+        }
+    }
+
+    /// Number of light edges on the path from `v` to its root — the
+    /// quantity Observation 1 bounds by `O(log n)`.
+    pub fn light_edges_to_root(&self, forest: &RootedForest, v: u32) -> usize {
+        let mut cnt = 0;
+        let mut p = self.path_id[v as usize];
+        while self.path_parent_vertex[p as usize] != NONE {
+            cnt += 1;
+            p = self.meta_parent(p);
+        }
+        let _ = forest;
+        cnt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cut_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sample_tree() -> RootedForest {
+        RootedForest::from_edges(
+            10,
+            &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6), (4, 7), (5, 8), (8, 9)],
+        )
+    }
+
+    #[test]
+    fn heavy_children_follow_subtree_sizes() {
+        let t = sample_tree();
+        let h = Hld::new(&t);
+        // subtree(1)=4 < subtree(2)=5 → heavy child of 0 is 2.
+        assert_eq!(h.heavy_child[0], 2);
+        // children of 2: subtree(5)=3 > subtree(6)=1 → heavy child 5.
+        assert_eq!(h.heavy_child[2], 5);
+        // children of 1: subtree(3)=1, subtree(4)=2 → heavy child 4.
+        assert_eq!(h.heavy_child[1], 4);
+        assert_eq!(h.heavy_child[3], NONE);
+    }
+
+    #[test]
+    fn every_internal_vertex_is_on_exactly_one_path() {
+        // Observation 2: heavy paths partition the vertices.
+        let t = sample_tree();
+        let h = Hld::new(&t);
+        let mut seen = vec![0; 10];
+        for path in &h.paths {
+            for &v in path {
+                seen[v as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn heavy_paths_end_at_leaves() {
+        let t = sample_tree();
+        let h = Hld::new(&t);
+        for path in &h.paths {
+            let last = *path.last().unwrap();
+            assert!(t.is_leaf(last), "path must descend to a leaf");
+            // And consecutive entries are parent→heavy child.
+            for w in path.windows(2) {
+                assert_eq!(t.parent[w[1] as usize], w[0]);
+                assert_eq!(h.heavy_child[w[0] as usize], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn sample_tree_paths() {
+        let t = sample_tree();
+        let h = Hld::new(&t);
+        // Root path: 0 → 2 → 5 → 8 → 9.
+        assert_eq!(h.path_of(0), &[0, 2, 5, 8, 9]);
+        assert_eq!(h.head(9), 0);
+        assert_eq!(h.pos_in_path[8], 3);
+        // Light children start their own paths.
+        assert_eq!(h.path_of(1), &[1, 4, 7]);
+        assert_eq!(h.path_of(3), &[3]);
+        assert_eq!(h.path_of(6), &[6]);
+        assert_eq!(h.path_count(), 4);
+    }
+
+    #[test]
+    fn meta_tree_structure() {
+        let t = sample_tree();
+        let h = Hld::new(&t);
+        let root_path = h.path_id[0];
+        assert_eq!(h.meta_parent(root_path), NONE);
+        let p1 = h.path_id[1];
+        assert_eq!(h.meta_parent(p1), root_path);
+        assert_eq!(h.path_parent_vertex[p1 as usize], 0);
+        let p3 = h.path_id[3];
+        assert_eq!(h.meta_parent(p3), p1);
+    }
+
+    #[test]
+    fn observation_1_light_edges_logarithmic() {
+        // On random trees, every root-to-vertex path crosses ≤ log2(n)
+        // light edges.
+        let mut rng = SmallRng::seed_from_u64(77);
+        for n in [10usize, 100, 1000] {
+            let g = gen::random_tree(n, &mut rng);
+            let pairs: Vec<(u32, u32)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
+            let t = RootedForest::from_edges(n, &pairs);
+            let h = Hld::new(&t);
+            let bound = (n as f64).log2().ceil() as usize;
+            for v in 0..n as u32 {
+                assert!(
+                    h.light_edges_to_root(&t, v) <= bound,
+                    "n={n} v={v}: light edges exceed log2(n)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_graph_is_one_heavy_path() {
+        let t = RootedForest::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]);
+        let h = Hld::new(&t);
+        assert_eq!(h.path_count(), 1);
+        assert_eq!(h.path_of(0).len(), 8);
+    }
+
+    #[test]
+    fn star_has_one_heavy_and_many_singleton_paths() {
+        let t = RootedForest::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let h = Hld::new(&t);
+        // Heavy child of the center is vertex 1 (tie broken by id).
+        assert_eq!(h.heavy_child[0], 1);
+        assert_eq!(h.path_count(), 5);
+        assert_eq!(h.path_of(0), &[0, 1]);
+    }
+
+    #[test]
+    fn forest_decomposition() {
+        let t = RootedForest::from_edges(5, &[(0, 1), (3, 4)]);
+        let h = Hld::new(&t);
+        // Three components: {0,1}, {2}, {3,4} → three root paths.
+        assert_eq!(
+            h.paths.iter().filter(|_| true).count(),
+            3
+        );
+        let ids: std::collections::HashSet<u32> =
+            [0usize, 2, 3].iter().map(|&v| h.path_id[v]).collect();
+        assert_eq!(ids.len(), 3);
+        for &v in &[0u32, 2, 3] {
+            assert_eq!(h.meta_parent(h.path_id[v as usize]), NONE);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # `cut-tree` — tree substrate for the AMPC min-cut reproduction
+//!
+//! Sequential reference implementations of every tree structure §3 of the
+//! paper builds:
+//!
+//! * [`rooted`]: rooted forests (parents, depths, subtree sizes, preorder);
+//! * [`hld`]: Sleator–Tarjan heavy edges (Definition 2), heavy paths
+//!   (Definition 3), and the meta tree (Definition 4);
+//! * [`binpath`]: *binarized paths* (Definition 5) — heap-indexed almost
+//!   complete binary trees with closed-form pre-order leaf mapping, anchor
+//!   ("node above the last right turn") arithmetic, and run/nearest-smaller
+//!   queries used by Lemma 10;
+//! * [`lowdepth`]: the generalized low-depth tree decomposition
+//!   (Definition 1, Algorithm 2) with an `O(log² n)` height guarantee
+//!   (Observation 6) and a Definition-1 validity checker;
+//! * [`rmq`]: sparse-table RMQ and heavy-path path-max/min queries
+//!   (the Theorem 4 query structure);
+//! * [`septree`]: the separator/leader tree induced by a valid labeling —
+//!   leader chains resolve `r_x(i)` (Lemma 13) without per-level re-rooting.
+
+pub mod binpath;
+pub mod hld;
+pub mod lowdepth;
+pub mod rmq;
+pub mod rooted;
+pub mod septree;
+
+pub use hld::Hld;
+pub use lowdepth::{low_depth_decomposition, validate_decomposition, LowDepthLabels};
+pub use rmq::{HldPathQuery, SparseTable};
+pub use rooted::RootedForest;
+pub use septree::SepTree;

@@ -1,0 +1,242 @@
+//! The generalized low-depth tree decomposition (Definition 1, Algorithm 2).
+//!
+//! Labels are assigned in closed form: vertex `v` on heavy path `P` (at
+//! position `pos`, path length `L`) gets
+//!
+//! ```text
+//! ℓ(v) = d0(P) + label_in_path(pos, L) - 1
+//! ```
+//!
+//! where `d0(P)` is the depth of `P`'s binarized-path root in the
+//! *expanded meta tree* (meta tree with every heavy path replaced by its
+//! binarized path) and `label_in_path` is the anchor depth from
+//! [`crate::binpath`]. Heights are `O(log² n)` (Observation 6): the meta
+//! tree has `O(log n)` depth (Observation 1) and each binarized path
+//! contributes `O(log n)` depth.
+
+use crate::binpath;
+use crate::hld::Hld;
+use crate::rooted::{RootedForest, NONE};
+use cut_graph::Dsu;
+
+/// A computed decomposition: per-vertex labels plus the per-path expanded
+/// depths needed by downstream leader arithmetic.
+#[derive(Debug, Clone)]
+pub struct LowDepthLabels {
+    /// Level of each vertex (1-based; Definition 1's `ℓ`).
+    pub label: Vec<u32>,
+    /// Decomposition height `h = max ℓ`.
+    pub height: u32,
+    /// Expanded-meta-tree depth of each heavy path's binarized root.
+    pub d0: Vec<u32>,
+}
+
+impl LowDepthLabels {
+    /// Level sets `L_i` as vertex lists indexed by `i - 1`.
+    pub fn level_sets(&self) -> Vec<Vec<u32>> {
+        let mut sets = vec![Vec::new(); self.height as usize];
+        for (v, &l) in self.label.iter().enumerate() {
+            sets[l as usize - 1].push(v as u32);
+        }
+        sets
+    }
+}
+
+/// Compute the generalized low-depth decomposition of a rooted forest with
+/// its heavy-light decomposition (steps 3–4 of Algorithm 2; steps 1–2 are
+/// [`RootedForest`] and [`Hld`]).
+pub fn low_depth_decomposition(forest: &RootedForest, hld: &Hld) -> LowDepthLabels {
+    let n = forest.n();
+    let p = hld.path_count();
+    // d0 per path: root paths start at depth 1; a child path hangs below
+    // the leaf of its parent vertex, so its binarized root is one deeper
+    // than that leaf's expanded depth. Process paths in meta-BFS order —
+    // `paths` is built in preorder, so a path's parent path precedes it.
+    let mut d0 = vec![0u32; p];
+    for pid in 0..p {
+        let pp = hld.path_parent_vertex[pid];
+        if pp == NONE {
+            d0[pid] = 1;
+        } else {
+            let qid = hld.path_id[pp as usize] as usize;
+            debug_assert!(d0[qid] > 0, "meta parent not yet processed");
+            let qlen = hld.paths[qid].len() as u64;
+            let qpos = hld.pos_in_path[pp as usize] as u64;
+            let leaf_depth = d0[qid] + binpath::depth_of(binpath::leaf_at(qpos, qlen)) - 1;
+            d0[pid] = leaf_depth + 1;
+        }
+    }
+    let mut label = vec![0u32; n];
+    let mut height = 0;
+    for v in 0..n {
+        let pid = hld.path_id[v] as usize;
+        let len = hld.paths[pid].len() as u64;
+        let pos = hld.pos_in_path[v] as u64;
+        label[v] = d0[pid] + binpath::label_in_path(pos, len) - 1;
+        height = height.max(label[v]);
+    }
+    LowDepthLabels { label, height, d0 }
+}
+
+/// Check Definition 1: for every level `i`, each connected component of the
+/// forest induced on `{v : ℓ(v) ≥ i}` contains **at most one** vertex with
+/// label exactly `i`. Returns the offending `(level, component
+/// representative)` on failure.
+pub fn validate_decomposition(forest: &RootedForest, label: &[u32]) -> Result<(), (u32, u32)> {
+    let n = forest.n();
+    assert_eq!(label.len(), n);
+    let height = label.iter().copied().max().unwrap_or(0);
+    for i in 1..=height {
+        let mut dsu = Dsu::new(n);
+        for v in 0..n as u32 {
+            let p = forest.parent[v as usize];
+            if p != v && label[v as usize] >= i && label[p as usize] >= i {
+                dsu.union(v, p);
+            }
+        }
+        let mut count = std::collections::HashMap::new();
+        for v in 0..n as u32 {
+            if label[v as usize] == i {
+                let r = dsu.find(v);
+                let c = count.entry(r).or_insert(0u32);
+                *c += 1;
+                if *c > 1 {
+                    return Err((i, r));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cut_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn decompose(n: usize, edges: &[(u32, u32)]) -> (RootedForest, Hld, LowDepthLabels) {
+        let f = RootedForest::from_edges(n, edges);
+        let h = Hld::new(&f);
+        let l = low_depth_decomposition(&f, &h);
+        (f, h, l)
+    }
+
+    fn tree_edges(g: &cut_graph::Graph) -> Vec<(u32, u32)> {
+        g.edges().iter().map(|e| (e.u, e.v)).collect()
+    }
+
+    #[test]
+    fn valid_on_fixed_sample() {
+        let (f, _, l) = decompose(
+            10,
+            &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6), (4, 7), (5, 8), (8, 9)],
+        );
+        assert!(validate_decomposition(&f, &l.label).is_ok());
+        assert!(l.label.iter().all(|&x| x >= 1));
+        assert_eq!(l.height, *l.label.iter().max().unwrap());
+    }
+
+    #[test]
+    fn valid_on_random_trees() {
+        let mut rng = SmallRng::seed_from_u64(123);
+        for n in [2usize, 3, 5, 17, 64, 200, 1000] {
+            let g = gen::random_tree(n, &mut rng);
+            let (f, _, l) = decompose(n, &tree_edges(&g));
+            assert!(validate_decomposition(&f, &l.label).is_ok(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn valid_on_adversarial_shapes() {
+        let shapes: Vec<cut_graph::Graph> = vec![
+            gen::path(257),
+            gen::star(100),
+            gen::caterpillar(30, 4),
+            gen::balanced_tree(2, 7),
+            gen::balanced_tree(3, 4),
+        ];
+        for g in shapes {
+            let (f, _, l) = decompose(g.n(), &tree_edges(&g));
+            assert!(validate_decomposition(&f, &l.label).is_ok(), "n={}", g.n());
+        }
+    }
+
+    #[test]
+    fn height_is_polylog() {
+        // Observation 6: height O(log² n). Constant-check with slack 1.5
+        // on (log2 n + 1)^2.
+        let mut rng = SmallRng::seed_from_u64(9);
+        for n in [64usize, 256, 1024, 4096] {
+            for g in [gen::random_tree(n, &mut rng), gen::path(n), gen::star(n)] {
+                let (_, _, l) = decompose(g.n(), &tree_edges(&g));
+                let lg = (n as f64).log2() + 1.0;
+                assert!(
+                    (l.height as f64) <= 1.5 * lg * lg,
+                    "n={n} height={} bound={}",
+                    l.height,
+                    1.5 * lg * lg
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_graph_height_logarithmic() {
+        // A path is one heavy path → height = binarized path height.
+        let (_, _, l) = decompose(
+            128,
+            &(1..128u32).map(|i| (i - 1, i)).collect::<Vec<_>>(),
+        );
+        assert_eq!(l.height, binpath::height(128));
+    }
+
+    #[test]
+    fn exactly_one_level_one_vertex_per_component() {
+        // Stronger sanity: level 1 has exactly one vertex per tree
+        // (the whole tree is one component at level 1).
+        let mut rng = SmallRng::seed_from_u64(5);
+        for n in [5usize, 50, 500] {
+            let g = gen::random_tree(n, &mut rng);
+            let (_, _, l) = decompose(n, &tree_edges(&g));
+            let ones = l.label.iter().filter(|&&x| x == 1).count();
+            assert_eq!(ones, 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn level_sets_partition_vertices() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = gen::random_tree(300, &mut rng);
+        let (_, _, l) = decompose(300, &tree_edges(&g));
+        let total: usize = l.level_sets().iter().map(|s| s.len()).sum();
+        assert_eq!(total, 300);
+    }
+
+    #[test]
+    fn forest_decomposition_is_valid() {
+        let (f, _, l) = decompose(9, &[(0, 1), (1, 2), (3, 4), (4, 5), (6, 7)]);
+        assert!(validate_decomposition(&f, &l.label).is_ok());
+        // One level-1 vertex per component.
+        // Components: {0,1,2}, {3,4,5}, {6,7}, {8}.
+        let ones = l.label.iter().filter(|&&x| x == 1).count();
+        assert_eq!(ones, 4);
+    }
+
+    #[test]
+    fn singleton_tree() {
+        let (f, _, l) = decompose(1, &[]);
+        assert_eq!(l.label, vec![1]);
+        assert_eq!(l.height, 1);
+        assert!(validate_decomposition(&f, &l.label).is_ok());
+    }
+
+    #[test]
+    fn validator_rejects_bad_labels() {
+        // Path 0-1-2 with all labels equal: two label-1 vertices share a
+        // component at level 1.
+        let f = RootedForest::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(validate_decomposition(&f, &[1, 1, 1]).is_err());
+    }
+}

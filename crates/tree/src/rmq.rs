@@ -1,0 +1,305 @@
+//! Sparse-table RMQ and heavy-path path queries (the Theorem 4 structure).
+//!
+//! Theorem 4 (Behnezhad et al.): given the heavy-light decomposition with
+//! an RMQ structure over heavy paths, any path-minimum (here: also
+//! path-*maximum*, which the increasing-order contraction semantics needs)
+//! can be answered with `O(log n)` queries. [`HldPathQuery`] implements
+//! exactly that query plan over a [`SparseTable`].
+
+use crate::hld::Hld;
+use crate::rooted::{RootedForest, NONE};
+
+/// Which aggregate a table answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmqOp {
+    /// Range minimum.
+    Min,
+    /// Range maximum.
+    Max,
+}
+
+/// Static sparse table: `O(n log n)` build, `O(1)` range queries.
+#[derive(Debug, Clone)]
+pub struct SparseTable {
+    op: RmqOp,
+    rows: Vec<Vec<u64>>,
+}
+
+impl SparseTable {
+    /// Build a range-minimum table.
+    pub fn min(values: &[u64]) -> Self {
+        Self::build(values, RmqOp::Min)
+    }
+
+    /// Build a range-maximum table.
+    pub fn max(values: &[u64]) -> Self {
+        Self::build(values, RmqOp::Max)
+    }
+
+    fn build(values: &[u64], op: RmqOp) -> Self {
+        let n = values.len();
+        let mut rows = vec![values.to_vec()];
+        let mut span = 1;
+        while 2 * span <= n {
+            let prev = rows.last().unwrap();
+            let row: Vec<u64> = (0..=(n - 2 * span))
+                .map(|i| match op {
+                    RmqOp::Min => prev[i].min(prev[i + span]),
+                    RmqOp::Max => prev[i].max(prev[i + span]),
+                })
+                .collect();
+            rows.push(row);
+            span *= 2;
+        }
+        Self { op, rows }
+    }
+
+    /// Aggregate over the inclusive range `lo..=hi`.
+    pub fn query(&self, lo: usize, hi: usize) -> u64 {
+        assert!(lo <= hi && hi < self.rows[0].len(), "bad range {lo}..={hi}");
+        let len = hi - lo + 1;
+        let k = (usize::BITS - len.leading_zeros() - 1) as usize;
+        let a = self.rows[k][lo];
+        let b = self.rows[k][hi + 1 - (1 << k)];
+        match self.op {
+            RmqOp::Min => a.min(b),
+            RmqOp::Max => a.max(b),
+        }
+    }
+
+    /// Number of elements covered.
+    pub fn len(&self) -> usize {
+        self.rows[0].len()
+    }
+
+    /// True when built over an empty array.
+    pub fn is_empty(&self) -> bool {
+        self.rows[0].is_empty()
+    }
+}
+
+/// Path-aggregate queries over *edge* values of a rooted forest, using the
+/// heavy-light decomposition (Theorem 4's query structure).
+///
+/// `edge_val[v]` is the value of the edge `(v, parent(v))`; roots carry no
+/// edge. Queries aggregate over all edges on the tree path between two
+/// vertices of the same component.
+#[derive(Debug, Clone)]
+pub struct HldPathQuery {
+    op: RmqOp,
+    /// Global slot of each vertex: paths are laid out contiguously.
+    slot: Vec<u32>,
+    table: SparseTable,
+    parent: Vec<u32>,
+    depth: Vec<u32>,
+    path_id: Vec<u32>,
+    head: Vec<u32>,
+    path_parent_vertex: Vec<u32>,
+    edge_val: Vec<u64>,
+}
+
+impl HldPathQuery {
+    /// Build for `forest` + `hld` with per-vertex parent-edge values.
+    pub fn new(forest: &RootedForest, hld: &Hld, edge_val: &[u64], op: RmqOp) -> Self {
+        let n = forest.n();
+        assert_eq!(edge_val.len(), n);
+        let mut slot = vec![0u32; n];
+        let mut base = vec![0u64; n];
+        let mut next = 0u32;
+        for path in &hld.paths {
+            for &v in path {
+                slot[v as usize] = next;
+                base[next as usize] = edge_val[v as usize];
+                next += 1;
+            }
+        }
+        let table = SparseTable::build(&base, op);
+        let head: Vec<u32> = (0..n as u32).map(|v| hld.head(v)).collect();
+        Self {
+            op,
+            slot,
+            table,
+            parent: forest.parent.clone(),
+            depth: forest.depth.clone(),
+            path_id: hld.path_id.clone(),
+            head,
+            path_parent_vertex: hld.path_parent_vertex.clone(),
+            edge_val: edge_val.to_vec(),
+        }
+    }
+
+    fn unit(&self) -> u64 {
+        match self.op {
+            RmqOp::Min => u64::MAX,
+            RmqOp::Max => 0,
+        }
+    }
+
+    fn combine(&self, a: u64, b: u64) -> u64 {
+        match self.op {
+            RmqOp::Min => a.min(b),
+            RmqOp::Max => a.max(b),
+        }
+    }
+
+    /// Aggregate of edge values on the tree path `u … v` (inclusive of all
+    /// edges, empty path ⇒ identity element: 0 for Max, `u64::MAX` for Min).
+    ///
+    /// Panics if `u` and `v` are in different components.
+    pub fn path_query(&self, mut u: u32, mut v: u32) -> u64 {
+        let mut acc = self.unit();
+        // Hop whole heavy-path segments until u and v share a path.
+        while self.path_id[u as usize] != self.path_id[v as usize] {
+            // Lift the vertex whose path head is deeper.
+            let (hu, hv) = (self.head[u as usize], self.head[v as usize]);
+            if self.depth[hu as usize] < self.depth[hv as usize] {
+                std::mem::swap(&mut u, &mut v);
+            }
+            let h = self.head[u as usize];
+            // Edges within the path from h..=u, i.e. slots slot[h]+1 ..= slot[u]
+            // (each vertex's slot stores its parent edge; h's parent edge is
+            // the light edge, included explicitly below).
+            if self.slot[u as usize] > self.slot[h as usize] {
+                acc = self.combine(
+                    acc,
+                    self.table
+                        .query(self.slot[h as usize] as usize + 1, self.slot[u as usize] as usize),
+                );
+            }
+            // The light edge from h to its parent.
+            let pp = self.path_parent_vertex[self.path_id[u as usize] as usize];
+            assert!(pp != NONE, "vertices in different components");
+            acc = self.combine(acc, self.edge_val[h as usize]);
+            u = pp;
+        }
+        // Same heavy path: aggregate the strictly-lower slot range.
+        let (lo, hi) = if self.slot[u as usize] <= self.slot[v as usize] {
+            (self.slot[u as usize], self.slot[v as usize])
+        } else {
+            (self.slot[v as usize], self.slot[u as usize])
+        };
+        if lo < hi {
+            acc = self.combine(acc, self.table.query(lo as usize + 1, hi as usize));
+        }
+        acc
+    }
+
+    /// Maximum-edge query helper used by the contraction machinery: the
+    /// earliest time both `u` and `v` are in the same bag, i.e. the max
+    /// edge priority on the path (0 if `u == v`).
+    pub fn join_time(&self, u: u32, v: u32) -> u64 {
+        if u == v {
+            return 0;
+        }
+        debug_assert_eq!(self.op, RmqOp::Max);
+        self.path_query(u, v)
+    }
+
+    /// Convenience: the parent used during construction.
+    pub fn parent(&self, v: u32) -> u32 {
+        self.parent[v as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cut_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn sparse_table_matches_scan() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for n in [1usize, 2, 3, 7, 64, 100] {
+            let vals: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
+            let tmin = SparseTable::min(&vals);
+            let tmax = SparseTable::max(&vals);
+            for lo in 0..n {
+                for hi in lo..n {
+                    let smin = *vals[lo..=hi].iter().min().unwrap();
+                    let smax = *vals[lo..=hi].iter().max().unwrap();
+                    assert_eq!(tmin.query(lo, hi), smin);
+                    assert_eq!(tmax.query(lo, hi), smax);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn sparse_table_rejects_bad_range() {
+        SparseTable::min(&[1, 2, 3]).query(1, 3);
+    }
+
+    fn random_forest_query(n: usize, seed: u64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = gen::random_tree(n, &mut rng);
+        let pairs: Vec<(u32, u32)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
+        let f = RootedForest::from_edges(n, &pairs);
+        let hld = Hld::new(&f);
+        let mut edge_val = vec![0u64; n];
+        for v in 0..n as u32 {
+            if !f.is_root(v) {
+                edge_val[v as usize] = rng.gen_range(1..10_000);
+            }
+        }
+        let qmax = HldPathQuery::new(&f, &hld, &edge_val, RmqOp::Max);
+        let qmin = HldPathQuery::new(&f, &hld, &edge_val, RmqOp::Min);
+
+        // Brute force with parent walks.
+        let brute = |mut a: u32, mut b: u32, maxop: bool| -> u64 {
+            let mut acc: Option<u64> = None;
+            while a != b {
+                let (x, other) = if f.depth[a as usize] >= f.depth[b as usize] { (a, b) } else { (b, a) };
+                let val = edge_val[x as usize];
+                acc = Some(match acc {
+                    None => val,
+                    Some(c) => {
+                        if maxop {
+                            c.max(val)
+                        } else {
+                            c.min(val)
+                        }
+                    }
+                });
+                a = f.parent[x as usize];
+                b = other;
+            }
+            acc.unwrap_or(if maxop { 0 } else { u64::MAX })
+        };
+
+        for _ in 0..200 {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            assert_eq!(qmax.path_query(u, v), brute(u, v, true), "max u={u} v={v}");
+            assert_eq!(qmin.path_query(u, v), brute(u, v, false), "min u={u} v={v}");
+        }
+    }
+
+    #[test]
+    fn path_queries_match_brute_force() {
+        for (n, seed) in [(2usize, 5u64), (3, 6), (10, 7), (50, 8), (200, 9)] {
+            random_forest_query(n, seed);
+        }
+    }
+
+    #[test]
+    fn join_time_zero_for_same_vertex() {
+        let f = RootedForest::from_edges(3, &[(0, 1), (1, 2)]);
+        let hld = Hld::new(&f);
+        let q = HldPathQuery::new(&f, &hld, &[0, 5, 9], RmqOp::Max);
+        assert_eq!(q.join_time(1, 1), 0);
+        assert_eq!(q.join_time(0, 2), 9);
+        assert_eq!(q.join_time(0, 1), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different components")]
+    fn cross_component_queries_rejected() {
+        let f = RootedForest::from_edges(4, &[(0, 1), (2, 3)]);
+        let hld = Hld::new(&f);
+        let q = HldPathQuery::new(&f, &hld, &[0, 1, 0, 1], RmqOp::Max);
+        q.path_query(0, 3);
+    }
+}

@@ -1,0 +1,256 @@
+//! Rooted forests: orientation, depths, subtree sizes, preorder.
+
+use cut_graph::Graph;
+
+/// Sentinel for "no vertex".
+pub const NONE: u32 = u32::MAX;
+
+/// A rooted forest over vertices `0..n`.
+///
+/// Every tree component is rooted (at the smallest vertex id unless roots
+/// are given); `parent[root] == root`. Children are stored in CSR form and
+/// sorted by vertex id so all traversals are deterministic.
+#[derive(Debug, Clone)]
+pub struct RootedForest {
+    /// Parent of each vertex (`parent[r] == r` for roots).
+    pub parent: Vec<u32>,
+    /// Edge index (into the source edge list) of the edge to the parent;
+    /// [`NONE`] for roots.
+    pub parent_edge: Vec<u32>,
+    /// Depth from the root (`0` at roots).
+    pub depth: Vec<u32>,
+    /// Size of the subtree rooted at each vertex.
+    pub subtree: Vec<u32>,
+    /// Roots, one per component, in increasing id order.
+    pub roots: Vec<u32>,
+    children_off: Vec<u32>,
+    children: Vec<u32>,
+    /// Preorder sequence (trees concatenated in root order), children
+    /// visited in increasing id order.
+    pub preorder: Vec<u32>,
+}
+
+impl RootedForest {
+    /// Root the forest given by `edges` (pairs `(u, v)`) over `n` vertices.
+    ///
+    /// Panics if the edges contain a cycle (i.e. are not a forest).
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let g = Graph::unit(n, edges);
+        Self::from_graph(&g)
+    }
+
+    /// Root a forest stored as a [`Graph`] whose edge set is acyclic.
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.n();
+        assert!(
+            g.m() < n || n == 0,
+            "not a forest: {} edges on {} vertices",
+            g.m(),
+            n
+        );
+        let mut parent = vec![NONE; n];
+        let mut parent_edge = vec![NONE; n];
+        let mut depth = vec![0u32; n];
+        let mut roots = Vec::new();
+        let mut preorder = Vec::with_capacity(n);
+        // Iterative DFS with children in increasing id order; `neighbors`
+        // yields insertion order, so sort each vertex's children on visit.
+        let mut visited = vec![false; n];
+        for s in 0..n as u32 {
+            if visited[s as usize] {
+                continue;
+            }
+            roots.push(s);
+            parent[s as usize] = s;
+            visited[s as usize] = true;
+            let mut stack = vec![s];
+            while let Some(v) = stack.pop() {
+                preorder.push(v);
+                let mut kids: Vec<(u32, u32)> = g
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&(to, _)| !visited[to as usize])
+                    .collect();
+                kids.sort_unstable_by_key(|&(to, _)| to);
+                // Push in reverse so the smallest id pops first.
+                for &(to, e) in kids.iter().rev() {
+                    visited[to as usize] = true;
+                    parent[to as usize] = v;
+                    parent_edge[to as usize] = e;
+                    depth[to as usize] = depth[v as usize] + 1;
+                    stack.push(to);
+                }
+            }
+        }
+        assert_eq!(preorder.len(), n, "edge set contains a cycle");
+        assert_eq!(g.m(), n - roots.len(), "edge set contains a cycle");
+
+        // Subtree sizes bottom-up via reverse preorder.
+        let mut subtree = vec![1u32; n];
+        for &v in preorder.iter().rev() {
+            let p = parent[v as usize];
+            if p != v {
+                subtree[p as usize] += subtree[v as usize];
+            }
+        }
+
+        // Children CSR (sorted by id because of construction order).
+        let mut cnt = vec![0u32; n + 1];
+        for v in 0..n as u32 {
+            let p = parent[v as usize];
+            if p != v {
+                cnt[p as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            cnt[i + 1] += cnt[i];
+        }
+        let mut children = vec![0u32; n.saturating_sub(roots.len())];
+        let mut cursor = cnt.clone();
+        for v in 0..n as u32 {
+            let p = parent[v as usize];
+            if p != v {
+                children[cursor[p as usize] as usize] = v;
+                cursor[p as usize] += 1;
+            }
+        }
+        // CSR buckets are filled in increasing v, hence sorted.
+        Self { parent, parent_edge, depth, subtree, roots, children_off: cnt, children, preorder }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Children of `v`, sorted by id.
+    pub fn children(&self, v: u32) -> &[u32] {
+        let lo = self.children_off[v as usize] as usize;
+        let hi = self.children_off[v as usize + 1] as usize;
+        &self.children[lo..hi]
+    }
+
+    /// True if `v` is a root.
+    pub fn is_root(&self, v: u32) -> bool {
+        self.parent[v as usize] == v
+    }
+
+    /// True if `v` has no children.
+    pub fn is_leaf(&self, v: u32) -> bool {
+        self.children(v).is_empty()
+    }
+
+    /// Walk from `v` to its root, inclusive.
+    pub fn path_to_root(&self, v: u32) -> Vec<u32> {
+        let mut out = vec![v];
+        let mut cur = v;
+        while !self.is_root(cur) {
+            cur = self.parent[cur as usize];
+            out.push(cur);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fixed 10-vertex tree used across the crate's tests:
+    ///
+    /// ```text
+    ///         0
+    ///        / \
+    ///       1   2
+    ///      /|   |\
+    ///     3 4   5 6
+    ///       |   |
+    ///       7   8
+    ///           |
+    ///           9
+    /// ```
+    pub(crate) fn sample_tree() -> RootedForest {
+        RootedForest::from_edges(
+            10,
+            &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6), (4, 7), (5, 8), (8, 9)],
+        )
+    }
+
+    #[test]
+    fn parents_and_depths() {
+        let t = sample_tree();
+        assert_eq!(t.roots, vec![0]);
+        assert!(t.is_root(0));
+        assert_eq!(t.parent[9], 8);
+        assert_eq!(t.depth[0], 0);
+        assert_eq!(t.depth[9], 4);
+        assert_eq!(t.depth[7], 3);
+    }
+
+    #[test]
+    fn subtree_sizes() {
+        let t = sample_tree();
+        assert_eq!(t.subtree[0], 10);
+        assert_eq!(t.subtree[1], 4);
+        assert_eq!(t.subtree[2], 5);
+        assert_eq!(t.subtree[5], 3);
+        assert_eq!(t.subtree[9], 1);
+    }
+
+    #[test]
+    fn children_sorted() {
+        let t = sample_tree();
+        assert_eq!(t.children(0), &[1, 2]);
+        assert_eq!(t.children(1), &[3, 4]);
+        assert!(t.is_leaf(3));
+        assert!(!t.is_leaf(8));
+    }
+
+    #[test]
+    fn preorder_visits_each_vertex_once_parents_first() {
+        let t = sample_tree();
+        assert_eq!(t.preorder.len(), 10);
+        let mut pos = vec![0usize; 10];
+        for (i, &v) in t.preorder.iter().enumerate() {
+            pos[v as usize] = i;
+        }
+        for v in 0..10u32 {
+            if !t.is_root(v) {
+                assert!(pos[t.parent[v as usize] as usize] < pos[v as usize]);
+            }
+        }
+        assert_eq!(t.preorder[0], 0);
+    }
+
+    #[test]
+    fn forest_with_multiple_components() {
+        let f = RootedForest::from_edges(6, &[(0, 1), (3, 4), (4, 5)]);
+        assert_eq!(f.roots, vec![0, 2, 3]);
+        assert!(f.is_root(2));
+        assert_eq!(f.subtree[3], 3);
+        assert_eq!(f.path_to_root(5), vec![5, 4, 3]);
+    }
+
+    #[test]
+    fn singleton_and_empty() {
+        let f = RootedForest::from_edges(1, &[]);
+        assert_eq!(f.roots, vec![0]);
+        assert!(f.is_leaf(0));
+        let e = RootedForest::from_edges(0, &[]);
+        assert_eq!(e.n(), 0);
+        assert!(e.roots.is_empty());
+    }
+
+    #[test]
+    fn path_to_root_from_root() {
+        let t = sample_tree();
+        assert_eq!(t.path_to_root(0), vec![0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_cycles() {
+        let _ = RootedForest::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+    }
+}

@@ -1,0 +1,273 @@
+//! The separator (leader) tree induced by a valid low-depth labeling.
+//!
+//! Definition 7 of the paper assigns each bag a unique *leader* — the
+//! minimum-label vertex. A valid labeling (Definition 1) makes every
+//! vertex `v` the unique minimum-label vertex of its connected component
+//! in `T_{ℓ(v)}`, so leaders form a tree: `sep_parent(v)` is the leader of
+//! the component that swallows `v`'s component as the level threshold
+//! decreases. Leader *chains* (root paths of this tree) resolve `r_x(i)`
+//! — the leader of `x`'s component at level `i` — without the per-level
+//! forest re-rooting of Lemma 13:
+//!
+//! `r_x(i)` = the chain element of `x` with label exactly `i`, if any.
+//!
+//! Built by a reverse-Kruskal sweep: insert vertices by decreasing label,
+//! union with already-inserted neighbors; the inserted vertex becomes the
+//! leader of the merged component.
+
+use crate::rooted::{RootedForest, NONE};
+use cut_graph::Dsu;
+
+/// Separator tree over the vertices of a labeled forest.
+#[derive(Debug, Clone)]
+pub struct SepTree {
+    /// Leader that absorbs `v`'s component ([`NONE`] for component roots).
+    pub parent: Vec<u32>,
+    /// Depth in the separator tree (0 at roots).
+    pub depth: Vec<u32>,
+    /// The labeling the tree was built from.
+    pub label: Vec<u32>,
+}
+
+impl SepTree {
+    /// Build from a rooted forest and a **valid** labeling.
+    ///
+    /// Panics if two adjacent vertices share a label (which a valid
+    /// Definition-1 labeling cannot produce).
+    pub fn new(forest: &RootedForest, label: &[u32]) -> Self {
+        let n = forest.n();
+        assert_eq!(label.len(), n);
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by_key(|&v| std::cmp::Reverse((label[v as usize], v)));
+
+        let mut dsu = Dsu::new(n);
+        // leader_of[root of dsu set] = current leader vertex.
+        let mut leader_of: Vec<u32> = (0..n as u32).collect();
+        let mut parent = vec![NONE; n];
+        let mut inserted = vec![false; n];
+        for &v in &order {
+            inserted[v as usize] = true;
+            // Tree neighbors = parent + children in the rooted forest.
+            let p = forest.parent[v as usize];
+            let mut neigh: Vec<u32> = forest.children(v).to_vec();
+            if p != v {
+                neigh.push(p);
+            }
+            for u in neigh {
+                if !inserted[u as usize] {
+                    continue;
+                }
+                assert_ne!(
+                    label[u as usize], label[v as usize],
+                    "adjacent equal labels: invalid decomposition"
+                );
+                let r = dsu.find(u);
+                let old_leader = leader_of[r as usize];
+                if old_leader != v {
+                    parent[old_leader as usize] = v;
+                }
+                dsu.union(v, u);
+                let nr = dsu.find(v);
+                leader_of[nr as usize] = v;
+            }
+        }
+
+        // Depths: separator parents always carry smaller labels, so a pass
+        // in increasing label order sees every parent before its children.
+        let mut depth = vec![0u32; n];
+        let mut by_label = order;
+        by_label.reverse();
+        for &v in &by_label {
+            let p = parent[v as usize];
+            if p != NONE {
+                depth[v as usize] = depth[p as usize] + 1;
+            }
+        }
+        Self { parent, depth, label: label.to_vec() }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// The leader chain of `x`: `x` itself, then successive separator
+    /// parents up to the component root. Labels strictly decrease.
+    pub fn chain(&self, x: u32) -> Vec<u32> {
+        let mut out = vec![x];
+        let mut cur = x;
+        while self.parent[cur as usize] != NONE {
+            cur = self.parent[cur as usize];
+            out.push(cur);
+        }
+        out
+    }
+
+    /// `r_x(i)`: the leader of `x`'s component at level `i`, or `None` if
+    /// that component contains no level-`i` vertex (Lemma 13's `⊥`).
+    pub fn leader_at_level(&self, x: u32, i: u32) -> Option<u32> {
+        let mut cur = x;
+        loop {
+            let l = self.label[cur as usize];
+            match l.cmp(&i) {
+                std::cmp::Ordering::Equal => return Some(cur),
+                std::cmp::Ordering::Less => return None,
+                std::cmp::Ordering::Greater => {
+                    let p = self.parent[cur as usize];
+                    if p == NONE {
+                        return None;
+                    }
+                    cur = p;
+                }
+            }
+        }
+    }
+
+    /// Meet point (lowest common chain element) of `x` and `y`, or `None`
+    /// when they are in different components.
+    pub fn meet(&self, x: u32, y: u32) -> Option<u32> {
+        let (mut a, mut b) = (x, y);
+        while a != b {
+            let da = self.depth[a as usize];
+            let db = self.depth[b as usize];
+            if da >= db {
+                let p = self.parent[a as usize];
+                if p == NONE {
+                    return None;
+                }
+                a = p;
+            } else {
+                let p = self.parent[b as usize];
+                if p == NONE {
+                    return None;
+                }
+                b = p;
+            }
+        }
+        Some(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hld::Hld;
+    use crate::lowdepth::{low_depth_decomposition, validate_decomposition};
+    use cut_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn build(n: usize, edges: &[(u32, u32)]) -> (RootedForest, SepTree) {
+        let f = RootedForest::from_edges(n, edges);
+        let h = Hld::new(&f);
+        let l = low_depth_decomposition(&f, &h);
+        validate_decomposition(&f, &l.label).unwrap();
+        let s = SepTree::new(&f, &l.label);
+        (f, s)
+    }
+
+    /// Reference `r_x(i)` straight from the definition: the unique label-i
+    /// vertex in x's component of the forest induced on labels >= i.
+    fn leader_by_definition(f: &RootedForest, label: &[u32], x: u32, i: u32) -> Option<u32> {
+        if label[x as usize] < i {
+            return None;
+        }
+        let n = f.n();
+        let mut dsu = cut_graph::Dsu::new(n);
+        for v in 0..n as u32 {
+            let p = f.parent[v as usize];
+            if p != v && label[v as usize] >= i && label[p as usize] >= i {
+                dsu.union(v, p);
+            }
+        }
+        let rx = dsu.find(x);
+        (0..n as u32).find(|&v| label[v as usize] == i && dsu.find(v) == rx)
+    }
+
+    #[test]
+    fn chains_have_strictly_decreasing_labels() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let g = gen::random_tree(200, &mut rng);
+        let edges: Vec<(u32, u32)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
+        let (_, s) = build(200, &edges);
+        for v in 0..200u32 {
+            let chain = s.chain(v);
+            for w in chain.windows(2) {
+                assert!(s.label[w[0] as usize] > s.label[w[1] as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn leader_at_level_matches_definition() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for n in [5usize, 20, 60] {
+            let g = gen::random_tree(n, &mut rng);
+            let edges: Vec<(u32, u32)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
+            let f = RootedForest::from_edges(n, &edges);
+            let h = Hld::new(&f);
+            let l = low_depth_decomposition(&f, &h);
+            let s = SepTree::new(&f, &l.label);
+            for x in 0..n as u32 {
+                for i in 1..=l.height {
+                    assert_eq!(
+                        s.leader_at_level(x, i),
+                        leader_by_definition(&f, &l.label, x, i),
+                        "n={n} x={x} i={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_vertex_is_its_own_first_chain_element() {
+        let (_, s) = build(10, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6), (4, 7), (5, 8), (8, 9)]);
+        for v in 0..10u32 {
+            assert_eq!(s.chain(v)[0], v);
+        }
+    }
+
+    #[test]
+    fn single_root_per_component() {
+        let (_, s) = build(9, &[(0, 1), (1, 2), (3, 4), (4, 5), (6, 7)]);
+        let roots = (0..9u32).filter(|&v| s.parent[v as usize] == NONE).count();
+        assert_eq!(roots, 4); // components {0,1,2},{3,4,5},{6,7},{8}
+    }
+
+    #[test]
+    fn meet_finds_common_chain_suffix() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = gen::random_tree(80, &mut rng);
+        let edges: Vec<(u32, u32)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
+        let (_, s) = build(80, &edges);
+        for x in (0..80u32).step_by(7) {
+            for y in (0..80u32).step_by(11) {
+                let m = s.meet(x, y).unwrap();
+                let cx = s.chain(x);
+                let cy = s.chain(y);
+                // m is the first common element of both chains.
+                let first_common = cx.iter().find(|v| cy.contains(v)).copied().unwrap();
+                assert_eq!(m, first_common, "x={x} y={y}");
+            }
+        }
+    }
+
+    #[test]
+    fn meet_none_across_components() {
+        let (_, s) = build(4, &[(0, 1), (2, 3)]);
+        assert_eq!(s.meet(0, 2), None);
+        assert!(s.meet(0, 1).is_some());
+    }
+
+    #[test]
+    fn depths_consistent_with_parents() {
+        let (_, s) = build(10, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6), (4, 7), (5, 8), (8, 9)]);
+        for v in 0..10u32 {
+            match s.parent[v as usize] {
+                p if p == NONE => assert_eq!(s.depth[v as usize], 0),
+                p => assert_eq!(s.depth[v as usize], s.depth[p as usize] + 1),
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! A guided tour of §3: heavy-light decomposition, the meta tree, a
+//! binarized path, and the generalized low-depth decomposition — the
+//! structures behind Figures 1–3 of the paper — computed on a small tree
+//! and printed.
+//!
+//! Run with: `cargo run --release --example decomposition_tour`
+
+use ampc_mincut::prelude::*;
+use cut_tree::binpath;
+
+fn main() {
+    // A 10-vertex tree in the spirit of the paper's Figure 1.
+    let edges = [(0u32, 1u32), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6), (4, 7), (5, 8), (8, 9)];
+    let forest = RootedForest::from_edges(10, &edges);
+    println!("tree edges: {edges:?}\n");
+
+    println!("subtree sizes (Figure 1's in-vertex numbers):");
+    for v in 0..10u32 {
+        print!("  {v}:{}", forest.subtree[v as usize]);
+    }
+    println!("\n");
+
+    let hld = Hld::new(&forest);
+    println!("heavy paths (Definition 2/3; each ends at a leaf):");
+    for (i, path) in hld.paths.iter().enumerate() {
+        let parent = hld.path_parent_vertex[i];
+        let attach = if parent == u32::MAX {
+            "root path".to_string()
+        } else {
+            format!("hangs below vertex {parent}")
+        };
+        println!("  P{i}: {path:?}  ({attach})");
+    }
+
+    println!("\nmeta tree (Figure 2): heavy paths contracted, light edges kept:");
+    for i in 0..hld.path_count() as u32 {
+        match hld.meta_parent(i) {
+            u32::MAX => println!("  P{i} is a meta root"),
+            p => println!("  P{i} -> P{p}"),
+        }
+    }
+
+    // Binarized path arithmetic for the longest heavy path.
+    let longest = hld.paths.iter().max_by_key(|p| p.len()).unwrap();
+    let len = longest.len() as u64;
+    println!("\nbinarized path over P={longest:?} (Definition 5, {} heap nodes):", 2 * len - 1);
+    for pos in 0..len {
+        println!(
+            "  position {pos} (vertex {}): heap leaf {}, anchor {}, in-path label {}",
+            longest[pos as usize],
+            binpath::leaf_at(pos, len),
+            binpath::anchor_of(pos, len),
+            binpath::label_in_path(pos, len)
+        );
+    }
+
+    let labels = low_depth_decomposition(&forest, &hld);
+    println!("\ngeneralized low-depth decomposition (Definition 1):");
+    println!("  labels: {:?}", labels.label);
+    println!("  height: {} (bound O(log² n))", labels.height);
+    validate_decomposition(&forest, &labels.label).expect("Definition 1 must hold");
+    println!("  Definition 1 validity: OK");
+
+    // What the decomposition is for: every vertex leads its own component.
+    println!("\nlevel sets L_i:");
+    for (i, set) in labels.level_sets().iter().enumerate() {
+        if !set.is_empty() {
+            println!("  L_{}: {:?}", i + 1, set);
+        }
+    }
+}

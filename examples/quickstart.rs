@@ -1,0 +1,49 @@
+//! Quickstart: approximate a weighted min cut, exactly as the paper's
+//! Algorithm 1 does — and see the AMPC round counts.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ampc_mincut::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A 200-vertex weighted graph with a planted min cut of weight 3.
+    let mut rng = SmallRng::seed_from_u64(2022);
+    let g = cut_graph::gen::planted_cut(100, 300, 3, &mut rng);
+    println!("graph: n={} m={} total_weight={}", g.n(), g.m(), g.total_weight());
+
+    // Ground truth (Stoer–Wagner, O(n³) — fine at this size).
+    let exact = stoer_wagner(&g);
+    println!("exact min cut: weight={} |side|={}", exact.weight, exact.side.len());
+
+    // The paper's algorithm, reference engine.
+    let opts = MinCutOptions { epsilon: 0.5, base_size: 32, repetitions: 4, seed: 7 };
+    let approx = approx_min_cut(&g, &opts);
+    println!(
+        "AMPC-MinCut:   weight={} |side|={} (bound: ≤ {:.1})",
+        approx.weight,
+        approx.side.len(),
+        (2.0 + opts.epsilon) * exact.weight as f64
+    );
+    assert!(approx.weight >= exact.weight);
+    assert!((approx.weight as f64) <= (2.0 + opts.epsilon) * exact.weight as f64);
+
+    // The same run in-model: round accounting per recursion level.
+    let cfg = AmpcConfig::new(g.n(), 0.5);
+    let report = ampc_min_cut(&g, &opts, &cfg);
+    println!(
+        "in-model: weight={} levels={} rounds_total={} (excl. MSF substrate: {})",
+        report.cut.weight, report.levels, report.rounds_total, report.rounds_excl_mst
+    );
+    println!("rounds by level: {:?}", report.rounds_by_level);
+
+    // And the MPC-shaped baseline (Corollary 1): same answers, more rounds.
+    let mpc = ampc_min_cut(&g, &opts, &AmpcConfig::new(g.n(), 0.5).mpc());
+    println!(
+        "MPC baseline: weight={} rounds_total={} ({}x the AMPC rounds)",
+        mpc.cut.weight,
+        mpc.rounds_total,
+        mpc.rounds_total / report.rounds_total.max(1)
+    );
+}

@@ -1,0 +1,70 @@
+//! Scheduling-independence: every in-model result and every round count
+//! must be identical regardless of how many OS threads execute the
+//! logical machines — the property that makes the simulator's round
+//! accounting trustworthy.
+
+use ampc_mincut::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn with_threads(n: usize, threads: usize) -> (u64, usize, Vec<String>) {
+    let mut rng = SmallRng::seed_from_u64(7777);
+    let g = cut_graph::gen::connected_gnm(n, 3 * n, 1..=9, &mut rng);
+    let prio = exponential_priorities(&g, &mut rng);
+    let mut exec = Executor::new(AmpcConfig::new(n, 0.5).with_threads(threads));
+    let rep = ampc_smallest_singleton_cut(&mut exec, &g, &prio);
+    let labels: Vec<String> =
+        exec.stats().per_round.iter().map(|r| r.label.clone()).collect();
+    (rep.cut.weight, exec.rounds(), labels)
+}
+
+#[test]
+fn singleton_engine_is_schedule_independent() {
+    let (w1, r1, l1) = with_threads(300, 1);
+    let (w2, r2, l2) = with_threads(300, 4);
+    let (w3, r3, l3) = with_threads(300, 7);
+    assert_eq!(w1, w2);
+    assert_eq!(w2, w3);
+    assert_eq!(r1, r2);
+    assert_eq!(r2, r3);
+    assert_eq!(l1, l2, "round structure must not depend on threads");
+    assert_eq!(l2, l3);
+}
+
+#[test]
+fn mincut_in_model_is_schedule_independent() {
+    let mut rng = SmallRng::seed_from_u64(8888);
+    let g = cut_graph::gen::connected_gnm(80, 240, 1..=6, &mut rng);
+    let opts = MinCutOptions { epsilon: 0.5, base_size: 16, repetitions: 1, seed: 4 };
+    let run = |threads: usize| {
+        let cfg = AmpcConfig::new(80, 0.5).with_threads(threads);
+        let rep = ampc_min_cut(&g, &opts, &cfg);
+        (rep.cut.weight, rep.rounds_total, rep.rounds_by_level.clone(), rep.cut.side)
+    };
+    let a = run(1);
+    let b = run(5);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn per_round_io_statistics_are_schedule_independent() {
+    // Not just results: the accounting itself (max reads per machine per
+    // round) must be identical across schedules, since machine work
+    // assignments are deterministic.
+    let run = |threads: usize| {
+        let n = 512;
+        let mut rng = SmallRng::seed_from_u64(1234);
+        let g = cut_graph::gen::random_tree(n, &mut rng);
+        let edges: Vec<(u32, u32)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
+        let mut exec = Executor::new(AmpcConfig::new(n, 0.5).with_threads(threads));
+        let f = root_forest(&mut exec, n, &edges);
+        let io: Vec<(u64, u64)> = exec
+            .stats()
+            .per_round
+            .iter()
+            .map(|r| (r.max_reads, r.total_reads))
+            .collect();
+        (f.parent, f.depth, io)
+    };
+    assert_eq!(run(1), run(6));
+}

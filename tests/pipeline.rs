@@ -1,0 +1,159 @@
+//! Cross-crate integration tests: the full pipeline from workload
+//! generation through every engine, checked for mutual consistency.
+
+use ampc_mincut::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// All three singleton-cut implementations (oracle replay, reference
+/// interval engine, in-model AMPC engine) agree on the same inputs.
+#[test]
+fn three_singleton_engines_agree() {
+    let mut rng = SmallRng::seed_from_u64(1001);
+    for trial in 0..10 {
+        let n = rng.gen_range(4..40);
+        let g = cut_graph::gen::connected_gnm(n, 3 * n, 1..=20, &mut rng);
+        let prio = exponential_priorities(&g, &mut rng);
+
+        let oracle = contraction_oracle(&g, &prio);
+        let reference = smallest_singleton_cut(&g, &prio);
+        let mut exec = Executor::new(AmpcConfig::new(n, 0.5).with_threads(2));
+        let in_model = ampc_smallest_singleton_cut(&mut exec, &g, &prio);
+
+        assert_eq!(reference.weight, oracle.min_singleton, "trial {trial}");
+        assert_eq!(in_model.cut.weight, oracle.min_singleton, "trial {trial}");
+    }
+}
+
+/// Reference and in-model AMPC-MinCut both return genuine cuts within the
+/// approximation bound, and the in-model report's accounting is coherent.
+#[test]
+fn mincut_engines_and_accounting() {
+    let mut rng = SmallRng::seed_from_u64(1002);
+    let g = cut_graph::gen::connected_gnm(60, 180, 1..=6, &mut rng);
+    let exact = stoer_wagner(&g).weight;
+    let opts = MinCutOptions { epsilon: 0.5, base_size: 16, repetitions: 2, seed: 5 };
+
+    let reference = approx_min_cut(&g, &opts);
+    assert!(reference.weight >= exact);
+    assert!((reference.weight as f64) <= 2.5 * exact as f64);
+
+    let report = ampc_min_cut(&g, &opts, &AmpcConfig::new(60, 0.5).with_threads(2));
+    assert!(report.cut.weight >= exact);
+    assert!((report.cut.weight as f64) <= 2.5 * exact as f64);
+    assert_eq!(report.rounds_by_level.len(), report.levels);
+    assert_eq!(report.rounds_by_level.iter().sum::<usize>(), report.rounds_total);
+    assert!(report.rounds_excl_mst <= report.rounds_total);
+    assert!(report.base_instances >= 1);
+    // The cut side is real.
+    assert_eq!(cut_weight(&g, &report.cut.mask(60)), report.cut.weight);
+}
+
+/// APX-SPLIT with the full approximate inner solver stays within (4+ε) of
+/// the brute-force optimum on small graphs.
+#[test]
+fn kcut_pipeline_within_bound() {
+    let mut rng = SmallRng::seed_from_u64(1003);
+    for _ in 0..5 {
+        let n = rng.gen_range(7..11);
+        let g = cut_graph::gen::connected_gnm(n, 2 * n, 1..=5, &mut rng);
+        for k in [2usize, 3] {
+            let (opt, _) = cut_graph::brute::min_kcut(&g, k);
+            let mut opts = KCutOptions::new(k);
+            opts.exact_below = 0; // force the approximate inner solver
+            opts.mincut.base_size = 4;
+            opts.mincut.repetitions = 4;
+            let r = apx_split(&g, &opts);
+            assert!(r.weight >= opt);
+            assert!(
+                (r.weight as f64) <= 4.5 * opt as f64 + 1e-9,
+                "k={k}: {} vs {opt}",
+                r.weight
+            );
+        }
+    }
+}
+
+/// The decomposition computed in-model validates against Definition 1 and
+/// matches the sequential reference exactly, end to end from an MST.
+#[test]
+fn decomposition_pipeline_from_mst() {
+    let mut rng = SmallRng::seed_from_u64(1004);
+    let g = cut_graph::gen::connected_gnm(200, 600, 1..=30, &mut rng);
+    let prio = exponential_priorities(&g, &mut rng);
+    let forest = cut_graph::kruskal(&g, &prio);
+    let pairs: Vec<(u32, u32)> = forest
+        .edges
+        .iter()
+        .map(|&ei| {
+            let e = g.edge(ei as usize);
+            (e.u, e.v)
+        })
+        .collect();
+
+    let rooted = RootedForest::from_edges(200, &pairs);
+    let hld = Hld::new(&rooted);
+    let reference = low_depth_decomposition(&rooted, &hld);
+    validate_decomposition(&rooted, &reference.label).unwrap();
+
+    let mut exec = Executor::new(AmpcConfig::new(200, 0.5).with_threads(2));
+    let in_model =
+        mincut_core::model::ampc_low_depth_decomposition(&mut exec, 200, &pairs);
+    assert_eq!(in_model.label, reference.label);
+}
+
+/// Baselines and the paper's algorithm order correctly on planted cuts:
+/// everything ≥ exact, AMPC-MinCut within its factor.
+#[test]
+fn algorithm_zoo_on_planted_cut() {
+    let mut rng = SmallRng::seed_from_u64(1005);
+    let g = cut_graph::gen::planted_cut(30, 90, 2, &mut rng);
+    let exact = stoer_wagner(&g).weight;
+    assert_eq!(exact, 2);
+
+    let ks = karger_stein_boosted(&g, 6, 17);
+    let ampc = approx_min_cut(
+        &g,
+        &MinCutOptions { epsilon: 0.5, base_size: 16, repetitions: 4, seed: 3 },
+    );
+    let kg = karger(&g, 60, 23);
+
+    for (name, c) in [("karger", &kg), ("karger-stein", &ks), ("ampc", &ampc)] {
+        assert!(c.weight >= exact, "{name} below optimum");
+        assert_eq!(cut_weight(&g, &c.mask(g.n())), c.weight, "{name} side mismatch");
+    }
+    assert!(ampc.weight <= 5);
+    assert!(ks.weight <= 3, "boosted KS should find the planted cut");
+}
+
+/// Gomory–Hu trees agree with Stoer–Wagner and with pairwise max-flows —
+/// the Definition 8 contract used by the k-cut analysis.
+#[test]
+fn gomory_hu_contract() {
+    let mut rng = SmallRng::seed_from_u64(1006);
+    let g = cut_graph::gen::connected_gnm(18, 50, 1..=9, &mut rng);
+    let gh = cut_graph::gomory_hu::GomoryHuTree::build(&g);
+    assert_eq!(gh.global_min_cut().weight, stoer_wagner(&g).weight);
+    for s in 0..6u32 {
+        for t in (s + 1)..6u32 {
+            assert_eq!(gh.min_cut_value(s, t), cut_graph::maxflow::min_st_cut(&g, s, t));
+        }
+    }
+}
+
+/// Strict memory mode passes for a full in-model singleton run at a size
+/// where the budget has asymptotic room.
+#[test]
+fn strict_memory_accounting_holds_at_scale() {
+    let mut rng = SmallRng::seed_from_u64(1007);
+    let n = 4096;
+    let g = cut_graph::gen::connected_gnm(n, 2 * n, 1..=5, &mut rng);
+    let prio = exponential_priorities(&g, &mut rng);
+    // Generous but finite slack: per-machine I/O must stay within
+    // polylog · N^ε (the paper's budget with the polylog query terms).
+    let cfg = AmpcConfig::new(n, 0.5).with_threads(2).strict().with_slack(48.0);
+    let mut exec = Executor::new(cfg);
+    let rep = ampc_smallest_singleton_cut(&mut exec, &g, &prio);
+    let reference = smallest_singleton_cut(&g, &prio);
+    assert_eq!(rep.cut.weight, reference.weight);
+}

@@ -1,0 +1,139 @@
+//! Property-based tests (proptest) for the paper's core invariants.
+
+use ampc_mincut::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Strategy: a connected weighted graph described by (n, extra edges seed).
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (2usize..28, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let extra = n / 2;
+        cut_graph::gen::connected_gnm(n, (n - 1 + extra).min(n * (n - 1) / 2), 1..=15, &mut rng)
+    })
+}
+
+/// Strategy: an arbitrary (possibly disconnected) graph with ≥ 1 edge.
+fn any_graph_strategy() -> impl Strategy<Value = Graph> {
+    (2usize..22, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        use rand::Rng;
+        let max_m = n * (n - 1) / 2;
+        let m = rng.gen_range(1..=max_m);
+        cut_graph::gen::gnm(n, m, 1..=9, &mut rng)
+    })
+}
+
+/// Strategy: a random tree.
+fn tree_strategy() -> impl Strategy<Value = Graph> {
+    (1usize..200, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        cut_graph::gen::random_tree(n, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 3's engine equals the contraction oracle on any graph.
+    #[test]
+    fn singleton_engine_equals_oracle(g in any_graph_strategy(), pseed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(pseed);
+        let prio = exponential_priorities(&g, &mut rng);
+        let oracle = contraction_oracle(&g, &prio);
+        let engine = smallest_singleton_cut(&g, &prio);
+        prop_assert_eq!(engine.weight, oracle.min_singleton);
+    }
+
+    /// Definition 1 holds for the decomposition of any tree, and the
+    /// height stays within the O(log² n) envelope.
+    #[test]
+    fn decomposition_is_valid_on_random_trees(t in tree_strategy()) {
+        let pairs: Vec<(u32,u32)> = t.edges().iter().map(|e| (e.u, e.v)).collect();
+        let f = RootedForest::from_edges(t.n(), &pairs);
+        let hld = Hld::new(&f);
+        let d = low_depth_decomposition(&f, &hld);
+        prop_assert!(validate_decomposition(&f, &d.label).is_ok());
+        let lg = (t.n().max(2) as f64).log2() + 1.0;
+        prop_assert!((d.height as f64) <= 1.5 * lg * lg);
+    }
+
+    /// AMPC-MinCut output is sandwiched: OPT ≤ result ≤ (2+ε)·OPT, and the
+    /// reported side realizes the reported weight.
+    #[test]
+    fn mincut_is_sandwiched(g in graph_strategy(), seed in any::<u64>()) {
+        let exact = stoer_wagner(&g).weight;
+        let opts = MinCutOptions { epsilon: 0.5, base_size: 8, repetitions: 4, seed };
+        let cut = approx_min_cut(&g, &opts);
+        prop_assert!(cut.weight >= exact);
+        prop_assert!((cut.weight as f64) <= 2.5 * exact as f64 + 1e-9);
+        prop_assert!(cut.is_proper(g.n()));
+        prop_assert_eq!(cut_weight(&g, &cut.mask(g.n())), cut.weight);
+    }
+
+    /// Every Karger / Karger–Stein result is a real cut ≥ OPT.
+    #[test]
+    fn baselines_return_real_cuts(g in graph_strategy(), seed in any::<u64>()) {
+        let exact = stoer_wagner(&g).weight;
+        for c in [karger(&g, 4, seed), karger_stein(&g, seed)] {
+            prop_assert!(c.weight >= exact);
+            prop_assert!(c.is_proper(g.n()));
+            prop_assert_eq!(cut_weight(&g, &c.mask(g.n())), c.weight);
+        }
+    }
+
+    /// Contraction priorities are always a permutation of 1..=m.
+    #[test]
+    fn priorities_are_permutations(g in any_graph_strategy(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut p = exponential_priorities(&g, &mut rng);
+        p.sort_unstable();
+        prop_assert_eq!(p, (1..=g.m() as u64).collect::<Vec<_>>());
+    }
+
+    /// The MSF is invariant across implementations: Kruskal (host),
+    /// in-model Borůvka (AMPC and MPC modes).
+    #[test]
+    fn msf_is_implementation_invariant(g in any_graph_strategy(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let prio = exponential_priorities(&g, &mut rng);
+        let reference = cut_graph::kruskal(&g, &prio);
+        let pedges: Vec<ampc_primitives::mst::PrioEdge> = g.edges().iter().zip(&prio)
+            .map(|(e, &p)| ampc_primitives::mst::PrioEdge { u: e.u, v: e.v, prio: p })
+            .collect();
+        for mode in [ExecMode::Ampc, ExecMode::Mpc] {
+            let mut cfg = AmpcConfig::new(g.n(), 0.5).with_threads(1);
+            cfg.mode = mode;
+            let mut exec = Executor::new(cfg);
+            let got = minimum_spanning_forest(&mut exec, g.n(), &pedges);
+            prop_assert_eq!(&got, &reference.edges);
+        }
+    }
+
+    /// APX-SPLIT respects monotonicity and its approximation factor for
+    /// k = 2 (where brute force is cheap inside proptest budgets).
+    #[test]
+    fn kcut_k2_within_factor(g in graph_strategy()) {
+        prop_assume!(g.n() >= 3 && g.n() <= 12);
+        let (opt, _) = cut_graph::brute::min_kcut(&g, 2);
+        let r = apx_split(&g, &KCutOptions::new(2));
+        prop_assert!(r.weight >= opt);
+        prop_assert!((r.weight as f64) <= 4.5 * opt as f64 + 1e-9);
+    }
+
+    /// Contraction to a prefix preserves cut weights: any cut of the
+    /// contracted graph lifts to a cut of the original with equal weight.
+    #[test]
+    fn contraction_preserves_cut_weights(g in graph_strategy(), pseed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(pseed);
+        let prio = exponential_priorities(&g, &mut rng);
+        let target = (g.n() / 2).max(2);
+        let (h, labels) = mincut_core::contraction::contract_prefix(&g, &prio, target);
+        prop_assume!(h.n() >= 2);
+        let cut = stoer_wagner(&h);
+        let mask_h = cut.mask(h.n());
+        let mask_g: Vec<bool> = (0..g.n()).map(|v| mask_h[labels[v] as usize]).collect();
+        prop_assert_eq!(cut_weight(&g, &mask_g), cut.weight);
+    }
+}
