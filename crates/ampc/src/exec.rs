@@ -71,7 +71,16 @@ impl Executor {
         let mut results: Vec<Option<T>> = (0..machines).map(|_| None).collect();
 
         if threads == 1 {
-            run_chunk(0, &mut results[..], hop_budget, &f, &max_reads, &max_writes, &total_reads, &total_writes);
+            run_chunk(
+                0,
+                &mut results[..],
+                hop_budget,
+                &f,
+                &max_reads,
+                &max_writes,
+                &total_reads,
+                &total_writes,
+            );
         } else {
             crossbeam::thread::scope(|scope| {
                 for (t, slice) in results.chunks_mut(chunk).enumerate() {
@@ -246,9 +255,7 @@ mod tests {
                 buf
             });
             dht.commit(batches);
-            (0..64u64)
-                .map(|i| dht.get(&MachineCtx::new(0, 1024), i).unwrap())
-                .collect::<Vec<_>>()
+            (0..64u64).map(|i| dht.get(&MachineCtx::new(0, 1024), i).unwrap()).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

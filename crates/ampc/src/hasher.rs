@@ -57,12 +57,10 @@ pub type KeyHashBuilder = BuildHasherDefault<KeyHasher>;
 mod tests {
     use super::*;
     use std::collections::HashSet;
-    use std::hash::{BuildHasher, Hash};
+    use std::hash::BuildHasher;
 
     fn hash_of(k: u64) -> u64 {
-        let mut h = KeyHashBuilder::default().build_hasher();
-        k.hash(&mut h);
-        h.finish()
+        KeyHashBuilder::default().hash_one(k)
     }
 
     #[test]

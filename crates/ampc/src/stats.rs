@@ -60,8 +60,14 @@ impl RunStats {
     pub fn summary(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
-        let _ = writeln!(s, "rounds={} max_machine_io={} total_reads={} total_writes={}",
-            self.rounds(), self.max_machine_io(), self.total_reads(), self.total_writes());
+        let _ = writeln!(
+            s,
+            "rounds={} max_machine_io={} total_reads={} total_writes={}",
+            self.rounds(),
+            self.max_machine_io(),
+            self.total_reads(),
+            self.total_writes()
+        );
         s
     }
 }

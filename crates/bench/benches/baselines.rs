@@ -13,12 +13,8 @@ fn bench(c: &mut Criterion) {
     let mut rng = rng_for("bench-e9", 0);
     let g = gen::connected_gnm(n, 3 * n, 1..=8, &mut rng);
 
-    group.bench_function(BenchmarkId::new("karger_x20", n), |b| {
-        b.iter(|| karger(&g, 20, 5))
-    });
-    group.bench_function(BenchmarkId::new("karger_stein", n), |b| {
-        b.iter(|| karger_stein(&g, 5))
-    });
+    group.bench_function(BenchmarkId::new("karger_x20", n), |b| b.iter(|| karger(&g, 20, 5)));
+    group.bench_function(BenchmarkId::new("karger_stein", n), |b| b.iter(|| karger_stein(&g, 5)));
     let opts = MinCutOptions { epsilon: 0.5, base_size: 32, repetitions: 1, seed: 5 };
     group.bench_function(BenchmarkId::new("ampc_mincut_ref", n), |b| {
         b.iter(|| approx_min_cut(&g, &opts))

@@ -8,7 +8,7 @@
 //! * Observation 3: the binarized path over L leaves has 2L-1 nodes and
 //!   ⌊log₂ L⌋ + 1 height.
 
-use cut_bench::{f2, header, row, rng_for};
+use cut_bench::{f2, header, rng_for, row};
 use cut_graph::gen;
 use cut_tree::{binpath, Hld, RootedForest};
 
@@ -26,10 +26,7 @@ fn main() {
             let edges: Vec<(u32, u32)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
             let f = RootedForest::from_edges(g.n(), &edges);
             let h = Hld::new(&f);
-            let max_light = (0..g.n() as u32)
-                .map(|v| h.light_edges_to_root(&f, v))
-                .max()
-                .unwrap();
+            let max_light = (0..g.n() as u32).map(|v| h.light_edges_to_root(&f, v)).max().unwrap();
             let max_len = h.paths.iter().map(|p| p.len()).max().unwrap();
             assert!(max_light as f64 <= (g.n() as f64).log2());
             row(&[

@@ -7,7 +7,7 @@
 //! (work) against levels.
 
 use ampc_model::{AmpcConfig, Executor};
-use cut_bench::{f2, header, row, rng_for};
+use cut_bench::{f2, header, rng_for, row};
 use cut_graph::gen;
 use mincut_core::mincut::MinCutOptions;
 use mincut_core::model::ampc_smallest_singleton_cut;

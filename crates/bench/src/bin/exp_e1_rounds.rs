@@ -7,7 +7,7 @@
 //! MPC/AMPC ratio growing with n.
 
 use ampc_model::AmpcConfig;
-use cut_bench::{f2, header, row, rng_for};
+use cut_bench::{f2, header, rng_for, row};
 use cut_graph::gen;
 use mincut_core::mincut::MinCutOptions;
 use mincut_core::model::ampc_min_cut;
@@ -15,8 +15,15 @@ use mincut_core::model::ampc_min_cut;
 fn main() {
     println!("## E1 — AMPC-MinCut rounds: AMPC vs MPC baseline (Theorem 1 / Corollary 1)\n");
     header(&[
-        "n", "m", "levels", "AMPC rounds", "AMPC excl. MSF", "MPC rounds", "MPC/AMPC",
-        "AMPC/level", "value=MPC value",
+        "n",
+        "m",
+        "levels",
+        "AMPC rounds",
+        "AMPC excl. MSF",
+        "MPC rounds",
+        "MPC/AMPC",
+        "AMPC/level",
+        "value=MPC value",
     ]);
     for exp in [8usize, 9, 10, 11, 12] {
         let n = 1usize << exp;

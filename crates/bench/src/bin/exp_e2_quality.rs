@@ -3,7 +3,7 @@
 //! Expect: ratio 1.00 on almost every instance (the algorithm usually
 //! finds the exact cut), never above 2+ε.
 
-use cut_bench::{f2, header, row, rng_for};
+use cut_bench::{f2, header, rng_for, row};
 use cut_graph::{gen, stoer_wagner};
 use mincut_core::mincut::{approx_min_cut, MinCutOptions};
 

@@ -5,7 +5,7 @@
 //! equal to the contraction oracle everywhere.
 
 use ampc_model::{AmpcConfig, Executor};
-use cut_bench::{header, row, rng_for};
+use cut_bench::{header, rng_for, row};
 use cut_graph::gen;
 use mincut_core::contraction::contraction_oracle;
 use mincut_core::model::ampc_smallest_singleton_cut;
@@ -14,7 +14,12 @@ use mincut_core::priorities::exponential_priorities;
 fn main() {
     println!("## E3 — SmallestSingletonCut: exactness and rounds (Theorem 3)\n");
     header(&[
-        "n", "m", "AMPC track rounds", "AMPC MSF rounds", "MPC track rounds", "max mach. I/O",
+        "n",
+        "m",
+        "AMPC track rounds",
+        "AMPC MSF rounds",
+        "MPC track rounds",
+        "max mach. I/O",
         "== oracle",
     ]);
     for exp in [6usize, 8, 10, 12] {
@@ -36,8 +41,7 @@ fn main() {
             arep.mst_rounds.to_string(),
             mrep.tracking_rounds.to_string(),
             ax.stats().max_machine_io().to_string(),
-            (arep.cut.weight == oracle.min_singleton
-                && mrep.cut.weight == oracle.min_singleton)
+            (arep.cut.weight == oracle.min_singleton && mrep.cut.weight == oracle.min_singleton)
                 .to_string(),
         ]);
         assert_eq!(arep.cut.weight, oracle.min_singleton);

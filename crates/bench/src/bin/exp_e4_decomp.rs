@@ -6,7 +6,7 @@
 //! shapes; validity OK everywhere; near-flat AMPC rounds.
 
 use ampc_model::{AmpcConfig, Executor};
-use cut_bench::{f2, header, row, rng_for};
+use cut_bench::{f2, header, rng_for, row};
 use cut_graph::gen;
 use cut_tree::{validate_decomposition, RootedForest};
 use mincut_core::model::ampc_low_depth_decomposition;

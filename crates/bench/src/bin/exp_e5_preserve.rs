@@ -6,7 +6,7 @@
 //! crossing edge contracted; "small singleton" = tracked singleton cut
 //! ≤ (2+ε)λ. Expect the empirical success rate to dominate the bound.
 
-use cut_bench::{f2, header, row, rng_for};
+use cut_bench::{f2, header, rng_for, row};
 use cut_graph::gen;
 use mincut_core::contraction::contract_prefix;
 use mincut_core::priorities::exponential_priorities;

@@ -6,7 +6,7 @@
 //! AMPC-MinCut per component; the level cost is the component maximum).
 
 use ampc_model::AmpcConfig;
-use cut_bench::{f2, header, row, rng_for};
+use cut_bench::{f2, header, rng_for, row};
 use cut_graph::{brute, gen};
 use mincut_core::kcut::{apx_split, KCutOptions};
 use mincut_core::mincut::MinCutOptions;
@@ -77,9 +77,8 @@ fn main() {
                         MinCutOptions { epsilon: 0.5, base_size: 32, repetitions: 1, seed: 3 };
                     let rep = ampc_min_cut(&sub, &opts, &AmpcConfig::new(g.n(), 0.5));
                     iter_rounds = iter_rounds.max(rep.rounds_total);
-                    let side: Vec<u32> =
-                        rep.cut.side.iter().map(|&v| back[v as usize]).collect();
-                    if best.as_ref().map_or(true, |(w, _)| rep.cut.weight < *w) {
+                    let side: Vec<u32> = rep.cut.side.iter().map(|&v| back[v as usize]).collect();
+                    if best.as_ref().is_none_or(|(w, _)| rep.cut.weight < *w) {
                         best = Some((rep.cut.weight, side));
                     }
                 }
@@ -90,9 +89,7 @@ fn main() {
                     mask[v as usize] = true;
                 }
                 for (i, e) in g.edges().iter().enumerate() {
-                    if !removed.contains(&(i as u32))
-                        && mask[e.u as usize] != mask[e.v as usize]
-                    {
+                    if !removed.contains(&(i as u32)) && mask[e.u as usize] != mask[e.v as usize] {
                         removed.push(i as u32);
                     }
                 }

@@ -4,7 +4,7 @@
 //! Expect: AMPC rounds near-flat; MPC rounds growing ~linearly in log n.
 
 use ampc_model::{AmpcConfig, Executor};
-use cut_bench::{header, row, rng_for};
+use cut_bench::{header, rng_for, row};
 use cut_graph::gen;
 
 fn main() {

@@ -6,7 +6,7 @@
 //! and aggregation constant in both (they need volume, not adaptivity).
 
 use ampc_model::{AmpcConfig, ExecMode, Executor};
-use cut_bench::{header, row, rng_for};
+use cut_bench::{header, rng_for, row};
 use cut_graph::gen;
 use rand::Rng;
 

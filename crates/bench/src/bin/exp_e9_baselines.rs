@@ -5,7 +5,7 @@
 //! Expect: per-run KS success rate ≫ per-run Karger success rate; both
 //! boosted baselines and AMPC-MinCut reach the planted cut.
 
-use cut_bench::{f2, header, row, rng_for};
+use cut_bench::{f2, header, rng_for, row};
 use cut_graph::{gen, stoer_wagner};
 use mincut_core::baselines::{karger_once, karger_stein};
 use mincut_core::mincut::{approx_min_cut, MinCutOptions};
@@ -13,7 +13,12 @@ use mincut_core::mincut::{approx_min_cut, MinCutOptions};
 fn main() {
     println!("## E9 — contraction baselines (§2, Lemma 1)\n");
     header(&[
-        "n", "OPT", "P[karger run hits OPT]", "P[KS run hits OPT]", "AMPC-MinCut", "KS boosted",
+        "n",
+        "OPT",
+        "P[karger run hits OPT]",
+        "P[KS run hits OPT]",
+        "AMPC-MinCut",
+        "KS boosted",
     ]);
     for exp in [5usize, 6, 7] {
         let n = 1usize << exp;

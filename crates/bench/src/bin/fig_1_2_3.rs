@@ -34,7 +34,10 @@ fn main() {
     for i in 0..h.path_count() as u32 {
         match h.meta_parent(i) {
             u32::MAX => println!("  P{i} (root)"),
-            p => println!("  P{i} -> P{p} via light edge from vertex {}", h.path_parent_vertex[i as usize]),
+            p => println!(
+                "  P{i} -> P{p} via light edge from vertex {}",
+                h.path_parent_vertex[i as usize]
+            ),
         }
     }
 

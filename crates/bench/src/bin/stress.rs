@@ -1,0 +1,225 @@
+//! Stress driver for the cut-query engine.
+//!
+//! Generates a seeded workload (see `cut_engine::workload`), replays it
+//! through one `Engine`, and reports throughput, per-action latency
+//! percentiles, and the epoch cache's hit rate. The full operation log
+//! (request + response per op, no timing) is folded into an FNV-1a digest:
+//! two runs with the same `--seed` print the same digest, which is the
+//! determinism check the harness tests rely on.
+//!
+//! ```text
+//! cargo run --release -p cut_bench --bin stress -- --ops 10000 --seed 7
+//! ```
+//!
+//! Flags: `--ops N` `--seed S` `--graphs G` `--initial-n N` `--zipf Z`
+//! `--mix default|read-only|write-heavy` `--dump-log PATH`.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use cut_engine::{ActionMix, Engine, Workload, WorkloadConfig};
+
+struct Args {
+    ops: usize,
+    seed: u64,
+    graphs: usize,
+    initial_n: usize,
+    zipf: f64,
+    mix: ActionMix,
+    mix_name: String,
+    dump_log: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ops: 10_000,
+        seed: 7,
+        graphs: 8,
+        initial_n: 48,
+        zipf: 1.1,
+        mix: ActionMix::default(),
+        mix_name: "default".to_string(),
+        dump_log: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--ops" => args.ops = value(&mut i)?.parse().map_err(|e| format!("--ops: {e}"))?,
+            "--seed" => args.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--graphs" => {
+                args.graphs = value(&mut i)?.parse().map_err(|e| format!("--graphs: {e}"))?
+            }
+            "--initial-n" => {
+                args.initial_n = value(&mut i)?.parse().map_err(|e| format!("--initial-n: {e}"))?
+            }
+            "--zipf" => args.zipf = value(&mut i)?.parse().map_err(|e| format!("--zipf: {e}"))?,
+            "--mix" => {
+                args.mix_name = value(&mut i)?;
+                args.mix = match args.mix_name.as_str() {
+                    "default" => ActionMix::default(),
+                    "read-only" => ActionMix::read_only(),
+                    "write-heavy" => ActionMix::write_heavy(),
+                    other => return Err(format!("unknown mix '{other}'")),
+                };
+            }
+            "--dump-log" => args.dump_log = Some(value(&mut i)?),
+            "--help" | "-h" => {
+                println!(
+                    "stress --ops N --seed S [--graphs G] [--initial-n N] [--zipf Z] \
+                     [--mix default|read-only|write-heavy] [--dump-log PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    // Validate up front so bad flags are CLI errors, not workload panics.
+    if args.graphs == 0 {
+        return Err("--graphs must be at least 1".into());
+    }
+    if args.initial_n < 8 {
+        return Err("--initial-n must be at least 8".into());
+    }
+    Ok(args)
+}
+
+/// FNV-1a over the log bytes — stable across runs and platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn percentile(sorted_nanos: &[u64], p: f64) -> u64 {
+    if sorted_nanos.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * (sorted_nanos.len() - 1) as f64).round() as usize;
+    sorted_nanos[rank.min(sorted_nanos.len() - 1)]
+}
+
+fn fmt_nanos(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let cfg = WorkloadConfig {
+        ops: args.ops,
+        seed: args.seed,
+        graphs: args.graphs,
+        initial_n: args.initial_n,
+        zipf_exponent: args.zipf,
+        mix: args.mix,
+        ..WorkloadConfig::default()
+    };
+
+    println!(
+        "cut-engine stress: ops={} seed={} graphs={} initial-n={} zipf={} mix={}",
+        cfg.ops, cfg.seed, cfg.graphs, cfg.initial_n, cfg.zipf_exponent, args.mix_name
+    );
+
+    let t_gen = Instant::now();
+    let workload = Workload::generate(&cfg);
+    println!(
+        "generated {} requests ({} create + {} ops) in {}",
+        workload.len(),
+        workload.prologue.len(),
+        workload.operations.len(),
+        fmt_nanos(t_gen.elapsed().as_nanos() as u64)
+    );
+
+    let mut engine = Engine::new();
+    let mut log = String::with_capacity(workload.len() * 64);
+    let mut latencies: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+    let mut errors = 0usize;
+
+    let t_run = Instant::now();
+    for (i, request) in workload.all_requests().enumerate() {
+        let kind = request.kind();
+        let t_op = Instant::now();
+        let response = engine.execute(request.clone());
+        let nanos = t_op.elapsed().as_nanos() as u64;
+        latencies.entry(kind).or_default().push(nanos);
+        if matches!(response, cut_engine::Response::Error { .. }) {
+            errors += 1;
+        }
+        // The log line carries no timing, so it is identical across runs
+        // with the same seed.
+        log.push_str(&format!("{i:06} {request} -> {response}\n"));
+    }
+    let wall = t_run.elapsed();
+
+    let stats = engine.stats();
+    let total_ops = workload.len();
+    let ops_per_sec = total_ops as f64 / wall.as_secs_f64();
+
+    println!();
+    println!(
+        "replayed {total_ops} ops in {:.3}s  ({ops_per_sec:.0} ops/sec, {errors} errors)",
+        wall.as_secs_f64()
+    );
+    println!(
+        "cache: {} hits / {} misses over {} queries  (hit rate {:.1}%)",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.queries,
+        stats.hit_rate() * 100.0
+    );
+
+    println!();
+    println!(
+        "{:<16} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "action", "count", "p50", "p90", "p99", "max", "total"
+    );
+    for (kind, nanos) in &mut latencies {
+        nanos.sort_unstable();
+        let total: u64 = nanos.iter().sum();
+        println!(
+            "{:<16} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            kind,
+            nanos.len(),
+            fmt_nanos(percentile(nanos, 50.0)),
+            fmt_nanos(percentile(nanos, 90.0)),
+            fmt_nanos(percentile(nanos, 99.0)),
+            fmt_nanos(*nanos.last().unwrap()),
+            fmt_nanos(total),
+        );
+    }
+
+    println!();
+    println!("log digest: {:#018x}  ({} log bytes)", fnv1a(log.as_bytes()), log.len());
+    println!("(re-run with the same --seed: the digest must not change)");
+
+    if let Some(path) = &args.dump_log {
+        if let Err(e) = std::fs::write(path, &log) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("operation log written to {path}");
+    }
+}

@@ -20,8 +20,7 @@ pub fn karger_once(g: &Graph, rng: &mut impl Rng) -> CutResult {
     let (h, labels) = contract_prefix(g, &prio, 2);
     debug_assert!(h.n() == 2 || !g.is_connected());
     let weight = h.total_weight();
-    let side: Vec<u32> =
-        (0..g.n() as u32).filter(|&v| labels[v as usize] == 0).collect();
+    let side: Vec<u32> = (0..g.n() as u32).filter(|&v| labels[v as usize] == 0).collect();
     CutResult { weight, side }
 }
 
@@ -31,7 +30,7 @@ pub fn karger(g: &Graph, runs: usize, seed: u64) -> CutResult {
     let mut best: Option<CutResult> = None;
     for _ in 0..runs.max(1) {
         let c = karger_once(g, &mut rng);
-        if best.as_ref().map_or(true, |b| c.weight < b.weight) {
+        if best.as_ref().is_none_or(|b| c.weight < b.weight) {
             best = Some(c);
         }
     }
@@ -65,7 +64,7 @@ fn ks_rec(g: &Graph, rng: &mut SmallRng) -> CutResult {
             })
             .collect();
         let c = CutResult { weight: sub.weight, side };
-        if best.as_ref().map_or(true, |b| c.weight < b.weight) {
+        if best.as_ref().is_none_or(|b| c.weight < b.weight) {
             best = Some(c);
         }
     }
@@ -78,7 +77,7 @@ pub fn karger_stein_boosted(g: &Graph, runs: usize, seed: u64) -> CutResult {
     let mut best: Option<CutResult> = None;
     for r in 0..runs.max(1) {
         let c = karger_stein(g, seed.wrapping_add(r as u64));
-        if best.as_ref().map_or(true, |b| c.weight < b.weight) {
+        if best.as_ref().is_none_or(|b| c.weight < b.weight) {
             best = Some(c);
         }
     }

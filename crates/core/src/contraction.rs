@@ -262,10 +262,7 @@ mod tests {
 
     #[test]
     fn bag_grows_monotonically() {
-        let g = Graph::new(
-            4,
-            vec![Edge::new(0, 1, 1), Edge::new(1, 2, 1), Edge::new(2, 3, 1)],
-        );
+        let g = Graph::new(4, vec![Edge::new(0, 1, 1), Edge::new(1, 2, 1), Edge::new(2, 3, 1)]);
         let prio = vec![2, 1, 3];
         assert_eq!(bag_of(&g, &prio, 1, 0), vec![1]);
         assert_eq!(bag_of(&g, &prio, 1, 1), vec![1, 2]);

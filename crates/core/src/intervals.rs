@@ -27,7 +27,7 @@ pub fn min_stabbing_weight(intervals: &[WInterval], horizon: u64) -> (u64, u64) 
         debug_assert!(s <= horizon, "interval starts past horizon");
         debug_assert!(e <= horizon, "interval not clipped to horizon");
         events.push((s, w as i64));
-        if e + 1 <= horizon {
+        if e < horizon {
             events.push((e + 1, -(w as i64)));
         }
     }
@@ -58,11 +58,8 @@ mod tests {
     fn brute(intervals: &[WInterval], horizon: u64) -> (u64, u64) {
         let mut best = (u64::MAX, 0);
         for t in 0..=horizon {
-            let w: u64 = intervals
-                .iter()
-                .filter(|&&(s, e, _)| s <= t && t <= e)
-                .map(|&(_, _, w)| w)
-                .sum();
+            let w: u64 =
+                intervals.iter().filter(|&&(s, e, _)| s <= t && t <= e).map(|&(_, _, w)| w).sum();
             if w < best.0 {
                 best = (w, t);
             }

@@ -89,7 +89,7 @@ pub fn apx_split(g: &Graph, opts: &KCutOptions) -> KCutResult {
                 approx_min_cut(&sub, &opts.mincut)
             };
             let side: Vec<u32> = cut.side.iter().map(|&v| back[v as usize]).collect();
-            if best.as_ref().map_or(true, |(w, _)| cut.weight < *w) {
+            if best.as_ref().is_none_or(|(w, _)| cut.weight < *w) {
                 best = Some((cut.weight, side));
             }
         }
@@ -116,7 +116,8 @@ fn merge_to_k(g: &Graph, comp: &[u32], c: usize, k: usize) -> Vec<u32> {
     let mut parts = c;
     while parts > k {
         // Crossing weight per label pair.
-        let mut cross: std::collections::HashMap<(u32, u32), u64> = std::collections::HashMap::new();
+        let mut cross: std::collections::HashMap<(u32, u32), u64> =
+            std::collections::HashMap::new();
         for e in g.edges() {
             let (a, b) = (label[e.u as usize], label[e.v as usize]);
             if a != b {

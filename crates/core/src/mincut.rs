@@ -84,14 +84,20 @@ pub fn approx_min_cut(g: &Graph, opts: &MinCutOptions) -> CutResult {
     for r in 0..reps.max(1) {
         let mut rng = SmallRng::seed_from_u64(opts.seed.wrapping_add(r as u64));
         let cut = solve(g, g.n(), opts, &mut rng, 0);
-        if best.as_ref().map_or(true, |b| cut.weight < b.weight) {
+        if best.as_ref().is_none_or(|b| cut.weight < b.weight) {
             best = Some(cut);
         }
     }
     best.expect("at least one repetition")
 }
 
-fn solve(g: &Graph, n0: usize, opts: &MinCutOptions, rng: &mut SmallRng, depth: usize) -> CutResult {
+fn solve(
+    g: &Graph,
+    n0: usize,
+    opts: &MinCutOptions,
+    rng: &mut SmallRng,
+    depth: usize,
+) -> CutResult {
     let n = g.n();
     debug_assert!(n >= 2);
     if n <= opts.base_size.max(2) {
@@ -107,7 +113,7 @@ fn solve(g: &Graph, n0: usize, opts: &MinCutOptions, rng: &mut SmallRng, depth: 
 
     let mut best: Option<CutResult> = None;
     let consider = |c: CutResult, best: &mut Option<CutResult>| {
-        if best.as_ref().map_or(true, |b| c.weight < b.weight) {
+        if best.as_ref().is_none_or(|b| c.weight < b.weight) {
             *best = Some(c);
         }
     };
@@ -122,9 +128,8 @@ fn solve(g: &Graph, n0: usize, opts: &MinCutOptions, rng: &mut SmallRng, depth: 
         if h.n() >= 2 {
             let sub = solve(&h, n0, opts, rng, depth + 1);
             let in_side = sub.mask(h.n());
-            let side: Vec<u32> = (0..n as u32)
-                .filter(|&v| in_side[labels[v as usize] as usize])
-                .collect();
+            let side: Vec<u32> =
+                (0..n as u32).filter(|&v| in_side[labels[v as usize] as usize]).collect();
             consider(CutResult { weight: sub.weight, side }, &mut best);
         }
     }
@@ -154,10 +159,7 @@ mod tests {
         let l40 = schedule_levels(1u64.checked_shl(40).unwrap() as usize, &opts);
         assert!(l10 >= 1);
         assert!(l20 >= l10 && l40 >= l20);
-        assert!(
-            l40 - l20 < l20 - l10,
-            "levels {l10} -> {l20} -> {l40} grow linearly in log n"
-        );
+        assert!(l40 - l20 < l20 - l10, "levels {l10} -> {l20} -> {l40} grow linearly in log n");
     }
 
     #[test]
@@ -203,7 +205,13 @@ mod tests {
 
     #[test]
     fn disconnected_graph_yields_zero() {
-        let g = cut_graph::Graph::unit(50, &(1..25u32).map(|i| (i - 1, i)).chain((26..50u32).map(|i| (i - 1, i))).collect::<Vec<_>>());
+        let g = cut_graph::Graph::unit(
+            50,
+            &(1..25u32)
+                .map(|i| (i - 1, i))
+                .chain((26..50u32).map(|i| (i - 1, i)))
+                .collect::<Vec<_>>(),
+        );
         let opts = MinCutOptions { base_size: 8, repetitions: 1, ..Default::default() };
         let cut = approx_min_cut(&g, &opts);
         assert_eq!(cut.weight, 0);

@@ -72,9 +72,8 @@ pub fn ampc_low_depth_decomposition(
         }
         for (p, list) in kids.iter().enumerate() {
             cdeg_dht.bulk_load([(p as u64, list.len() as u32)]);
-            child_dht.bulk_load(
-                list.iter().enumerate().map(|(i, &c)| (pack2(p as u32, i as u32), c)),
-            );
+            child_dht
+                .bulk_load(list.iter().enumerate().map(|(i, &c)| (pack2(p as u32, i as u32), c)));
         }
     }
     let size_dht: Dht<u32> = Dht::new();
@@ -108,7 +107,7 @@ pub fn ampc_low_depth_decomposition(
             let child = child_dht.expect(ctx, pack2(p, i as u32));
             let s = size_dht.expect(ctx, child as u64);
             let cand = (s, std::cmp::Reverse(child));
-            if best.map_or(true, |b| cand > b) {
+            if best.is_none_or(|b| cand > b) {
                 best = Some(cand);
             }
         }
@@ -119,7 +118,7 @@ pub fn ampc_low_depth_decomposition(
         let mut best: Vec<Option<(u32, std::cmp::Reverse<u32>)>> = vec![None; n];
         for (p, b) in partials {
             if let Some(cand) = b {
-                if best[p as usize].map_or(true, |x| cand > x) {
+                if best[p as usize].is_none_or(|x| cand > x) {
                     best[p as usize] = Some(cand);
                 }
             }
@@ -173,9 +172,7 @@ pub fn ampc_low_depth_decomposition(
         meta_val[t as usize] = binpath::depth_of(binpath::leaf_at(q_pos, q_len)) as u64;
     }
     let meta = chain_aggregate(exec, &meta_next, &meta_val, "decomp/meta-depth");
-    let d0: Vec<u32> = (0..n)
-        .map(|v| (meta.acc[path_top[v] as usize] + 1) as u32)
-        .collect();
+    let d0: Vec<u32> = (0..n).map(|v| (meta.acc[path_top[v] as usize] + 1) as u32).collect();
 
     // Step 5: labels by local arithmetic (one round over vertices).
     let labels = exec.round_over("decomp/label", n, |ctx, range| {
@@ -218,11 +215,7 @@ mod tests {
         // Positions/lengths must agree with the reference HLD as well.
         for v in 0..n as u32 {
             assert_eq!(got.pos_in_path[v as usize], hld.pos_in_path[v as usize], "pos v={v}");
-            assert_eq!(
-                got.path_len[v as usize] as usize,
-                hld.path_of(v).len(),
-                "len v={v}"
-            );
+            assert_eq!(got.path_len[v as usize] as usize, hld.path_of(v).len(), "len v={v}");
             assert_eq!(got.path_top[v as usize], hld.head(v), "top v={v}");
         }
         exec.rounds()

@@ -54,7 +54,7 @@ pub fn ampc_min_cut(g: &Graph, opts: &MinCutOptions, model_cfg: &AmpcConfig) -> 
 
     let mut best: Option<CutResult> = None;
     let consider = |c: CutResult, best: &mut Option<CutResult>| {
-        if best.as_ref().map_or(true, |b| c.weight < b.weight) {
+        if best.as_ref().is_none_or(|b| c.weight < b.weight) {
             *best = Some(c);
         }
     };
@@ -94,10 +94,7 @@ pub fn ampc_min_cut(g: &Graph, opts: &MinCutOptions, model_cfg: &AmpcConfig) -> 
                 let rep = ampc_smallest_singleton_cut(&mut exec, &h, &prio);
                 // Candidate: the copy's best singleton cut.
                 let side = bag_of(&h, &prio, rep.cut.leader, rep.cut.time);
-                consider(
-                    lift(&CutResult { weight: rep.cut.weight, side }, &proj, n0),
-                    &mut best,
-                );
+                consider(lift(&CutResult { weight: rep.cut.weight, side }, &proj, n0), &mut best);
                 // Contract the copy by the schedule's factor: components
                 // of the cheapest (n - target) forest edges, resolved
                 // in-model.
@@ -194,11 +191,7 @@ mod tests {
             assert!(rep.cut.is_proper(n));
             assert_eq!(cut_weight(&g, &rep.cut.mask(n)), rep.cut.weight);
             assert!(rep.cut.weight >= exact);
-            assert!(
-                (rep.cut.weight as f64) <= 2.5 * exact as f64,
-                "{} vs {exact}",
-                rep.cut.weight
-            );
+            assert!((rep.cut.weight as f64) <= 2.5 * exact as f64, "{} vs {exact}", rep.cut.weight);
         }
     }
 

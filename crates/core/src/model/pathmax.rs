@@ -30,12 +30,7 @@ pub struct PathMax {
 impl PathMax {
     /// Build for a rooted forest: `parent[v]` (roots self-looped),
     /// `edge_prio[v]` = priority of the edge to the parent, `depth[v]`.
-    pub fn build(
-        exec: &mut Executor,
-        parent: &[u32],
-        edge_prio: &[u64],
-        depth: &[u32],
-    ) -> PathMax {
+    pub fn build(exec: &mut Executor, parent: &[u32], edge_prio: &[u64], depth: &[u32]) -> PathMax {
         let n = parent.len();
         let fanin = match exec.cfg().mode {
             ExecMode::Ampc => 4usize,
@@ -180,6 +175,7 @@ mod tests {
         let edges: Vec<(u32, u32)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
         let f = RootedForest::from_edges(n, &edges);
         let mut prio = vec![0u64; n];
+        #[allow(clippy::needless_range_loop)] // v is a vertex id
         for v in 0..n {
             if !f.is_root(v as u32) {
                 prio[v] = rng.gen_range(1..1_000_000);

@@ -60,12 +60,8 @@ pub fn ampc_smallest_singleton_cut(
 
     // ---- MSF of the contraction priorities ----
     let rounds_before_mst = exec.rounds();
-    let pedges: Vec<PrioEdge> = g
-        .edges()
-        .iter()
-        .zip(prio)
-        .map(|(e, &p)| PrioEdge { u: e.u, v: e.v, prio: p })
-        .collect();
+    let pedges: Vec<PrioEdge> =
+        g.edges().iter().zip(prio).map(|(e, &p)| PrioEdge { u: e.u, v: e.v, prio: p }).collect();
     let forest_edges = minimum_spanning_forest(exec, n, &pedges);
     let mst_rounds = exec.rounds() - rounds_before_mst;
     let tracking_start = exec.rounds();
@@ -117,6 +113,7 @@ pub fn ampc_smallest_singleton_cut(
         let lo = mi * sep_per_machine;
         let hi = ((mi + 1) * sep_per_machine).min(n);
         let mut out = Vec::with_capacity(hi - lo);
+        #[allow(clippy::needless_range_loop)] // v is a vertex id indexing boundary
         for v in lo..hi {
             ctx.charge_local(1);
             let top = de.path_top[v];
@@ -194,6 +191,7 @@ pub fn ampc_smallest_singleton_cut(
         let lo = mi * ldr_per_machine;
         let hi = ((mi + 1) * ldr_per_machine).min(n);
         let mut out = Vec::with_capacity(hi - lo);
+        #[allow(clippy::needless_range_loop)] // v is a vertex id indexing boundary
         for v in lo..hi {
             ctx.charge_local(1);
             let (bt, bb) = boundary[v];
@@ -249,7 +247,8 @@ pub fn ampc_smallest_singleton_cut(
             // detected before the equality test so two roots of different
             // components are never mistaken for a meet.
             let (mut ca, mut cb) = (x, y);
-            let (mut da, mut db) = (sep_dht.expect(ctx, x as u64).1, sep_dht.expect(ctx, y as u64).1);
+            let (mut da, mut db) =
+                (sep_dht.expect(ctx, x as u64).1, sep_dht.expect(ctx, y as u64).1);
             let mut meet = NONE;
             loop {
                 if ca == cb {
@@ -323,8 +322,7 @@ pub fn ampc_smallest_singleton_cut(
     }
 
     // ---- per-leader sweeps (Lemma 14) ----
-    let small: Vec<u32> =
-        (0..n as u32).filter(|&v| per_leader[v as usize].len() <= cap).collect();
+    let small: Vec<u32> = (0..n as u32).filter(|&v| per_leader[v as usize].len() <= cap).collect();
     let mut best = SingletonCut { weight: u64::MAX, leader: 0, time: 0 };
     if !small.is_empty() {
         let sweeps = exec.round("singleton/sweep", small.len(), |ctx, mi| {
@@ -361,7 +359,7 @@ pub fn ampc_smallest_singleton_cut(
             for &(s, e, w) in &per_leader[v as usize] {
                 assert!(w < (1 << WBITS), "edge weight too large for key packing");
                 keys.push(lv | (s << TSHIFT) | w);
-                if e + 1 <= horizon {
+                if e < horizon {
                     keys.push(lv | ((e + 1) << TSHIFT) | (1 << WBITS) | w);
                 }
             }
@@ -379,7 +377,7 @@ pub fn ampc_smallest_singleton_cut(
             let t = (k >> TSHIFT) & ((1 << 22) - 1);
             let w = (k & ((1 << WBITS) - 1)) as i64;
             let d = if (k >> WBITS) & 1 == 1 { -w } else { w };
-            if segs.last().map_or(true, |s| s.leader != v) {
+            if segs.last().is_none_or(|s| s.leader != v) {
                 // Coverage before a leader's first event is zero.
                 let mut s = Seg { leader: v, times: vec![], deltas: vec![] };
                 if t > 0 {
@@ -404,9 +402,7 @@ pub fn ampc_smallest_singleton_cut(
         // is needed here.
         let flat: Vec<(u32, u64, i64)> = segs
             .iter()
-            .flat_map(|s| {
-                s.times.iter().zip(&s.deltas).map(move |(&t, &d)| (s.leader, t, d))
-            })
+            .flat_map(|s| s.times.iter().zip(&s.deltas).map(move |(&t, &d)| (s.leader, t, d)))
             .collect();
         let chunks = flat.len().div_ceil(cap).max(1);
         let partials = exec.round("singleton/scan", chunks, |ctx, mi| {

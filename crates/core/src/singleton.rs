@@ -79,6 +79,7 @@ impl SingletonEngine {
         // Priority of each vertex's parent edge (forest.parent_edge indexes
         // into `pairs`, which parallels `forest.edges`).
         let mut edge_prio = vec![0u64; n];
+        #[allow(clippy::needless_range_loop)] // v is a vertex id indexing parallel arrays
         for v in 0..n {
             let pe = rooted.parent_edge[v];
             if pe != NONE {
@@ -105,11 +106,8 @@ impl SingletonEngine {
             if p == v {
                 continue;
             }
-            let (hi, lo) = if labels.label[v as usize] > labels.label[p as usize] {
-                (v, p)
-            } else {
-                (p, v)
-            };
+            let (hi, lo) =
+                if labels.label[v as usize] > labels.label[p as usize] { (v, p) } else { (p, v) };
             let lo_label = labels.label[lo as usize];
             let mut u = hi;
             loop {
@@ -148,15 +146,7 @@ impl SingletonEngine {
             }
         }
 
-        Self {
-            forest: rooted,
-            hld,
-            label: labels.label,
-            height: labels.height,
-            sep,
-            pathq,
-            ldr,
-        }
+        Self { forest: rooted, hld, label: labels.label, height: labels.height, sep, pathq, ldr }
     }
 
     /// All per-leader interval lists for the edges of `g` (Lemma 13).
@@ -291,7 +281,8 @@ mod tests {
         let cut = smallest_singleton_cut(g, prio);
         let oracle = contraction_oracle(g, prio);
         assert_eq!(
-            cut.weight, oracle.min_singleton,
+            cut.weight,
+            oracle.min_singleton,
             "engine={cut:?} oracle={oracle:?} edges={:?} prio={prio:?}",
             g.edges()
         );
@@ -394,13 +385,9 @@ mod tests {
         for v in 0..15u32 {
             for t in [0, engine.ldr[v as usize] / 2, engine.ldr[v as usize]] {
                 let bag = bag_of(&g, &prio, v, t);
-                let min_label =
-                    bag.iter().map(|&u| engine.label[u as usize]).min().unwrap();
+                let min_label = bag.iter().map(|&u| engine.label[u as usize]).min().unwrap();
                 assert_eq!(min_label, engine.label[v as usize], "v={v} t={t}");
-                let count = bag
-                    .iter()
-                    .filter(|&&u| engine.label[u as usize] == min_label)
-                    .count();
+                let count = bag.iter().filter(|&&u| engine.label[u as usize] == min_label).count();
                 assert_eq!(count, 1, "leader not unique in bag");
             }
         }
@@ -418,12 +405,8 @@ mod tests {
             let t = engine.ldr[v as usize];
             let bag_next = bag_of(&g, &prio, v, t + 1);
             let lv = engine.label[v as usize];
-            let has_smaller =
-                bag_next.iter().any(|&u| engine.label[u as usize] < lv);
-            assert!(
-                has_smaller || bag_next.len() == 20,
-                "v={v}: ldr_time not tight"
-            );
+            let has_smaller = bag_next.iter().any(|&u| engine.label[u as usize] < lv);
+            assert!(has_smaller || bag_next.len() == 20, "v={v}: ldr_time not tight");
         }
     }
 }

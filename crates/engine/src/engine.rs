@@ -1,0 +1,611 @@
+//! The multi-graph cut-query engine.
+//!
+//! [`Engine`] owns a registry of named graphs, applies mutations, answers
+//! queries, and caches query answers keyed by `(query, mutation epoch)`:
+//! a repeated query against an unchanged graph is a hash lookup, any
+//! mutation bumps the graph's epoch and implicitly invalidates every
+//! cached answer for it.
+//!
+//! Everything is deterministic: queries that involve randomness carry
+//! their seed in the query value itself, so an identical request sequence
+//! yields an identical response sequence — the substrate for replayable
+//! workloads and the stress harness's byte-identical logs.
+
+use std::collections::{BTreeMap, HashMap};
+
+use cut_graph::{stoer_wagner, CutResult, Edge, Graph};
+use mincut_core::{
+    approx_min_cut, apx_split, exponential_priorities, smallest_singleton_cut, KCutOptions,
+    MinCutOptions,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::request::{GraphSpec, Mutation, Query, Request, Response};
+
+/// Tunables shared by every query the engine serves.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// ε for `(2+ε)`-approximate min-cut queries.
+    pub epsilon: f64,
+    /// Base-case size for the recursive contraction.
+    pub base_size: usize,
+    /// Top-level repetitions for approximate min cut (0 ⇒ `⌈log₂ n⌉`).
+    pub repetitions: usize,
+    /// Components at most this large are k-cut exactly.
+    pub exact_below: usize,
+    /// Per-graph cache entries kept before the cache is reset (bounds
+    /// memory under seed-heavy workloads).
+    pub max_cache_entries: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            epsilon: 0.5,
+            base_size: 32,
+            repetitions: 2,
+            exact_below: 48,
+            max_cache_entries: 4096,
+        }
+    }
+}
+
+/// Engine-level counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Queries served (hits + misses).
+    pub queries: u64,
+    /// Queries answered from the epoch cache.
+    pub cache_hits: u64,
+    /// Queries that had to compute.
+    pub cache_misses: u64,
+    /// Mutations applied.
+    pub mutations: u64,
+    /// Graphs ever created.
+    pub graphs_created: u64,
+    /// Graphs dropped.
+    pub graphs_dropped: u64,
+}
+
+impl EngineStats {
+    /// Cache hit rate in `[0, 1]` (0 when no queries ran).
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+}
+
+/// One registered graph: its mutable edge list, a lazily rebuilt CSR view,
+/// the mutation epoch, and the per-epoch query cache.
+struct GraphEntry {
+    n: usize,
+    edges: Vec<Edge>,
+    /// CSR adjacency, rebuilt on demand after mutations.
+    csr: Option<Graph>,
+    /// Bumped by every successful mutation.
+    epoch: u64,
+    /// `query -> (epoch_at_answer, answer)`; an entry is live only while
+    /// its epoch matches the graph's.
+    cache: HashMap<Query, (u64, Response)>,
+}
+
+impl GraphEntry {
+    fn new(n: usize, edges: Vec<Edge>) -> Self {
+        Self { n, edges, csr: None, epoch: 0, cache: HashMap::new() }
+    }
+
+    /// The CSR view of the current edge list, building it if stale.
+    fn graph(&mut self) -> &Graph {
+        if self.csr.is_none() {
+            self.csr = Some(Graph::new_unchecked(self.n, self.edges.clone()));
+        }
+        self.csr.as_ref().unwrap()
+    }
+
+    fn touch(&mut self) {
+        self.epoch += 1;
+        self.csr = None;
+    }
+}
+
+/// The long-lived, multi-graph cut-query engine.
+///
+/// ```
+/// use cut_engine::{Engine, GraphSpec, Query, Request, Response};
+///
+/// let mut engine = Engine::new();
+/// engine.execute(Request::Create {
+///     name: "ring".into(),
+///     spec: GraphSpec::Cycle { n: 12 },
+/// });
+/// let r = engine.execute(Request::Query {
+///     name: "ring".into(),
+///     query: Query::ExactMinCut,
+/// });
+/// assert!(matches!(r, Response::CutValue { weight: 2, .. }));
+/// ```
+pub struct Engine {
+    cfg: EngineConfig,
+    /// `BTreeMap` so `ListGraphs` (and iteration anywhere) is ordered and
+    /// deterministic.
+    graphs: BTreeMap<String, GraphEntry>,
+    stats: EngineStats,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Engine with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(EngineConfig::default())
+    }
+
+    /// Engine with explicit configuration.
+    pub fn with_config(cfg: EngineConfig) -> Self {
+        Self { cfg, graphs: BTreeMap::new(), stats: EngineStats::default() }
+    }
+
+    /// Engine-level counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Number of registered graphs.
+    pub fn graph_count(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Current mutation epoch of a graph.
+    pub fn epoch(&self, name: &str) -> Option<u64> {
+        self.graphs.get(name).map(|e| e.epoch)
+    }
+
+    /// A snapshot of a registered graph (CSR built if needed).
+    pub fn snapshot(&mut self, name: &str) -> Option<Graph> {
+        self.graphs.get_mut(name).map(|e| e.graph().clone())
+    }
+
+    /// Execute one request. Never panics on bad input: failures come back
+    /// as [`Response::Error`] and leave the engine unchanged.
+    pub fn execute(&mut self, request: Request) -> Response {
+        match request {
+            Request::Create { name, spec } => self.create(name, &spec),
+            Request::Drop { name } => self.drop_graph(&name),
+            Request::Mutate { name, op } => self.mutate(&name, op),
+            Request::Query { name, query } => self.query(&name, query),
+            Request::ListGraphs => {
+                Response::Graphs { names: self.graphs.keys().cloned().collect() }
+            }
+            Request::Stats => Response::EngineStats {
+                graphs: self.graphs.len(),
+                queries: self.stats.queries,
+                cache_hits: self.stats.cache_hits,
+                cache_misses: self.stats.cache_misses,
+                mutations: self.stats.mutations,
+            },
+        }
+    }
+
+    fn create(&mut self, name: String, spec: &GraphSpec) -> Response {
+        if self.graphs.contains_key(&name) {
+            return Response::Error { message: format!("graph '{name}' already exists") };
+        }
+        match spec.materialize() {
+            Ok((n, edges)) => {
+                let m = edges.len();
+                self.graphs.insert(name.clone(), GraphEntry::new(n, edges));
+                self.stats.graphs_created += 1;
+                Response::Created { name, n, m }
+            }
+            Err(message) => Response::Error { message },
+        }
+    }
+
+    fn drop_graph(&mut self, name: &str) -> Response {
+        if self.graphs.remove(name).is_some() {
+            self.stats.graphs_dropped += 1;
+            Response::Dropped { name: name.to_string() }
+        } else {
+            Response::Error { message: format!("no graph named '{name}'") }
+        }
+    }
+
+    fn mutate(&mut self, name: &str, op: Mutation) -> Response {
+        let Some(entry) = self.graphs.get_mut(name) else {
+            return Response::Error { message: format!("no graph named '{name}'") };
+        };
+        let result = match op {
+            Mutation::InsertEdge { u, v, w } => apply_insert(entry, u, v, w),
+            Mutation::DeleteEdge { u, v } => apply_delete(entry, u, v),
+            Mutation::ContractVertices { u, v } => apply_contract(entry, u, v),
+        };
+        match result {
+            Ok(()) => {
+                entry.touch();
+                self.stats.mutations += 1;
+                Response::Mutated {
+                    name: name.to_string(),
+                    epoch: entry.epoch,
+                    n: entry.n,
+                    m: entry.edges.len(),
+                }
+            }
+            Err(message) => Response::Error { message },
+        }
+    }
+
+    fn query(&mut self, name: &str, query: Query) -> Response {
+        let cfg = self.cfg.clone();
+        let Some(entry) = self.graphs.get_mut(name) else {
+            return Response::Error { message: format!("no graph named '{name}'") };
+        };
+        self.stats.queries += 1;
+
+        if let Some((epoch, answer)) = entry.cache.get(&query) {
+            if *epoch == entry.epoch {
+                self.stats.cache_hits += 1;
+                return answer.as_cached();
+            }
+        }
+        self.stats.cache_misses += 1;
+
+        let answer = compute_query(entry, &cfg, query);
+        if !matches!(answer, Response::Error { .. }) {
+            if entry.cache.len() >= cfg.max_cache_entries {
+                entry.cache.clear();
+            }
+            entry.cache.insert(query, (entry.epoch, answer.clone()));
+        }
+        answer
+    }
+}
+
+fn apply_insert(entry: &mut GraphEntry, u: u32, v: u32, w: u64) -> Result<(), String> {
+    if u as usize >= entry.n || v as usize >= entry.n {
+        return Err(format!("edge ({u}, {v}) out of range for n = {}", entry.n));
+    }
+    if u == v {
+        return Err(format!("self-loop at vertex {u}"));
+    }
+    if w == 0 {
+        return Err(format!("zero-weight edge ({u}, {v})"));
+    }
+    entry.edges.push(Edge::new(u, v, w));
+    Ok(())
+}
+
+fn apply_delete(entry: &mut GraphEntry, u: u32, v: u32) -> Result<(), String> {
+    let pos = entry.edges.iter().position(|e| (e.u == u && e.v == v) || (e.u == v && e.v == u));
+    match pos {
+        Some(i) => {
+            entry.edges.remove(i);
+            Ok(())
+        }
+        None => Err(format!("no edge ({u}, {v}) to delete")),
+    }
+}
+
+fn apply_contract(entry: &mut GraphEntry, u: u32, v: u32) -> Result<(), String> {
+    if u as usize >= entry.n || v as usize >= entry.n {
+        return Err(format!("contract ({u}, {v}) out of range for n = {}", entry.n));
+    }
+    if u == v {
+        return Err(format!("cannot contract vertex {u} with itself"));
+    }
+    let relabel = |x: u32| crate::request::contract_relabel(u, v, x);
+    // Merge parallel edges deterministically (sorted pair order), matching
+    // Graph::contract semantics without building the CSR first.
+    let mut merged: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+    for e in &entry.edges {
+        let (mut a, mut b) = (relabel(e.u), relabel(e.v));
+        if a == b {
+            continue;
+        }
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        *merged.entry((a, b)).or_insert(0) += e.w;
+    }
+    entry.n -= 1;
+    entry.edges = merged.into_iter().map(|((a, b), w)| Edge::new(a, b, w)).collect();
+    Ok(())
+}
+
+fn compute_query(entry: &mut GraphEntry, cfg: &EngineConfig, query: Query) -> Response {
+    let n = entry.n;
+    match query {
+        Query::Connectivity => {
+            let components = entry.graph().component_count();
+            Response::ConnectivityValue { components, cached: false }
+        }
+        Query::ExactMinCut => {
+            if n < 2 {
+                return Response::Error { message: "min cut needs n >= 2".into() };
+            }
+            let g = entry.graph();
+            match disconnected_cut(g) {
+                Some(cut) => cut_response(&cut),
+                None => cut_response(&stoer_wagner(g)),
+            }
+        }
+        Query::ApproxMinCut { seed } => {
+            if n < 2 {
+                return Response::Error { message: "min cut needs n >= 2".into() };
+            }
+            let g = entry.graph();
+            if let Some(cut) = disconnected_cut(g) {
+                return cut_response(&cut);
+            }
+            let opts = MinCutOptions {
+                epsilon: cfg.epsilon,
+                base_size: cfg.base_size,
+                repetitions: cfg.repetitions,
+                seed,
+            };
+            cut_response(&approx_min_cut(g, &opts))
+        }
+        Query::SingletonCut { seed } => {
+            if n < 2 {
+                return Response::Error { message: "singleton cut needs n >= 2".into() };
+            }
+            let g = entry.graph();
+            if g.m() == 0 {
+                // Every singleton cut of an edgeless graph weighs 0.
+                return Response::CutValue { weight: 0, side_size: 1, cached: false };
+            }
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let prio = exponential_priorities(g, &mut rng);
+            let cut = smallest_singleton_cut(g, &prio);
+            // The realizing side is a bag (super-vertex), not one vertex.
+            let side = mincut_core::singleton::singleton_cut_side(g, &prio, cut);
+            Response::CutValue { weight: cut.weight, side_size: side.len(), cached: false }
+        }
+        Query::KCut { k } => {
+            if k < 1 || k > n {
+                return Response::Error {
+                    message: format!("k-cut needs 1 <= k <= n (k = {k}, n = {n})"),
+                };
+            }
+            let g = entry.graph();
+            let mut opts = KCutOptions::new(k);
+            opts.exact_below = cfg.exact_below;
+            opts.mincut.epsilon = cfg.epsilon;
+            opts.mincut.base_size = cfg.base_size;
+            let r = apx_split(g, &opts);
+            Response::KCutValue { weight: r.weight, parts: k, cached: false }
+        }
+        Query::StCutWeight { s, t } => {
+            if s as usize >= n || t as usize >= n {
+                return Response::Error {
+                    message: format!("st-cut endpoints ({s}, {t}) out of range for n = {n}"),
+                };
+            }
+            if s == t {
+                return Response::Error { message: "st-cut needs s != t".into() };
+            }
+            let g = entry.graph();
+            let weight = cut_graph::maxflow::min_st_cut(g, s, t);
+            Response::CutValue { weight, side_size: 0, cached: false }
+        }
+    }
+}
+
+/// For disconnected graphs the global min cut is 0 (any one component
+/// against the rest); the recursive algorithms assume connectivity, so the
+/// engine short-circuits.
+fn disconnected_cut(g: &Graph) -> Option<CutResult> {
+    let comp = g.components();
+    if comp.iter().any(|&c| c != 0) {
+        let side: Vec<u32> = (0..g.n() as u32).filter(|&v| comp[v as usize] == 0).collect();
+        Some(CutResult { weight: 0, side })
+    } else {
+        None
+    }
+}
+
+fn cut_response(cut: &CutResult) -> Response {
+    Response::CutValue { weight: cut.weight, side_size: cut.side.len(), cached: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn create(engine: &mut Engine, name: &str, spec: GraphSpec) {
+        let r = engine.execute(Request::Create { name: name.into(), spec });
+        assert!(matches!(r, Response::Created { .. }), "create failed: {r}");
+    }
+
+    fn query(engine: &mut Engine, name: &str, q: Query) -> Response {
+        engine.execute(Request::Query { name: name.into(), query: q })
+    }
+
+    #[test]
+    fn registry_create_query_drop() {
+        let mut e = Engine::new();
+        create(&mut e, "ring", GraphSpec::Cycle { n: 10 });
+        let r = query(&mut e, "ring", Query::ExactMinCut);
+        assert_eq!(r, Response::CutValue { weight: 2, side_size: 1, cached: false });
+        assert!(matches!(
+            e.execute(Request::Drop { name: "ring".into() }),
+            Response::Dropped { .. }
+        ));
+        assert!(matches!(query(&mut e, "ring", Query::ExactMinCut), Response::Error { .. }));
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut e = Engine::new();
+        create(&mut e, "g", GraphSpec::Cycle { n: 5 });
+        let r = e.execute(Request::Create { name: "g".into(), spec: GraphSpec::Cycle { n: 7 } });
+        assert!(matches!(r, Response::Error { .. }));
+    }
+
+    #[test]
+    fn cache_hits_until_mutation_invalidates() {
+        let mut e = Engine::new();
+        create(&mut e, "g", GraphSpec::Cycle { n: 8 });
+
+        let a = query(&mut e, "g", Query::ExactMinCut);
+        assert!(!a.was_cached());
+        let b = query(&mut e, "g", Query::ExactMinCut);
+        assert!(b.was_cached(), "repeat query must hit the cache");
+        assert_eq!(e.stats().cache_hits, 1);
+        assert_eq!(e.stats().cache_misses, 1);
+
+        // A mutation bumps the epoch; the cached answer is dead.
+        let r = e.execute(Request::Mutate {
+            name: "g".into(),
+            op: Mutation::InsertEdge { u: 0, v: 4, w: 3 },
+        });
+        assert!(matches!(r, Response::Mutated { epoch: 1, .. }));
+        let c = query(&mut e, "g", Query::ExactMinCut);
+        assert!(!c.was_cached(), "mutation must invalidate the cache");
+        assert_eq!(e.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn failed_mutations_do_not_bump_epoch() {
+        let mut e = Engine::new();
+        create(&mut e, "g", GraphSpec::Cycle { n: 5 });
+        query(&mut e, "g", Query::ExactMinCut);
+        let r = e.execute(Request::Mutate {
+            name: "g".into(),
+            op: Mutation::InsertEdge { u: 0, v: 0, w: 1 },
+        });
+        assert!(matches!(r, Response::Error { .. }));
+        assert_eq!(e.epoch("g"), Some(0));
+        assert!(query(&mut e, "g", Query::ExactMinCut).was_cached());
+    }
+
+    #[test]
+    fn insert_and_delete_change_answers() {
+        let mut e = Engine::new();
+        // Path 0-1-2: min cut 1.
+        create(&mut e, "p", GraphSpec::Edges { n: 3, edges: vec![(0, 1, 1), (1, 2, 1)] });
+        assert!(matches!(
+            query(&mut e, "p", Query::ExactMinCut),
+            Response::CutValue { weight: 1, .. }
+        ));
+        // Close the triangle: min cut 2.
+        e.execute(Request::Mutate {
+            name: "p".into(),
+            op: Mutation::InsertEdge { u: 0, v: 2, w: 1 },
+        });
+        assert!(matches!(
+            query(&mut e, "p", Query::ExactMinCut),
+            Response::CutValue { weight: 2, .. }
+        ));
+        // Delete an edge: back to a path.
+        e.execute(Request::Mutate { name: "p".into(), op: Mutation::DeleteEdge { u: 1, v: 0 } });
+        assert!(matches!(
+            query(&mut e, "p", Query::ExactMinCut),
+            Response::CutValue { weight: 1, .. }
+        ));
+        // Deleting a missing edge fails and changes nothing.
+        let r = e
+            .execute(Request::Mutate { name: "p".into(), op: Mutation::DeleteEdge { u: 0, v: 1 } });
+        assert!(matches!(r, Response::Error { .. }));
+    }
+
+    #[test]
+    fn contraction_merges_and_relabels() {
+        let mut e = Engine::new();
+        // Square 0-1-2-3-0.
+        create(
+            &mut e,
+            "sq",
+            GraphSpec::Edges { n: 4, edges: vec![(0, 1, 1), (1, 2, 2), (2, 3, 4), (3, 0, 8)] },
+        );
+        let r = e.execute(Request::Mutate {
+            name: "sq".into(),
+            op: Mutation::ContractVertices { u: 0, v: 1 },
+        });
+        // {0,1} merged: vertices {01, 2, 3}; edges 01-2 (2), 2-3 (4), 3-01 (8).
+        assert!(matches!(r, Response::Mutated { n: 3, m: 3, .. }), "got {r}");
+        let g = e.snapshot("sq").unwrap();
+        assert_eq!(g.total_weight(), 14);
+        // Contract again down to 2 vertices: parallel edges merge.
+        e.execute(Request::Mutate {
+            name: "sq".into(),
+            op: Mutation::ContractVertices { u: 1, v: 2 },
+        });
+        let g = e.snapshot("sq").unwrap();
+        assert_eq!(g.n(), 2);
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.edge(0).w, 10);
+    }
+
+    #[test]
+    fn disconnected_graphs_answer_zero_cuts() {
+        let mut e = Engine::new();
+        create(&mut e, "two", GraphSpec::Edges { n: 4, edges: vec![(0, 1, 5), (2, 3, 5)] });
+        assert!(matches!(
+            query(&mut e, "two", Query::ExactMinCut),
+            Response::CutValue { weight: 0, side_size: 2, .. }
+        ));
+        assert!(matches!(
+            query(&mut e, "two", Query::ApproxMinCut { seed: 1 }),
+            Response::CutValue { weight: 0, .. }
+        ));
+        assert!(matches!(
+            query(&mut e, "two", Query::Connectivity),
+            Response::ConnectivityValue { components: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn st_cut_and_kcut_answer() {
+        let mut e = Engine::new();
+        create(&mut e, "c", GraphSpec::Cycle { n: 6 });
+        assert!(matches!(
+            query(&mut e, "c", Query::StCutWeight { s: 0, t: 3 }),
+            Response::CutValue { weight: 2, .. }
+        ));
+        let r = query(&mut e, "c", Query::KCut { k: 2 });
+        match r {
+            Response::KCutValue { weight, parts: 2, .. } => assert!(weight >= 2),
+            other => panic!("unexpected {other}"),
+        }
+        assert!(matches!(query(&mut e, "c", Query::KCut { k: 99 }), Response::Error { .. }));
+    }
+
+    #[test]
+    fn list_is_sorted_and_stats_count() {
+        let mut e = Engine::new();
+        create(&mut e, "b", GraphSpec::Cycle { n: 4 });
+        create(&mut e, "a", GraphSpec::Cycle { n: 4 });
+        assert_eq!(
+            e.execute(Request::ListGraphs),
+            Response::Graphs { names: vec!["a".into(), "b".into()] }
+        );
+        query(&mut e, "a", Query::Connectivity);
+        query(&mut e, "a", Query::Connectivity);
+        let r = e.execute(Request::Stats);
+        assert!(
+            matches!(r, Response::EngineStats { graphs: 2, queries: 2, cache_hits: 1, .. }),
+            "got {r}"
+        );
+    }
+
+    #[test]
+    fn seeded_queries_cache_by_seed() {
+        let mut e = Engine::new();
+        create(&mut e, "g", GraphSpec::ConnectedGnm { n: 24, m: 60, w_min: 1, w_max: 9, seed: 3 });
+        let a = query(&mut e, "g", Query::ApproxMinCut { seed: 10 });
+        let b = query(&mut e, "g", Query::ApproxMinCut { seed: 11 });
+        assert!(!b.was_cached(), "different seed is a different query");
+        let a2 = query(&mut e, "g", Query::ApproxMinCut { seed: 10 });
+        assert!(a2.was_cached());
+        assert_eq!(a2.as_cached(), a.as_cached());
+        let _ = (a, b);
+    }
+}

@@ -1,0 +1,58 @@
+//! # `cut-engine` — a long-lived, multi-graph cut-query engine
+//!
+//! The paper's algorithms ((2+ε) Min Cut, (4+ε) Min k-Cut, singleton cuts)
+//! become *servable*: an [`Engine`] owns a registry of named graphs, takes
+//! mutations (insert/delete weighted edges, contract vertices) and queries
+//! (min cut, singleton cut, k-cut, connectivity, s-t cut weight) through a
+//! single [`Engine::execute`]`(Request) -> Response` entry point, and
+//! caches query answers with **mutation-epoch invalidation**: repeated
+//! queries against an unchanged graph are O(1) hash lookups, and any
+//! mutation invalidates exactly that graph's cached answers.
+//!
+//! The [`workload`] module generates seeded, replayable request streams
+//! (weighted action mix + Zipf graph-popularity skew); the `cut_bench`
+//! crate's `stress` binary replays them and reports throughput, per-action
+//! latency percentiles, and cache hit rate.
+//!
+//! ```
+//! use cut_engine::{Engine, GraphSpec, Mutation, Query, Request, Response};
+//!
+//! let mut engine = Engine::new();
+//! engine.execute(Request::Create {
+//!     name: "ring".into(),
+//!     spec: GraphSpec::Cycle { n: 16 },
+//! });
+//!
+//! // A cycle's min cut is 2 ...
+//! let r = engine.execute(Request::Query {
+//!     name: "ring".into(),
+//!     query: Query::ExactMinCut,
+//! });
+//! assert!(matches!(r, Response::CutValue { weight: 2, cached: false, .. }));
+//!
+//! // ... the repeat is served from the epoch cache ...
+//! let r = engine.execute(Request::Query {
+//!     name: "ring".into(),
+//!     query: Query::ExactMinCut,
+//! });
+//! assert!(r.was_cached());
+//!
+//! // ... and a mutation invalidates it.
+//! engine.execute(Request::Mutate {
+//!     name: "ring".into(),
+//!     op: Mutation::InsertEdge { u: 0, v: 8, w: 5 },
+//! });
+//! let r = engine.execute(Request::Query {
+//!     name: "ring".into(),
+//!     query: Query::ExactMinCut,
+//! });
+//! assert!(!r.was_cached());
+//! ```
+
+pub mod engine;
+pub mod request;
+pub mod workload;
+
+pub use engine::{Engine, EngineConfig, EngineStats};
+pub use request::{GraphSpec, Mutation, Query, Request, Response};
+pub use workload::{ActionMix, Workload, WorkloadConfig};

@@ -1,0 +1,484 @@
+//! The engine's wire types: graph specifications, mutations, queries, and
+//! responses.
+//!
+//! Everything is plain data with a deterministic [`std::fmt::Display`] so a
+//! sequence of `(Request, Response)` pairs can be logged and byte-compared
+//! across runs — the stress harness's determinism check relies on this.
+
+use std::fmt;
+
+use cut_graph::{Edge, Graph};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// How to build a named graph.
+///
+/// Generator variants carry their seed, so a spec is a *value*: the engine
+/// and the workload generator materialize identical graphs from equal
+/// specs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphSpec {
+    /// Explicit weighted edge list on `n` vertices.
+    Edges {
+        /// Vertex count.
+        n: usize,
+        /// `(u, v, w)` triples.
+        edges: Vec<(u32, u32, u64)>,
+    },
+    /// Seeded `G(n, m)` with weights in `[w_min, w_max]`.
+    Gnm {
+        /// Vertex count.
+        n: usize,
+        /// Edge count.
+        m: usize,
+        /// Minimum edge weight.
+        w_min: u64,
+        /// Maximum edge weight.
+        w_max: u64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Seeded connected `G(n, m)` (random spanning tree plus extra edges).
+    ConnectedGnm {
+        /// Vertex count.
+        n: usize,
+        /// Edge count (at least `n - 1`).
+        m: usize,
+        /// Minimum edge weight.
+        w_min: u64,
+        /// Maximum edge weight.
+        w_max: u64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Two dense halves joined by `cross` unit edges — min cut ≤ `cross`.
+    PlantedCut {
+        /// Vertices per half.
+        half: usize,
+        /// Random internal edges per half.
+        internal_m: usize,
+        /// Crossing edges (the planted cut weight).
+        cross: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Unit-weight cycle on `n ≥ 3` vertices (min cut 2).
+    Cycle {
+        /// Vertex count.
+        n: usize,
+    },
+    /// Seeded uniform random labeled tree (every edge is a min cut of 1).
+    RandomTree {
+        /// Vertex count.
+        n: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl GraphSpec {
+    /// Materialize the spec into `(n, edges)`.
+    ///
+    /// Deterministic: equal specs produce identical edge lists, whoever
+    /// calls (engine or workload generator).
+    pub fn materialize(&self) -> Result<(usize, Vec<Edge>), String> {
+        match self {
+            GraphSpec::Edges { n, edges } => {
+                let mut out = Vec::with_capacity(edges.len());
+                for &(u, v, w) in edges {
+                    validate_edge(*n, u, v, w)?;
+                    out.push(Edge::new(u, v, w));
+                }
+                Ok((*n, out))
+            }
+            GraphSpec::Gnm { n, m, w_min, w_max, seed } => {
+                if *w_min == 0 || w_min > w_max {
+                    return Err(format!("bad weight range [{w_min}, {w_max}]"));
+                }
+                let mut rng = SmallRng::seed_from_u64(*seed);
+                let g = cut_graph::gen::gnm(*n, *m, *w_min..=*w_max, &mut rng);
+                Ok((g.n(), g.edges().to_vec()))
+            }
+            GraphSpec::ConnectedGnm { n, m, w_min, w_max, seed } => {
+                if *n < 2 {
+                    return Err("connected_gnm needs n >= 2".into());
+                }
+                if *m + 1 < *n {
+                    return Err(format!("connected_gnm needs m >= n-1 ({m} < {})", n - 1));
+                }
+                if *w_min == 0 || w_min > w_max {
+                    return Err(format!("bad weight range [{w_min}, {w_max}]"));
+                }
+                let mut rng = SmallRng::seed_from_u64(*seed);
+                let g = cut_graph::gen::connected_gnm(*n, *m, *w_min..=*w_max, &mut rng);
+                Ok((g.n(), g.edges().to_vec()))
+            }
+            GraphSpec::PlantedCut { half, internal_m, cross, seed } => {
+                if *half < 2 {
+                    return Err("planted_cut needs half >= 2".into());
+                }
+                let mut rng = SmallRng::seed_from_u64(*seed);
+                let g = cut_graph::gen::planted_cut(*half, *internal_m, *cross, &mut rng);
+                Ok((g.n(), g.edges().to_vec()))
+            }
+            GraphSpec::Cycle { n } => {
+                if *n < 3 {
+                    return Err("cycle needs n >= 3".into());
+                }
+                let g = cut_graph::gen::cycle(*n);
+                Ok((g.n(), g.edges().to_vec()))
+            }
+            GraphSpec::RandomTree { n, seed } => {
+                let mut rng = SmallRng::seed_from_u64(*seed);
+                let g = cut_graph::gen::random_tree(*n, &mut rng);
+                Ok((g.n(), g.edges().to_vec()))
+            }
+        }
+    }
+
+    /// Materialize straight to a [`Graph`].
+    pub fn build(&self) -> Result<Graph, String> {
+        let (n, edges) = self.materialize()?;
+        Ok(Graph::new_unchecked(n, edges))
+    }
+}
+
+fn validate_edge(n: usize, u: u32, v: u32, w: u64) -> Result<(), String> {
+    if u as usize >= n || v as usize >= n {
+        return Err(format!("edge ({u}, {v}) out of range for n = {n}"));
+    }
+    if u == v {
+        return Err(format!("self-loop at vertex {u}"));
+    }
+    if w == 0 {
+        return Err(format!("zero-weight edge ({u}, {v})"));
+    }
+    Ok(())
+}
+
+/// A change to a registered graph. Every applied mutation bumps the
+/// graph's epoch, invalidating cached query results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Add a weighted edge (parallel edges are allowed).
+    InsertEdge {
+        /// One endpoint.
+        u: u32,
+        /// The other endpoint.
+        v: u32,
+        /// Positive weight.
+        w: u64,
+    },
+    /// Remove one edge between `u` and `v` (the first match; fails if no
+    /// such edge exists).
+    DeleteEdge {
+        /// One endpoint.
+        u: u32,
+        /// The other endpoint.
+        v: u32,
+    },
+    /// Merge vertex `v` into vertex `u`: parallel edges between the merged
+    /// vertex and any neighbor are combined (weights summed), self-loops
+    /// drop, and vertex ids above `v` shift down by one.
+    ContractVertices {
+        /// Surviving vertex.
+        u: u32,
+        /// Vertex merged away.
+        v: u32,
+    },
+}
+
+/// New id of vertex `x` after contracting `v` into `u`: `v` maps to `u`,
+/// and every id above `v` shifts down by one. The single source of truth
+/// for contraction relabeling — the engine and the workload generator's
+/// mirror both use it, so they cannot drift.
+pub fn contract_relabel(u: u32, v: u32, x: u32) -> u32 {
+    let x = if x == v { u } else { x };
+    if x > v {
+        x - 1
+    } else {
+        x
+    }
+}
+
+impl fmt::Display for Mutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mutation::InsertEdge { u, v, w } => write!(f, "insert({u},{v},w={w})"),
+            Mutation::DeleteEdge { u, v } => write!(f, "delete({u},{v})"),
+            Mutation::ContractVertices { u, v } => write!(f, "contract({u}<-{v})"),
+        }
+    }
+}
+
+/// A read against a registered graph. `Hash + Eq` so results cache by
+/// query value; every parameter is an integer so keys are exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// `(2+ε)`-approximate global min cut (the paper's Algorithm 1,
+    /// reference engine) under the engine's configured ε.
+    ApproxMinCut {
+        /// Contraction seed.
+        seed: u64,
+    },
+    /// Exact global min cut (Stoer–Wagner).
+    ExactMinCut,
+    /// Smallest singleton cut of the contraction process (Algorithm 3).
+    SingletonCut {
+        /// Priority seed.
+        seed: u64,
+    },
+    /// `(4+ε)`-approximate min k-cut (Algorithm 4).
+    KCut {
+        /// Number of parts.
+        k: usize,
+    },
+    /// Connected components count.
+    Connectivity,
+    /// Exact minimum s-t cut weight (Dinic max-flow).
+    StCutWeight {
+        /// Source.
+        s: u32,
+        /// Sink.
+        t: u32,
+    },
+}
+
+impl Query {
+    /// Short stable label for per-action reporting.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Query::ApproxMinCut { .. } => "approx-min-cut",
+            Query::ExactMinCut => "exact-min-cut",
+            Query::SingletonCut { .. } => "singleton-cut",
+            Query::KCut { .. } => "k-cut",
+            Query::Connectivity => "connectivity",
+            Query::StCutWeight { .. } => "st-cut",
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::ApproxMinCut { seed } => write!(f, "approx-min-cut(seed={seed})"),
+            Query::ExactMinCut => write!(f, "exact-min-cut"),
+            Query::SingletonCut { seed } => write!(f, "singleton-cut(seed={seed})"),
+            Query::KCut { k } => write!(f, "k-cut(k={k})"),
+            Query::Connectivity => write!(f, "connectivity"),
+            Query::StCutWeight { s, t } => write!(f, "st-cut({s},{t})"),
+        }
+    }
+}
+
+/// One operation against the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Register a graph under `name` (fails if the name is taken).
+    Create {
+        /// Registry key.
+        name: String,
+        /// How to build it.
+        spec: GraphSpec,
+    },
+    /// Remove a graph and its cache.
+    Drop {
+        /// Registry key.
+        name: String,
+    },
+    /// Mutate a graph.
+    Mutate {
+        /// Registry key.
+        name: String,
+        /// The change.
+        op: Mutation,
+    },
+    /// Query a graph (answers are cached per mutation epoch).
+    Query {
+        /// Registry key.
+        name: String,
+        /// The question.
+        query: Query,
+    },
+    /// List registered graph names (sorted).
+    ListGraphs,
+    /// Engine-level counters.
+    Stats,
+}
+
+impl Request {
+    /// Short stable label for per-action reporting.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Create { .. } => "create",
+            Request::Drop { .. } => "drop",
+            Request::Mutate { op: Mutation::InsertEdge { .. }, .. } => "insert-edge",
+            Request::Mutate { op: Mutation::DeleteEdge { .. }, .. } => "delete-edge",
+            Request::Mutate { op: Mutation::ContractVertices { .. }, .. } => "contract",
+            Request::Query { query, .. } => query.kind(),
+            Request::ListGraphs => "list",
+            Request::Stats => "stats",
+        }
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Request::Create { name, spec } => {
+                // Specs log by shape, not full edge lists (logs stay small).
+                let shape = match spec {
+                    GraphSpec::Edges { n, edges } => format!("edges(n={n},m={})", edges.len()),
+                    GraphSpec::Gnm { n, m, seed, .. } => format!("gnm(n={n},m={m},seed={seed})"),
+                    GraphSpec::ConnectedGnm { n, m, seed, .. } => {
+                        format!("cgnm(n={n},m={m},seed={seed})")
+                    }
+                    GraphSpec::PlantedCut { half, internal_m, cross, seed } => {
+                        format!("planted(half={half},m={internal_m},cross={cross},seed={seed})")
+                    }
+                    GraphSpec::Cycle { n } => format!("cycle(n={n})"),
+                    GraphSpec::RandomTree { n, seed } => format!("tree(n={n},seed={seed})"),
+                };
+                write!(f, "create {name} {shape}")
+            }
+            Request::Drop { name } => write!(f, "drop {name}"),
+            Request::Mutate { name, op } => write!(f, "mutate {name} {op}"),
+            Request::Query { name, query } => write!(f, "query {name} {query}"),
+            Request::ListGraphs => write!(f, "list-graphs"),
+            Request::Stats => write!(f, "stats"),
+        }
+    }
+}
+
+/// The engine's answer to one [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Graph registered.
+    Created {
+        /// Registry key.
+        name: String,
+        /// Vertex count.
+        n: usize,
+        /// Edge count.
+        m: usize,
+    },
+    /// Graph removed.
+    Dropped {
+        /// Registry key.
+        name: String,
+    },
+    /// Mutation applied.
+    Mutated {
+        /// Registry key.
+        name: String,
+        /// Epoch after the mutation.
+        epoch: u64,
+        /// Vertex count after the mutation.
+        n: usize,
+        /// Edge count after the mutation.
+        m: usize,
+    },
+    /// A cut-valued answer (min cut, singleton cut, s-t cut).
+    CutValue {
+        /// Cut weight.
+        weight: u64,
+        /// Size of the realizing side (0 when the query reports only a
+        /// weight, e.g. s-t cuts).
+        side_size: usize,
+        /// Served from the epoch cache.
+        cached: bool,
+    },
+    /// A k-cut answer.
+    KCutValue {
+        /// Total crossing weight.
+        weight: u64,
+        /// Number of parts.
+        parts: usize,
+        /// Served from the epoch cache.
+        cached: bool,
+    },
+    /// A connectivity answer.
+    ConnectivityValue {
+        /// Connected-component count.
+        components: usize,
+        /// Served from the epoch cache.
+        cached: bool,
+    },
+    /// Registered graph names, sorted.
+    Graphs {
+        /// Registry keys.
+        names: Vec<String>,
+    },
+    /// Engine-level counters snapshot.
+    EngineStats {
+        /// Registered graphs.
+        graphs: usize,
+        /// Queries served.
+        queries: u64,
+        /// Cache hits.
+        cache_hits: u64,
+        /// Cache misses.
+        cache_misses: u64,
+        /// Mutations applied.
+        mutations: u64,
+    },
+    /// The request failed; the engine state is unchanged.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl Response {
+    /// True when this response was served from the query cache.
+    pub fn was_cached(&self) -> bool {
+        matches!(
+            self,
+            Response::CutValue { cached: true, .. }
+                | Response::KCutValue { cached: true, .. }
+                | Response::ConnectivityValue { cached: true, .. }
+        )
+    }
+
+    /// The same response with its `cached` flag set.
+    pub(crate) fn as_cached(&self) -> Response {
+        let mut r = self.clone();
+        match &mut r {
+            Response::CutValue { cached, .. }
+            | Response::KCutValue { cached, .. }
+            | Response::ConnectivityValue { cached, .. } => *cached = true,
+            _ => {}
+        }
+        r
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::Created { name, n, m } => write!(f, "created {name} n={n} m={m}"),
+            Response::Dropped { name } => write!(f, "dropped {name}"),
+            Response::Mutated { name, epoch, n, m } => {
+                write!(f, "mutated {name} epoch={epoch} n={n} m={m}")
+            }
+            Response::CutValue { weight, side_size, cached } => {
+                write!(f, "cut weight={weight} side={side_size} cached={cached}")
+            }
+            Response::KCutValue { weight, parts, cached } => {
+                write!(f, "kcut weight={weight} parts={parts} cached={cached}")
+            }
+            Response::ConnectivityValue { components, cached } => {
+                write!(f, "connectivity components={components} cached={cached}")
+            }
+            Response::Graphs { names } => write!(f, "graphs [{}]", names.join(", ")),
+            Response::EngineStats { graphs, queries, cache_hits, cache_misses, mutations } => {
+                write!(
+                    f,
+                    "stats graphs={graphs} queries={queries} hits={cache_hits} \
+                     misses={cache_misses} mutations={mutations}"
+                )
+            }
+            Response::Error { message } => write!(f, "error: {message}"),
+        }
+    }
+}

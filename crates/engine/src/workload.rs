@@ -1,0 +1,410 @@
+//! Seeded workload generation: a deterministic stream of engine requests.
+//!
+//! The generator follows the algorithm-engineering playbook for cut
+//! benchmarks: a weighted action mix (`WeightedIndex`) decides *what* each
+//! operation does, and a Zipf-skewed popularity table decides *which* graph
+//! it targets — a few hot graphs absorb most of the traffic (which is what
+//! makes the engine's epoch cache earn its keep), while the long tail keeps
+//! the registry honest.
+//!
+//! The generator mirrors engine state (per-graph vertex counts and the
+//! multiset of present edges) so every emitted mutation is valid by
+//! construction:
+//! replaying a workload never produces `Response::Error`, and identical
+//! seeds produce identical request streams.
+
+use std::collections::BTreeMap;
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::request::{contract_relabel, GraphSpec, Mutation, Query, Request};
+
+/// Relative weights of the operations in a workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActionMix {
+    /// Insert a random weighted edge.
+    pub insert_edge: f64,
+    /// Delete a random present edge.
+    pub delete_edge: f64,
+    /// Contract a random vertex pair.
+    pub contract: f64,
+    /// `(2+ε)`-approximate min cut (seed drawn from a small pool, so
+    /// repeats can hit the cache).
+    pub approx_min_cut: f64,
+    /// Exact min cut.
+    pub exact_min_cut: f64,
+    /// Smallest singleton cut.
+    pub singleton_cut: f64,
+    /// Approximate min k-cut.
+    pub kcut: f64,
+    /// Connected components.
+    pub connectivity: f64,
+    /// Exact s-t cut weight.
+    pub st_cut: f64,
+}
+
+impl Default for ActionMix {
+    /// A read-heavy mix: ~70% queries, ~30% mutations — the regime the
+    /// epoch cache is designed for.
+    fn default() -> Self {
+        Self {
+            insert_edge: 18.0,
+            delete_edge: 8.0,
+            contract: 2.0,
+            approx_min_cut: 14.0,
+            exact_min_cut: 8.0,
+            singleton_cut: 10.0,
+            kcut: 4.0,
+            connectivity: 22.0,
+            st_cut: 14.0,
+        }
+    }
+}
+
+impl ActionMix {
+    /// A mutation-heavy mix (cache-hostile; useful for stressing rebuild
+    /// and invalidation paths).
+    pub fn write_heavy() -> Self {
+        Self {
+            insert_edge: 40.0,
+            delete_edge: 25.0,
+            contract: 5.0,
+            approx_min_cut: 5.0,
+            exact_min_cut: 5.0,
+            singleton_cut: 5.0,
+            kcut: 2.0,
+            connectivity: 8.0,
+            st_cut: 5.0,
+        }
+    }
+
+    /// A query-only mix (every op after warm-up should be a cache hit).
+    pub fn read_only() -> Self {
+        Self {
+            insert_edge: 0.0,
+            delete_edge: 0.0,
+            contract: 0.0,
+            approx_min_cut: 20.0,
+            exact_min_cut: 15.0,
+            singleton_cut: 15.0,
+            kcut: 5.0,
+            connectivity: 25.0,
+            st_cut: 20.0,
+        }
+    }
+
+    fn weights(&self) -> [f64; 9] {
+        [
+            self.insert_edge,
+            self.delete_edge,
+            self.contract,
+            self.approx_min_cut,
+            self.exact_min_cut,
+            self.singleton_cut,
+            self.kcut,
+            self.connectivity,
+            self.st_cut,
+        ]
+    }
+}
+
+/// Parameters of a generated workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of operations after the create prologue.
+    pub ops: usize,
+    /// Master seed; everything derives from it.
+    pub seed: u64,
+    /// Number of registered graphs.
+    pub graphs: usize,
+    /// Vertices per graph at creation.
+    pub initial_n: usize,
+    /// Zipf exponent for graph popularity (0 = uniform; ~1 = classic skew).
+    pub zipf_exponent: f64,
+    /// Distinct query seeds per graph (smaller pool ⇒ more cache hits).
+    pub query_seed_pool: u64,
+    /// The action mix.
+    pub mix: ActionMix,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            ops: 1_000,
+            seed: 0xC07,
+            graphs: 8,
+            initial_n: 48,
+            zipf_exponent: 1.1,
+            query_seed_pool: 4,
+            mix: ActionMix::default(),
+        }
+    }
+}
+
+/// Per-graph generator mirror: enough engine state to emit only valid
+/// mutations. Edges are a **multiset** of normalized endpoint pairs
+/// (parallel edges counted), matching the engine's edge-list semantics:
+/// inserts increment, deletes decrement, and contraction collapses each
+/// surviving pair to multiplicity 1 (the engine merges parallel edges).
+struct GraphMirror {
+    name: String,
+    n: usize,
+    /// Normalized `(min, max)` endpoint pair -> multiplicity.
+    pairs: BTreeMap<(u32, u32), u32>,
+    /// Total edge count (sum of multiplicities).
+    m: usize,
+}
+
+impl GraphMirror {
+    fn insert_pair(&mut self, u: u32, v: u32) {
+        *self.pairs.entry((u.min(v), u.max(v))).or_insert(0) += 1;
+        self.m += 1;
+    }
+
+    /// Remove one copy of the `i`-th distinct pair; returns its endpoints.
+    fn delete_nth_pair(&mut self, i: usize) -> (u32, u32) {
+        let &(u, v) = self.pairs.keys().nth(i).expect("index in range");
+        let count = self.pairs.get_mut(&(u, v)).expect("pair present");
+        *count -= 1;
+        if *count == 0 {
+            self.pairs.remove(&(u, v));
+        }
+        self.m -= 1;
+        (u, v)
+    }
+
+    fn relabel_after_contract(&mut self, u: u32, v: u32) {
+        let mut next = BTreeMap::new();
+        for &(a, b) in self.pairs.keys() {
+            let (mut a, mut b) = (contract_relabel(u, v, a), contract_relabel(u, v, b));
+            if a == b {
+                continue;
+            }
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            // The engine merges parallel edges on contraction.
+            next.insert((a, b), 1u32);
+        }
+        self.m = next.len();
+        self.pairs = next;
+        self.n -= 1;
+    }
+}
+
+/// A fully materialized, replayable request stream.
+pub struct Workload {
+    /// Create requests for every graph (run these first).
+    pub prologue: Vec<Request>,
+    /// The `ops` main-phase requests.
+    pub operations: Vec<Request>,
+}
+
+impl Workload {
+    /// Generate the workload for `cfg`. Pure: equal configs yield equal
+    /// request streams.
+    pub fn generate(cfg: &WorkloadConfig) -> Workload {
+        assert!(cfg.graphs > 0, "workload needs at least one graph");
+        assert!(cfg.initial_n >= 8, "workload graphs need initial_n >= 8");
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+        // --- Prologue: register the graph population. ---
+        let mut mirrors: Vec<GraphMirror> = Vec::with_capacity(cfg.graphs);
+        let mut prologue = Vec::with_capacity(cfg.graphs);
+        for i in 0..cfg.graphs {
+            let name = format!("g{i:03}");
+            let spec = spec_for(i, cfg.initial_n, rng.gen());
+            let (n, edges) = spec.materialize().expect("workload specs are valid by construction");
+            let mut mirror = GraphMirror { name: name.clone(), n, pairs: BTreeMap::new(), m: 0 };
+            for e in &edges {
+                mirror.insert_pair(e.u, e.v);
+            }
+            mirrors.push(mirror);
+            prologue.push(Request::Create { name, spec });
+        }
+
+        // --- Popularity: Zipf-skewed choice over graphs. ---
+        let zipf = WeightedIndex::new(
+            (0..cfg.graphs).map(|rank| 1.0 / ((rank + 1) as f64).powf(cfg.zipf_exponent)),
+        )
+        .expect("zipf weights are positive");
+        let actions =
+            WeightedIndex::new(cfg.mix.weights()).expect("action mix has a positive weight");
+
+        // --- Main phase. ---
+        let mut operations = Vec::with_capacity(cfg.ops);
+        let seed_pool = cfg.query_seed_pool.max(1);
+        while operations.len() < cfg.ops {
+            let mirror = &mut mirrors[zipf.sample(&mut rng)];
+            let action = actions.sample(&mut rng);
+            let n = mirror.n as u32;
+            let request = match action {
+                // insert-edge
+                0 => {
+                    let u = rng.gen_range(0..n);
+                    let v = rng.gen_range(0..n - 1);
+                    let v = if v >= u { v + 1 } else { v };
+                    let w = rng.gen_range(1..=16u64);
+                    mirror.insert_pair(u, v);
+                    Request::Mutate {
+                        name: mirror.name.clone(),
+                        op: Mutation::InsertEdge { u, v, w },
+                    }
+                }
+                // delete-edge: only while the graph stays usefully dense;
+                // otherwise resample another (graph, action) pair.
+                1 if mirror.m > mirror.n => {
+                    let i = rng.gen_range(0..mirror.pairs.len());
+                    let (u, v) = mirror.delete_nth_pair(i);
+                    Request::Mutate { name: mirror.name.clone(), op: Mutation::DeleteEdge { u, v } }
+                }
+                1 => continue,
+                // contract: keep graphs from collapsing entirely.
+                2 if mirror.n > 12 => {
+                    let u = rng.gen_range(0..n);
+                    let v = rng.gen_range(0..n - 1);
+                    let v = if v >= u { v + 1 } else { v };
+                    mirror.relabel_after_contract(u.min(v), u.max(v));
+                    Request::Mutate {
+                        name: mirror.name.clone(),
+                        op: Mutation::ContractVertices { u: u.min(v), v: u.max(v) },
+                    }
+                }
+                2 => continue,
+                3 => Request::Query {
+                    name: mirror.name.clone(),
+                    query: Query::ApproxMinCut { seed: rng.gen_range(0..seed_pool) },
+                },
+                4 => Request::Query { name: mirror.name.clone(), query: Query::ExactMinCut },
+                5 => Request::Query {
+                    name: mirror.name.clone(),
+                    query: Query::SingletonCut { seed: rng.gen_range(0..seed_pool) },
+                },
+                6 => {
+                    let k = rng.gen_range(2..=4usize.min(mirror.n));
+                    Request::Query { name: mirror.name.clone(), query: Query::KCut { k } }
+                }
+                7 => Request::Query { name: mirror.name.clone(), query: Query::Connectivity },
+                _ => {
+                    let s = rng.gen_range(0..n);
+                    let t = rng.gen_range(0..n - 1);
+                    let t = if t >= s { t + 1 } else { t };
+                    Request::Query { name: mirror.name.clone(), query: Query::StCutWeight { s, t } }
+                }
+            };
+            operations.push(request);
+        }
+
+        Workload { prologue, operations }
+    }
+
+    /// Prologue followed by the main phase, as one stream.
+    pub fn all_requests(&self) -> impl Iterator<Item = &Request> {
+        self.prologue.iter().chain(self.operations.iter())
+    }
+
+    /// Total number of requests (prologue + operations).
+    pub fn len(&self) -> usize {
+        self.prologue.len() + self.operations.len()
+    }
+
+    /// True when the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Deterministic spec variety: cycle through four graph families.
+fn spec_for(index: usize, initial_n: usize, seed: u64) -> GraphSpec {
+    let n = initial_n;
+    match index % 4 {
+        0 => GraphSpec::ConnectedGnm { n, m: 3 * n, w_min: 1, w_max: 12, seed },
+        1 => GraphSpec::PlantedCut { half: n / 2, internal_m: 2 * n, cross: 3, seed },
+        2 => GraphSpec::Cycle { n },
+        _ => GraphSpec::RandomTree { n, seed },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::request::Response;
+
+    #[test]
+    fn identical_seeds_give_identical_streams() {
+        let cfg = WorkloadConfig { ops: 400, seed: 99, ..WorkloadConfig::default() };
+        let a = Workload::generate(&cfg);
+        let b = Workload::generate(&cfg);
+        assert_eq!(a.prologue, b.prologue);
+        assert_eq!(a.operations, b.operations);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let base = WorkloadConfig { ops: 200, ..WorkloadConfig::default() };
+        let a = Workload::generate(&WorkloadConfig { seed: 1, ..base.clone() });
+        let b = Workload::generate(&WorkloadConfig { seed: 2, ..base });
+        assert_ne!(a.operations, b.operations);
+    }
+
+    #[test]
+    fn generated_mutations_never_fail() {
+        let cfg = WorkloadConfig {
+            ops: 600,
+            seed: 7,
+            graphs: 5,
+            initial_n: 24,
+            mix: ActionMix::write_heavy(),
+            ..WorkloadConfig::default()
+        };
+        let wl = Workload::generate(&cfg);
+        let mut engine = Engine::new();
+        for req in wl.all_requests() {
+            let resp = engine.execute(req.clone());
+            assert!(
+                !matches!(resp, Response::Error { .. }),
+                "valid-by-construction workload hit: {req} -> {resp}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_traffic() {
+        let cfg = WorkloadConfig {
+            ops: 2_000,
+            seed: 5,
+            graphs: 10,
+            zipf_exponent: 1.2,
+            ..WorkloadConfig::default()
+        };
+        let wl = Workload::generate(&cfg);
+        let hot = wl
+            .operations
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r,
+                    Request::Mutate { name, .. } | Request::Query { name, .. }
+                        if name == "g000"
+                )
+            })
+            .count();
+        // Rank-0 gets weight 1 of H(10, 1.2) ≈ 2.92 ⇒ ~34% of traffic.
+        assert!(
+            hot > wl.operations.len() / 5,
+            "expected zipf hot spot, got {hot}/{}",
+            wl.operations.len()
+        );
+    }
+
+    #[test]
+    fn read_only_mix_emits_no_mutations() {
+        let cfg =
+            WorkloadConfig { ops: 300, mix: ActionMix::read_only(), ..WorkloadConfig::default() };
+        let wl = Workload::generate(&cfg);
+        assert!(wl.operations.iter().all(|r| matches!(r, Request::Query { .. })));
+    }
+}

@@ -54,7 +54,7 @@ pub fn min_kcut(g: &Graph, k: usize) -> (u64, Vec<u32>) {
         best: &mut (u64, Vec<u32>),
     ) {
         let n = g.n();
-        if n - v < (k as usize).saturating_sub(used as usize) {
+        if n - v < k.saturating_sub(used as usize) {
             return; // not enough vertices left to open the remaining parts
         }
         if v == n {

@@ -38,22 +38,14 @@ impl CutResult {
 /// with exactly one endpoint inside.
 pub fn cut_weight(g: &Graph, in_side: &[bool]) -> u64 {
     debug_assert_eq!(in_side.len(), g.n());
-    g.edges()
-        .iter()
-        .filter(|e| in_side[e.u as usize] != in_side[e.v as usize])
-        .map(|e| e.w)
-        .sum()
+    g.edges().iter().filter(|e| in_side[e.u as usize] != in_side[e.v as usize]).map(|e| e.w).sum()
 }
 
 /// Weight of the k-cut induced by a partition labeling: sum of weights of
 /// edges whose endpoints carry different labels.
 pub fn kcut_weight(g: &Graph, label: &[u32]) -> u64 {
     debug_assert_eq!(label.len(), g.n());
-    g.edges()
-        .iter()
-        .filter(|e| label[e.u as usize] != label[e.v as usize])
-        .map(|e| e.w)
-        .sum()
+    g.edges().iter().filter(|e| label[e.u as usize] != label[e.v as usize]).map(|e| e.w).sum()
 }
 
 #[cfg(test)]

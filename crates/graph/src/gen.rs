@@ -27,7 +27,7 @@ pub fn cycle(n: usize) -> Graph {
 /// single cycle on `n` vertices or two disjoint cycles on `n/2` each, with
 /// vertex ids shuffled so the structure is not syntactically visible.
 pub fn one_or_two_cycles(n: usize, two: bool, rng: &mut impl Rng) -> Graph {
-    assert!(n >= 6 && n % 2 == 0, "need even n >= 6");
+    assert!(n >= 6 && n.is_multiple_of(2), "need even n >= 6");
     let mut perm: Vec<u32> = (0..n as u32).collect();
     perm.shuffle(rng);
     let mut edges = Vec::with_capacity(n);
@@ -120,7 +120,12 @@ pub fn gnp(n: usize, p: f64, rng: &mut impl Rng) -> Graph {
 }
 
 /// G(n, m): exactly `m` distinct random edges, weights in `w_range`.
-pub fn gnm(n: usize, m: usize, w_range: std::ops::RangeInclusive<u64>, rng: &mut impl Rng) -> Graph {
+pub fn gnm(
+    n: usize,
+    m: usize,
+    w_range: std::ops::RangeInclusive<u64>,
+    rng: &mut impl Rng,
+) -> Graph {
     let max_m = n * (n - 1) / 2;
     assert!(m <= max_m, "too many edges requested");
     let mut chosen = std::collections::HashSet::with_capacity(m);
@@ -151,11 +156,8 @@ pub fn connected_gnm(
     let tree = random_tree(n, rng);
     let mut chosen: std::collections::HashSet<(u32, u32)> =
         tree.edges().iter().map(|e| (e.u.min(e.v), e.u.max(e.v))).collect();
-    let mut edges: Vec<Edge> = tree
-        .edges()
-        .iter()
-        .map(|e| Edge::new(e.u, e.v, rng.gen_range(w_range.clone())))
-        .collect();
+    let mut edges: Vec<Edge> =
+        tree.edges().iter().map(|e| Edge::new(e.u, e.v, rng.gen_range(w_range.clone()))).collect();
     let max_m = n * (n - 1) / 2;
     let m = m.min(max_m);
     while edges.len() < m {
@@ -187,10 +189,8 @@ pub fn random_tree(n: usize, rng: &mut impl Rng) -> Graph {
     }
     let mut edges = Vec::with_capacity(n - 1);
     // Min-heap of current leaves.
-    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<u32>> = (0..n as u32)
-        .filter(|&v| degree[v as usize] == 1)
-        .map(std::cmp::Reverse)
-        .collect();
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<u32>> =
+        (0..n as u32).filter(|&v| degree[v as usize] == 1).map(std::cmp::Reverse).collect();
     for &p in &prufer {
         let std::cmp::Reverse(leaf) = heap.pop().expect("prufer invariant");
         edges.push(Edge::new(leaf, p, 1));
@@ -399,11 +399,7 @@ mod tests {
         assert_eq!(g.n(), 8);
         assert!(g.is_connected());
         // The bridge is the only edge between the halves.
-        let crossing = g
-            .edges()
-            .iter()
-            .filter(|e| (e.u < 4) != (e.v < 4))
-            .count();
+        let crossing = g.edges().iter().filter(|e| (e.u < 4) != (e.v < 4)).count();
         assert_eq!(crossing, 1);
     }
 

@@ -108,15 +108,9 @@ impl GomoryHuTree {
     /// The global min cut read off the tree (lightest tree edge) together
     /// with its stored side.
     pub fn global_min_cut(&self) -> CutResult {
-        let (v, _, w) = *self
-            .edges_by_weight()
-            .first()
-            .expect("tree needs at least one edge");
+        let (v, _, w) = *self.edges_by_weight().first().expect("tree needs at least one edge");
         let side = &self.sides[v as usize];
-        CutResult {
-            weight: w,
-            side: (0..self.n() as u32).filter(|&x| side[x as usize]).collect(),
-        }
+        CutResult { weight: w, side: (0..self.n() as u32).filter(|&x| side[x as usize]).collect() }
     }
 
     /// Saran–Vazirani greedy k-cut from the tree: union of the `k-1`
@@ -128,6 +122,7 @@ impl GomoryHuTree {
         assert!(k >= 1 && k <= self.n());
         let mut removed = vec![false; g.m()];
         let mut chosen = 0usize;
+        #[allow(clippy::explicit_counter_loop)] // chosen counts accepted edges, not iterations
         for (v, _, _) in self.edges_by_weight() {
             if chosen + 1 >= k {
                 break;
@@ -158,9 +153,9 @@ impl GomoryHuTree {
 mod tests {
     use super::*;
     use crate::gen;
+    use crate::graph::{Edge, Graph};
     use crate::maxflow::min_st_cut;
     use crate::stoer_wagner::stoer_wagner;
-    use crate::graph::{Edge, Graph};
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
@@ -173,11 +168,7 @@ mod tests {
             let gh = GomoryHuTree::build(&g);
             for s in 0..n as u32 {
                 for t in (s + 1)..n as u32 {
-                    assert_eq!(
-                        gh.min_cut_value(s, t),
-                        min_st_cut(&g, s, t),
-                        "n={n} s={s} t={t}"
-                    );
+                    assert_eq!(gh.min_cut_value(s, t), min_st_cut(&g, s, t), "n={n} s={s} t={t}");
                 }
             }
         }

@@ -215,13 +215,8 @@ impl Graph {
         for &i in drop {
             dead[i as usize] = true;
         }
-        let edges = self
-            .edges
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| !dead[*i])
-            .map(|(_, e)| *e)
-            .collect();
+        let edges =
+            self.edges.iter().enumerate().filter(|(i, _)| !dead[*i]).map(|(_, e)| *e).collect();
         Graph::new_unchecked(self.n, edges)
     }
 }

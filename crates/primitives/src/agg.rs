@@ -23,7 +23,8 @@ struct Node {
 
 fn combine(l: Node, r: Node) -> Node {
     let right_shifted = l.sum + r.minp;
-    let (minp, arg) = if l.minp <= right_shifted { (l.minp, l.arg) } else { (right_shifted, r.arg) };
+    let (minp, arg) =
+        if l.minp <= right_shifted { (l.minp, l.arg) } else { (right_shifted, r.arg) };
     Node { sum: l.sum + r.sum, minp, arg }
 }
 
@@ -54,7 +55,9 @@ fn reduce(exec: &mut Executor, values: &[i64], label: &str) -> Node {
     while level.len() > 1 {
         depth += 1;
         dht.clear();
-        dht.bulk_load(level.iter().enumerate().map(|(i, nd)| (i as u64, (nd.sum, nd.minp, nd.arg))));
+        dht.bulk_load(
+            level.iter().enumerate().map(|(i, nd)| (i as u64, (nd.sum, nd.minp, nd.arg))),
+        );
         let blocks = level.len();
         let machines = exec.cfg().machines_for(blocks);
         level = exec.round(&format!("{label}/up{depth}"), machines, |ctx, mi| {

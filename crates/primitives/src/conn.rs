@@ -47,9 +47,7 @@ pub fn connectivity(exec: &mut Executor, n: usize, edges: &[(u32, u32)]) -> Vec<
             list.sort_unstable();
             list.dedup();
             deg_dht.bulk_load([(v as u64, list.len() as u32)]);
-            adj_dht.bulk_load(
-                list.iter().enumerate().map(|(i, &to)| (pack2(v, i as u32), to)),
-            );
+            adj_dht.bulk_load(list.iter().enumerate().map(|(i, &to)| (pack2(v, i as u32), to)));
         }
 
         // Hooking round: every super finds the min id in its budgeted view.

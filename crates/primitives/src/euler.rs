@@ -61,7 +61,7 @@ pub fn root_forest(exec: &mut Executor, n: usize, edges: &[(u32, u32)]) -> InMod
     // Arc 2i = (u→v), arc 2i+1 = (v→u); adjacency sorted by neighbor id.
     let arc_from = |a: usize| -> u32 {
         let (u, v) = edges[a / 2];
-        if a % 2 == 0 {
+        if a.is_multiple_of(2) {
             u
         } else {
             v
@@ -69,7 +69,7 @@ pub fn root_forest(exec: &mut Executor, n: usize, edges: &[(u32, u32)]) -> InMod
     };
     let arc_to = |a: usize| -> u32 {
         let (u, v) = edges[a / 2];
-        if a % 2 == 0 {
+        if a.is_multiple_of(2) {
             v
         } else {
             u
@@ -91,6 +91,7 @@ pub fn root_forest(exec: &mut Executor, n: usize, edges: &[(u32, u32)]) -> InMod
             index_in_adj[a as usize] = i as u32;
         }
     }
+    #[allow(clippy::needless_range_loop)] // a is an arc id; a ^ 1 pairs reversals
     for a in 0..2 * m {
         let rev = (a ^ 1) as u32;
         let v = arc_to(a);
@@ -170,7 +171,7 @@ pub fn root_forest(exec: &mut Executor, n: usize, edges: &[(u32, u32)]) -> InMod
     for a in (0..2 * m).step_by(2) {
         let (d, u) = if down[a] { (a, a ^ 1) } else { (a ^ 1, a) };
         let child = arc_to(d) as usize;
-        subtree[child] = ((pos[u] - pos[d] + 1) / 2) as u32;
+        subtree[child] = (pos[u] - pos[d]).div_ceil(2) as u32;
     }
     for t in 0..2 * m {
         if next[t] == t as u32 {
@@ -226,14 +227,10 @@ mod tests {
                 assert_eq!(f.preorder[v as usize], 0, "root preorder");
             } else {
                 let p = f.parent[v as usize] as usize;
-                assert!(
-                    f.preorder[p] < f.preorder[v as usize],
-                    "parent after child: v={v}"
-                );
+                assert!(f.preorder[p] < f.preorder[v as usize], "parent after child: v={v}");
                 // v's subtree range nests inside its parent's.
                 assert!(
-                    f.preorder[v as usize] + f.subtree[v as usize]
-                        <= f.preorder[p] + f.subtree[p],
+                    f.preorder[v as usize] + f.subtree[v as usize] <= f.preorder[p] + f.subtree[p],
                     "subtree range escapes parent: v={v}"
                 );
             }

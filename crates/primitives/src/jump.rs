@@ -233,8 +233,7 @@ mod tests {
         for _ in 0..10 {
             let n = rng.gen_range(1..300usize);
             // Random forest: each node points to a smaller index or itself.
-            let next: Vec<u32> =
-                (0..n).map(|i| rng.gen_range(0..=i) as u32).collect();
+            let next: Vec<u32> = (0..n).map(|i| rng.gen_range(0..=i) as u32).collect();
             let val: Vec<u64> = (0..n).map(|_| rng.gen_range(0..100)).collect();
             let (r, _) = run(&next, &val, ExecMode::Ampc);
             let expect = reference(&next, &val);

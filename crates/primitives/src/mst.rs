@@ -54,9 +54,11 @@ pub fn minimum_spanning_forest(exec: &mut Executor, n: usize, edges: &[PrioEdge]
         // one machine's adaptive budget, finish it in a single round.
         if exec.cfg().mode == ExecMode::Ampc && live.len() <= cap {
             let edge_dht: Dht<(u32, u32, u32, u64)> = Dht::new();
-            edge_dht.bulk_load(live.iter().enumerate().map(|(i, &(ei, a, b))| {
-                (i as u64, (ei, a, b, edges[ei as usize].prio))
-            }));
+            edge_dht.bulk_load(
+                live.iter()
+                    .enumerate()
+                    .map(|(i, &(ei, a, b))| (i as u64, (ei, a, b, edges[ei as usize].prio))),
+            );
             let cnt = live.len();
             let picked = exec
                 .round("mst/finish-local", 1, |ctx, _| {
@@ -102,8 +104,7 @@ pub fn minimum_spanning_forest(exec: &mut Executor, n: usize, edges: &[PrioEdge]
         supers.sort_unstable();
         for (&s, list) in &adj {
             deg_dht.bulk_load([(s as u64, list.len() as u32)]);
-            adj_dht
-                .bulk_load(list.iter().enumerate().map(|(i, &r)| (pack2(s, i as u32), r)));
+            adj_dht.bulk_load(list.iter().enumerate().map(|(i, &r)| (pack2(s, i as u32), r)));
         }
         // Chunked min: each (super, chunk) machine folds ≤ cap records;
         // a second tier folds the partials (≤ cap per super in practice —
@@ -123,7 +124,7 @@ pub fn minimum_spanning_forest(exec: &mut Executor, n: usize, edges: &[PrioEdge]
             let mut best: Option<(u64, u32, u32)> = None;
             for i in lo..hi {
                 let r = adj_dht.expect(ctx, pack2(s, i as u32));
-                if best.map_or(true, |b| r < b) {
+                if best.is_none_or(|b| r < b) {
                     best = Some(r);
                 }
             }
@@ -194,11 +195,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn to_prio_edges(g: &cut_graph::Graph, prio: &[u64]) -> Vec<PrioEdge> {
-        g.edges()
-            .iter()
-            .zip(prio)
-            .map(|(e, &p)| PrioEdge { u: e.u, v: e.v, prio: p })
-            .collect()
+        g.edges().iter().zip(prio).map(|(e, &p)| PrioEdge { u: e.u, v: e.v, prio: p }).collect()
     }
 
     fn unique_prio(m: usize, seed: u64) -> Vec<u64> {

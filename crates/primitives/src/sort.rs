@@ -73,7 +73,8 @@ pub fn sample_sort(exec: &mut Executor, keys: &[u64]) -> Vec<u64> {
         let mut per_seg_count = vec![0u64; seg.len()];
         for (si, picked) in &sample_parts {
             for &k in picked {
-                samples_dht.bulk_load([(ampc_model::pack2(*si as u32, per_seg_count[*si] as u32), k)]);
+                samples_dht
+                    .bulk_load([(ampc_model::pack2(*si as u32, per_seg_count[*si] as u32), k)]);
                 per_seg_count[*si] += 1;
             }
         }
@@ -99,8 +100,7 @@ pub fn sample_sort(exec: &mut Executor, keys: &[u64]) -> Vec<u64> {
                 return Vec::new(); // constant segment: no split needed
             }
             let buckets = len.div_ceil(cap).max(2).min(cap);
-            let mut sp: Vec<u64> =
-                (1..buckets).map(|b| smp[b * smp.len() / buckets]).collect();
+            let mut sp: Vec<u64> = (1..buckets).map(|b| smp[b * smp.len() / buckets]).collect();
             sp.dedup();
             sp.retain(|&x| x > mn); // bucket 0 must be nonempty-able
             if sp.is_empty() {
@@ -163,12 +163,13 @@ pub fn sample_sort(exec: &mut Executor, keys: &[u64]) -> Vec<u64> {
             new_pieces_per_seg.push(out);
         }
         if !small.is_empty() {
-            let sorted_small = exec.round(&format!("sort/bucket{level}"), small.len(), |ctx, mi| {
-                ctx.charge_local(small[mi].len() as u64);
-                let mut v = small[mi].clone();
-                v.sort_unstable();
-                v
-            });
+            let sorted_small =
+                exec.round(&format!("sort/bucket{level}"), small.len(), |ctx, mi| {
+                    ctx.charge_local(small[mi].len() as u64);
+                    let mut v = small[mi].clone();
+                    v.sort_unstable();
+                    v
+                });
             for ((si, pi), v) in small_slots.into_iter().zip(sorted_small) {
                 new_pieces_per_seg[si][pi] = Piece::Sorted(v);
             }

@@ -210,7 +210,6 @@ mod tests {
             }
             leaf
         }
-
     }
 
     #[test]

@@ -143,7 +143,7 @@ mod tests {
         // Observation 2: heavy paths partition the vertices.
         let t = sample_tree();
         let h = Hld::new(&t);
-        let mut seen = vec![0; 10];
+        let mut seen = [0; 10];
         for path in &h.paths {
             for &v in path {
                 seen[v as usize] += 1;
@@ -217,7 +217,8 @@ mod tests {
 
     #[test]
     fn path_graph_is_one_heavy_path() {
-        let t = RootedForest::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]);
+        let t =
+            RootedForest::from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]);
         let h = Hld::new(&t);
         assert_eq!(h.path_count(), 1);
         assert_eq!(h.path_of(0).len(), 8);
@@ -238,10 +239,7 @@ mod tests {
         let t = RootedForest::from_edges(5, &[(0, 1), (3, 4)]);
         let h = Hld::new(&t);
         // Three components: {0,1}, {2}, {3,4} → three root paths.
-        assert_eq!(
-            h.paths.iter().filter(|_| true).count(),
-            3
-        );
+        assert_eq!(h.paths.iter().filter(|_| true).count(), 3);
         let ids: std::collections::HashSet<u32> =
             [0usize, 2, 3].iter().map(|&v| h.path_id[v]).collect();
         assert_eq!(ids.len(), 3);

@@ -68,6 +68,7 @@ pub fn low_depth_decomposition(forest: &RootedForest, hld: &Hld) -> LowDepthLabe
     }
     let mut label = vec![0u32; n];
     let mut height = 0;
+    #[allow(clippy::needless_range_loop)] // v is a vertex id indexing parallel arrays
     for v in 0..n {
         let pid = hld.path_id[v] as usize;
         let len = hld.paths[pid].len() as u64;
@@ -185,10 +186,7 @@ mod tests {
     #[test]
     fn path_graph_height_logarithmic() {
         // A path is one heavy path → height = binarized path height.
-        let (_, _, l) = decompose(
-            128,
-            &(1..128u32).map(|i| (i - 1, i)).collect::<Vec<_>>(),
-        );
+        let (_, _, l) = decompose(128, &(1..128u32).map(|i| (i - 1, i)).collect::<Vec<_>>());
         assert_eq!(l.height, binpath::height(128));
     }
 

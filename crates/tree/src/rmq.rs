@@ -251,7 +251,8 @@ mod tests {
         let brute = |mut a: u32, mut b: u32, maxop: bool| -> u64 {
             let mut acc: Option<u64> = None;
             while a != b {
-                let (x, other) = if f.depth[a as usize] >= f.depth[b as usize] { (a, b) } else { (b, a) };
+                let (x, other) =
+                    if f.depth[a as usize] >= f.depth[b as usize] { (a, b) } else { (b, a) };
                 let val = edge_val[x as usize];
                 acc = Some(match acc {
                     None => val,

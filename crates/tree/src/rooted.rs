@@ -42,12 +42,7 @@ impl RootedForest {
     /// Root a forest stored as a [`Graph`] whose edge set is acyclic.
     pub fn from_graph(g: &Graph) -> Self {
         let n = g.n();
-        assert!(
-            g.m() < n || n == 0,
-            "not a forest: {} edges on {} vertices",
-            g.m(),
-            n
-        );
+        assert!(g.m() < n || n == 0, "not a forest: {} edges on {} vertices", g.m(), n);
         let mut parent = vec![NONE; n];
         let mut parent_edge = vec![NONE; n];
         let mut depth = vec![0u32; n];
@@ -211,7 +206,7 @@ mod tests {
     fn preorder_visits_each_vertex_once_parents_first() {
         let t = sample_tree();
         assert_eq!(t.preorder.len(), 10);
-        let mut pos = vec![0usize; 10];
+        let mut pos = [0usize; 10];
         for (i, &v) in t.preorder.iter().enumerate() {
             pos[v as usize] = i;
         }

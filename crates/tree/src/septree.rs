@@ -222,7 +222,8 @@ mod tests {
 
     #[test]
     fn every_vertex_is_its_own_first_chain_element() {
-        let (_, s) = build(10, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6), (4, 7), (5, 8), (8, 9)]);
+        let (_, s) =
+            build(10, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6), (4, 7), (5, 8), (8, 9)]);
         for v in 0..10u32 {
             assert_eq!(s.chain(v)[0], v);
         }
@@ -262,7 +263,8 @@ mod tests {
 
     #[test]
     fn depths_consistent_with_parents() {
-        let (_, s) = build(10, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6), (4, 7), (5, 8), (8, 9)]);
+        let (_, s) =
+            build(10, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6), (4, 7), (5, 8), (8, 9)]);
         for v in 0..10u32 {
             match s.parent[v as usize] {
                 p if p == NONE => assert_eq!(s.depth[v as usize], 0),

@@ -37,9 +37,22 @@
 //! | [`cut_tree`] | heavy-light decomposition, binarized paths, low-depth decomposition, RMQ |
 //! | [`ampc_primitives`] | in-model chain compression, rooting, aggregation, sort, connectivity, MSF |
 //! | [`mincut_core`] | Algorithms 1–4 (reference + in-model), contraction oracle, baselines |
+//! | [`cut_engine`] | multi-graph cut-query engine: registry, mutations, epoch-cached queries, seeded workloads |
+//!
+//! ## Serving queries
+//!
+//! The [`cut_engine`] crate turns the one-shot algorithms into a long-lived
+//! service: register named graphs, mutate them (insert/delete weighted
+//! edges, contract vertices), and issue queries through one
+//! `Engine::execute(Request) -> Response` entry point. Query answers are
+//! cached per mutation epoch, seeded workloads replay deterministically,
+//! and `cargo run --release -p cut_bench --bin stress` measures the whole
+//! stack (ops/sec, per-action latency percentiles, cache hit rate). See
+//! `examples/engine_session.rs` for a guided session.
 
 pub use ampc_model;
 pub use ampc_primitives;
+pub use cut_engine;
 pub use cut_graph;
 pub use cut_tree;
 pub use mincut_core;
@@ -48,12 +61,16 @@ pub use mincut_core;
 pub mod prelude {
     pub use ampc_model::{AmpcConfig, Dht, ExecMode, Executor, RunStats};
     pub use ampc_primitives::{connectivity, minimum_spanning_forest, root_forest, sample_sort};
+    pub use cut_engine::{
+        Engine, EngineConfig, EngineStats, GraphSpec, Mutation, Query, Request, Response, Workload,
+        WorkloadConfig,
+    };
     pub use cut_graph::{cut_weight, stoer_wagner, CutResult, Edge, Graph};
     pub use cut_tree::{low_depth_decomposition, validate_decomposition, Hld, RootedForest};
     pub use mincut_core::baselines::{karger, karger_stein, karger_stein_boosted};
     pub use mincut_core::model::{ampc_min_cut, ampc_smallest_singleton_cut, AmpcMinCutReport};
     pub use mincut_core::{
-        apx_split, approx_min_cut, contraction_oracle, exponential_priorities,
+        approx_min_cut, apx_split, contraction_oracle, exponential_priorities,
         smallest_singleton_cut, KCutOptions, MinCutOptions,
     };
 }

@@ -13,8 +13,7 @@ fn with_threads(n: usize, threads: usize) -> (u64, usize, Vec<String>) {
     let prio = exponential_priorities(&g, &mut rng);
     let mut exec = Executor::new(AmpcConfig::new(n, 0.5).with_threads(threads));
     let rep = ampc_smallest_singleton_cut(&mut exec, &g, &prio);
-    let labels: Vec<String> =
-        exec.stats().per_round.iter().map(|r| r.label.clone()).collect();
+    let labels: Vec<String> = exec.stats().per_round.iter().map(|r| r.label.clone()).collect();
     (rep.cut.weight, exec.rounds(), labels)
 }
 
@@ -58,12 +57,8 @@ fn per_round_io_statistics_are_schedule_independent() {
         let edges: Vec<(u32, u32)> = g.edges().iter().map(|e| (e.u, e.v)).collect();
         let mut exec = Executor::new(AmpcConfig::new(n, 0.5).with_threads(threads));
         let f = root_forest(&mut exec, n, &edges);
-        let io: Vec<(u64, u64)> = exec
-            .stats()
-            .per_round
-            .iter()
-            .map(|r| (r.max_reads, r.total_reads))
-            .collect();
+        let io: Vec<(u64, u64)> =
+            exec.stats().per_round.iter().map(|r| (r.max_reads, r.total_reads)).collect();
         (f.parent, f.depth, io)
     };
     assert_eq!(run(1), run(6));

@@ -65,11 +65,7 @@ fn kcut_pipeline_within_bound() {
             opts.mincut.repetitions = 4;
             let r = apx_split(&g, &opts);
             assert!(r.weight >= opt);
-            assert!(
-                (r.weight as f64) <= 4.5 * opt as f64 + 1e-9,
-                "k={k}: {} vs {opt}",
-                r.weight
-            );
+            assert!((r.weight as f64) <= 4.5 * opt as f64 + 1e-9, "k={k}: {} vs {opt}", r.weight);
         }
     }
 }
@@ -97,8 +93,7 @@ fn decomposition_pipeline_from_mst() {
     validate_decomposition(&rooted, &reference.label).unwrap();
 
     let mut exec = Executor::new(AmpcConfig::new(200, 0.5).with_threads(2));
-    let in_model =
-        mincut_core::model::ampc_low_depth_decomposition(&mut exec, 200, &pairs);
+    let in_model = mincut_core::model::ampc_low_depth_decomposition(&mut exec, 200, &pairs);
     assert_eq!(in_model.label, reference.label);
 }
 
@@ -112,10 +107,8 @@ fn algorithm_zoo_on_planted_cut() {
     assert_eq!(exact, 2);
 
     let ks = karger_stein_boosted(&g, 6, 17);
-    let ampc = approx_min_cut(
-        &g,
-        &MinCutOptions { epsilon: 0.5, base_size: 16, repetitions: 4, seed: 3 },
-    );
+    let ampc =
+        approx_min_cut(&g, &MinCutOptions { epsilon: 0.5, base_size: 16, repetitions: 4, seed: 3 });
     let kg = karger(&g, 60, 23);
 
     for (name, c) in [("karger", &kg), ("karger-stein", &ks), ("ampc", &ampc)] {

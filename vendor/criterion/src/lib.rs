@@ -1,0 +1,210 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! Keeps the macro/entry-point shape of criterion 0.5 (`criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `Bencher::iter`,
+//! `BenchmarkId`) but runs a deliberately small timing loop: a few warmup
+//! iterations, then `sample_size` timed samples, reporting the median and
+//! min/max per benchmark. No statistics engine, no plotting, no baseline
+//! storage — enough to compare orders of magnitude offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        Self { name: format!("{function_name}/{parameter}") }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name }
+    }
+}
+
+/// Passed to the closure under test; times the inner loop.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `sample_size` runs of `routine` (after 3 warmup runs).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(full_name: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { samples: Vec::new(), sample_size };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{full_name:<50} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let lo = b.samples[0];
+    let hi = *b.samples.last().unwrap();
+    println!(
+        "{full_name:<50} time: [{} {} {}]",
+        fmt_duration(lo),
+        fmt_duration(median),
+        fmt_duration(hi)
+    );
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        let mut f = f;
+        run_one(&full, self.sample_size, |b| f(b));
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.name);
+        let mut f = f;
+        run_one(&full, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// End the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Apply command-line configuration (ignored offline).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group: {name}");
+        BenchmarkGroup { name, sample_size: 10, _criterion: self }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        run_one(name, 10, |b| f(b));
+        self
+    }
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        let mut runs = 0u32;
+        g.bench_function(BenchmarkId::new("count", 1), |b| {
+            b.iter(|| runs += 1);
+        });
+        g.finish();
+        // 3 warmup + 2 samples.
+        assert_eq!(runs, 5);
+    }
+}

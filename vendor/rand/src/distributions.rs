@@ -1,0 +1,139 @@
+//! Distributions over user types.
+
+use crate::{RngCore, SampleRange, Standard};
+
+/// A distribution producing `T` values.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform distribution over a half-open or inclusive range, pre-validated.
+#[derive(Debug, Clone)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+}
+
+impl<T: Copy> Uniform<T> {
+    /// Uniform over `[low, high)`.
+    pub fn new(low: T, high: T) -> Self {
+        Self { low, high }
+    }
+}
+
+impl<T> Distribution<T> for Uniform<T>
+where
+    T: Copy,
+    core::ops::Range<T>: SampleRange<T>,
+{
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (self.low..self.high).sample_single(rng)
+    }
+}
+
+/// The "any value of T" distribution marker.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardDist;
+
+impl<T: Standard> Distribution<T> for StandardDist {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_standard(rng)
+    }
+}
+
+/// Error from [`WeightedIndex::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedError {
+    /// No weights were provided.
+    NoItem,
+    /// A weight was negative or not finite.
+    InvalidWeight,
+    /// All weights were zero.
+    AllWeightsZero,
+}
+
+impl core::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no weights provided"),
+            WeightedError::InvalidWeight => write!(f, "negative or non-finite weight"),
+            WeightedError::AllWeightsZero => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Sample indices `0..k` proportionally to a weight table.
+///
+/// Sampling is a binary search over the cumulative weight table — `O(log k)`
+/// per draw, exactly like upstream rand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedIndex {
+    /// Build from any iterator of nonnegative weights (at least one must be
+    /// positive).
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: Into<f64>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w: f64 = w.into();
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(Self { cumulative, total })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let x = f64::sample_standard(rng) * self.total;
+        // partition_point: first index whose cumulative weight exceeds x.
+        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn weighted_index_tracks_weights() {
+        let wi = WeightedIndex::new([1.0f64, 0.0, 3.0]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[wi.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[0] > 8_000 && counts[0] < 12_000, "counts: {counts:?}");
+        assert!(counts[2] > 28_000, "counts: {counts:?}");
+    }
+
+    #[test]
+    fn weighted_index_rejects_bad_inputs() {
+        assert_eq!(WeightedIndex::new(Vec::<f64>::new()), Err(WeightedError::NoItem));
+        assert_eq!(WeightedIndex::new([0.0f64, 0.0]), Err(WeightedError::AllWeightsZero));
+        assert_eq!(WeightedIndex::new([1.0f64, -2.0]), Err(WeightedError::InvalidWeight));
+    }
+}
