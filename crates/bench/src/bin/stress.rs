@@ -1,23 +1,35 @@
 //! Stress driver for the cut-query engine.
 //!
-//! Generates a seeded workload (see `cut_engine::workload`), replays it
-//! through one `Engine`, and reports throughput, per-action latency
+//! Generates a seeded workload (see `cut_engine::workload`) and replays it
+//! through the engine, reporting throughput, per-action latency
 //! percentiles, and the epoch cache's hit rate. The full operation log
 //! (request + response per op, no timing) is folded into an FNV-1a digest:
 //! two runs with the same `--seed` print the same digest, which is the
 //! determinism check the harness tests rely on.
 //!
+//! `--shards 1` (the default) replays through the single-threaded
+//! `Engine::execute` path; `--shards N` pipelines the same stream through
+//! an N-worker `ShardedEngine` (submission-order responses, so the digest
+//! is identical for any shard count) and additionally reports per-shard
+//! occupancy. Comparing the two ops/sec lines is the one-flag sharding
+//! benchmark.
+//!
 //! ```text
 //! cargo run --release -p cut_bench --bin stress -- --ops 10000 --seed 7
+//! cargo run --release -p cut_bench --bin stress -- --ops 10000 --seed 7 --shards 4
 //! ```
 //!
 //! Flags: `--ops N` `--seed S` `--graphs G` `--initial-n N` `--zipf Z`
-//! `--mix default|read-only|write-heavy` `--dump-log PATH`.
+//! `--mix default|read-only|write-heavy` `--shards N` `--dump-log PATH`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Instant;
 
-use cut_engine::{ActionMix, Engine, Workload, WorkloadConfig};
+use cut_engine::{
+    ActionMix, Engine, Request, Response, ShardedEngine, Ticket, Workload, WorkloadConfig,
+};
+// FNV-1a over the log bytes — stable across runs and platforms.
+use cut_graph::hash::fnv1a;
 
 struct Args {
     ops: usize,
@@ -27,6 +39,7 @@ struct Args {
     zipf: f64,
     mix: ActionMix,
     mix_name: String,
+    shards: usize,
     dump_log: Option<String>,
 }
 
@@ -39,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         zipf: 1.1,
         mix: ActionMix::default(),
         mix_name: "default".to_string(),
+        shards: 1,
         dump_log: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -68,11 +82,14 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown mix '{other}'")),
                 };
             }
+            "--shards" => {
+                args.shards = value(&mut i)?.parse().map_err(|e| format!("--shards: {e}"))?
+            }
             "--dump-log" => args.dump_log = Some(value(&mut i)?),
             "--help" | "-h" => {
                 println!(
                     "stress --ops N --seed S [--graphs G] [--initial-n N] [--zipf Z] \
-                     [--mix default|read-only|write-heavy] [--dump-log PATH]"
+                     [--mix default|read-only|write-heavy] [--shards N] [--dump-log PATH]"
                 );
                 std::process::exit(0);
             }
@@ -87,16 +104,12 @@ fn parse_args() -> Result<Args, String> {
     if args.initial_n < 8 {
         return Err("--initial-n must be at least 8".into());
     }
-    Ok(args)
-}
-
-/// FNV-1a over the log bytes — stable across runs and platforms.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    for &b in bytes {
-        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    // One worker thread per shard; cap well past any plausible core count
+    // so a typo can't exhaust thread resources (which aborts, not errors).
+    if args.shards == 0 || args.shards > 1024 {
+        return Err(format!("--shards must be in 1..=1024 (got {})", args.shards));
     }
-    h
+    Ok(args)
 }
 
 fn percentile(sorted_nanos: &[u64], p: f64) -> u64 {
@@ -139,8 +152,8 @@ fn main() {
     };
 
     println!(
-        "cut-engine stress: ops={} seed={} graphs={} initial-n={} zipf={} mix={}",
-        cfg.ops, cfg.seed, cfg.graphs, cfg.initial_n, cfg.zipf_exponent, args.mix_name
+        "cut-engine stress: ops={} seed={} graphs={} initial-n={} zipf={} mix={} shards={}",
+        cfg.ops, cfg.seed, cfg.graphs, cfg.initial_n, cfg.zipf_exponent, args.mix_name, args.shards
     );
 
     let t_gen = Instant::now();
@@ -153,6 +166,105 @@ fn main() {
         fmt_nanos(t_gen.elapsed().as_nanos() as u64)
     );
 
+    let mut report =
+        if args.shards == 1 { run_single(&workload) } else { run_sharded(&workload, args.shards) };
+
+    let stats = report.stats;
+    let total_ops = workload.len();
+    let ops_per_sec = total_ops as f64 / report.wall.as_secs_f64();
+
+    println!();
+    println!(
+        "replayed {total_ops} ops in {:.3}s  ({ops_per_sec:.0} ops/sec, {} errors)",
+        report.wall.as_secs_f64(),
+        report.errors
+    );
+    println!(
+        "cache: {} hits / {} misses over {} queries  (hit rate {:.1}%)",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.queries,
+        stats.hit_rate() * 100.0
+    );
+
+    if let Some(latencies) = &mut report.latencies {
+        println!();
+        println!(
+            "{:<16} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "action", "count", "p50", "p90", "p99", "max", "total"
+        );
+        for (kind, nanos) in latencies.iter_mut() {
+            nanos.sort_unstable();
+            let total: u64 = nanos.iter().sum();
+            println!(
+                "{:<16} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                kind,
+                nanos.len(),
+                fmt_nanos(percentile(nanos, 50.0)),
+                fmt_nanos(percentile(nanos, 90.0)),
+                fmt_nanos(percentile(nanos, 99.0)),
+                fmt_nanos(*nanos.last().unwrap()),
+                fmt_nanos(total),
+            );
+        }
+    }
+
+    if let Some(occupancy) = &report.occupancy {
+        let routed_total: u64 = occupancy.iter().map(|(r, _)| *r).sum::<u64>().max(1);
+        println!();
+        println!(
+            "{:<8} {:>8} {:>7} {:>7} {:>9} {:>9} {:>9}",
+            "shard", "routed", "share", "graphs", "queries", "mutations", "hit-rate"
+        );
+        for (shard, (routed, s)) in occupancy.iter().enumerate() {
+            println!(
+                "{:<8} {:>8} {:>6.1}% {:>7} {:>9} {:>9} {:>8.1}%",
+                shard,
+                routed,
+                *routed as f64 / routed_total as f64 * 100.0,
+                s.graphs_created - s.graphs_dropped,
+                s.queries,
+                s.mutations,
+                s.hit_rate() * 100.0,
+            );
+        }
+    }
+
+    println!();
+    println!(
+        "log digest: {:#018x}  ({} log bytes)",
+        fnv1a(report.log.as_bytes()),
+        report.log.len()
+    );
+    println!("(re-run with the same --seed: the digest must not change)");
+
+    if let Some(path) = &args.dump_log {
+        if let Err(e) = std::fs::write(path, &report.log) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("operation log written to {path}");
+    }
+}
+
+/// What a replay produced, whichever execution front ran it.
+struct RunReport {
+    /// The deterministic `index request -> response` log.
+    log: String,
+    errors: usize,
+    wall: std::time::Duration,
+    /// Engine counters (summed across shards on the sharded path).
+    stats: cut_engine::EngineStats,
+    /// Per-action latency samples — single-shard path only (per-op timing
+    /// is meaningless when ops overlap).
+    latencies: Option<BTreeMap<&'static str, Vec<u64>>>,
+    /// `(requests routed, final per-shard stats)` — sharded path only.
+    occupancy: Option<Vec<(u64, cut_engine::EngineStats)>>,
+}
+
+/// Replay through the single-threaded `Engine::execute` path, timing each
+/// op individually.
+fn run_single(workload: &Workload) -> RunReport {
     let mut engine = Engine::new();
     let mut log = String::with_capacity(workload.len() * 64);
     let mut latencies: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
@@ -165,7 +277,7 @@ fn main() {
         let response = engine.execute(request.clone());
         let nanos = t_op.elapsed().as_nanos() as u64;
         latencies.entry(kind).or_default().push(nanos);
-        if matches!(response, cut_engine::Response::Error { .. }) {
+        if matches!(response, Response::Error { .. }) {
             errors += 1;
         }
         // The log line carries no timing, so it is identical across runs
@@ -174,52 +286,65 @@ fn main() {
     }
     let wall = t_run.elapsed();
 
-    let stats = engine.stats();
-    let total_ops = workload.len();
-    let ops_per_sec = total_ops as f64 / wall.as_secs_f64();
+    RunReport {
+        log,
+        errors,
+        wall,
+        stats: engine.stats(),
+        latencies: Some(latencies),
+        occupancy: None,
+    }
+}
 
-    println!();
-    println!(
-        "replayed {total_ops} ops in {:.3}s  ({ops_per_sec:.0} ops/sec, {errors} errors)",
-        wall.as_secs_f64()
-    );
-    println!(
-        "cache: {} hits / {} misses over {} queries  (hit rate {:.1}%)",
-        stats.cache_hits,
-        stats.cache_misses,
-        stats.queries,
-        stats.hit_rate() * 100.0
-    );
+/// Replay through an N-shard `ShardedEngine`, keeping a bounded window of
+/// in-flight tickets so shards overlap while memory stays flat. Responses
+/// are collected in submission order, so the log (and its digest) is
+/// byte-identical to the single-shard path.
+fn run_sharded(workload: &Workload, shards: usize) -> RunReport {
+    /// In-flight cap: deep enough to keep every shard busy, small enough
+    /// that pending tickets never hold more than a sliver of the log.
+    const WINDOW: usize = 1024;
 
-    println!();
-    println!(
-        "{:<16} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "action", "count", "p50", "p90", "p99", "max", "total"
-    );
-    for (kind, nanos) in &mut latencies {
-        nanos.sort_unstable();
-        let total: u64 = nanos.iter().sum();
-        println!(
-            "{:<16} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
-            kind,
-            nanos.len(),
-            fmt_nanos(percentile(nanos, 50.0)),
-            fmt_nanos(percentile(nanos, 90.0)),
-            fmt_nanos(percentile(nanos, 99.0)),
-            fmt_nanos(*nanos.last().unwrap()),
-            fmt_nanos(total),
-        );
+    let mut engine = ShardedEngine::new(shards);
+    let mut log = String::with_capacity(workload.len() * 64);
+    let mut errors = 0usize;
+    let mut inflight: VecDeque<(usize, &Request, Ticket)> = VecDeque::new();
+
+    fn drain(entry: (usize, &Request, Ticket), log: &mut String, errors: &mut usize) {
+        let (i, request, ticket) = entry;
+        let response = ticket.wait();
+        if matches!(response, Response::Error { .. }) {
+            *errors += 1;
+        }
+        log.push_str(&format!("{i:06} {request} -> {response}\n"));
     }
 
-    println!();
-    println!("log digest: {:#018x}  ({} log bytes)", fnv1a(log.as_bytes()), log.len());
-    println!("(re-run with the same --seed: the digest must not change)");
-
-    if let Some(path) = &args.dump_log {
-        if let Err(e) = std::fs::write(path, &log) {
-            eprintln!("error: writing {path}: {e}");
-            std::process::exit(1);
+    let t_run = Instant::now();
+    for (i, request) in workload.all_requests().enumerate() {
+        let ticket = engine.submit(request.clone());
+        inflight.push_back((i, request, ticket));
+        if inflight.len() >= WINDOW {
+            drain(inflight.pop_front().expect("non-empty window"), &mut log, &mut errors);
         }
-        println!("operation log written to {path}");
+    }
+    while let Some(entry) = inflight.pop_front() {
+        drain(entry, &mut log, &mut errors);
+    }
+    let wall = t_run.elapsed();
+
+    let routed = engine.routed().to_vec();
+    let per_shard = engine.shutdown();
+    let mut stats = cut_engine::EngineStats::default();
+    for s in &per_shard {
+        stats.merge(s);
+    }
+
+    RunReport {
+        log,
+        errors,
+        wall,
+        stats,
+        latencies: None,
+        occupancy: Some(routed.into_iter().zip(per_shard).collect()),
     }
 }

@@ -6,10 +6,7 @@ use rand::SeedableRng;
 
 /// Deterministic RNG for a named experiment and trial.
 pub fn rng_for(experiment: &str, trial: u64) -> SmallRng {
-    let mut h = 0xcbf29ce484222325u64;
-    for b in experiment.bytes() {
-        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
-    }
+    let h = cut_graph::hash::fnv1a(experiment.as_bytes());
     SmallRng::seed_from_u64(h ^ trial.wrapping_mul(0x9e3779b97f4a7c15))
 }
 

@@ -77,6 +77,26 @@ impl EngineStats {
             self.cache_hits as f64 / self.queries as f64
         }
     }
+
+    /// Fold another engine's counters into this one — how per-shard stats
+    /// aggregate into a fleet-wide view. The exhaustive destructuring
+    /// makes adding a field here a compile error until it merges too.
+    pub fn merge(&mut self, other: &EngineStats) {
+        let EngineStats {
+            queries,
+            cache_hits,
+            cache_misses,
+            mutations,
+            graphs_created,
+            graphs_dropped,
+        } = *other;
+        self.queries += queries;
+        self.cache_hits += cache_hits;
+        self.cache_misses += cache_misses;
+        self.mutations += mutations;
+        self.graphs_created += graphs_created;
+        self.graphs_dropped += graphs_dropped;
+    }
 }
 
 /// One registered graph: its mutable edge list, a lazily rebuilt CSR view,
@@ -175,6 +195,30 @@ impl Engine {
 
     /// Execute one request. Never panics on bad input: failures come back
     /// as [`Response::Error`] and leave the engine unchanged.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cut_engine::{Engine, GraphSpec, Mutation, Query, Request, Response};
+    ///
+    /// let mut engine = Engine::new();
+    /// engine.execute(Request::Create {
+    ///     name: "path".into(),
+    ///     spec: GraphSpec::Edges { n: 3, edges: vec![(0, 1, 4), (1, 2, 7)] },
+    /// });
+    ///
+    /// // A path's min cut is its lightest edge.
+    /// let r = engine.execute(Request::Query { name: "path".into(), query: Query::ExactMinCut });
+    /// assert!(matches!(r, Response::CutValue { weight: 4, .. }));
+    ///
+    /// // Failures are responses, not panics, and leave the engine unchanged.
+    /// let r = engine.execute(Request::Mutate {
+    ///     name: "path".into(),
+    ///     op: Mutation::InsertEdge { u: 0, v: 0, w: 1 },
+    /// });
+    /// assert!(matches!(r, Response::Error { .. }));
+    /// assert_eq!(engine.epoch("path"), Some(0));
+    /// ```
     pub fn execute(&mut self, request: Request) -> Response {
         match request {
             Request::Create { name, spec } => self.create(name, &spec),

@@ -9,10 +9,21 @@
 //! queries against an unchanged graph are O(1) hash lookups, and any
 //! mutation invalidates exactly that graph's cached answers.
 //!
+//! Two execution fronts share that contract:
+//!
+//! - [`Engine`] — the single-threaded reference path: one registry, one
+//!   thread, deterministic end to end.
+//! - [`ShardedEngine`] (the [`shard`] module) — the scaling path: the
+//!   registry is partitioned across N worker threads by a stable hash of
+//!   the graph name, per-graph request order is preserved, cross-graph
+//!   requests run concurrently, and the response stream is byte-identical
+//!   to the single-threaded engine's for any shard count.
+//!
 //! The [`workload`] module generates seeded, replayable request streams
 //! (weighted action mix + Zipf graph-popularity skew); the `cut_bench`
-//! crate's `stress` binary replays them and reports throughput, per-action
-//! latency percentiles, and cache hit rate.
+//! crate's `stress` binary replays them through either front
+//! (`--shards N`) and reports throughput, per-action latency percentiles,
+//! per-shard occupancy, and cache hit rate.
 //!
 //! ```
 //! use cut_engine::{Engine, GraphSpec, Mutation, Query, Request, Response};
@@ -51,8 +62,10 @@
 
 pub mod engine;
 pub mod request;
+pub mod shard;
 pub mod workload;
 
 pub use engine::{Engine, EngineConfig, EngineStats};
 pub use request::{GraphSpec, Mutation, Query, Request, Response};
+pub use shard::{ShardedEngine, Ticket};
 pub use workload::{ActionMix, Workload, WorkloadConfig};

@@ -1,0 +1,475 @@
+//! The sharded front-end: the same `Request -> Response` contract as
+//! [`Engine`], served by N worker threads.
+//!
+//! [`ShardedEngine`] partitions the graph registry across `shards` workers
+//! by a stable hash of the graph name; each worker owns a private [`Engine`]
+//! holding its graphs' edge lists, epoch counters, and query caches, and
+//! drains a FIFO channel of jobs. Because a graph's name always hashes to
+//! the same shard and each shard's queue is FIFO, **per-graph request
+//! ordering is exactly submission order** — while requests that target
+//! graphs on different shards execute concurrently.
+//!
+//! Cross-graph requests ([`Request::ListGraphs`], [`Request::Stats`]) are
+//! broadcast to every shard through the same FIFO queues and their partial
+//! answers merged, so they observe precisely the requests submitted before
+//! them — the merged answer is byte-identical to what a single unsharded
+//! [`Engine`] fed the same request stream would return. That makes the
+//! sharded engine a drop-in: for *any* request stream and *any* shard
+//! count, the response sequence (in submission order) matches the
+//! single-threaded engine's, and the stress harness's deterministic log
+//! digest is unchanged.
+//!
+//! Two ways to drive it:
+//! - [`ShardedEngine::execute`] — submit one request and block for its
+//!   answer; a drop-in for [`Engine::execute`] (no parallelism: each
+//!   request completes before the next is submitted).
+//! - [`ShardedEngine::submit`] + [`Ticket::wait`] — pipeline many requests
+//!   and collect answers in submission order; this is what overlaps work
+//!   across shards and where the throughput win comes from.
+//!
+//! Shutdown is graceful: [`ShardedEngine::shutdown`] (or drop) closes the
+//! job queues, and every worker drains all in-flight jobs before exiting,
+//! so tickets taken before shutdown still resolve.
+//!
+//! ```
+//! use cut_engine::{GraphSpec, Query, Request, Response, ShardedEngine};
+//!
+//! let mut engine = ShardedEngine::new(4);
+//! // Tickets pipeline: submit first, wait later, answers in order.
+//! let create = engine.submit(Request::Create {
+//!     name: "ring".into(),
+//!     spec: GraphSpec::Cycle { n: 12 },
+//! });
+//! let cut = engine.submit(Request::Query {
+//!     name: "ring".into(),
+//!     query: Query::ExactMinCut,
+//! });
+//! assert!(matches!(create.wait(), Response::Created { .. }));
+//! assert!(matches!(cut.wait(), Response::CutValue { weight: 2, .. }));
+//! let per_shard = engine.shutdown();
+//! assert_eq!(per_shard.iter().map(|s| s.queries).sum::<u64>(), 1);
+//! ```
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::engine::{Engine, EngineConfig, EngineStats};
+use crate::request::{Request, Response};
+
+/// One unit of work for a shard worker: a request plus the channel its
+/// response goes back on.
+struct Job {
+    request: Request,
+    reply: Sender<Response>,
+}
+
+/// Which cross-shard request a broadcast ticket is merging.
+#[derive(Debug, Clone, Copy)]
+enum MergeKind {
+    ListGraphs,
+    Stats,
+}
+
+/// A pending response from [`ShardedEngine::submit`].
+///
+/// Waiting is detached from submission so callers can keep many requests
+/// in flight; [`Ticket::wait`] blocks until the owning shard (or, for
+/// broadcasts, every shard) has answered. Tickets remain valid across
+/// [`ShardedEngine::shutdown`]: workers drain their queues before exiting.
+#[must_use = "a ticket holds a pending response; call wait() to collect it"]
+pub struct Ticket {
+    inner: TicketInner,
+}
+
+enum TicketInner {
+    /// One shard answers.
+    Single(Receiver<Response>),
+    /// Every shard answers; the partials merge into one response.
+    Merge { kind: MergeKind, parts: Vec<Receiver<Response>> },
+}
+
+impl Ticket {
+    /// Block until the response is available.
+    ///
+    /// If a shard worker died (panicked) before answering, this returns a
+    /// [`Response::Error`] instead of hanging or propagating the panic.
+    pub fn wait(self) -> Response {
+        match self.inner {
+            TicketInner::Single(rx) => rx.recv().unwrap_or_else(|_| worker_lost()),
+            TicketInner::Merge { kind, parts } => {
+                let mut partials = Vec::with_capacity(parts.len());
+                for rx in parts {
+                    match rx.recv() {
+                        Ok(r) => partials.push(r),
+                        Err(_) => return worker_lost(),
+                    }
+                }
+                merge_partials(kind, partials)
+            }
+        }
+    }
+}
+
+fn worker_lost() -> Response {
+    Response::Error { message: "shard worker disconnected before answering".into() }
+}
+
+/// Merge per-shard partial answers to a broadcast request into the answer
+/// an unsharded engine would give.
+fn merge_partials(kind: MergeKind, partials: Vec<Response>) -> Response {
+    match kind {
+        MergeKind::ListGraphs => {
+            let mut names = Vec::new();
+            for p in partials {
+                match p {
+                    Response::Graphs { names: part } => names.extend(part),
+                    other => return unexpected_partial(other),
+                }
+            }
+            // Each shard's list is sorted; the global contract is one
+            // sorted list.
+            names.sort_unstable();
+            Response::Graphs { names }
+        }
+        MergeKind::Stats => {
+            let (mut graphs, mut queries, mut hits, mut misses, mut mutations) = (0, 0, 0, 0, 0);
+            for p in partials {
+                match p {
+                    Response::EngineStats {
+                        graphs: g,
+                        queries: q,
+                        cache_hits: h,
+                        cache_misses: m,
+                        mutations: mu,
+                    } => {
+                        graphs += g;
+                        queries += q;
+                        hits += h;
+                        misses += m;
+                        mutations += mu;
+                    }
+                    other => return unexpected_partial(other),
+                }
+            }
+            Response::EngineStats {
+                graphs,
+                queries,
+                cache_hits: hits,
+                cache_misses: misses,
+                mutations,
+            }
+        }
+    }
+}
+
+fn unexpected_partial(got: Response) -> Response {
+    Response::Error { message: format!("unexpected shard partial: {got}") }
+}
+
+/// Stable FNV-1a over the graph name — the routing function. Kept
+/// platform- and run-independent so shard assignment (and therefore the
+/// per-shard occupancy a harness reports) is reproducible.
+fn name_hash(name: &str) -> u64 {
+    cut_graph::hash::fnv1a(name.as_bytes())
+}
+
+/// The sharded, multi-threaded front-end over [`Engine`].
+///
+/// See the [module docs](self) for the routing and ordering contract. Use
+/// [`ShardedEngine::new`] for defaults, [`ShardedEngine::with_config`] to
+/// set the per-shard [`EngineConfig`].
+pub struct ShardedEngine {
+    txs: Vec<Sender<Job>>,
+    workers: Vec<JoinHandle<EngineStats>>,
+    /// Jobs enqueued per shard (broadcasts count on every shard).
+    routed: Vec<u64>,
+}
+
+impl ShardedEngine {
+    /// Spawn `shards` worker threads with the default [`EngineConfig`].
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        Self::with_config(shards, EngineConfig::default())
+    }
+
+    /// Spawn `shards` worker threads, each owning an `Engine` built from
+    /// `cfg`.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero, or if the OS refuses to spawn a worker
+    /// thread (callers taking `shards` from user input should bound it —
+    /// the stress harness caps at 1024).
+    pub fn with_config(shards: usize, cfg: EngineConfig) -> Self {
+        assert!(shards > 0, "a sharded engine needs at least one shard");
+        let mut txs = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = unbounded::<Job>();
+            let worker_cfg = cfg.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("cut-shard-{shard}"))
+                .spawn(move || worker_loop(rx, worker_cfg))
+                .expect("spawn shard worker");
+            txs.push(tx);
+            workers.push(handle);
+        }
+        Self { txs, workers, routed: vec![0; shards] }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// The shard that owns graph `name` — stable for the lifetime of the
+    /// engine (and across engines with the same shard count).
+    pub fn shard_of(&self, name: &str) -> usize {
+        (name_hash(name) % self.txs.len() as u64) as usize
+    }
+
+    /// Jobs enqueued per shard so far (broadcast requests count once on
+    /// every shard). The stress harness reads this for occupancy stats.
+    pub fn routed(&self) -> &[u64] {
+        &self.routed
+    }
+
+    /// Enqueue one request and return a [`Ticket`] for its response.
+    ///
+    /// Requests that name a graph go to that graph's shard; `ListGraphs`
+    /// and `Stats` are broadcast to every shard and merged at
+    /// [`Ticket::wait`]. Submission order *is* per-graph execution order.
+    pub fn submit(&mut self, request: Request) -> Ticket {
+        enum Route {
+            Shard(usize),
+            Broadcast(MergeKind),
+        }
+        // Exhaustive: a new Request variant must declare here whether it
+        // routes by graph name or broadcasts (and how its partials merge).
+        let route = match &request {
+            Request::Create { name, .. }
+            | Request::Drop { name }
+            | Request::Mutate { name, .. }
+            | Request::Query { name, .. } => Route::Shard(self.shard_of(name)),
+            Request::ListGraphs => Route::Broadcast(MergeKind::ListGraphs),
+            Request::Stats => Route::Broadcast(MergeKind::Stats),
+        };
+        match route {
+            Route::Shard(shard) => {
+                let (reply, rx) = unbounded();
+                self.routed[shard] += 1;
+                // A failed send means the worker is gone (panicked); the
+                // ticket reports that on wait.
+                let _ = self.txs[shard].send(Job { request, reply });
+                Ticket { inner: TicketInner::Single(rx) }
+            }
+            Route::Broadcast(kind) => {
+                let mut parts = Vec::with_capacity(self.txs.len());
+                for (shard, tx) in self.txs.iter().enumerate() {
+                    let (reply, rx) = unbounded();
+                    self.routed[shard] += 1;
+                    let _ = tx.send(Job { request: request.clone(), reply });
+                    parts.push(rx);
+                }
+                Ticket { inner: TicketInner::Merge { kind, parts } }
+            }
+        }
+    }
+
+    /// Submit one request and block for its response — a drop-in for
+    /// [`Engine::execute`] (correct, but serialized; use [`submit`] to
+    /// overlap work across shards).
+    ///
+    /// [`submit`]: ShardedEngine::submit
+    pub fn execute(&mut self, request: Request) -> Response {
+        self.submit(request).wait()
+    }
+
+    /// Close the job queues and join every worker, returning each shard's
+    /// final [`EngineStats`] (index = shard id).
+    ///
+    /// Graceful: workers drain every job already queued before exiting, so
+    /// tickets obtained before `shutdown` still resolve with real answers.
+    ///
+    /// # Panics
+    /// Propagates a shard worker's panic rather than silently reporting
+    /// zeroed stats for the dead shard. (In-flight tickets against a dead
+    /// shard resolve to [`Response::Error`], not a hang — see
+    /// [`Ticket::wait`].)
+    pub fn shutdown(mut self) -> Vec<EngineStats> {
+        self.txs.clear();
+        self.workers
+            .drain(..)
+            .enumerate()
+            .map(|(shard, h)| h.join().unwrap_or_else(|_| panic!("shard worker {shard} panicked")))
+            .collect()
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        // `shutdown` drained these already; a plain drop also joins so no
+        // worker outlives the engine.
+        self.txs.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The shard worker: drain jobs FIFO into a private engine until every
+/// sender is gone, then report final stats to `shutdown`.
+fn worker_loop(rx: Receiver<Job>, cfg: EngineConfig) -> EngineStats {
+    let mut engine = Engine::with_config(cfg);
+    while let Ok(Job { request, reply }) = rx.recv() {
+        // A dropped ticket is fine — compute anyway (mutations must still
+        // apply), discard the undeliverable answer.
+        let _ = reply.send(engine.execute(request));
+    }
+    engine.stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{GraphSpec, Mutation, Query};
+
+    fn create(engine: &mut ShardedEngine, name: &str, n: usize) {
+        let r = engine.execute(Request::Create { name: name.into(), spec: GraphSpec::Cycle { n } });
+        assert!(matches!(r, Response::Created { .. }), "create failed: {r}");
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let e = ShardedEngine::new(4);
+        for name in ["g000", "g001", "alpha", "β-graph", ""] {
+            let s = e.shard_of(name);
+            assert!(s < 4);
+            assert_eq!(s, e.shard_of(name), "routing must be deterministic");
+        }
+    }
+
+    #[test]
+    fn full_lifecycle_stays_on_one_shard() {
+        let mut e = ShardedEngine::new(3);
+        create(&mut e, "ring", 10);
+        let shard = e.shard_of("ring");
+        let r = e.execute(Request::Query { name: "ring".into(), query: Query::ExactMinCut });
+        assert!(matches!(r, Response::CutValue { weight: 2, .. }), "got {r}");
+        let r = e.execute(Request::Mutate {
+            name: "ring".into(),
+            op: Mutation::InsertEdge { u: 0, v: 5, w: 4 },
+        });
+        assert!(matches!(r, Response::Mutated { epoch: 1, .. }), "got {r}");
+        let r = e.execute(Request::Drop { name: "ring".into() });
+        assert!(matches!(r, Response::Dropped { .. }), "got {r}");
+        // Everything above targeted one graph, so exactly one shard worked.
+        let busy: Vec<usize> = (0..3).filter(|&s| e.routed()[s] > 0).collect();
+        assert_eq!(busy, vec![shard]);
+    }
+
+    #[test]
+    fn list_and_stats_merge_across_shards() {
+        let mut e = ShardedEngine::new(4);
+        for name in ["delta", "alpha", "charlie", "bravo"] {
+            create(&mut e, name, 6);
+        }
+        assert_eq!(
+            e.execute(Request::ListGraphs),
+            Response::Graphs {
+                names: vec!["alpha".into(), "bravo".into(), "charlie".into(), "delta".into()]
+            }
+        );
+        for name in ["alpha", "bravo"] {
+            e.execute(Request::Query { name: name.into(), query: Query::Connectivity });
+            e.execute(Request::Query { name: name.into(), query: Query::Connectivity });
+        }
+        let r = e.execute(Request::Stats);
+        assert_eq!(
+            r,
+            Response::EngineStats {
+                graphs: 4,
+                queries: 4,
+                cache_hits: 2,
+                cache_misses: 2,
+                mutations: 0
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_graph_errors_match_the_unsharded_engine() {
+        let mut sharded = ShardedEngine::new(4);
+        let mut plain = Engine::new();
+        let requests = [
+            Request::Drop { name: "ghost".into() },
+            Request::Mutate { name: "ghost".into(), op: Mutation::DeleteEdge { u: 0, v: 1 } },
+            Request::Query { name: "ghost".into(), query: Query::ExactMinCut },
+        ];
+        for req in requests {
+            assert_eq!(sharded.execute(req.clone()), plain.execute(req));
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_tickets() {
+        let mut e = ShardedEngine::new(4);
+        create(&mut e, "work", 32);
+        let tickets: Vec<Ticket> = (0..64)
+            .map(|i| {
+                e.submit(Request::Query {
+                    name: "work".into(),
+                    query: Query::ApproxMinCut { seed: i },
+                })
+            })
+            .collect();
+        // Shut down with (potentially) all 64 still queued.
+        let per_shard = e.shutdown();
+        for t in tickets {
+            assert!(matches!(t.wait(), Response::CutValue { .. }));
+        }
+        let total: u64 = per_shard.iter().map(|s| s.queries).sum();
+        assert_eq!(total, 64, "every in-flight query must have been served");
+    }
+
+    #[test]
+    fn dropped_tickets_still_apply_mutations() {
+        let mut e = ShardedEngine::new(2);
+        create(&mut e, "g", 8);
+        for _ in 0..3 {
+            // Fire-and-forget: drop the ticket immediately.
+            let _ = e.submit(Request::Mutate {
+                name: "g".into(),
+                op: Mutation::InsertEdge { u: 0, v: 4, w: 1 },
+            });
+        }
+        let r = e.execute(Request::Query { name: "g".into(), query: Query::Connectivity });
+        assert!(matches!(r, Response::ConnectivityValue { .. }));
+        let mutations: u64 = e.shutdown().iter().map(|s| s.mutations).sum();
+        assert_eq!(mutations, 3, "fire-and-forget mutations must still land");
+    }
+
+    #[test]
+    fn single_shard_matches_engine_exactly() {
+        let mut sharded = ShardedEngine::new(1);
+        let mut plain = Engine::new();
+        let requests = vec![
+            Request::Create { name: "a".into(), spec: GraphSpec::Cycle { n: 8 } },
+            Request::Create { name: "b".into(), spec: GraphSpec::RandomTree { n: 9, seed: 4 } },
+            Request::Query { name: "a".into(), query: Query::ExactMinCut },
+            Request::Query { name: "a".into(), query: Query::ExactMinCut },
+            Request::Mutate { name: "a".into(), op: Mutation::InsertEdge { u: 1, v: 5, w: 2 } },
+            Request::Query { name: "a".into(), query: Query::ExactMinCut },
+            Request::Query { name: "b".into(), query: Query::SingletonCut { seed: 3 } },
+            Request::ListGraphs,
+            Request::Stats,
+            Request::Drop { name: "b".into() },
+            Request::ListGraphs,
+        ];
+        for req in requests {
+            assert_eq!(sharded.execute(req.clone()), plain.execute(req));
+        }
+    }
+}

@@ -195,6 +195,26 @@ impl GraphMirror {
 }
 
 /// A fully materialized, replayable request stream.
+///
+/// # Examples
+///
+/// ```
+/// use cut_engine::{Engine, Response, Workload, WorkloadConfig};
+///
+/// let cfg = WorkloadConfig { ops: 50, seed: 11, graphs: 3, ..WorkloadConfig::default() };
+/// let workload = Workload::generate(&cfg);
+/// assert_eq!(workload.len(), cfg.graphs + cfg.ops);
+///
+/// // Replaying never errors: every mutation is valid by construction …
+/// let mut engine = Engine::new();
+/// for request in workload.all_requests() {
+///     assert!(!matches!(engine.execute(request.clone()), Response::Error { .. }));
+/// }
+///
+/// // … and the stream is a pure function of the config.
+/// let again = Workload::generate(&cfg);
+/// assert_eq!(workload.operations, again.operations);
+/// ```
 pub struct Workload {
     /// Create requests for every graph (run these first).
     pub prologue: Vec<Request>,

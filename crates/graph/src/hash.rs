@@ -1,0 +1,75 @@
+//! FNV-1a: the workspace's one stable, dependency-free byte hash.
+//!
+//! Used wherever a value must hash identically across runs and platforms —
+//! shard routing in `cut_engine`, log digests in the stress harness,
+//! per-experiment RNG seeding in `cut_bench`. `std`'s hashers are
+//! explicitly *not* stable across releases, which is why this exists.
+
+/// Incremental FNV-1a folder, for hashing streams without buffering them.
+///
+/// ```
+/// use cut_graph::hash::{fnv1a, Fnv1a};
+///
+/// let mut h = Fnv1a::new();
+/// h.write(b"split ");
+/// h.write(b"input");
+/// assert_eq!(h.finish(), fnv1a(b"split input"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self { state: 0xcbf29ce484222325 }
+    }
+
+    /// Fold `bytes` into the state.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a over `bytes`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut h = Fnv1a::new();
+        for chunk in [&b"ab"[..], &b""[..], &b"cde"[..]] {
+            h.write(chunk);
+        }
+        assert_eq!(h.finish(), fnv1a(b"abcde"));
+    }
+}

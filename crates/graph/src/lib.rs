@@ -9,7 +9,7 @@
 //! * [`gen`]: seeded workload generators (G(n,p), G(n,m), cycles and the
 //!   1-vs-2-cycle workload, planted partitions, power-law, trees, …);
 //! * [`mst`]: Kruskal minimum spanning forest over arbitrary priorities;
-//! * [`stoer_wagner`]: exact weighted global min cut (ground truth);
+//! * [`mod@stoer_wagner`]: exact weighted global min cut (ground truth);
 //! * [`maxflow`]: Dinic max-flow / min s-t cut;
 //! * [`gomory_hu`]: Gusfield's Gomory–Hu (equivalent-flow) tree
 //!   (Definition 8 of the paper) and the Saran–Vazirani greedy k-cut bound;
@@ -22,6 +22,7 @@ pub mod dsu;
 pub mod gen;
 pub mod gomory_hu;
 pub mod graph;
+pub mod hash;
 pub mod maxflow;
 pub mod mst;
 pub mod stoer_wagner;

@@ -9,7 +9,7 @@
 //! property), so the output equals Kruskal's MSF exactly (tested).
 //!
 //! Borůvka needs `O(log n)` phases in the worst case; the paper instead
-//! *cites* an `O(1/ε)`-round AMPC MSF [3]. E1/E8 therefore report MST
+//! *cites* an `O(1/ε)`-round AMPC MSF \[3\]. E1/E8 therefore report MST
 //! rounds separately so the `O(log log n)` shape of `AMPC-MinCut` can be
 //! read both with and without this substrate (see DESIGN.md
 //! substitutions). In AMPC mode the measured phase count is small because

@@ -93,14 +93,12 @@ fn main() {
     let digest = |cfg: &WorkloadConfig| -> u64 {
         let workload = Workload::generate(cfg);
         let mut engine = Engine::new();
-        let mut h = 0xcbf29ce484222325u64;
+        let mut h = cut_graph::hash::Fnv1a::new();
         for req in workload.all_requests() {
             let resp = engine.execute(req.clone());
-            for b in format!("{req} -> {resp}\n").bytes() {
-                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
-            }
+            h.write(format!("{req} -> {resp}\n").as_bytes());
         }
-        h
+        h.finish()
     };
     let (a, b) = (digest(&cfg), digest(&cfg));
     println!("  run 1 response-log digest: {a:#018x}");

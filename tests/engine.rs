@@ -5,7 +5,10 @@
 //! produce byte-identical response logs.
 
 use ampc_mincut::prelude::*;
-use cut_engine::{Engine, GraphSpec, Mutation, Query, Request, Response, Workload, WorkloadConfig};
+use cut_engine::{
+    ActionMix, Engine, GraphSpec, Mutation, Query, Request, Response, ShardedEngine, Workload,
+    WorkloadConfig,
+};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -176,6 +179,44 @@ proptest! {
         }
     }
 
+    /// For any random workload and any shard count, the sharded engine's
+    /// response stream (pipelined, collected in submission order) is
+    /// element-wise identical to the single-threaded engine's.
+    #[test]
+    fn sharded_engine_matches_unsharded_on_random_workloads(
+        seed in any::<u64>(),
+        ops in 40usize..120,
+        shards in 1usize..6,
+    ) {
+        let cfg = WorkloadConfig {
+            ops,
+            seed,
+            graphs: 5,
+            initial_n: 16,
+            mix: ActionMix::write_heavy(),
+            ..WorkloadConfig::default()
+        };
+        let workload = Workload::generate(&cfg);
+
+        let mut reference = Engine::new();
+        let expected: Vec<Response> =
+            workload.all_requests().map(|r| reference.execute(r.clone())).collect();
+
+        // Pipelined: all tickets in flight at once, waited in order.
+        let mut sharded = ShardedEngine::new(shards);
+        let tickets: Vec<_> =
+            workload.all_requests().map(|r| sharded.submit(r.clone())).collect();
+        let got: Vec<Response> = tickets.into_iter().map(|t| t.wait()).collect();
+        prop_assert_eq!(&got, &expected);
+
+        // Per-shard stats must sum to the reference engine's counters.
+        let per_shard = sharded.shutdown();
+        let queries: u64 = per_shard.iter().map(|s| s.queries).sum();
+        let mutations: u64 = per_shard.iter().map(|s| s.mutations).sum();
+        prop_assert_eq!(queries, reference.stats().queries);
+        prop_assert_eq!(mutations, reference.stats().mutations);
+    }
+
     /// Replaying any seeded workload twice produces byte-identical
     /// response logs — the engine plus generator are fully deterministic.
     #[test]
@@ -237,4 +278,84 @@ fn cached_answers_always_match_recomputation() {
     let stats = engine.stats();
     assert!(stats.cache_hits > 0, "interleaved repeats must hit the cache");
     assert!(stats.cache_misses > 0);
+}
+
+/// A graph's whole lifecycle — create, query, mutate, re-query, drop,
+/// query-after-drop — lands on one shard and behaves exactly like the
+/// unsharded engine, even with unrelated traffic interleaved on other
+/// graphs (and therefore other shards).
+#[test]
+fn sharded_lifecycle_with_interleaved_cross_shard_traffic() {
+    let mut sharded = ShardedEngine::new(4);
+    let mut plain = Engine::new();
+
+    let mut requests: Vec<Request> = Vec::new();
+    for i in 0..6 {
+        requests.push(Request::Create {
+            name: format!("side{i}"),
+            spec: GraphSpec::Cycle { n: 8 + i },
+        });
+    }
+    requests.push(Request::Create { name: "main".into(), spec: GraphSpec::Cycle { n: 12 } });
+    for i in 0..6 {
+        requests.push(Request::Query { name: format!("side{i}"), query: Query::Connectivity });
+    }
+    requests.push(Request::Query { name: "main".into(), query: Query::ExactMinCut });
+    requests.push(Request::Mutate {
+        name: "main".into(),
+        op: Mutation::InsertEdge { u: 0, v: 6, w: 2 },
+    });
+    requests.push(Request::Query { name: "main".into(), query: Query::ExactMinCut });
+    requests.push(Request::ListGraphs);
+    requests.push(Request::Drop { name: "main".into() });
+    requests.push(Request::Query { name: "main".into(), query: Query::ExactMinCut });
+    requests.push(Request::ListGraphs);
+    requests.push(Request::Stats);
+
+    for req in requests {
+        assert_eq!(sharded.execute(req.clone()), plain.execute(req));
+    }
+}
+
+/// Unknown-graph failures must be indistinguishable from the unsharded
+/// path for every request kind that names a graph.
+#[test]
+fn sharded_unknown_graph_error_parity() {
+    let mut sharded = ShardedEngine::new(3);
+    let mut plain = Engine::new();
+    let requests = [
+        Request::Query { name: "nope".into(), query: Query::Connectivity },
+        Request::Query { name: "nope".into(), query: Query::KCut { k: 2 } },
+        Request::Mutate { name: "nope".into(), op: Mutation::InsertEdge { u: 0, v: 1, w: 1 } },
+        Request::Mutate { name: "nope".into(), op: Mutation::ContractVertices { u: 0, v: 1 } },
+        Request::Drop { name: "nope".into() },
+    ];
+    for req in requests {
+        let expected = plain.execute(req.clone());
+        assert!(matches!(expected, Response::Error { .. }));
+        assert_eq!(sharded.execute(req), expected);
+    }
+}
+
+/// Shutdown must drain a deep in-flight pipeline — mutations included —
+/// before the workers exit, so no submitted request is ever lost.
+#[test]
+fn sharded_shutdown_drains_pipelined_mutations_and_queries() {
+    let cfg = WorkloadConfig { ops: 300, seed: 41, graphs: 6, initial_n: 16, ..Default::default() };
+    let workload = Workload::generate(&cfg);
+
+    let mut reference = Engine::new();
+    let expected: Vec<Response> =
+        workload.all_requests().map(|r| reference.execute(r.clone())).collect();
+
+    let mut sharded = ShardedEngine::new(4);
+    let tickets: Vec<_> = workload.all_requests().map(|r| sharded.submit(r.clone())).collect();
+    // Shut down while (potentially) everything is still queued …
+    let per_shard = sharded.shutdown();
+    // … yet every ticket must resolve to the right answer.
+    let got: Vec<Response> = tickets.into_iter().map(|t| t.wait()).collect();
+    assert_eq!(got, expected);
+
+    let served: u64 = per_shard.iter().map(|s| s.queries + s.mutations).sum();
+    assert_eq!(served, reference.stats().queries + reference.stats().mutations);
 }

@@ -1,9 +1,15 @@
-//! Offline, API-compatible subset of `crossbeam`: scoped threads.
+//! Offline, API-compatible subset of `crossbeam`: scoped threads and
+//! MPSC channels.
 //!
-//! Backed by `std::thread::scope` (stable since 1.63), with crossbeam's
-//! calling convention preserved: `crossbeam::thread::scope` returns
-//! `Result` (instead of propagating child panics directly), and spawn
-//! closures receive a `&Scope` argument for nested spawning.
+//! [`thread`] is backed by `std::thread::scope` (stable since 1.63), with
+//! crossbeam's calling convention preserved: `crossbeam::thread::scope`
+//! returns `Result` (instead of propagating child panics directly), and
+//! spawn closures receive a `&Scope` argument for nested spawning.
+//!
+//! [`channel`] is backed by `std::sync::mpsc`, with crossbeam's names and
+//! error types preserved for the subset the workspace uses: [`channel::unbounded`],
+//! cloneable [`channel::Sender`]s, and a single-consumer [`channel::Receiver`]
+//! (the real crossbeam receiver is MPMC-cloneable; this subset is not).
 
 pub mod thread {
     //! Scoped thread spawning.
@@ -54,6 +60,94 @@ pub mod thread {
     }
 }
 
+pub mod channel {
+    //! Multi-producer single-consumer FIFO channels.
+    //!
+    //! The subset of `crossbeam-channel` the workspace needs: an unbounded
+    //! channel whose [`Sender`] clones freely across threads and whose
+    //! [`Receiver`] yields messages in send order. Disconnection semantics
+    //! match crossbeam (and `std::sync::mpsc`): a receive on a channel whose
+    //! senders are all gone still drains every queued message before
+    //! reporting [`RecvError`].
+
+    use std::fmt;
+    use std::sync::mpsc;
+
+    /// Create an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    /// The sending half of a channel. Cloneable; sends never block.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `msg`; fails only when the receiver is gone, handing the
+        /// message back.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    /// The receiving half of a channel (single consumer).
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives; [`RecvError`] once every sender is
+        /// dropped *and* the queue is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocking iterator over messages until disconnection.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.iter()
+        }
+    }
+
+    /// The receiver disconnected; the unsent message is handed back.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// All senders disconnected and the queue is empty.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    /// Why a `try_recv` returned nothing.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        /// No message queued right now; senders still live.
+        Empty,
+        /// All senders disconnected and the queue is empty.
+        Disconnected,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -78,6 +172,36 @@ mod tests {
             scope.spawn(|_| panic!("child dies"));
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn channel_is_fifo_across_cloned_senders() {
+        let (tx, rx) = crate::channel::unbounded();
+        let tx2 = tx.clone();
+        for i in 0..4 {
+            tx.send(i).unwrap();
+            tx2.send(i + 100).unwrap();
+        }
+        drop((tx, tx2));
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, vec![0, 100, 1, 101, 2, 102, 3, 103]);
+    }
+
+    #[test]
+    fn channel_drains_queue_before_disconnect_error() {
+        let (tx, rx) = crate::channel::unbounded();
+        tx.send(7u32).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert!(rx.recv().is_err());
+        assert_eq!(rx.try_recv(), Err(crate::channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_to_dropped_receiver_hands_message_back() {
+        let (tx, rx) = crate::channel::unbounded::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(crate::channel::SendError(9)));
     }
 
     #[test]
