@@ -11,22 +11,29 @@
 //! `Engine::execute` path; `--shards N` pipelines the same stream through
 //! an N-worker `ShardedEngine` (submission-order responses, so the digest
 //! is identical for any shard count) and additionally reports per-shard
-//! occupancy. Comparing the two ops/sec lines is the one-flag sharding
-//! benchmark.
+//! occupancy. `--batch` turns on the shard workers' read batching (runs of
+//! queued same-graph queries share one index snapshot; mutations are
+//! barriers) — responses, and therefore the digest, are unchanged; the
+//! index-efficiency section shows what the batching and the index layer
+//! absorbed. Comparing the ops/sec lines across flags is the one-flag
+//! benchmark for each feature.
 //!
 //! ```text
 //! cargo run --release -p cut_bench --bin stress -- --ops 10000 --seed 7
 //! cargo run --release -p cut_bench --bin stress -- --ops 10000 --seed 7 --shards 4
+//! cargo run --release -p cut_bench --bin stress -- --ops 10000 --seed 7 --shards 4 --batch
 //! ```
 //!
 //! Flags: `--ops N` `--seed S` `--graphs G` `--initial-n N` `--zipf Z`
-//! `--mix default|read-only|write-heavy` `--shards N` `--dump-log PATH`.
+//! `--mix default|read-only|write-heavy` `--shards N` `--batch`
+//! `--cache-entries N` `--dump-log PATH`.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::time::Instant;
 
 use cut_engine::{
-    ActionMix, Engine, Request, Response, ShardedEngine, Ticket, Workload, WorkloadConfig,
+    ActionMix, Engine, EngineConfig, EngineStats, Request, Response, ShardOptions, ShardedEngine,
+    Ticket, Workload, WorkloadConfig, BATCH_BUCKET_LABELS, QUERY_KINDS,
 };
 // FNV-1a over the log bytes — stable across runs and platforms.
 use cut_graph::hash::fnv1a;
@@ -40,6 +47,8 @@ struct Args {
     mix: ActionMix,
     mix_name: String,
     shards: usize,
+    batch: bool,
+    cache_entries: usize,
     dump_log: Option<String>,
 }
 
@@ -53,6 +62,8 @@ fn parse_args() -> Result<Args, String> {
         mix: ActionMix::default(),
         mix_name: "default".to_string(),
         shards: 1,
+        batch: false,
+        cache_entries: EngineConfig::default().max_cache_entries,
         dump_log: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -85,11 +96,17 @@ fn parse_args() -> Result<Args, String> {
             "--shards" => {
                 args.shards = value(&mut i)?.parse().map_err(|e| format!("--shards: {e}"))?
             }
+            "--batch" => args.batch = true,
+            "--cache-entries" => {
+                args.cache_entries =
+                    value(&mut i)?.parse().map_err(|e| format!("--cache-entries: {e}"))?
+            }
             "--dump-log" => args.dump_log = Some(value(&mut i)?),
             "--help" | "-h" => {
                 println!(
                     "stress --ops N --seed S [--graphs G] [--initial-n N] [--zipf Z] \
-                     [--mix default|read-only|write-heavy] [--shards N] [--dump-log PATH]"
+                     [--mix default|read-only|write-heavy] [--shards N] [--batch] \
+                     [--cache-entries N] [--dump-log PATH]"
                 );
                 std::process::exit(0);
             }
@@ -108,6 +125,9 @@ fn parse_args() -> Result<Args, String> {
     // so a typo can't exhaust thread resources (which aborts, not errors).
     if args.shards == 0 || args.shards > 1024 {
         return Err(format!("--shards must be in 1..=1024 (got {})", args.shards));
+    }
+    if args.cache_entries == 0 {
+        return Err("--cache-entries must be at least 1".into());
     }
     Ok(args)
 }
@@ -152,8 +172,17 @@ fn main() {
     };
 
     println!(
-        "cut-engine stress: ops={} seed={} graphs={} initial-n={} zipf={} mix={} shards={}",
-        cfg.ops, cfg.seed, cfg.graphs, cfg.initial_n, cfg.zipf_exponent, args.mix_name, args.shards
+        "cut-engine stress: ops={} seed={} graphs={} initial-n={} zipf={} mix={} shards={} \
+         batch={} cache-entries={}",
+        cfg.ops,
+        cfg.seed,
+        cfg.graphs,
+        cfg.initial_n,
+        cfg.zipf_exponent,
+        args.mix_name,
+        args.shards,
+        args.batch,
+        args.cache_entries
     );
 
     let t_gen = Instant::now();
@@ -166,8 +195,14 @@ fn main() {
         fmt_nanos(t_gen.elapsed().as_nanos() as u64)
     );
 
-    let mut report =
-        if args.shards == 1 { run_single(&workload) } else { run_sharded(&workload, args.shards) };
+    let engine_cfg =
+        EngineConfig { max_cache_entries: args.cache_entries, ..EngineConfig::default() };
+    let mut report = if args.shards == 1 && !args.batch {
+        run_single(&workload, engine_cfg)
+    } else {
+        let opts = ShardOptions { cfg: engine_cfg, batch: args.batch, ..ShardOptions::default() };
+        run_sharded(&workload, args.shards, opts)
+    };
 
     let stats = report.stats;
     let total_ops = workload.len();
@@ -180,12 +215,14 @@ fn main() {
         report.errors
     );
     println!(
-        "cache: {} hits / {} misses over {} queries  (hit rate {:.1}%)",
+        "cache: {} hits / {} misses over {} queries  (hit rate {:.1}%, {} lru evictions)",
         stats.cache_hits,
         stats.cache_misses,
         stats.queries,
-        stats.hit_rate() * 100.0
+        stats.hit_rate() * 100.0,
+        stats.index.lru_evictions,
     );
+    print_index_efficiency(&stats, args.batch);
 
     if let Some(latencies) = &mut report.latencies {
         println!();
@@ -247,6 +284,58 @@ fn main() {
     }
 }
 
+/// The index-efficiency section: how much per-request work the index
+/// layer (and, when enabled, the shard workers' read batching) absorbed.
+fn print_index_efficiency(stats: &EngineStats, batch: bool) {
+    let idx = &stats.index;
+    println!();
+    println!(
+        "index: csr builds={} reuses={} (reuse rate {:.1}%)  dsu fast-path={} rebuilds={}",
+        idx.csr_builds,
+        idx.csr_reuses,
+        idx.reuse_rate() * 100.0,
+        idx.dsu_fast_hits,
+        idx.dsu_rebuilds,
+    );
+
+    let any_kind = stats.builds_by_kind.iter().zip(&stats.reuse_by_kind).any(|(b, r)| *b + *r > 0);
+    if any_kind {
+        println!("{:<16} {:>8} {:>8} {:>9}", "action", "builds", "avoided", "avoid%");
+        for (kind, label) in QUERY_KINDS.iter().enumerate() {
+            let (builds, avoided) = (stats.builds_by_kind[kind], stats.reuse_by_kind[kind]);
+            if builds + avoided == 0 {
+                continue;
+            }
+            println!(
+                "{:<16} {:>8} {:>8} {:>8.1}%",
+                label,
+                builds,
+                avoided,
+                avoided as f64 / (builds + avoided) as f64 * 100.0,
+            );
+        }
+    }
+
+    if batch {
+        let avg = if stats.batches == 0 {
+            0.0
+        } else {
+            stats.batched_reads as f64 / stats.batches as f64
+        };
+        println!(
+            "batching: {} read batches over {} reads (mean size {:.2})",
+            stats.batches, stats.batched_reads, avg,
+        );
+        let hist: Vec<String> = BATCH_BUCKET_LABELS
+            .iter()
+            .zip(&stats.batch_hist)
+            .filter(|(_, count)| **count > 0)
+            .map(|(label, count)| format!("{label}:{count}"))
+            .collect();
+        println!("batch sizes: {}", if hist.is_empty() { "-".into() } else { hist.join("  ") });
+    }
+}
+
 /// What a replay produced, whichever execution front ran it.
 struct RunReport {
     /// The deterministic `index request -> response` log.
@@ -264,8 +353,8 @@ struct RunReport {
 
 /// Replay through the single-threaded `Engine::execute` path, timing each
 /// op individually.
-fn run_single(workload: &Workload) -> RunReport {
-    let mut engine = Engine::new();
+fn run_single(workload: &Workload, cfg: EngineConfig) -> RunReport {
+    let mut engine = Engine::with_config(cfg);
     let mut log = String::with_capacity(workload.len() * 64);
     let mut latencies: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
     let mut errors = 0usize;
@@ -300,12 +389,13 @@ fn run_single(workload: &Workload) -> RunReport {
 /// in-flight tickets so shards overlap while memory stays flat. Responses
 /// are collected in submission order, so the log (and its digest) is
 /// byte-identical to the single-shard path.
-fn run_sharded(workload: &Workload, shards: usize) -> RunReport {
-    /// In-flight cap: deep enough to keep every shard busy, small enough
-    /// that pending tickets never hold more than a sliver of the log.
+fn run_sharded(workload: &Workload, shards: usize, opts: ShardOptions) -> RunReport {
+    /// In-flight cap: deep enough to keep every shard busy (and to give
+    /// batching workers real runs to coalesce), small enough that pending
+    /// tickets never hold more than a sliver of the log.
     const WINDOW: usize = 1024;
 
-    let mut engine = ShardedEngine::new(shards);
+    let mut engine = ShardedEngine::with_options(shards, opts);
     let mut log = String::with_capacity(workload.len() * 64);
     let mut errors = 0usize;
     let mut inflight: VecDeque<(usize, &Request, Ticket)> = VecDeque::new();

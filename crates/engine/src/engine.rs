@@ -6,14 +6,26 @@
 //! mutation bumps the graph's epoch and implicitly invalidates every
 //! cached answer for it.
 //!
+//! Under the cache sits the **index layer** (`cut_index`): each registry
+//! entry carries a [`GraphIndex`] holding a generation-stamped CSR
+//! snapshot (built at most once per mutation, shared by every read in
+//! between), an incremental DSU that answers `Connectivity` without BFS
+//! (O(α) across inserts, rebuilt lazily after deletes/contractions), and
+//! running degree/weight summaries. The query cache itself is a real LRU
+//! ([`cut_index::LruCache`]) bounded by
+//! [`EngineConfig::max_cache_entries`].
+//!
 //! Everything is deterministic: queries that involve randomness carry
 //! their seed in the query value itself, so an identical request sequence
 //! yields an identical response sequence — the substrate for replayable
-//! workloads and the stress harness's byte-identical logs.
+//! workloads and the stress harness's byte-identical logs. The index layer
+//! never changes a response, only what producing it costs;
+//! [`EngineStats`] counts the work it absorbed.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use cut_graph::{stoer_wagner, CutResult, Edge, Graph};
+use cut_index::{GraphIndex, IndexStats, LruCache};
 use mincut_core::{
     approx_min_cut, apx_split, exponential_priorities, smallest_singleton_cut, KCutOptions,
     MinCutOptions,
@@ -21,7 +33,28 @@ use mincut_core::{
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::request::{GraphSpec, Mutation, Query, Request, Response};
+use crate::request::{GraphSpec, Mutation, Query, Request, Response, QUERY_KINDS};
+
+/// Number of buckets in [`EngineStats::batch_hist`]: sizes 1, 2, 3–4,
+/// 5–8, 9–16, 17–32, 33+.
+pub const BATCH_BUCKETS: usize = 7;
+
+/// The [`EngineStats::batch_hist`] bucket a read batch of `size` falls in.
+pub fn batch_bucket(size: usize) -> usize {
+    match size {
+        0..=1 => 0,
+        2 => 1,
+        3..=4 => 2,
+        5..=8 => 3,
+        9..=16 => 4,
+        17..=32 => 5,
+        _ => 6,
+    }
+}
+
+/// Human-readable labels for the [`EngineStats::batch_hist`] buckets.
+pub const BATCH_BUCKET_LABELS: [&str; BATCH_BUCKETS] =
+    ["1", "2", "3-4", "5-8", "9-16", "17-32", "33+"];
 
 /// Tunables shared by every query the engine serves.
 #[derive(Debug, Clone)]
@@ -34,8 +67,8 @@ pub struct EngineConfig {
     pub repetitions: usize,
     /// Components at most this large are k-cut exactly.
     pub exact_below: usize,
-    /// Per-graph cache entries kept before the cache is reset (bounds
-    /// memory under seed-heavy workloads).
+    /// Per-graph query cache capacity (LRU: the coldest entry is evicted
+    /// at capacity, so hot queries survive under seed-heavy workloads).
     pub max_cache_entries: usize,
 }
 
@@ -66,6 +99,21 @@ pub struct EngineStats {
     pub graphs_created: u64,
     /// Graphs dropped.
     pub graphs_dropped: u64,
+    /// Index-layer counters (CSR builds/reuses, DSU fast path, LRU
+    /// evictions), aggregated across all graphs ever registered.
+    pub index: IndexStats,
+    /// CSR snapshot builds per query kind (indexed by
+    /// [`Query::kind_index`]).
+    pub builds_by_kind: [u64; QUERY_KINDS.len()],
+    /// CSR snapshot reuses — builds avoided — per query kind (indexed by
+    /// [`Query::kind_index`]).
+    pub reuse_by_kind: [u64; QUERY_KINDS.len()],
+    /// Read batches executed through [`Engine::execute_read_batch`].
+    pub batches: u64,
+    /// Queries served inside those batches.
+    pub batched_reads: u64,
+    /// Batch size histogram (see [`batch_bucket`] / [`BATCH_BUCKET_LABELS`]).
+    pub batch_hist: [u64; BATCH_BUCKETS],
 }
 
 impl EngineStats {
@@ -89,6 +137,12 @@ impl EngineStats {
             mutations,
             graphs_created,
             graphs_dropped,
+            index,
+            builds_by_kind,
+            reuse_by_kind,
+            batches,
+            batched_reads,
+            batch_hist,
         } = *other;
         self.queries += queries;
         self.cache_hits += cache_hits;
@@ -96,39 +150,57 @@ impl EngineStats {
         self.mutations += mutations;
         self.graphs_created += graphs_created;
         self.graphs_dropped += graphs_dropped;
+        self.index.merge(&index);
+        for (mine, theirs) in self.builds_by_kind.iter_mut().zip(builds_by_kind) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.reuse_by_kind.iter_mut().zip(reuse_by_kind) {
+            *mine += theirs;
+        }
+        self.batches += batches;
+        self.batched_reads += batched_reads;
+        for (mine, theirs) in self.batch_hist.iter_mut().zip(batch_hist) {
+            *mine += theirs;
+        }
     }
 }
 
-/// One registered graph: its mutable edge list, a lazily rebuilt CSR view,
-/// the mutation epoch, and the per-epoch query cache.
+/// One registered graph: its mutable edge list, the incremental index
+/// (generation-stamped CSR snapshot, DSU, summaries), the mutation epoch,
+/// and the per-epoch LRU query cache.
 struct GraphEntry {
     n: usize,
     edges: Vec<Edge>,
-    /// CSR adjacency, rebuilt on demand after mutations.
-    csr: Option<Graph>,
+    /// The index layer: CSR snapshot, incremental DSU, running summaries.
+    /// Its generation advances in lockstep with `epoch` (one bump per
+    /// successful mutation).
+    index: GraphIndex,
     /// Bumped by every successful mutation.
     epoch: u64,
     /// `query -> (epoch_at_answer, answer)`; an entry is live only while
-    /// its epoch matches the graph's.
-    cache: HashMap<Query, (u64, Response)>,
+    /// its epoch matches the graph's. LRU-bounded.
+    cache: LruCache<Query, (u64, Response)>,
 }
 
 impl GraphEntry {
-    fn new(n: usize, edges: Vec<Edge>) -> Self {
-        Self { n, edges, csr: None, epoch: 0, cache: HashMap::new() }
+    fn new(n: usize, edges: Vec<Edge>, cache_capacity: usize) -> Self {
+        let index = GraphIndex::new(n, &edges);
+        Self { n, edges, index, epoch: 0, cache: LruCache::new(cache_capacity.max(1)) }
     }
 
-    /// The CSR view of the current edge list, building it if stale.
-    fn graph(&mut self) -> &Graph {
-        if self.csr.is_none() {
-            self.csr = Some(Graph::new_unchecked(self.n, self.edges.clone()));
-        }
-        self.csr.as_ref().unwrap()
+    /// The CSR view of the current edge list (built iff the stamp is
+    /// stale — see [`GraphIndex::snapshot`]). Returns `(graph, built)`.
+    fn graph(&mut self) -> (&Graph, bool) {
+        self.index.snapshot(self.n, &self.edges)
     }
 
     fn touch(&mut self) {
         self.epoch += 1;
-        self.csr = None;
+        debug_assert_eq!(
+            self.epoch,
+            self.index.generation(),
+            "index generation must advance in lockstep with the epoch"
+        );
     }
 }
 
@@ -188,9 +260,25 @@ impl Engine {
         self.graphs.get(name).map(|e| e.epoch)
     }
 
-    /// A snapshot of a registered graph (CSR built if needed).
+    /// A snapshot of a registered graph (CSR built if needed — a build
+    /// here counts in [`EngineStats`] like any other, so `csr_reuses`
+    /// never references a construction the counters missed).
     pub fn snapshot(&mut self, name: &str) -> Option<Graph> {
-        self.graphs.get_mut(name).map(|e| e.graph().clone())
+        let stats = &mut self.stats;
+        self.graphs.get_mut(name).map(|e| {
+            let (g, built) = e.graph();
+            if built {
+                stats.index.csr_builds += 1;
+            }
+            g.clone()
+        })
+    }
+
+    /// The index layer's running summaries for a graph — O(1) structural
+    /// facts (edge count, total weight, max weighted degree) that stay
+    /// current across mutations without any CSR or edge scan.
+    pub fn summary(&self, name: &str) -> Option<cut_index::GraphSummary> {
+        self.graphs.get(name).map(|e| e.index.summary())
     }
 
     /// Execute one request. Never panics on bad input: failures come back
@@ -245,7 +333,8 @@ impl Engine {
         match spec.materialize() {
             Ok((n, edges)) => {
                 let m = edges.len();
-                self.graphs.insert(name.clone(), GraphEntry::new(n, edges));
+                let entry = GraphEntry::new(n, edges, self.cfg.max_cache_entries);
+                self.graphs.insert(name.clone(), entry);
                 self.stats.graphs_created += 1;
                 Response::Created { name, n, m }
             }
@@ -287,29 +376,102 @@ impl Engine {
     }
 
     fn query(&mut self, name: &str, query: Query) -> Response {
-        let cfg = self.cfg.clone();
         let Some(entry) = self.graphs.get_mut(name) else {
             return Response::Error { message: format!("no graph named '{name}'") };
         };
-        self.stats.queries += 1;
-
-        if let Some((epoch, answer)) = entry.cache.get(&query) {
-            if *epoch == entry.epoch {
-                self.stats.cache_hits += 1;
-                return answer.as_cached();
-            }
-        }
-        self.stats.cache_misses += 1;
-
-        let answer = compute_query(entry, &cfg, query);
-        if !matches!(answer, Response::Error { .. }) {
-            if entry.cache.len() >= cfg.max_cache_entries {
-                entry.cache.clear();
-            }
-            entry.cache.insert(query, (entry.epoch, answer.clone()));
-        }
-        answer
+        serve_query(&mut self.stats, &self.cfg, entry, query)
     }
+
+    /// Execute a batch of queries against one graph — the registry lookup
+    /// happens once and every query in the batch shares the same index
+    /// state (so at most one CSR build serves the whole batch).
+    ///
+    /// Queries execute in order against the same entry a serial sequence
+    /// of [`Request::Query`] calls would hit, so the responses — cache
+    /// flags included — are element-wise identical to unbatched
+    /// execution; only the batch counters in [`EngineStats`] differ. This
+    /// is the seam the sharded front-end's batching worker drives.
+    pub fn execute_read_batch(&mut self, name: &str, queries: Vec<Query>) -> Vec<Response> {
+        let Some(entry) = self.graphs.get_mut(name) else {
+            // Mirror the serial path exactly: per-query errors, no
+            // query-counter bumps — and no batch counters either, since
+            // those report queries *served* through batches.
+            return queries
+                .iter()
+                .map(|_| Response::Error { message: format!("no graph named '{name}'") })
+                .collect();
+        };
+        self.stats.batches += 1;
+        self.stats.batched_reads += queries.len() as u64;
+        self.stats.batch_hist[batch_bucket(queries.len())] += 1;
+        let mut responses = Vec::with_capacity(queries.len());
+        for query in queries {
+            responses.push(serve_query(&mut self.stats, &self.cfg, entry, query));
+        }
+        responses
+    }
+}
+
+/// Serve one query against a looked-up entry: LRU/epoch cache first, then
+/// the index layer (DSU fast path for connectivity, stamped CSR snapshot
+/// for everything else), attributing the work to `stats`.
+fn serve_query(
+    stats: &mut EngineStats,
+    cfg: &EngineConfig,
+    entry: &mut GraphEntry,
+    query: Query,
+) -> Response {
+    stats.queries += 1;
+
+    let mut stale = false;
+    let hit = match entry.cache.get(&query) {
+        Some((epoch, answer)) if *epoch == entry.epoch => Some(answer.as_cached()),
+        Some(_) => {
+            stale = true;
+            None
+        }
+        None => None,
+    };
+    if let Some(answer) = hit {
+        stats.cache_hits += 1;
+        return answer;
+    }
+    if stale {
+        // Drop the dead entry now: a query whose recompute errors (e.g.
+        // k-cut after a contraction shrank n below k) would otherwise pin
+        // a permanently stale entry at the hot end of the LRU.
+        entry.cache.remove(&query);
+    }
+    stats.cache_misses += 1;
+
+    // `csr` reports exactly what the compute arms did with the snapshot:
+    // None = never touched (connectivity, errors, the edgeless
+    // singleton-cut summary path), Some(built) otherwise.
+    let mut csr: Option<bool> = None;
+    let answer = compute_query(entry, cfg, stats, query, &mut csr);
+    if let Some(built) = csr {
+        let kind = query.kind_index();
+        if built {
+            stats.index.csr_builds += 1;
+            stats.builds_by_kind[kind] += 1;
+        } else {
+            stats.index.csr_reuses += 1;
+            stats.reuse_by_kind[kind] += 1;
+        }
+    }
+    if !matches!(answer, Response::Error { .. })
+        && entry.cache.insert(query, (entry.epoch, answer.clone())).is_some()
+    {
+        stats.index.lru_evictions += 1;
+    }
+    answer
+}
+
+/// Unpack a [`GraphIndex::snapshot`] result, recording into `slot`
+/// whether this access built the CSR or reused the stamped build.
+fn track<'g>((graph, built): (&'g Graph, bool), slot: &mut Option<bool>) -> &'g Graph {
+    *slot = Some(built);
+    graph
 }
 
 fn apply_insert(entry: &mut GraphEntry, u: u32, v: u32, w: u64) -> Result<(), String> {
@@ -323,6 +485,9 @@ fn apply_insert(entry: &mut GraphEntry, u: u32, v: u32, w: u64) -> Result<(), St
         return Err(format!("zero-weight edge ({u}, {v})"));
     }
     entry.edges.push(Edge::new(u, v, w));
+    // O(α): the DSU unions, the summaries adjust, the snapshot stamp
+    // invalidates.
+    entry.index.note_insert(u, v, w);
     Ok(())
 }
 
@@ -330,7 +495,10 @@ fn apply_delete(entry: &mut GraphEntry, u: u32, v: u32) -> Result<(), String> {
     let pos = entry.edges.iter().position(|e| (e.u == u && e.v == v) || (e.u == v && e.v == u));
     match pos {
         Some(i) => {
-            entry.edges.remove(i);
+            let e = entry.edges.remove(i);
+            // Marks the DSU dirty (a delete can split a component); the
+            // rebuild happens lazily at the next connectivity read.
+            entry.index.note_delete(e.u, e.v, e.w);
             Ok(())
         }
         None => Err(format!("no edge ({u}, {v}) to delete")),
@@ -360,21 +528,38 @@ fn apply_contract(entry: &mut GraphEntry, u: u32, v: u32) -> Result<(), String> 
     }
     entry.n -= 1;
     entry.edges = merged.into_iter().map(|((a, b), w)| Edge::new(a, b, w)).collect();
+    // Contraction relabels vertices and merges edges wholesale: re-derive
+    // the DSU and summaries from the new state.
+    entry.index.rebuild_for(entry.n, &entry.edges);
     Ok(())
 }
 
-fn compute_query(entry: &mut GraphEntry, cfg: &EngineConfig, query: Query) -> Response {
+fn compute_query(
+    entry: &mut GraphEntry,
+    cfg: &EngineConfig,
+    stats: &mut EngineStats,
+    query: Query,
+    csr: &mut Option<bool>,
+) -> Response {
     let n = entry.n;
     match query {
         Query::Connectivity => {
-            let components = entry.graph().component_count();
+            // The index's DSU answers without BFS and without a CSR:
+            // O(α)-ish after inserts, one lazy O(m α) rebuild after a
+            // delete or contraction.
+            let (components, rebuilt) = entry.index.components(entry.n, &entry.edges);
+            if rebuilt {
+                stats.index.dsu_rebuilds += 1;
+            } else {
+                stats.index.dsu_fast_hits += 1;
+            }
             Response::ConnectivityValue { components, cached: false }
         }
         Query::ExactMinCut => {
             if n < 2 {
                 return Response::Error { message: "min cut needs n >= 2".into() };
             }
-            let g = entry.graph();
+            let g = track(entry.graph(), csr);
             match disconnected_cut(g) {
                 Some(cut) => cut_response(&cut),
                 None => cut_response(&stoer_wagner(g)),
@@ -384,7 +569,7 @@ fn compute_query(entry: &mut GraphEntry, cfg: &EngineConfig, query: Query) -> Re
             if n < 2 {
                 return Response::Error { message: "min cut needs n >= 2".into() };
             }
-            let g = entry.graph();
+            let g = track(entry.graph(), csr);
             if let Some(cut) = disconnected_cut(g) {
                 return cut_response(&cut);
             }
@@ -400,11 +585,12 @@ fn compute_query(entry: &mut GraphEntry, cfg: &EngineConfig, query: Query) -> Re
             if n < 2 {
                 return Response::Error { message: "singleton cut needs n >= 2".into() };
             }
-            let g = entry.graph();
-            if g.m() == 0 {
-                // Every singleton cut of an edgeless graph weighs 0.
+            if entry.index.m() == 0 {
+                // Every singleton cut of an edgeless graph weighs 0 — the
+                // running edge count answers in O(1), no CSR.
                 return Response::CutValue { weight: 0, side_size: 1, cached: false };
             }
+            let g = track(entry.graph(), csr);
             let mut rng = SmallRng::seed_from_u64(seed);
             let prio = exponential_priorities(g, &mut rng);
             let cut = smallest_singleton_cut(g, &prio);
@@ -418,7 +604,7 @@ fn compute_query(entry: &mut GraphEntry, cfg: &EngineConfig, query: Query) -> Re
                     message: format!("k-cut needs 1 <= k <= n (k = {k}, n = {n})"),
                 };
             }
-            let g = entry.graph();
+            let g = track(entry.graph(), csr);
             let mut opts = KCutOptions::new(k);
             opts.exact_below = cfg.exact_below;
             opts.mincut.epsilon = cfg.epsilon;
@@ -435,7 +621,7 @@ fn compute_query(entry: &mut GraphEntry, cfg: &EngineConfig, query: Query) -> Re
             if s == t {
                 return Response::Error { message: "st-cut needs s != t".into() };
             }
-            let g = entry.graph();
+            let g = track(entry.graph(), csr);
             let weight = cut_graph::maxflow::min_st_cut(g, s, t);
             Response::CutValue { weight, side_size: 0, cached: false }
         }
@@ -638,6 +824,147 @@ mod tests {
             matches!(r, Response::EngineStats { graphs: 2, queries: 2, cache_hits: 1, .. }),
             "got {r}"
         );
+    }
+
+    #[test]
+    fn connectivity_uses_the_dsu_fast_path() {
+        let mut e = Engine::new();
+        create(&mut e, "g", GraphSpec::Cycle { n: 8 });
+        // First read: DSU built at create, still exact — fast path, no CSR.
+        assert!(matches!(
+            query(&mut e, "g", Query::Connectivity),
+            Response::ConnectivityValue { components: 1, cached: false }
+        ));
+        assert_eq!(e.stats().index.dsu_fast_hits, 1);
+        assert_eq!(e.stats().index.csr_builds, 0, "connectivity must not build the CSR");
+
+        // Inserts keep the DSU exact in O(α): still the fast path.
+        e.execute(Request::Mutate {
+            name: "g".into(),
+            op: Mutation::InsertEdge { u: 0, v: 4, w: 1 },
+        });
+        query(&mut e, "g", Query::Connectivity);
+        assert_eq!(e.stats().index.dsu_fast_hits, 2);
+        assert_eq!(e.stats().index.dsu_rebuilds, 0);
+
+        // A delete dirties the DSU; the next read rebuilds lazily ...
+        e.execute(Request::Mutate { name: "g".into(), op: Mutation::DeleteEdge { u: 0, v: 4 } });
+        query(&mut e, "g", Query::Connectivity);
+        assert_eq!(e.stats().index.dsu_rebuilds, 1);
+        // ... and fast-paths again afterwards (new epoch ⇒ cache miss).
+        e.execute(Request::Mutate {
+            name: "g".into(),
+            op: Mutation::InsertEdge { u: 1, v: 5, w: 1 },
+        });
+        query(&mut e, "g", Query::Connectivity);
+        assert_eq!(e.stats().index.dsu_fast_hits, 3);
+    }
+
+    #[test]
+    fn snapshot_is_built_once_and_shared_between_mutations() {
+        let mut e = Engine::new();
+        create(&mut e, "g", GraphSpec::Cycle { n: 10 });
+        // Three distinct CSR-needing queries: one build, two reuses.
+        query(&mut e, "g", Query::ExactMinCut);
+        query(&mut e, "g", Query::StCutWeight { s: 0, t: 5 });
+        query(&mut e, "g", Query::SingletonCut { seed: 1 });
+        let s = e.stats();
+        assert_eq!(s.index.csr_builds, 1);
+        assert_eq!(s.index.csr_reuses, 2);
+        assert_eq!(s.builds_by_kind[Query::ExactMinCut.kind_index()], 1);
+        assert_eq!(s.reuse_by_kind[Query::StCutWeight { s: 0, t: 5 }.kind_index()], 1);
+
+        // A mutation invalidates the stamp: exactly one more build.
+        e.execute(Request::Mutate {
+            name: "g".into(),
+            op: Mutation::InsertEdge { u: 0, v: 5, w: 2 },
+        });
+        query(&mut e, "g", Query::ExactMinCut);
+        query(&mut e, "g", Query::StCutWeight { s: 0, t: 5 });
+        let s = e.stats();
+        assert_eq!(s.index.csr_builds, 2);
+        assert_eq!(s.index.csr_reuses, 3);
+    }
+
+    #[test]
+    fn lru_evicts_cold_entries_not_the_working_set() {
+        let cfg = EngineConfig { max_cache_entries: 2, ..EngineConfig::default() };
+        let mut e = Engine::with_config(cfg);
+        create(&mut e, "g", GraphSpec::Cycle { n: 8 });
+        // Fill: {exact, connectivity}, then keep exact hot.
+        query(&mut e, "g", Query::ExactMinCut);
+        query(&mut e, "g", Query::Connectivity);
+        query(&mut e, "g", Query::ExactMinCut); // hit, promotes
+        assert_eq!(e.stats().cache_hits, 1);
+        // Inserting a third entry evicts connectivity (the cold one).
+        query(&mut e, "g", Query::StCutWeight { s: 0, t: 4 });
+        assert_eq!(e.stats().index.lru_evictions, 1);
+        assert!(query(&mut e, "g", Query::ExactMinCut).was_cached(), "hot entry survived");
+        assert!(!query(&mut e, "g", Query::Connectivity).was_cached(), "cold entry was evicted");
+    }
+
+    #[test]
+    fn read_batch_matches_serial_execution() {
+        let queries = vec![
+            Query::ExactMinCut,
+            Query::Connectivity,
+            Query::ExactMinCut, // cache hit inside the batch
+            Query::StCutWeight { s: 0, t: 3 },
+            Query::KCut { k: 99 }, // error inside the batch
+        ];
+
+        let mut serial = Engine::new();
+        create(&mut serial, "g", GraphSpec::Cycle { n: 7 });
+        let expected: Vec<Response> = queries.iter().map(|q| query(&mut serial, "g", *q)).collect();
+
+        let mut batched = Engine::new();
+        create(&mut batched, "g", GraphSpec::Cycle { n: 7 });
+        let got = batched.execute_read_batch("g", queries.clone());
+        assert_eq!(got, expected);
+
+        // Same query/cache counters; only batch bookkeeping differs.
+        assert_eq!(batched.stats().queries, serial.stats().queries);
+        assert_eq!(batched.stats().cache_hits, serial.stats().cache_hits);
+        assert_eq!(batched.stats().index, serial.stats().index);
+        assert_eq!(batched.stats().batches, 1);
+        assert_eq!(batched.stats().batched_reads, 5);
+        assert_eq!(batched.stats().batch_hist[batch_bucket(5)], 1);
+        assert_eq!(serial.stats().batches, 0);
+
+        // Unknown graph: per-query errors, no counter bumps — like serial.
+        let errs = batched.execute_read_batch("ghost", vec![Query::Connectivity]);
+        assert!(matches!(&errs[..], [Response::Error { .. }]));
+        assert_eq!(batched.stats().queries, serial.stats().queries);
+    }
+
+    #[test]
+    fn summary_tracks_mutations_without_a_csr() {
+        let mut e = Engine::new();
+        create(&mut e, "p", GraphSpec::Edges { n: 4, edges: vec![(0, 1, 3), (1, 2, 5)] });
+        let s = e.summary("p").unwrap();
+        assert_eq!((s.n, s.m, s.total_weight, s.max_weighted_degree), (4, 2, 8, 8));
+        e.execute(Request::Mutate {
+            name: "p".into(),
+            op: Mutation::InsertEdge { u: 2, v: 3, w: 7 },
+        });
+        let s = e.summary("p").unwrap();
+        assert_eq!((s.m, s.total_weight, s.max_weighted_degree), (3, 15, 12));
+        assert_eq!(e.stats().index.csr_builds, 0, "summaries never build the CSR");
+        assert!(e.summary("ghost").is_none());
+    }
+
+    #[test]
+    fn batch_buckets_cover_all_sizes() {
+        assert_eq!(batch_bucket(0), 0);
+        assert_eq!(batch_bucket(1), 0);
+        assert_eq!(batch_bucket(2), 1);
+        assert_eq!(batch_bucket(4), 2);
+        assert_eq!(batch_bucket(8), 3);
+        assert_eq!(batch_bucket(16), 4);
+        assert_eq!(batch_bucket(32), 5);
+        assert_eq!(batch_bucket(33), 6);
+        assert_eq!(batch_bucket(10_000), 6);
+        assert_eq!(BATCH_BUCKET_LABELS.len(), BATCH_BUCKETS);
     }
 
     #[test]

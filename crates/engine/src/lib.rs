@@ -17,7 +17,16 @@
 //!   registry is partitioned across N worker threads by a stable hash of
 //!   the graph name, per-graph request order is preserved, cross-graph
 //!   requests run concurrently, and the response stream is byte-identical
-//!   to the single-threaded engine's for any shard count.
+//!   to the single-threaded engine's for any shard count. With
+//!   [`ShardOptions::batch`], workers drain queued runs of same-graph
+//!   queries into read batches that share one index snapshot.
+//!
+//! Beneath both sits the **index layer** (the `cut_index` crate): every
+//! registry entry keeps a generation-stamped CSR snapshot (one build per
+//! mutation, shared by all reads in between), an incremental DSU so
+//! `Connectivity` skips BFS, running degree/weight summaries, and an LRU
+//! query cache. [`EngineStats`] reports how much work the layer absorbed
+//! (builds avoided, DSU fast-path hits, evictions, batch sizes).
 //!
 //! The [`workload`] module generates seeded, replayable request streams
 //! (weighted action mix + Zipf graph-popularity skew); the `cut_bench`
@@ -65,7 +74,10 @@ pub mod request;
 pub mod shard;
 pub mod workload;
 
-pub use engine::{Engine, EngineConfig, EngineStats};
-pub use request::{GraphSpec, Mutation, Query, Request, Response};
-pub use shard::{ShardedEngine, Ticket};
+// The index layer under every registry entry (see the `cut_index` crate).
+pub use cut_index::{GraphSummary, IndexStats, LruCache};
+pub use engine::BATCH_BUCKET_LABELS;
+pub use engine::{batch_bucket, Engine, EngineConfig, EngineStats, BATCH_BUCKETS};
+pub use request::{GraphSpec, Mutation, Query, Request, Response, QUERY_KINDS};
+pub use shard::{ShardOptions, ShardedEngine, Ticket};
 pub use workload::{ActionMix, Workload, WorkloadConfig};

@@ -244,16 +244,28 @@ pub enum Query {
     },
 }
 
+/// The [`Query::kind`] labels, indexed by [`Query::kind_index`] — the
+/// shared axis for per-action counters (e.g. the engine's snapshot
+/// build/reuse accounting).
+pub const QUERY_KINDS: [&str; 6] =
+    ["approx-min-cut", "exact-min-cut", "singleton-cut", "k-cut", "connectivity", "st-cut"];
+
 impl Query {
     /// Short stable label for per-action reporting.
     pub fn kind(&self) -> &'static str {
+        QUERY_KINDS[self.kind_index()]
+    }
+
+    /// Position of this query's kind in [`QUERY_KINDS`] — the index for
+    /// fixed-size per-action counter arrays.
+    pub fn kind_index(&self) -> usize {
         match self {
-            Query::ApproxMinCut { .. } => "approx-min-cut",
-            Query::ExactMinCut => "exact-min-cut",
-            Query::SingletonCut { .. } => "singleton-cut",
-            Query::KCut { .. } => "k-cut",
-            Query::Connectivity => "connectivity",
-            Query::StCutWeight { .. } => "st-cut",
+            Query::ApproxMinCut { .. } => 0,
+            Query::ExactMinCut => 1,
+            Query::SingletonCut { .. } => 2,
+            Query::KCut { .. } => 3,
+            Query::Connectivity => 4,
+            Query::StCutWeight { .. } => 5,
         }
     }
 }

@@ -27,6 +27,16 @@
 //!   and collect answers in submission order; this is what overlaps work
 //!   across shards and where the throughput win comes from.
 //!
+//! With [`ShardOptions::batch`] enabled, each worker additionally drains
+//! its queue into **per-graph read batches**: a maximal run of consecutive
+//! queued queries against the same graph executes through one
+//! [`Engine::execute_read_batch`] call — one registry lookup, one shared
+//! index snapshot — while any mutation, create, drop, or broadcast acts as
+//! a barrier and executes singly. Jobs still execute in exact queue order,
+//! so the response stream stays byte-identical to the unbatched path; only
+//! the cost of producing it (and the batch counters in
+//! [`EngineStats`]) changes.
+//!
 //! Shutdown is graceful: [`ShardedEngine::shutdown`] (or drop) closes the
 //! job queues, and every worker drains all in-flight jobs before exiting,
 //! so tickets taken before shutdown still resolve.
@@ -50,12 +60,32 @@
 //! assert_eq!(per_shard.iter().map(|s| s.queries).sum::<u64>(), 1);
 //! ```
 
+use std::collections::VecDeque;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crate::engine::{Engine, EngineConfig, EngineStats};
 use crate::request::{Request, Response};
+
+/// How a [`ShardedEngine`]'s workers execute their queues.
+#[derive(Debug, Clone)]
+pub struct ShardOptions {
+    /// Per-shard engine configuration.
+    pub cfg: EngineConfig,
+    /// Drain queued runs of same-graph queries into read batches
+    /// (mutations are barriers). Changes cost, never responses.
+    pub batch: bool,
+    /// Most jobs a worker pulls off its queue in one drain (bounds the
+    /// latency a batch can add to its first member).
+    pub max_batch: usize,
+}
+
+impl Default for ShardOptions {
+    fn default() -> Self {
+        Self { cfg: EngineConfig::default(), batch: false, max_batch: 256 }
+    }
+}
 
 /// One unit of work for a shard worker: a request plus the channel its
 /// response goes back on.
@@ -203,15 +233,26 @@ impl ShardedEngine {
     /// thread (callers taking `shards` from user input should bound it —
     /// the stress harness caps at 1024).
     pub fn with_config(shards: usize, cfg: EngineConfig) -> Self {
+        Self::with_options(shards, ShardOptions { cfg, ..ShardOptions::default() })
+    }
+
+    /// Spawn `shards` worker threads with batching and be able to set the
+    /// drain cap — see [`ShardOptions`].
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero, or if the OS refuses to spawn a worker
+    /// thread (callers taking `shards` from user input should bound it —
+    /// the stress harness caps at 1024).
+    pub fn with_options(shards: usize, opts: ShardOptions) -> Self {
         assert!(shards > 0, "a sharded engine needs at least one shard");
         let mut txs = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for shard in 0..shards {
             let (tx, rx) = unbounded::<Job>();
-            let worker_cfg = cfg.clone();
+            let worker_opts = opts.clone();
             let handle = std::thread::Builder::new()
                 .name(format!("cut-shard-{shard}"))
-                .spawn(move || worker_loop(rx, worker_cfg))
+                .spawn(move || worker_loop(rx, worker_opts))
                 .expect("spawn shard worker");
             txs.push(tx);
             workers.push(handle);
@@ -321,12 +362,74 @@ impl Drop for ShardedEngine {
 
 /// The shard worker: drain jobs FIFO into a private engine until every
 /// sender is gone, then report final stats to `shutdown`.
-fn worker_loop(rx: Receiver<Job>, cfg: EngineConfig) -> EngineStats {
-    let mut engine = Engine::with_config(cfg);
-    while let Ok(Job { request, reply }) = rx.recv() {
-        // A dropped ticket is fine — compute anyway (mutations must still
-        // apply), discard the undeliverable answer.
-        let _ = reply.send(engine.execute(request));
+///
+/// In batch mode the worker opportunistically pulls whatever has queued
+/// up behind the job it is about to run (up to `max_batch`), then
+/// executes maximal runs of consecutive same-graph queries through
+/// [`Engine::execute_read_batch`] — one registry lookup and one shared
+/// index snapshot per run. Any other request kind is a barrier. Jobs
+/// execute in exact queue order either way, so batching never changes a
+/// response — per-graph ordering (and thus epochs, caches, and the log
+/// digest) is identical to the unbatched worker.
+fn worker_loop(rx: Receiver<Job>, opts: ShardOptions) -> EngineStats {
+    let mut engine = Engine::with_config(opts.cfg);
+    if !opts.batch {
+        while let Ok(Job { request, reply }) = rx.recv() {
+            // A dropped ticket is fine — compute anyway (mutations must
+            // still apply), discard the undeliverable answer.
+            let _ = reply.send(engine.execute(request));
+        }
+        return engine.stats();
+    }
+
+    let mut pending: VecDeque<Job> = VecDeque::new();
+    loop {
+        // Block only when nothing is pending; the channel closing while
+        // pending is empty is the (graceful) exit.
+        if pending.is_empty() {
+            match rx.recv() {
+                Ok(job) => pending.push_back(job),
+                Err(_) => break,
+            }
+        }
+        // Opportunistic drain: everything already queued joins this round,
+        // so a burst of reads becomes one batch instead of many singles.
+        while pending.len() < opts.max_batch {
+            match rx.try_recv() {
+                Ok(job) => pending.push_back(job),
+                Err(_) => break,
+            }
+        }
+        let job = pending.pop_front().expect("pending is non-empty here");
+        match job.request {
+            Request::Query { name, query } => {
+                // Extend with the maximal run of consecutive queries
+                // against the same graph; the next mutation (or any other
+                // request) is the batch barrier.
+                let mut queries = vec![query];
+                let mut replies = vec![job.reply];
+                while let Some(Job { request: Request::Query { name: next, .. }, .. }) =
+                    pending.front()
+                {
+                    if *next != name {
+                        break;
+                    }
+                    if let Some(Job { request: Request::Query { query, .. }, reply }) =
+                        pending.pop_front()
+                    {
+                        queries.push(query);
+                        replies.push(reply);
+                    }
+                }
+                let responses = engine.execute_read_batch(&name, queries);
+                for (reply, response) in replies.into_iter().zip(responses) {
+                    let _ = reply.send(response);
+                }
+            }
+            request => {
+                let _ = job.reply.send(engine.execute(request));
+            }
+        }
     }
     engine.stats()
 }
@@ -449,6 +552,85 @@ mod tests {
         assert!(matches!(r, Response::ConnectivityValue { .. }));
         let mutations: u64 = e.shutdown().iter().map(|s| s.mutations).sum();
         assert_eq!(mutations, 3, "fire-and-forget mutations must still land");
+    }
+
+    #[test]
+    fn batched_workers_answer_identically() {
+        // Pipeline a read-heavy stream with interleaved mutations through
+        // a batching sharded engine; responses must match the plain
+        // engine's element-wise (mutation = batch barrier).
+        let mut requests = vec![
+            Request::Create { name: "a".into(), spec: GraphSpec::Cycle { n: 10 } },
+            Request::Create { name: "b".into(), spec: GraphSpec::Cycle { n: 12 } },
+        ];
+        for round in 0..4u64 {
+            for i in 0..8u64 {
+                requests.push(Request::Query {
+                    name: if i % 3 == 0 { "b" } else { "a" }.into(),
+                    query: Query::ApproxMinCut { seed: i % 2 },
+                });
+                requests.push(Request::Query { name: "a".into(), query: Query::Connectivity });
+            }
+            requests.push(Request::Mutate {
+                name: "a".into(),
+                op: Mutation::InsertEdge { u: 0, v: (round + 2) as u32, w: 1 + round },
+            });
+        }
+        requests.push(Request::Stats);
+
+        let mut plain = Engine::new();
+        let expected: Vec<Response> = requests.iter().map(|r| plain.execute(r.clone())).collect();
+
+        for shards in [1, 3] {
+            let mut batched = ShardedEngine::with_options(
+                shards,
+                ShardOptions { batch: true, ..ShardOptions::default() },
+            );
+            let tickets: Vec<Ticket> = requests.iter().map(|r| batched.submit(r.clone())).collect();
+            let got: Vec<Response> = tickets.into_iter().map(|t| t.wait()).collect();
+            assert_eq!(got, expected, "batched responses diverged at shards={shards}");
+
+            let mut total = EngineStats::default();
+            for s in batched.shutdown() {
+                total.merge(&s);
+            }
+            assert_eq!(total.queries, plain.stats().queries);
+            assert_eq!(total.cache_hits, plain.stats().cache_hits);
+            assert_eq!(total.mutations, plain.stats().mutations);
+        }
+    }
+
+    #[test]
+    fn batched_worker_forms_multi_read_batches() {
+        // One shard, submissions queued while the worker grinds: runs of
+        // same-graph reads must coalesce (batches < batched reads).
+        let mut e =
+            ShardedEngine::with_options(1, ShardOptions { batch: true, ..ShardOptions::default() });
+        create(&mut e, "hot", 48);
+        // An expensive head occupies the worker so the read burst queues
+        // up behind it and gets drained as (large) batches.
+        let head = e.submit(Request::Query { name: "hot".into(), query: Query::KCut { k: 4 } });
+        let tickets: Vec<Ticket> = (0..200)
+            .map(|i| {
+                e.submit(Request::Query {
+                    name: "hot".into(),
+                    query: Query::StCutWeight { s: i % 48, t: (i + 7) % 48 },
+                })
+            })
+            .collect();
+        assert!(!matches!(head.wait(), Response::Error { .. }));
+        for t in tickets {
+            assert!(!matches!(t.wait(), Response::Error { .. }));
+        }
+        let stats = &e.shutdown()[0];
+        assert_eq!(stats.batched_reads, 201, "every read went through the batch path");
+        assert!(
+            stats.batches < 201,
+            "queued reads must coalesce into multi-read batches (got {} batches)",
+            stats.batches
+        );
+        // Batching shares the snapshot, so the whole burst costs one build.
+        assert_eq!(stats.index.csr_builds, 1);
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! The per-graph incremental index: generation-stamped CSR snapshots,
+//! incremental DSU connectivity, and running degree/weight summaries.
+
+use cut_graph::{Dsu, Edge, Graph};
+
+/// Counters for how much work the index layer absorbed. Owned by whoever
+/// drives the index (one aggregate per engine, so counters survive graph
+/// drops); [`GraphIndex`] methods report what happened per call and the
+/// driver folds it in here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// CSR snapshots built from the edge list.
+    pub csr_builds: u64,
+    /// Snapshot requests served by an already-stamped build (builds avoided).
+    pub csr_reuses: u64,
+    /// Connectivity reads answered by the live DSU (no rebuild, no BFS).
+    pub dsu_fast_hits: u64,
+    /// Connectivity reads that had to rebuild the DSU (after a delete or
+    /// contraction invalidated it).
+    pub dsu_rebuilds: u64,
+    /// Entries evicted from LRU query caches.
+    pub lru_evictions: u64,
+}
+
+impl IndexStats {
+    /// Fold another set of counters into this one. Exhaustive
+    /// destructuring: adding a field is a compile error until it merges.
+    pub fn merge(&mut self, other: &IndexStats) {
+        let IndexStats { csr_builds, csr_reuses, dsu_fast_hits, dsu_rebuilds, lru_evictions } =
+            *other;
+        self.csr_builds += csr_builds;
+        self.csr_reuses += csr_reuses;
+        self.dsu_fast_hits += dsu_fast_hits;
+        self.dsu_rebuilds += dsu_rebuilds;
+        self.lru_evictions += lru_evictions;
+    }
+
+    /// Fraction of snapshot requests that reused a stamped build, in
+    /// `[0, 1]` (0 when no snapshot was ever requested).
+    pub fn reuse_rate(&self) -> f64 {
+        let total = self.csr_builds + self.csr_reuses;
+        if total == 0 {
+            0.0
+        } else {
+            self.csr_reuses as f64 / total as f64
+        }
+    }
+}
+
+/// O(1) structural facts the index keeps current across mutations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphSummary {
+    /// Vertex count.
+    pub n: usize,
+    /// Edge count (parallel edges counted).
+    pub m: usize,
+    /// Sum of all edge weights.
+    pub total_weight: u64,
+    /// Largest weighted degree (0 for edgeless graphs).
+    pub max_weighted_degree: u64,
+}
+
+/// The incremental index kept alongside one graph's edge list.
+///
+/// The owner holds the authoritative `(n, edges)` state and *notifies* the
+/// index of every change ([`note_insert`](GraphIndex::note_insert),
+/// [`note_delete`](GraphIndex::note_delete),
+/// [`rebuild_for`](GraphIndex::rebuild_for)); the index keeps whatever
+/// derived state each notification can maintain cheaply and rebuilds the
+/// rest lazily at the next read. Invariants:
+///
+/// - **Generations.** Every notification bumps `generation`. The CSR
+///   snapshot is stamped with the generation it was built at and is valid
+///   iff the stamps match — so between two mutations, any number of reads
+///   share one build.
+/// - **DSU.** Inserts union in O(α) (connectivity can only increase).
+///   Deletes and contractions can split or relabel components, which a DSU
+///   cannot track, so they mark it dirty; the next connectivity read
+///   rebuilds it from the edge list in O(m α) and fast-paths thereafter.
+/// - **Summaries.** Degree/weight totals update in O(1) per edge
+///   notification and are recomputed only on
+///   [`rebuild_for`](GraphIndex::rebuild_for).
+pub struct GraphIndex {
+    /// Bumped by every noted mutation.
+    generation: u64,
+    /// Lazily built CSR view of the owner's edge list.
+    snapshot: Option<Graph>,
+    /// Generation the snapshot was built at; valid iff equal to
+    /// `generation`.
+    snapshot_generation: u64,
+    dsu: Dsu,
+    /// Set by deletes/contractions; cleared by the lazy rebuild.
+    dsu_dirty: bool,
+    /// Weighted degree per vertex.
+    degrees: Vec<u64>,
+    total_weight: u64,
+    m: usize,
+}
+
+impl GraphIndex {
+    /// Index a fresh graph: DSU and summaries are built eagerly (O(n + m)),
+    /// the CSR snapshot lazily on first use.
+    pub fn new(n: usize, edges: &[Edge]) -> Self {
+        let mut index = Self {
+            generation: 0,
+            snapshot: None,
+            snapshot_generation: 0,
+            dsu: Dsu::new(0),
+            dsu_dirty: false,
+            degrees: Vec::new(),
+            total_weight: 0,
+            m: 0,
+        };
+        index.refresh(n, edges);
+        index
+    }
+
+    /// Current mutation generation (0 for a fresh index).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// True when the stamped snapshot matches the current generation (the
+    /// next [`snapshot`](GraphIndex::snapshot) call will not build).
+    pub fn snapshot_is_fresh(&self) -> bool {
+        self.snapshot.is_some() && self.snapshot_generation == self.generation
+    }
+
+    /// An edge `(u, v, w)` was appended to the owner's edge list.
+    pub fn note_insert(&mut self, u: u32, v: u32, w: u64) {
+        self.generation += 1;
+        // Connectivity only grows under insertion, so the DSU stays exact
+        // in O(α) — unless it is already dirty, in which case the pending
+        // rebuild covers this edge too.
+        if !self.dsu_dirty {
+            self.dsu.union(u, v);
+        }
+        self.degrees[u as usize] += w;
+        self.degrees[v as usize] += w;
+        self.total_weight += w;
+        self.m += 1;
+    }
+
+    /// An edge `(u, v, w)` was removed from the owner's edge list.
+    pub fn note_delete(&mut self, u: u32, v: u32, w: u64) {
+        self.generation += 1;
+        // A deletion can split a component; the DSU cannot un-union, so it
+        // goes dirty and rebuilds lazily on the next connectivity read.
+        self.dsu_dirty = true;
+        self.degrees[u as usize] -= w;
+        self.degrees[v as usize] -= w;
+        self.total_weight -= w;
+        self.m -= 1;
+    }
+
+    /// The owner's graph changed wholesale (contraction relabels vertices
+    /// and merges parallel edges): re-derive everything from the new state.
+    pub fn rebuild_for(&mut self, n: usize, edges: &[Edge]) {
+        self.generation += 1;
+        self.refresh(n, edges);
+    }
+
+    fn refresh(&mut self, n: usize, edges: &[Edge]) {
+        self.dsu = Dsu::new(n);
+        self.degrees = vec![0; n];
+        self.total_weight = 0;
+        self.m = edges.len();
+        for e in edges {
+            self.dsu.union(e.u, e.v);
+            self.degrees[e.u as usize] += e.w;
+            self.degrees[e.v as usize] += e.w;
+            self.total_weight += e.w;
+        }
+        self.dsu_dirty = false;
+    }
+
+    /// The CSR view of `(n, edges)` at the current generation, building it
+    /// if the stamp is stale. Returns `(graph, built)` where `built` is
+    /// true iff this call did the O(n + m) construction — every other read
+    /// between two mutations reuses the stamped build.
+    pub fn snapshot(&mut self, n: usize, edges: &[Edge]) -> (&Graph, bool) {
+        let built = if self.snapshot_is_fresh() {
+            false
+        } else {
+            self.snapshot = Some(Graph::new_unchecked(n, edges.to_vec()));
+            self.snapshot_generation = self.generation;
+            true
+        };
+        (self.snapshot.as_ref().expect("snapshot just ensured"), built)
+    }
+
+    /// Connected-component count. Returns `(components, rebuilt)`: the
+    /// fast path reads the live DSU in O(α · n-ish) bookkeeping (no BFS,
+    /// no CSR); `rebuilt` is true iff a delete/contract forced the O(m α)
+    /// DSU reconstruction first.
+    pub fn components(&mut self, n: usize, edges: &[Edge]) -> (usize, bool) {
+        let rebuilt = self.dsu_dirty || self.dsu.len() != n;
+        if rebuilt {
+            self.dsu = Dsu::new(n);
+            for e in edges {
+                self.dsu.union(e.u, e.v);
+            }
+            self.dsu_dirty = false;
+        }
+        (self.dsu.set_count(), rebuilt)
+    }
+
+    /// True if `u` and `v` are connected, through the same DSU (and the
+    /// same laziness) as [`components`](GraphIndex::components).
+    pub fn connected(&mut self, n: usize, edges: &[Edge], u: u32, v: u32) -> bool {
+        self.components(n, edges);
+        self.dsu.same(u, v)
+    }
+
+    /// The running O(1) summaries (max degree is an O(n) scan over the
+    /// maintained degree table — still no CSR, no edge scan).
+    pub fn summary(&self) -> GraphSummary {
+        GraphSummary {
+            n: self.degrees.len(),
+            m: self.m,
+            total_weight: self.total_weight,
+            max_weighted_degree: self.degrees.iter().copied().max().unwrap_or(0),
+        }
+    }
+
+    /// Weighted degree of `v`, maintained incrementally.
+    pub fn weighted_degree(&self, v: u32) -> u64 {
+        self.degrees[v as usize]
+    }
+
+    /// Running edge count — O(1), unlike [`summary`](GraphIndex::summary),
+    /// whose max-degree field scans the degree table.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Running total edge weight, O(1).
+    pub fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Vec<Edge> {
+        (0..n as u32 - 1).map(|i| Edge::new(i, i + 1, (i + 1) as u64)).collect()
+    }
+
+    #[test]
+    fn snapshot_builds_once_per_generation() {
+        let mut edges = path(5);
+        let mut idx = GraphIndex::new(5, &edges);
+        assert!(!idx.snapshot_is_fresh());
+        assert!(idx.snapshot(5, &edges).1, "first read builds");
+        assert!(idx.snapshot_is_fresh());
+        assert!(!idx.snapshot(5, &edges).1, "second read reuses");
+        assert!(!idx.snapshot(5, &edges).1);
+
+        edges.push(Edge::new(0, 4, 9));
+        idx.note_insert(0, 4, 9);
+        assert!(!idx.snapshot_is_fresh(), "mutation invalidates the stamp");
+        let (g, built) = idx.snapshot(5, &edges);
+        assert!(built);
+        assert_eq!(g.m(), 5);
+        assert!(!idx.snapshot(5, &edges).1);
+    }
+
+    #[test]
+    fn generation_counts_every_mutation() {
+        let mut edges = path(4);
+        let mut idx = GraphIndex::new(4, &edges);
+        assert_eq!(idx.generation(), 0);
+        edges.push(Edge::new(0, 2, 1));
+        idx.note_insert(0, 2, 1);
+        let e = edges.remove(0);
+        idx.note_delete(e.u, e.v, e.w);
+        idx.rebuild_for(4, &edges);
+        assert_eq!(idx.generation(), 3);
+    }
+
+    #[test]
+    fn dsu_fast_path_survives_inserts() {
+        let edges = vec![Edge::new(0, 1, 1), Edge::new(2, 3, 1)];
+        let mut idx = GraphIndex::new(5, &edges);
+        // 0-1 | 2-3 | 4.
+        assert_eq!(idx.components(5, &edges), (3, false));
+        let mut edges = edges;
+        edges.push(Edge::new(1, 2, 1));
+        idx.note_insert(1, 2, 1);
+        // Insert merged in O(α): still no rebuild.
+        assert_eq!(idx.components(5, &edges), (2, false));
+        assert!(idx.connected(5, &edges, 0, 3));
+        assert!(!idx.connected(5, &edges, 0, 4));
+    }
+
+    #[test]
+    fn delete_goes_dirty_and_rebuilds_lazily() {
+        let mut edges = vec![Edge::new(0, 1, 1), Edge::new(1, 2, 1)];
+        let mut idx = GraphIndex::new(3, &edges);
+        assert_eq!(idx.components(3, &edges), (1, false));
+        let e = edges.pop().unwrap();
+        idx.note_delete(e.u, e.v, e.w);
+        // The split is only visible after the lazy rebuild.
+        assert_eq!(idx.components(3, &edges), (2, true));
+        // ... and the rebuilt DSU fast-paths again.
+        assert_eq!(idx.components(3, &edges), (2, false));
+    }
+
+    #[test]
+    fn rebuild_for_handles_contraction_shapes() {
+        let edges = path(6);
+        let mut idx = GraphIndex::new(6, &edges);
+        idx.snapshot(6, &edges);
+        // Pretend 5 was merged into 0: n shrinks, edges relabeled.
+        let contracted = vec![Edge::new(0, 1, 3), Edge::new(1, 2, 2), Edge::new(3, 4, 7)];
+        idx.rebuild_for(5, &contracted);
+        assert!(!idx.snapshot_is_fresh());
+        assert_eq!(idx.components(5, &contracted), (2, false));
+        assert_eq!(
+            idx.summary(),
+            GraphSummary { n: 5, m: 3, total_weight: 12, max_weighted_degree: 7 }
+        );
+    }
+
+    #[test]
+    fn summaries_track_inserts_and_deletes() {
+        let mut edges = path(4); // weights 1, 2, 3
+        let mut idx = GraphIndex::new(4, &edges);
+        assert_eq!(
+            idx.summary(),
+            GraphSummary {
+                n: 4,
+                m: 3,
+                total_weight: 6,
+                max_weighted_degree: 5, // vertex 2: 2 + 3
+            }
+        );
+        edges.push(Edge::new(0, 3, 10));
+        idx.note_insert(0, 3, 10);
+        assert_eq!(idx.summary().total_weight, 16);
+        assert_eq!(idx.summary().max_weighted_degree, 13); // vertex 3: 3 + 10
+        assert_eq!(idx.weighted_degree(0), 11);
+        let e = edges.remove(0); // the (0,1,1) edge
+        idx.note_delete(e.u, e.v, e.w);
+        assert_eq!(
+            idx.summary(),
+            GraphSummary { n: 4, m: 3, total_weight: 15, max_weighted_degree: 13 }
+        );
+    }
+
+    #[test]
+    fn edgeless_and_empty_graphs() {
+        let mut idx = GraphIndex::new(0, &[]);
+        assert_eq!(idx.components(0, &[]), (0, false));
+        assert_eq!(idx.summary().max_weighted_degree, 0);
+        let mut idx = GraphIndex::new(3, &[]);
+        assert_eq!(idx.components(3, &[]), (3, false));
+        let (g, built) = idx.snapshot(3, &[]);
+        assert!(built);
+        assert_eq!((g.n(), g.m()), (3, 0));
+    }
+
+    #[test]
+    fn stats_merge_and_reuse_rate() {
+        let mut a = IndexStats { csr_builds: 1, csr_reuses: 3, ..Default::default() };
+        let b = IndexStats {
+            csr_builds: 1,
+            csr_reuses: 3,
+            dsu_fast_hits: 5,
+            dsu_rebuilds: 2,
+            lru_evictions: 7,
+        };
+        a.merge(&b);
+        assert_eq!(a.csr_builds, 2);
+        assert_eq!(a.csr_reuses, 6);
+        assert_eq!(a.dsu_fast_hits, 5);
+        assert_eq!(a.dsu_rebuilds, 2);
+        assert_eq!(a.lru_evictions, 7);
+        assert!((a.reuse_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(IndexStats::default().reuse_rate(), 0.0);
+    }
+}

@@ -37,7 +37,8 @@
 //! | [`cut_tree`] | heavy-light decomposition, binarized paths, low-depth decomposition, RMQ |
 //! | [`ampc_primitives`] | in-model chain compression, rooting, aggregation, sort, connectivity, MSF |
 //! | [`mincut_core`] | Algorithms 1–4 (reference + in-model), contraction oracle, baselines |
-//! | [`cut_engine`] | multi-graph cut-query engine: registry, mutations, epoch-cached queries, seeded workloads |
+//! | [`cut_index`] | per-graph incremental index: generation-stamped CSR snapshots, DSU connectivity, LRU cache |
+//! | [`cut_engine`] | multi-graph cut-query engine: registry, mutations, epoch-cached queries, batched sharded serving, seeded workloads |
 //!
 //! ## Serving queries
 //!
@@ -45,15 +46,19 @@
 //! service: register named graphs, mutate them (insert/delete weighted
 //! edges, contract vertices), and issue queries through one
 //! `Engine::execute(Request) -> Response` entry point. Query answers are
-//! cached per mutation epoch, seeded workloads replay deterministically,
-//! and `cargo run --release -p cut_bench --bin stress` measures the whole
-//! stack (ops/sec, per-action latency percentiles, cache hit rate). See
-//! `examples/engine_session.rs` for a guided session.
+//! cached per mutation epoch in an LRU, the [`cut_index`] layer amortizes
+//! CSR builds and answers connectivity from an incremental DSU, seeded
+//! workloads replay deterministically, and
+//! `cargo run --release -p cut_bench --bin stress` measures the whole
+//! stack (ops/sec, per-action latency percentiles, cache hit rate, index
+//! efficiency; `--shards N --batch` for the batched sharded front-end).
+//! See `examples/engine_session.rs` for a guided session.
 
 pub use ampc_model;
 pub use ampc_primitives;
 pub use cut_engine;
 pub use cut_graph;
+pub use cut_index;
 pub use cut_tree;
 pub use mincut_core;
 

@@ -6,8 +6,8 @@
 
 use ampc_mincut::prelude::*;
 use cut_engine::{
-    ActionMix, Engine, GraphSpec, Mutation, Query, Request, Response, ShardedEngine, Workload,
-    WorkloadConfig,
+    ActionMix, Engine, GraphSpec, Mutation, Query, Request, Response, ShardOptions, ShardedEngine,
+    Workload, WorkloadConfig,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -215,6 +215,107 @@ proptest! {
         let mutations: u64 = per_shard.iter().map(|s| s.mutations).sum();
         prop_assert_eq!(queries, reference.stats().queries);
         prop_assert_eq!(mutations, reference.stats().mutations);
+    }
+
+    /// The index layer's DSU-backed `Connectivity` answers equal BFS on a
+    /// fresh snapshot at every point of a random mutate/query
+    /// interleaving — across the O(α) insert fast path, the lazy rebuild
+    /// after deletes, and the wholesale refresh after contractions.
+    #[test]
+    fn dsu_connectivity_equals_bfs_across_interleavings(
+        n0 in 6usize..20,
+        rounds in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let spec = GraphSpec::Gnm { n: n0, m: n0, w_min: 1, w_max: 9, seed: rng.gen() };
+        let mut engine = Engine::new();
+        let created = engine.execute(Request::Create { name: "g".into(), spec });
+        prop_assert!(matches!(created, Response::Created { .. }));
+
+        for _ in 0..rounds {
+            // One mutation (insert, delete, or contract) ...
+            let g = engine.snapshot("g").expect("registered");
+            let n = g.n() as u32;
+            let op = match rng.gen_range(0..6u32) {
+                0..=2 => {
+                    let u = rng.gen_range(0..n);
+                    let v = rng.gen_range(0..n - 1);
+                    let v = if v >= u { v + 1 } else { v };
+                    Mutation::InsertEdge { u, v, w: rng.gen_range(1..=9) }
+                }
+                3..=4 if g.m() > 0 => {
+                    let e = g.edge(rng.gen_range(0..g.m()));
+                    Mutation::DeleteEdge { u: e.u, v: e.v }
+                }
+                _ if n > 4 => {
+                    let u = rng.gen_range(0..n);
+                    let v = rng.gen_range(0..n - 1);
+                    let v = if v >= u { v + 1 } else { v };
+                    Mutation::ContractVertices { u: u.min(v), v: u.max(v) }
+                }
+                _ => continue,
+            };
+            let r = engine.execute(Request::Mutate { name: "g".into(), op });
+            prop_assert!(matches!(r, Response::Mutated { .. }), "mutation failed: {}", r);
+
+            // ... then the DSU answer must equal BFS on a fresh snapshot,
+            // and so must the cached repeat.
+            let expected = engine.snapshot("g").expect("registered").component_count();
+            for _ in 0..2 {
+                match engine.execute(Request::Query { name: "g".into(), query: Query::Connectivity }) {
+                    Response::ConnectivityValue { components, .. } => {
+                        prop_assert_eq!(components, expected)
+                    }
+                    other => return Err(TestCaseError::fail(format!("unexpected {other}"))),
+                }
+            }
+        }
+    }
+
+    /// Batched execution (read runs share one index snapshot, mutations
+    /// are barriers) produces a response stream element-wise identical to
+    /// the unbatched single-threaded engine — at one shard and several.
+    #[test]
+    fn batched_execution_matches_unbatched(
+        seed in any::<u64>(),
+        ops in 40usize..120,
+        four_shards in any::<bool>(),
+    ) {
+        // Exercise exactly the two shapes the CI gate pins: one shard
+        // (pure batching) and four (batching under cross-shard routing).
+        let shards = if four_shards { 4usize } else { 1 };
+        let cfg = WorkloadConfig {
+            ops,
+            seed,
+            graphs: 5,
+            initial_n: 16,
+            ..WorkloadConfig::default()
+        };
+        let workload = Workload::generate(&cfg);
+
+        let mut reference = Engine::new();
+        let expected: Vec<Response> =
+            workload.all_requests().map(|r| reference.execute(r.clone())).collect();
+
+        let mut batched = ShardedEngine::with_options(
+            shards,
+            ShardOptions { batch: true, ..ShardOptions::default() },
+        );
+        let tickets: Vec<_> =
+            workload.all_requests().map(|r| batched.submit(r.clone())).collect();
+        let got: Vec<Response> = tickets.into_iter().map(|t| t.wait()).collect();
+        prop_assert_eq!(&got, &expected);
+
+        // Batching changes cost accounting, never the served counters.
+        let mut total = cut_engine::EngineStats::default();
+        for s in batched.shutdown() {
+            total.merge(&s);
+        }
+        prop_assert_eq!(total.queries, reference.stats().queries);
+        prop_assert_eq!(total.cache_hits, reference.stats().cache_hits);
+        prop_assert_eq!(total.mutations, reference.stats().mutations);
+        prop_assert_eq!(total.index.csr_builds, reference.stats().index.csr_builds);
     }
 
     /// Replaying any seeded workload twice produces byte-identical
