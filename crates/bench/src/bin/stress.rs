@@ -13,27 +13,34 @@
 //! is identical for any shard count) and additionally reports per-shard
 //! occupancy. `--batch` turns on the shard workers' read batching (runs of
 //! queued same-graph queries share one index snapshot; mutations are
-//! barriers) — responses, and therefore the digest, are unchanged; the
-//! index-efficiency section shows what the batching and the index layer
-//! absorbed. Comparing the ops/sec lines across flags is the one-flag
-//! benchmark for each feature.
+//! barriers); `--rebalance` turns on adaptive placement (load-driven graph
+//! migration between shards, reported in the placement section); `--steal`
+//! lets idle workers steal tail runs of same-graph queries from the
+//! longest queue. None of these change a response, so the digest is
+//! invariant across every flag combination; the report sections show what
+//! each layer absorbed. Comparing the ops/sec lines across flags is the
+//! one-flag benchmark for each feature.
 //!
 //! ```text
 //! cargo run --release -p cut_bench --bin stress -- --ops 10000 --seed 7
 //! cargo run --release -p cut_bench --bin stress -- --ops 10000 --seed 7 --shards 4
 //! cargo run --release -p cut_bench --bin stress -- --ops 10000 --seed 7 --shards 4 --batch
+//! cargo run --release -p cut_bench --bin stress -- --ops 10000 --seed 7 --shards 4 \
+//!     --rebalance --steal
 //! ```
 //!
 //! Flags: `--ops N` `--seed S` `--graphs G` `--initial-n N` `--zipf Z`
 //! `--mix default|read-only|write-heavy` `--shards N` `--batch`
-//! `--cache-entries N` `--dump-log PATH`.
+//! `--rebalance` `--rebalance-window N` `--steal` `--cache-entries N`
+//! `--dump-log PATH`. See `docs/SHARDING.md` for tuning guidance.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::time::Instant;
 
 use cut_engine::{
-    ActionMix, Engine, EngineConfig, EngineStats, Request, Response, ShardOptions, ShardedEngine,
-    Ticket, Workload, WorkloadConfig, BATCH_BUCKET_LABELS, QUERY_KINDS,
+    ActionMix, Engine, EngineConfig, EngineStats, PlacementOptions, PlacementReport, Request,
+    Response, ShardOptions, ShardedEngine, Ticket, Workload, WorkloadConfig, BATCH_BUCKET_LABELS,
+    QUERY_KINDS,
 };
 // FNV-1a over the log bytes — stable across runs and platforms.
 use cut_graph::hash::fnv1a;
@@ -48,6 +55,9 @@ struct Args {
     mix_name: String,
     shards: usize,
     batch: bool,
+    rebalance: bool,
+    rebalance_window: usize,
+    steal: bool,
     cache_entries: usize,
     dump_log: Option<String>,
 }
@@ -63,6 +73,9 @@ fn parse_args() -> Result<Args, String> {
         mix_name: "default".to_string(),
         shards: 1,
         batch: false,
+        rebalance: false,
+        rebalance_window: PlacementOptions::default().window,
+        steal: false,
         cache_entries: EngineConfig::default().max_cache_entries,
         dump_log: None,
     };
@@ -97,6 +110,12 @@ fn parse_args() -> Result<Args, String> {
                 args.shards = value(&mut i)?.parse().map_err(|e| format!("--shards: {e}"))?
             }
             "--batch" => args.batch = true,
+            "--rebalance" => args.rebalance = true,
+            "--rebalance-window" => {
+                args.rebalance_window =
+                    value(&mut i)?.parse().map_err(|e| format!("--rebalance-window: {e}"))?
+            }
+            "--steal" => args.steal = true,
             "--cache-entries" => {
                 args.cache_entries =
                     value(&mut i)?.parse().map_err(|e| format!("--cache-entries: {e}"))?
@@ -106,7 +125,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "stress --ops N --seed S [--graphs G] [--initial-n N] [--zipf Z] \
                      [--mix default|read-only|write-heavy] [--shards N] [--batch] \
-                     [--cache-entries N] [--dump-log PATH]"
+                     [--rebalance] [--rebalance-window N] [--steal] [--cache-entries N] \
+                     [--dump-log PATH]"
                 );
                 std::process::exit(0);
             }
@@ -128,6 +148,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.cache_entries == 0 {
         return Err("--cache-entries must be at least 1".into());
+    }
+    if args.rebalance_window == 0 {
+        return Err("--rebalance-window must be at least 1".into());
     }
     Ok(args)
 }
@@ -173,7 +196,7 @@ fn main() {
 
     println!(
         "cut-engine stress: ops={} seed={} graphs={} initial-n={} zipf={} mix={} shards={} \
-         batch={} cache-entries={}",
+         batch={} rebalance={} steal={} cache-entries={}",
         cfg.ops,
         cfg.seed,
         cfg.graphs,
@@ -182,6 +205,8 @@ fn main() {
         args.mix_name,
         args.shards,
         args.batch,
+        args.rebalance,
+        args.steal,
         args.cache_entries
     );
 
@@ -197,10 +222,22 @@ fn main() {
 
     let engine_cfg =
         EngineConfig { max_cache_entries: args.cache_entries, ..EngineConfig::default() };
-    let mut report = if args.shards == 1 && !args.batch {
+    let sharded_path = args.shards > 1 || args.batch || args.rebalance || args.steal;
+    let mut report = if !sharded_path {
         run_single(&workload, engine_cfg)
     } else {
-        let opts = ShardOptions { cfg: engine_cfg, batch: args.batch, ..ShardOptions::default() };
+        let placement = PlacementOptions {
+            rebalance: args.rebalance,
+            window: args.rebalance_window,
+            steal: args.steal,
+            ..PlacementOptions::default()
+        };
+        let opts = ShardOptions {
+            cfg: engine_cfg,
+            batch: args.batch,
+            placement,
+            ..ShardOptions::default()
+        };
         run_sharded(&workload, args.shards, opts)
     };
 
@@ -250,20 +287,65 @@ fn main() {
         let routed_total: u64 = occupancy.iter().map(|(r, _)| *r).sum::<u64>().max(1);
         println!();
         println!(
-            "{:<8} {:>8} {:>7} {:>7} {:>9} {:>9} {:>9}",
-            "shard", "routed", "share", "graphs", "queries", "mutations", "hit-rate"
+            "{:<8} {:>8} {:>7} {:>7} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7}",
+            "shard",
+            "routed",
+            "share",
+            "graphs",
+            "queries",
+            "mutations",
+            "hit-rate",
+            "mig-in",
+            "mig-out",
+            "steals"
         );
         for (shard, (routed, s)) in occupancy.iter().enumerate() {
+            // Graphs owned now: arrivals (creates + migrations in) minus
+            // departures (drops + migrations out).
+            let owned = (s.graphs_created + s.migrations_in) as i64
+                - (s.graphs_dropped + s.migrations_out) as i64;
             println!(
-                "{:<8} {:>8} {:>6.1}% {:>7} {:>9} {:>9} {:>8.1}%",
+                "{:<8} {:>8} {:>6.1}% {:>7} {:>9} {:>9} {:>8.1}% {:>7} {:>7} {:>7}",
                 shard,
                 routed,
                 *routed as f64 / routed_total as f64 * 100.0,
-                s.graphs_created - s.graphs_dropped,
+                owned,
                 s.queries,
                 s.mutations,
                 s.hit_rate() * 100.0,
+                s.migrations_in,
+                s.migrations_out,
+                s.steal_batches,
             );
+        }
+        let max_share = occupancy.iter().map(|(r, _)| *r).max().unwrap_or(0) as f64
+            / routed_total as f64
+            * 100.0;
+        println!("max shard occupancy: {max_share:.1}% of routed requests");
+    }
+
+    if let Some(placement) = &report.placement {
+        let stats = &report.stats;
+        println!();
+        println!(
+            "placement: {} rebalances, {} migrations (generation {})",
+            placement.rebalances, placement.migrations, placement.generation
+        );
+        if stats.steal_batches > 0 {
+            println!(
+                "stealing: {} runs / {} reads served by idle shards (mean run {:.1})",
+                stats.steal_batches,
+                stats.steal_reads,
+                stats.steal_reads as f64 / stats.steal_batches as f64,
+            );
+        }
+        if !placement.assignments.is_empty() {
+            let assignment: Vec<String> = placement
+                .assignments
+                .iter()
+                .map(|(name, shard)| format!("{name}->s{shard}"))
+                .collect();
+            println!("final assignment: {}", assignment.join("  "));
         }
     }
 
@@ -349,6 +431,8 @@ struct RunReport {
     latencies: Option<BTreeMap<&'static str, Vec<u64>>>,
     /// `(requests routed, final per-shard stats)` — sharded path only.
     occupancy: Option<Vec<(u64, cut_engine::EngineStats)>>,
+    /// Adaptive-placement summary — sharded path only.
+    placement: Option<PlacementReport>,
 }
 
 /// Replay through the single-threaded `Engine::execute` path, timing each
@@ -382,6 +466,7 @@ fn run_single(workload: &Workload, cfg: EngineConfig) -> RunReport {
         stats: engine.stats(),
         latencies: Some(latencies),
         occupancy: None,
+        placement: None,
     }
 }
 
@@ -390,6 +475,9 @@ fn run_single(workload: &Workload, cfg: EngineConfig) -> RunReport {
 /// are collected in submission order, so the log (and its digest) is
 /// byte-identical to the single-shard path.
 fn run_sharded(workload: &Workload, shards: usize, opts: ShardOptions) -> RunReport {
+    // The placement section only belongs in reports where the adaptive
+    // layer was on; a plain --shards/--batch run keeps its old shape.
+    let adaptive = opts.placement.rebalance || opts.placement.steal;
     /// In-flight cap: deep enough to keep every shard busy (and to give
     /// batching workers real runs to coalesce), small enough that pending
     /// tickets never hold more than a sliver of the log.
@@ -423,6 +511,7 @@ fn run_sharded(workload: &Workload, shards: usize, opts: ShardOptions) -> RunRep
     let wall = t_run.elapsed();
 
     let routed = engine.routed().to_vec();
+    let placement = engine.placement_report();
     let per_shard = engine.shutdown();
     let mut stats = cut_engine::EngineStats::default();
     for s in &per_shard {
@@ -436,5 +525,6 @@ fn run_sharded(workload: &Workload, shards: usize, opts: ShardOptions) -> RunRep
         stats,
         latencies: None,
         occupancy: Some(routed.into_iter().zip(per_shard).collect()),
+        placement: adaptive.then_some(placement),
     }
 }

@@ -114,6 +114,18 @@ pub struct EngineStats {
     pub batched_reads: u64,
     /// Batch size histogram (see [`batch_bucket`] / [`BATCH_BUCKET_LABELS`]).
     pub batch_hist: [u64; BATCH_BUCKETS],
+    /// Graphs this engine received through [`Engine::import_graph`] — on a
+    /// shard, migrations that landed here.
+    pub migrations_in: u64,
+    /// Graphs this engine gave up through [`Engine::export_graph`] — on a
+    /// shard, migrations that left here.
+    pub migrations_out: u64,
+    /// Stolen read runs this worker executed on another shard's behalf
+    /// (thief-side; the runs' query/cache counters are merged into the
+    /// *owning* shard's stats so broadcast `Stats` answers stay exact).
+    pub steal_batches: u64,
+    /// Queries inside those stolen runs (thief-side).
+    pub steal_reads: u64,
 }
 
 impl EngineStats {
@@ -143,6 +155,10 @@ impl EngineStats {
             batches,
             batched_reads,
             batch_hist,
+            migrations_in,
+            migrations_out,
+            steal_batches,
+            steal_reads,
         } = *other;
         self.queries += queries;
         self.cache_hits += cache_hits;
@@ -162,13 +178,20 @@ impl EngineStats {
         for (mine, theirs) in self.batch_hist.iter_mut().zip(batch_hist) {
             *mine += theirs;
         }
+        self.migrations_in += migrations_in;
+        self.migrations_out += migrations_out;
+        self.steal_batches += steal_batches;
+        self.steal_reads += steal_reads;
     }
 }
 
 /// One registered graph: its mutable edge list, the incremental index
 /// (generation-stamped CSR snapshot, DSU, summaries), the mutation epoch,
 /// and the per-epoch LRU query cache.
-struct GraphEntry {
+///
+/// `pub(crate)` so the sharded front-end can move entries wholesale
+/// (migration, steal loans) and serve queries against a loaned entry.
+pub(crate) struct GraphEntry {
     n: usize,
     edges: Vec<Edge>,
     /// The index layer: CSR snapshot, incremental DSU, running summaries.
@@ -410,12 +433,118 @@ impl Engine {
         }
         responses
     }
+
+    /// Detach a graph from this engine's registry for installation into
+    /// another engine — the unit of shard-to-shard **migration**. The
+    /// entire entry moves wholesale: edge list, index (CSR snapshot, DSU,
+    /// summaries), mutation epoch, and the warmed LRU query cache, so the
+    /// receiving engine answers exactly as this one would have. Counted in
+    /// [`EngineStats::migrations_out`]. Returns `None` for unknown names.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cut_engine::{Engine, GraphSpec, Query, Request, Response};
+    ///
+    /// let mut a = Engine::new();
+    /// a.execute(Request::Create { name: "ring".into(), spec: GraphSpec::Cycle { n: 8 } });
+    /// a.execute(Request::Query { name: "ring".into(), query: Query::ExactMinCut });
+    ///
+    /// // Move the graph: index, epoch, and warmed cache travel with it.
+    /// let export = a.export_graph("ring").unwrap();
+    /// assert_eq!(export.name(), "ring");
+    /// let mut b = Engine::new();
+    /// assert!(b.import_graph(export).is_ok());
+    /// let r = b.execute(Request::Query { name: "ring".into(), query: Query::ExactMinCut });
+    /// assert!(r.was_cached(), "the warmed cache migrated wholesale");
+    ///
+    /// // The source no longer knows the graph.
+    /// let gone = a.execute(Request::Query { name: "ring".into(), query: Query::ExactMinCut });
+    /// assert!(matches!(gone, Response::Error { .. }));
+    /// ```
+    pub fn export_graph(&mut self, name: &str) -> Option<GraphExport> {
+        let entry = self.take_entry(name)?;
+        self.stats.migrations_out += 1;
+        Some(GraphExport { name: name.to_string(), entry })
+    }
+
+    /// Install a graph previously detached with [`Engine::export_graph`].
+    /// Fails (handing the export back untouched) if the name is already
+    /// registered here. Counted in [`EngineStats::migrations_in`].
+    // The whole point of the Err variant is returning the (large) entry to
+    // the caller intact, so its size is the feature, not an accident.
+    #[allow(clippy::result_large_err)]
+    pub fn import_graph(&mut self, export: GraphExport) -> Result<(), GraphExport> {
+        if self.graphs.contains_key(&export.name) {
+            return Err(export);
+        }
+        self.stats.migrations_in += 1;
+        let GraphExport { name, entry } = export;
+        self.graphs.insert(name, entry);
+        Ok(())
+    }
+
+    /// Remove a graph's entry without touching any counter — the raw move
+    /// under [`Engine::export_graph`] and the steal-loan path (a loan is
+    /// not a migration; its counters live in `steal_*`).
+    pub(crate) fn take_entry(&mut self, name: &str) -> Option<GraphEntry> {
+        self.graphs.remove(name)
+    }
+
+    /// Reinstall an entry removed with [`Engine::take_entry`].
+    pub(crate) fn put_entry(&mut self, name: String, entry: GraphEntry) {
+        let prev = self.graphs.insert(name, entry);
+        debug_assert!(prev.is_none(), "put_entry must not shadow a live graph");
+    }
+
+    /// Mutable counter access for the shard worker: merging a stolen run's
+    /// stats delta, bumping thief-side steal counters.
+    pub(crate) fn stats_mut(&mut self) -> &mut EngineStats {
+        &mut self.stats
+    }
+}
+
+/// A graph detached from one [`Engine`], in flight to another — what a
+/// shard migration moves. Opaque: the entry inside keeps its epoch, index
+/// state, and query cache exactly as the source engine last saw them (see
+/// [`Engine::export_graph`] for a round-trip example).
+pub struct GraphExport {
+    name: String,
+    entry: GraphEntry,
+}
+
+impl GraphExport {
+    /// The registry name this graph was exported under (and will be
+    /// registered under on import).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The exported graph's mutation epoch — preserved across the move.
+    pub fn epoch(&self) -> u64 {
+        self.entry.epoch
+    }
+}
+
+impl std::fmt::Debug for GraphExport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphExport")
+            .field("name", &self.name)
+            .field("n", &self.entry.n)
+            .field("m", &self.entry.edges.len())
+            .field("epoch", &self.entry.epoch)
+            .finish()
+    }
 }
 
 /// Serve one query against a looked-up entry: LRU/epoch cache first, then
 /// the index layer (DSU fast path for connectivity, stamped CSR snapshot
 /// for everything else), attributing the work to `stats`.
-fn serve_query(
+///
+/// `pub(crate)`: the sharded front-end's work stealing drives this
+/// directly against a loaned [`GraphEntry`], accumulating into a scratch
+/// [`EngineStats`] delta that ships back to the owning shard.
+pub(crate) fn serve_query(
     stats: &mut EngineStats,
     cfg: &EngineConfig,
     entry: &mut GraphEntry,
@@ -965,6 +1094,84 @@ mod tests {
         assert_eq!(batch_bucket(33), 6);
         assert_eq!(batch_bucket(10_000), 6);
         assert_eq!(BATCH_BUCKET_LABELS.len(), BATCH_BUCKETS);
+    }
+
+    #[test]
+    fn export_import_moves_epoch_cache_and_index_wholesale() {
+        let mut a = Engine::new();
+        create(&mut a, "g", GraphSpec::Cycle { n: 10 });
+        a.execute(Request::Mutate {
+            name: "g".into(),
+            op: Mutation::InsertEdge { u: 0, v: 5, w: 3 },
+        });
+        let warmed = query(&mut a, "g", Query::ExactMinCut);
+        assert!(!warmed.was_cached());
+
+        let export = a.export_graph("g").expect("graph registered");
+        assert_eq!(export.name(), "g");
+        assert_eq!(export.epoch(), 1, "epoch travels with the entry");
+        assert_eq!(a.stats().migrations_out, 1);
+        assert_eq!(a.graph_count(), 0);
+        assert!(a.export_graph("g").is_none(), "second export finds nothing");
+
+        let mut b = Engine::new();
+        assert!(b.import_graph(export).is_ok());
+        assert_eq!(b.stats().migrations_in, 1);
+        assert_eq!(b.epoch("g"), Some(1));
+        // The warmed cache moved: the same query is a hit on the new engine.
+        let again = query(&mut b, "g", Query::ExactMinCut);
+        assert!(again.was_cached(), "cache must migrate wholesale");
+        assert_eq!(again.as_cached(), warmed.as_cached());
+        // So does the index: connectivity fast-paths without a CSR build.
+        assert!(matches!(
+            query(&mut b, "g", Query::Connectivity),
+            Response::ConnectivityValue { components: 1, .. }
+        ));
+        assert_eq!(b.stats().index.dsu_fast_hits, 1);
+
+        // Mutating after the move behaves exactly like a local graph.
+        let r = b
+            .execute(Request::Mutate { name: "g".into(), op: Mutation::DeleteEdge { u: 0, v: 5 } });
+        assert!(matches!(r, Response::Mutated { epoch: 2, .. }), "got {r}");
+        assert!(!query(&mut b, "g", Query::ExactMinCut).was_cached());
+    }
+
+    #[test]
+    fn import_rejects_name_collisions_untouched() {
+        let mut a = Engine::new();
+        create(&mut a, "g", GraphSpec::Cycle { n: 6 });
+        let export = a.export_graph("g").unwrap();
+
+        let mut b = Engine::new();
+        create(&mut b, "g", GraphSpec::Cycle { n: 9 });
+        let rejected = b.import_graph(export).expect_err("collision must fail");
+        assert_eq!(rejected.name(), "g");
+        assert_eq!(b.stats().migrations_in, 0, "failed import must not count");
+        // The rejected export is intact and installable elsewhere.
+        let mut c = Engine::new();
+        assert!(c.import_graph(rejected).is_ok());
+        assert!(matches!(
+            query(&mut c, "g", Query::ExactMinCut),
+            Response::CutValue { weight: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn merge_folds_placement_and_steal_counters() {
+        let mut total = EngineStats::default();
+        let part = EngineStats {
+            migrations_in: 2,
+            migrations_out: 3,
+            steal_batches: 4,
+            steal_reads: 40,
+            ..EngineStats::default()
+        };
+        total.merge(&part);
+        total.merge(&part);
+        assert_eq!(
+            (total.migrations_in, total.migrations_out, total.steal_batches, total.steal_reads),
+            (4, 6, 8, 80)
+        );
     }
 
     #[test]

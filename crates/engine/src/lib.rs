@@ -14,12 +14,19 @@
 //! - [`Engine`] — the single-threaded reference path: one registry, one
 //!   thread, deterministic end to end.
 //! - [`ShardedEngine`] (the [`shard`] module) — the scaling path: the
-//!   registry is partitioned across N worker threads by a stable hash of
-//!   the graph name, per-graph request order is preserved, cross-graph
-//!   requests run concurrently, and the response stream is byte-identical
-//!   to the single-threaded engine's for any shard count. With
+//!   registry is partitioned across N worker threads through a
+//!   router-owned placement table (default: a stable hash of the graph
+//!   name), per-graph request order is preserved, cross-graph requests
+//!   run concurrently, and the response stream is byte-identical to the
+//!   single-threaded engine's for any shard count. With
 //!   [`ShardOptions::batch`], workers drain queued runs of same-graph
-//!   queries into read batches that share one index snapshot.
+//!   queries into read batches that share one index snapshot. With
+//!   [`PlacementOptions`], the router *adapts*: per-graph load accounting
+//!   drives graph migrations off overloaded shards at safe epochs (the
+//!   whole entry — index, epoch, warmed cache — moves behind a per-graph
+//!   barrier), and idle workers steal tail runs of same-graph queries
+//!   from the longest queue. Neither changes a response; see
+//!   `docs/SHARDING.md` for the protocols and the determinism argument.
 //!
 //! Beneath both sits the **index layer** (the `cut_index` crate): every
 //! registry entry keeps a generation-stamped CSR snapshot (one build per
@@ -77,7 +84,7 @@ pub mod workload;
 // The index layer under every registry entry (see the `cut_index` crate).
 pub use cut_index::{GraphSummary, IndexStats, LruCache};
 pub use engine::BATCH_BUCKET_LABELS;
-pub use engine::{batch_bucket, Engine, EngineConfig, EngineStats, BATCH_BUCKETS};
+pub use engine::{batch_bucket, Engine, EngineConfig, EngineStats, GraphExport, BATCH_BUCKETS};
 pub use request::{GraphSpec, Mutation, Query, Request, Response, QUERY_KINDS};
-pub use shard::{ShardOptions, ShardedEngine, Ticket};
+pub use shard::{PlacementOptions, PlacementReport, ShardOptions, ShardedEngine, Ticket};
 pub use workload::{ActionMix, Workload, WorkloadConfig};

@@ -268,6 +268,28 @@ impl Query {
             Query::StCutWeight { .. } => 5,
         }
     }
+
+    /// Relative serve-cost weight of this query — the **serve-time proxy**
+    /// the sharded router's load accounting uses (it cannot observe real
+    /// serve times, since it never waits for responses). The scale is
+    /// arbitrary; only ratios matter. Deliberately coarse: a cache hit
+    /// costs far less than these weights suggest, which the placement
+    /// layer tolerates because rebalancing reacts to *relative* per-graph
+    /// load, not absolute cost.
+    pub fn cost_weight(&self) -> u64 {
+        match self {
+            // DSU fast path: near-free.
+            Query::Connectivity => 1,
+            // One Dinic run / one priority sweep.
+            Query::StCutWeight { .. } | Query::SingletonCut { .. } => 6,
+            // Contraction engine with repetitions.
+            Query::ApproxMinCut { .. } => 8,
+            // Stoer–Wagner over the whole graph.
+            Query::ExactMinCut => 10,
+            // Recursive splitting, the heaviest served query.
+            Query::KCut { .. } => 12,
+        }
+    }
 }
 
 impl fmt::Display for Query {
@@ -330,6 +352,21 @@ impl Request {
             Request::Query { query, .. } => query.kind(),
             Request::ListGraphs => "list",
             Request::Stats => "stats",
+        }
+    }
+
+    /// Relative serve-cost weight of this request (see
+    /// [`Query::cost_weight`]): what the adaptive placement layer charges
+    /// a graph per routed request when accounting per-window load.
+    pub fn cost_weight(&self) -> u64 {
+        match self {
+            // Graph materialization plus index construction.
+            Request::Create { .. } => 4,
+            // Edge-list edit plus index notification.
+            Request::Mutate { .. } => 2,
+            // Registry removal / registry scans: cheap.
+            Request::Drop { .. } | Request::ListGraphs | Request::Stats => 1,
+            Request::Query { query, .. } => query.cost_weight(),
         }
     }
 }
@@ -491,6 +528,38 @@ impl fmt::Display for Response {
                 )
             }
             Response::Error { message } => write!(f, "error: {message}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_weights_order_by_algorithmic_heft() {
+        // The proxy only needs sane ratios: connectivity (DSU fast path)
+        // cheapest, k-cut (recursive splitting) dearest, mutations between.
+        let connectivity = Request::Query { name: "g".into(), query: Query::Connectivity };
+        let kcut = Request::Query { name: "g".into(), query: Query::KCut { k: 3 } };
+        let exact = Request::Query { name: "g".into(), query: Query::ExactMinCut };
+        let mutate =
+            Request::Mutate { name: "g".into(), op: Mutation::InsertEdge { u: 0, v: 1, w: 1 } };
+        assert!(connectivity.cost_weight() < mutate.cost_weight());
+        assert!(mutate.cost_weight() < exact.cost_weight());
+        assert!(exact.cost_weight() < kcut.cost_weight());
+        assert_eq!(Request::ListGraphs.cost_weight(), Request::Stats.cost_weight());
+        // Every request kind has a positive weight (a zero weight would
+        // make a graph invisible to the rebalancer).
+        for q in [
+            Query::ApproxMinCut { seed: 0 },
+            Query::ExactMinCut,
+            Query::SingletonCut { seed: 0 },
+            Query::KCut { k: 2 },
+            Query::Connectivity,
+            Query::StCutWeight { s: 0, t: 1 },
+        ] {
+            assert!(q.cost_weight() > 0, "{q} must cost something");
         }
     }
 }

@@ -1,23 +1,50 @@
 //! The sharded front-end: the same `Request -> Response` contract as
-//! [`Engine`], served by N worker threads.
+//! [`Engine`], served by N worker threads with **adaptive placement** and
+//! **work stealing**.
 //!
 //! [`ShardedEngine`] partitions the graph registry across `shards` workers
-//! by a stable hash of the graph name; each worker owns a private [`Engine`]
+//! through a router-owned **placement table** (`graph name -> shard`),
+//! consulted per request. A name's first appearance assigns it the stable
+//! FNV-1a default shard, so with rebalancing off the routing is exactly
+//! the static hash placement of old. Each worker owns a private [`Engine`]
 //! holding its graphs' edge lists, epoch counters, and query caches, and
-//! drains a FIFO channel of jobs. Because a graph's name always hashes to
-//! the same shard and each shard's queue is FIFO, **per-graph request
-//! ordering is exactly submission order** — while requests that target
-//! graphs on different shards execute concurrently.
+//! drains a FIFO queue of jobs. Because a graph routes to one shard at a
+//! time and each shard's queue is FIFO, **per-graph request ordering is
+//! exactly submission order** — while requests that target graphs on
+//! different shards execute concurrently.
+//!
+//! With [`PlacementOptions::rebalance`] on, the router additionally keeps
+//! per-graph windowed load (a serve-time proxy, [`Request::cost_weight`])
+//! and periodically **migrates** graphs: a graph hotter than one shard's
+//! fair share rotates across shards so no single shard carries it for the
+//! whole run, and overloaded shards shed their heaviest satellite graphs
+//! to the coldest shard. A migration is a *barrier for that graph*: a
+//! `MigrateOut` marker drains behind every already-queued job on the old
+//! shard, the graph's entry — edge list, index, epoch, warmed query
+//! cache — moves wholesale, and the new shard blocks at its `MigrateIn`
+//! marker until the entry arrives. Per-graph FIFO order is therefore
+//! preserved across the move and no response ever changes.
+//!
+//! With [`PlacementOptions::steal`] on, an idle worker may **steal** the
+//! maximal run of same-graph queries from the *tail* of the longest
+//! queue — but only when that run is the graph's entire presence in the
+//! queue and no broadcast is pending there (the conditions that make
+//! stealing invisible: see `docs/SHARDING.md` for the full argument). The
+//! victim lends the graph's entry at a handoff marker, the thief serves
+//! the run against it, and the entry returns together with the run's
+//! query/cache counters, which merge into the *victim's* stats — so
+//! broadcast `Stats` answers stay byte-identical to the unsharded
+//! engine's. Any later job touching a lent graph (and every broadcast) is
+//! a reclaim barrier, mirroring the mutation barrier batching obeys.
 //!
 //! Cross-graph requests ([`Request::ListGraphs`], [`Request::Stats`]) are
 //! broadcast to every shard through the same FIFO queues and their partial
 //! answers merged, so they observe precisely the requests submitted before
-//! them — the merged answer is byte-identical to what a single unsharded
-//! [`Engine`] fed the same request stream would return. That makes the
-//! sharded engine a drop-in: for *any* request stream and *any* shard
-//! count, the response sequence (in submission order) matches the
-//! single-threaded engine's, and the stress harness's deterministic log
-//! digest is unchanged.
+//! them. Net contract, unchanged from the static-placement engine: for
+//! *any* request stream, *any* shard count, and *any* combination of
+//! `batch`/`rebalance`/`steal`, the response sequence (in submission
+//! order) matches the single-threaded engine's, and the stress harness's
+//! deterministic log digest is unchanged.
 //!
 //! Two ways to drive it:
 //! - [`ShardedEngine::execute`] — submit one request and block for its
@@ -27,19 +54,20 @@
 //!   and collect answers in submission order; this is what overlaps work
 //!   across shards and where the throughput win comes from.
 //!
-//! With [`ShardOptions::batch`] enabled, each worker additionally drains
-//! its queue into **per-graph read batches**: a maximal run of consecutive
-//! queued queries against the same graph executes through one
+//! With [`ShardOptions::batch`] enabled, each worker additionally coalesces
+//! **per-graph read batches**: a maximal run of consecutive queued queries
+//! against the same graph executes through one
 //! [`Engine::execute_read_batch`] call — one registry lookup, one shared
 //! index snapshot — while any mutation, create, drop, or broadcast acts as
 //! a barrier and executes singly. Jobs still execute in exact queue order,
 //! so the response stream stays byte-identical to the unbatched path; only
-//! the cost of producing it (and the batch counters in
-//! [`EngineStats`]) changes.
+//! the cost of producing it (and the batch counters in [`EngineStats`])
+//! changes.
 //!
 //! Shutdown is graceful: [`ShardedEngine::shutdown`] (or drop) closes the
-//! job queues, and every worker drains all in-flight jobs before exiting,
-//! so tickets taken before shutdown still resolve.
+//! job queues, and every worker drains all in-flight jobs — including
+//! migration markers and steal loans — before exiting, so tickets taken
+//! before shutdown still resolve.
 //!
 //! ```
 //! use cut_engine::{GraphSpec, Query, Request, Response, ShardedEngine};
@@ -60,13 +88,91 @@
 //! assert_eq!(per_shard.iter().map(|s| s.queries).sum::<u64>(), 1);
 //! ```
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 
-use crate::engine::{Engine, EngineConfig, EngineStats};
+use crate::engine::{serve_query, Engine, EngineConfig, EngineStats, GraphEntry};
 use crate::request::{Request, Response};
+
+/// How long an idle steal-enabled worker parks between scans for work, and
+/// the poll cadence inside blocking waits. Pure performance knobs: they
+/// bound wake-up latency, never affect responses.
+const PARK: Duration = Duration::from_micros(200);
+const POLL: Duration = Duration::from_micros(50);
+
+/// Tunables for the adaptive placement layer: load-driven rebalancing
+/// (graph migration between shards) and idle-worker stealing. Neither
+/// feature ever changes a response — see the module docs for the barrier
+/// protocols that guarantee it — so these knobs trade only throughput and
+/// queue balance.
+///
+/// # Examples
+///
+/// ```
+/// use cut_engine::{
+///     GraphSpec, PlacementOptions, Query, Request, Response, ShardOptions, ShardedEngine,
+/// };
+///
+/// let placement = PlacementOptions {
+///     rebalance: true,
+///     steal: true,
+///     window: 4, // rebalance every 4 submissions (default 512)
+///     ..PlacementOptions::default()
+/// };
+/// let mut engine =
+///     ShardedEngine::with_options(2, ShardOptions { placement, ..ShardOptions::default() });
+/// for i in 0..4 {
+///     engine.execute(Request::Create { name: format!("g{i}"), spec: GraphSpec::Cycle { n: 12 } });
+/// }
+/// // Hammer one graph: the router's load accounting sees the skew and
+/// // rotates the hot graph between shards at window boundaries.
+/// for _ in 0..32 {
+///     let r = engine.execute(Request::Query { name: "g0".into(), query: Query::ExactMinCut });
+///     assert!(matches!(r, Response::CutValue { weight: 2, .. }));
+/// }
+/// let report = engine.placement_report();
+/// assert_eq!(report.assignments.len(), 4, "every graph has a home shard");
+/// assert!(report.rebalances > 0);
+/// engine.shutdown();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlacementOptions {
+    /// Enable load-driven rebalancing (graph migration at window
+    /// boundaries). Off ⇒ placement is the static FNV default, forever.
+    pub rebalance: bool,
+    /// Submissions between rebalance checks. Smaller windows adapt faster
+    /// but migrate (and pay the per-graph barrier) more often.
+    pub window: usize,
+    /// Most migrations one rebalance round may enqueue.
+    pub max_moves: usize,
+    /// Trigger threshold: the hottest shard must carry more than
+    /// `imbalance × mean` window load before satellites move (values
+    /// below 1.0 behave as 1.0).
+    pub imbalance: f64,
+    /// Enable idle-worker stealing of same-graph query runs from the tail
+    /// of the longest queue.
+    pub steal: bool,
+    /// Smallest tail run worth stealing (and the smallest victim queue
+    /// considered). Raising it avoids churn on short queues.
+    pub steal_min: usize,
+}
+
+impl Default for PlacementOptions {
+    fn default() -> Self {
+        Self {
+            rebalance: false,
+            window: 512,
+            max_moves: 3,
+            imbalance: 1.25,
+            steal: false,
+            steal_min: 3,
+        }
+    }
+}
 
 /// How a [`ShardedEngine`]'s workers execute their queues.
 #[derive(Debug, Clone)]
@@ -76,14 +182,21 @@ pub struct ShardOptions {
     /// Drain queued runs of same-graph queries into read batches
     /// (mutations are barriers). Changes cost, never responses.
     pub batch: bool,
-    /// Most jobs a worker pulls off its queue in one drain (bounds the
-    /// latency a batch can add to its first member).
+    /// Most queries one read batch may coalesce (bounds the latency a
+    /// batch can add to its first member).
     pub max_batch: usize,
+    /// Adaptive placement: rebalancing migrations and work stealing.
+    pub placement: PlacementOptions,
 }
 
 impl Default for ShardOptions {
     fn default() -> Self {
-        Self { cfg: EngineConfig::default(), batch: false, max_batch: 256 }
+        Self {
+            cfg: EngineConfig::default(),
+            batch: false,
+            max_batch: 256,
+            placement: PlacementOptions::default(),
+        }
     }
 }
 
@@ -92,6 +205,70 @@ impl Default for ShardOptions {
 struct Job {
     request: Request,
     reply: Sender<Response>,
+}
+
+/// What travels through a shard's queue. Routing invariants: `Exec` jobs
+/// for one graph always sit in that graph's current shard's queue;
+/// migration markers are enqueued in pairs by the router (out on the old
+/// shard, in on the new, in that submission order); steal handoffs are
+/// front-inserted by thieves under the queue lock.
+enum WorkItem {
+    /// Execute a request and reply.
+    Exec(Job),
+    /// Migration barrier, source side: detach `name` (reclaiming it first
+    /// if lent out) and send it to the target shard. Sits behind every
+    /// job for `name` submitted before the migration, so the entry leaves
+    /// only after they all executed.
+    MigrateOut { name: String, to: Sender<MigrationPkg> },
+    /// Migration barrier, target side: block until the entry arrives and
+    /// install it. Sits ahead of every job for `name` submitted after the
+    /// migration, so none executes before the entry exists here.
+    MigrateIn { name: String, from: Receiver<MigrationPkg> },
+    /// Steal handoff: lend `name`'s entry to the thief on `loan`, and
+    /// remember `ret` for the reclaim (entry plus the stolen run's stats
+    /// delta). Front-inserted, which is safe because a steal only happens
+    /// when the stolen tail run was the graph's entire presence in this
+    /// queue — there is no earlier job for the graph to jump.
+    StealHandoff { name: String, loan: Sender<LoanPkg>, ret: Receiver<ReturnPkg> },
+}
+
+/// A migrating graph (`None` when the graph was dropped between the
+/// rebalance decision and the source shard reaching the marker).
+struct MigrationPkg {
+    export: Option<crate::engine::GraphExport>,
+}
+
+/// A loaned graph entry (`None` when the graph vanished first; the thief
+/// then answers its stolen run with the engine's unknown-graph error).
+struct LoanPkg {
+    entry: Option<GraphEntry>,
+}
+
+/// A loan coming home: the entry plus the counters the stolen run accrued,
+/// which merge into the owning shard's stats.
+struct ReturnPkg {
+    entry: Option<GraphEntry>,
+    delta: EngineStats,
+}
+
+/// One shard's shared job queue. Workers pop from the front; the router
+/// pushes to the back; thieves inspect it and may remove a tail run (and
+/// front-insert a handoff) under the same lock.
+struct ShardQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct QueueState {
+    items: VecDeque<WorkItem>,
+    closed: bool,
+}
+
+impl Default for ShardQueue {
+    fn default() -> Self {
+        Self { state: Mutex::new(QueueState::default()), cv: Condvar::new() }
+    }
 }
 
 /// Which cross-shard request a broadcast ticket is merging.
@@ -197,23 +374,57 @@ fn unexpected_partial(got: Response) -> Response {
     Response::Error { message: format!("unexpected shard partial: {got}") }
 }
 
-/// Stable FNV-1a over the graph name — the routing function. Kept
+/// Stable FNV-1a over the graph name — the *default* placement. Kept
 /// platform- and run-independent so shard assignment (and therefore the
 /// per-shard occupancy a harness reports) is reproducible.
 fn name_hash(name: &str) -> u64 {
     cut_graph::hash::fnv1a(name.as_bytes())
 }
 
+/// The shard a name lands on before any rebalancing touches it.
+fn default_shard(name: &str, shards: usize) -> usize {
+    (name_hash(name) % shards as u64) as usize
+}
+
+/// What the adaptive placement layer has done so far — rebalance rounds,
+/// migrations, and the current graph-to-shard assignment. The stress
+/// harness prints this as the placement section of its report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementReport {
+    /// Graph migrations enqueued (each one is a per-graph barrier).
+    pub migrations: u64,
+    /// Rebalance rounds run (window boundaries with rebalancing on).
+    pub rebalances: u64,
+    /// Placement generation: bumped once per migration, so two reports
+    /// with equal generations describe the same table.
+    pub generation: u64,
+    /// Current `graph -> shard` assignment, sorted by name. Names persist
+    /// across drops (a re-created graph keeps its last home).
+    pub assignments: Vec<(String, usize)>,
+}
+
 /// The sharded, multi-threaded front-end over [`Engine`].
 ///
-/// See the [module docs](self) for the routing and ordering contract. Use
-/// [`ShardedEngine::new`] for defaults, [`ShardedEngine::with_config`] to
-/// set the per-shard [`EngineConfig`].
+/// See the [module docs](self) for the routing, placement, and ordering
+/// contract. Use [`ShardedEngine::new`] for defaults,
+/// [`ShardedEngine::with_config`] to set the per-shard [`EngineConfig`],
+/// [`ShardedEngine::with_options`] for batching and adaptive placement.
 pub struct ShardedEngine {
-    txs: Vec<Sender<Job>>,
+    queues: Arc<Vec<ShardQueue>>,
     workers: Vec<JoinHandle<EngineStats>>,
     /// Jobs enqueued per shard (broadcasts count on every shard).
     routed: Vec<u64>,
+    placement: PlacementOptions,
+    /// The placement table: where each graph currently lives. Entries are
+    /// created on first routing (default = stable FNV shard) and moved
+    /// only by [`rebalance`](Self::rebalance) migrations.
+    table: BTreeMap<String, usize>,
+    /// Per-graph window load (serve-time proxy), decayed each rebalance.
+    loads: BTreeMap<String, u64>,
+    since_rebalance: usize,
+    migrations: u64,
+    rebalances: u64,
+    generation: u64,
 }
 
 impl ShardedEngine {
@@ -236,8 +447,9 @@ impl ShardedEngine {
         Self::with_options(shards, ShardOptions { cfg, ..ShardOptions::default() })
     }
 
-    /// Spawn `shards` worker threads with batching and be able to set the
-    /// drain cap — see [`ShardOptions`].
+    /// Spawn `shards` worker threads with batching, rebalancing, and
+    /// stealing configured — see [`ShardOptions`] and
+    /// [`PlacementOptions`].
     ///
     /// # Panics
     /// Panics if `shards` is zero, or if the OS refuses to spawn a worker
@@ -245,78 +457,118 @@ impl ShardedEngine {
     /// the stress harness caps at 1024).
     pub fn with_options(shards: usize, opts: ShardOptions) -> Self {
         assert!(shards > 0, "a sharded engine needs at least one shard");
-        let mut txs = Vec::with_capacity(shards);
+        let queues: Arc<Vec<ShardQueue>> =
+            Arc::new((0..shards).map(|_| ShardQueue::default()).collect());
+        let placement = opts.placement;
         let mut workers = Vec::with_capacity(shards);
         for shard in 0..shards {
-            let (tx, rx) = unbounded::<Job>();
-            let worker_opts = opts.clone();
+            let worker = Worker {
+                id: shard,
+                queues: Arc::clone(&queues),
+                engine: Engine::with_config(opts.cfg.clone()),
+                opts: opts.clone(),
+                lent: BTreeMap::new(),
+                pending: None,
+            };
             let handle = std::thread::Builder::new()
                 .name(format!("cut-shard-{shard}"))
-                .spawn(move || worker_loop(rx, worker_opts))
+                .spawn(move || worker.run())
                 .expect("spawn shard worker");
-            txs.push(tx);
             workers.push(handle);
         }
-        Self { txs, workers, routed: vec![0; shards] }
+        Self {
+            queues,
+            workers,
+            routed: vec![0; shards],
+            placement,
+            table: BTreeMap::new(),
+            loads: BTreeMap::new(),
+            since_rebalance: 0,
+            migrations: 0,
+            rebalances: 0,
+            generation: 0,
+        }
     }
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
-        self.txs.len()
+        self.queues.len()
     }
 
-    /// The shard that owns graph `name` — stable for the lifetime of the
-    /// engine (and across engines with the same shard count).
+    /// The shard that currently owns graph `name`. Without rebalancing
+    /// this is the stable FNV default and never changes; with rebalancing
+    /// it reflects the placement table as of the last submission.
     pub fn shard_of(&self, name: &str) -> usize {
-        (name_hash(name) % self.txs.len() as u64) as usize
+        self.table.get(name).copied().unwrap_or_else(|| default_shard(name, self.queues.len()))
     }
 
     /// Jobs enqueued per shard so far (broadcast requests count once on
-    /// every shard). The stress harness reads this for occupancy stats.
+    /// every shard; internal migration markers are not counted). The
+    /// stress harness reads this for occupancy stats.
     pub fn routed(&self) -> &[u64] {
         &self.routed
     }
 
+    /// What the placement layer has done: rebalances, migrations, and the
+    /// current graph-to-shard table. See the [`PlacementOptions`] example
+    /// for usage.
+    pub fn placement_report(&self) -> PlacementReport {
+        PlacementReport {
+            migrations: self.migrations,
+            rebalances: self.rebalances,
+            generation: self.generation,
+            assignments: self.table.iter().map(|(name, &shard)| (name.clone(), shard)).collect(),
+        }
+    }
+
     /// Enqueue one request and return a [`Ticket`] for its response.
     ///
-    /// Requests that name a graph go to that graph's shard; `ListGraphs`
-    /// and `Stats` are broadcast to every shard and merged at
-    /// [`Ticket::wait`]. Submission order *is* per-graph execution order.
+    /// Requests that name a graph go to that graph's current shard (per
+    /// the placement table); `ListGraphs` and `Stats` are broadcast to
+    /// every shard and merged at [`Ticket::wait`]. Submission order *is*
+    /// per-graph execution order. With rebalancing on, every `window`
+    /// submissions the router may also enqueue migration barriers here —
+    /// they are invisible to responses.
     pub fn submit(&mut self, request: Request) -> Ticket {
-        enum Route {
-            Shard(usize),
-            Broadcast(MergeKind),
-        }
         // Exhaustive: a new Request variant must declare here whether it
         // routes by graph name or broadcasts (and how its partials merge).
-        let route = match &request {
+        let ticket = match &request {
             Request::Create { name, .. }
             | Request::Drop { name }
             | Request::Mutate { name, .. }
-            | Request::Query { name, .. } => Route::Shard(self.shard_of(name)),
-            Request::ListGraphs => Route::Broadcast(MergeKind::ListGraphs),
-            Request::Stats => Route::Broadcast(MergeKind::Stats),
-        };
-        match route {
-            Route::Shard(shard) => {
+            | Request::Query { name, .. } => {
+                let shard = self.place(name);
+                if self.placement.rebalance {
+                    *self.loads.entry(name.clone()).or_insert(0) += request.cost_weight();
+                }
                 let (reply, rx) = unbounded();
                 self.routed[shard] += 1;
-                // A failed send means the worker is gone (panicked); the
-                // ticket reports that on wait.
-                let _ = self.txs[shard].send(Job { request, reply });
+                self.push(shard, WorkItem::Exec(Job { request, reply }));
                 Ticket { inner: TicketInner::Single(rx) }
             }
-            Route::Broadcast(kind) => {
-                let mut parts = Vec::with_capacity(self.txs.len());
-                for (shard, tx) in self.txs.iter().enumerate() {
+            Request::ListGraphs | Request::Stats => {
+                let kind = match request {
+                    Request::ListGraphs => MergeKind::ListGraphs,
+                    _ => MergeKind::Stats,
+                };
+                let mut parts = Vec::with_capacity(self.queues.len());
+                for shard in 0..self.queues.len() {
                     let (reply, rx) = unbounded();
                     self.routed[shard] += 1;
-                    let _ = tx.send(Job { request: request.clone(), reply });
+                    self.push(shard, WorkItem::Exec(Job { request: request.clone(), reply }));
                     parts.push(rx);
                 }
                 Ticket { inner: TicketInner::Merge { kind, parts } }
             }
+        };
+        if self.placement.rebalance {
+            self.since_rebalance += 1;
+            if self.since_rebalance >= self.placement.window.max(1) {
+                self.since_rebalance = 0;
+                self.rebalance();
+            }
         }
+        ticket
     }
 
     /// Submit one request and block for its response — a drop-in for
@@ -331,8 +583,9 @@ impl ShardedEngine {
     /// Close the job queues and join every worker, returning each shard's
     /// final [`EngineStats`] (index = shard id).
     ///
-    /// Graceful: workers drain every job already queued before exiting, so
-    /// tickets obtained before `shutdown` still resolve with real answers.
+    /// Graceful: workers drain every job already queued — migration
+    /// markers and steal loans included — before exiting, so tickets
+    /// obtained before `shutdown` still resolve with real answers.
     ///
     /// # Panics
     /// Propagates a shard worker's panic rather than silently reporting
@@ -340,98 +593,538 @@ impl ShardedEngine {
     /// shard resolve to [`Response::Error`], not a hang — see
     /// [`Ticket::wait`].)
     pub fn shutdown(mut self) -> Vec<EngineStats> {
-        self.txs.clear();
+        self.close_queues();
         self.workers
             .drain(..)
             .enumerate()
             .map(|(shard, h)| h.join().unwrap_or_else(|_| panic!("shard worker {shard} panicked")))
             .collect()
     }
+
+    fn close_queues(&self) {
+        for q in self.queues.iter() {
+            q.state.lock().expect("queue lock poisoned").closed = true;
+            q.cv.notify_all();
+        }
+    }
+
+    fn push(&self, shard: usize, item: WorkItem) {
+        let q = &self.queues[shard];
+        q.state.lock().expect("queue lock poisoned").items.push_back(item);
+        q.cv.notify_all();
+    }
+
+    /// Current shard of `name`, creating the table entry (at the stable
+    /// FNV default) on first sight.
+    fn place(&mut self, name: &str) -> usize {
+        if let Some(&shard) = self.table.get(name) {
+            return shard;
+        }
+        let shard = default_shard(name, self.queues.len());
+        self.table.insert(name.to_string(), shard);
+        shard
+    }
+
+    /// One rebalance round. Phase 1 rotates a graph hotter than one
+    /// shard's fair share to the least-loaded other shard — no placement
+    /// can shrink such a graph's instantaneous share, but rotating it
+    /// spreads its *run-long* routed share across shards (stealing
+    /// relieves the instantaneous queue). Phase 2 greedily moves the
+    /// heaviest helpful satellite graphs off the hottest shard onto the
+    /// coldest while that strictly lowers the pair's max. Loads then decay
+    /// (halve) so the accounting tracks recent traffic.
+    ///
+    /// Fully deterministic: ties break by shard index / name order, so a
+    /// given request stream always produces the same migration schedule.
+    fn rebalance(&mut self) {
+        let shards = self.queues.len();
+        if shards < 2 {
+            return;
+        }
+        self.rebalances += 1;
+        let mut shard_load = vec![0u64; shards];
+        for (name, &load) in &self.loads {
+            if let Some(&s) = self.table.get(name) {
+                shard_load[s] += load;
+            }
+        }
+        let total: u64 = shard_load.iter().sum();
+        let mut moves: Vec<(String, usize, usize)> = Vec::new();
+
+        if total > 0 && self.placement.max_moves > 0 {
+            // Phase 1: spread a graph no single shard should keep. The
+            // rotation spends from the same move budget as phase 2, so
+            // `max_moves: 0` really does mean zero migrations.
+            if let Some((name, load)) = hottest_graph(&self.loads) {
+                if load * shards as u64 > total {
+                    let cur = self.table[&name];
+                    // Least-loaded target, scanned in rotation order from
+                    // cur+1 so even ties still round-robin the hot graph.
+                    let mut target = cur;
+                    let mut best = u64::MAX;
+                    for offset in 1..shards {
+                        let s = (cur + offset) % shards;
+                        if shard_load[s] < best {
+                            best = shard_load[s];
+                            target = s;
+                        }
+                    }
+                    if target != cur {
+                        shard_load[cur] -= load;
+                        shard_load[target] += load;
+                        moves.push((name, cur, target));
+                    }
+                }
+            }
+
+            // Phase 2: shed satellites from the hottest shard.
+            while moves.len() < self.placement.max_moves {
+                let (mut hot, mut cold) = (0usize, 0usize);
+                for s in 1..shards {
+                    if shard_load[s] > shard_load[hot] {
+                        hot = s;
+                    }
+                    if shard_load[s] < shard_load[cold] {
+                        cold = s;
+                    }
+                }
+                let mean = total as f64 / shards as f64;
+                if hot == cold || shard_load[hot] as f64 <= self.placement.imbalance.max(1.0) * mean
+                {
+                    break;
+                }
+                let mut best: Option<(String, u64)> = None;
+                for (name, &load) in &self.loads {
+                    if load == 0
+                        || self.table.get(name) != Some(&hot)
+                        || moves.iter().any(|(moved, _, _)| moved == name)
+                    {
+                        continue;
+                    }
+                    // Only moves that strictly lower the pair's max load.
+                    if shard_load[cold] + load < shard_load[hot]
+                        && best.as_ref().is_none_or(|(_, b)| load > *b)
+                    {
+                        best = Some((name.clone(), load));
+                    }
+                }
+                let Some((name, load)) = best else { break };
+                shard_load[hot] -= load;
+                shard_load[cold] += load;
+                moves.push((name, hot, cold));
+            }
+        }
+
+        for (name, from, to) in moves {
+            self.migrate(name, from, to);
+        }
+        // Decay, dropping entries that reach zero so the accounting stays
+        // proportional to recently-active graphs, not all names ever seen.
+        self.loads.retain(|_, load| {
+            *load /= 2;
+            *load > 0
+        });
+    }
+
+    /// Enqueue one migration: the barrier pair (out marker on the old
+    /// shard, in marker on the new) plus the table flip, all at this
+    /// single point in the submission stream — which is what makes the
+    /// move invisible to per-graph ordering and to broadcasts.
+    fn migrate(&mut self, name: String, from: usize, to: usize) {
+        debug_assert_ne!(from, to, "migration must change shards");
+        let (tx, rx) = unbounded();
+        self.push(from, WorkItem::MigrateOut { name: name.clone(), to: tx });
+        self.push(to, WorkItem::MigrateIn { name: name.clone(), from: rx });
+        self.table.insert(name, to);
+        self.generation += 1;
+        self.migrations += 1;
+    }
+}
+
+/// The graph with the largest window load (first in name order on ties).
+fn hottest_graph(loads: &BTreeMap<String, u64>) -> Option<(String, u64)> {
+    let mut best: Option<(&String, u64)> = None;
+    for (name, &load) in loads {
+        if load > 0 && best.is_none_or(|(_, b)| load > b) {
+            best = Some((name, load));
+        }
+    }
+    best.map(|(name, load)| (name.clone(), load))
 }
 
 impl Drop for ShardedEngine {
     fn drop(&mut self) {
-        // `shutdown` drained these already; a plain drop also joins so no
-        // worker outlives the engine.
-        self.txs.clear();
+        // `shutdown` joined these already; a plain drop also closes and
+        // joins so no worker outlives the engine.
+        self.close_queues();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-/// The shard worker: drain jobs FIFO into a private engine until every
-/// sender is gone, then report final stats to `shutdown`.
-///
-/// In batch mode the worker opportunistically pulls whatever has queued
-/// up behind the job it is about to run (up to `max_batch`), then
-/// executes maximal runs of consecutive same-graph queries through
-/// [`Engine::execute_read_batch`] — one registry lookup and one shared
-/// index snapshot per run. Any other request kind is a barrier. Jobs
-/// execute in exact queue order either way, so batching never changes a
-/// response — per-graph ordering (and thus epochs, caches, and the log
-/// digest) is identical to the unbatched worker.
-fn worker_loop(rx: Receiver<Job>, opts: ShardOptions) -> EngineStats {
-    let mut engine = Engine::with_config(opts.cfg);
-    if !opts.batch {
-        while let Ok(Job { request, reply }) = rx.recv() {
-            // A dropped ticket is fine — compute anyway (mutations must
-            // still apply), discard the undeliverable answer.
-            let _ = reply.send(engine.execute(request));
+/// An outstanding steal: the thief holds the stolen jobs and waits (by
+/// polling, never blocking its own queue) for the victim to lend the
+/// graph's entry.
+struct PendingSteal {
+    name: String,
+    loan: Receiver<LoanPkg>,
+    ret: Sender<ReturnPkg>,
+    jobs: Vec<Job>,
+}
+
+/// One shard worker: drains its queue FIFO into a private engine, lends
+/// entries to thieves, executes migrations, and — when idle — steals tail
+/// runs from overloaded siblings. Reports final stats to `shutdown`.
+struct Worker {
+    id: usize,
+    queues: Arc<Vec<ShardQueue>>,
+    engine: Engine,
+    opts: ShardOptions,
+    /// Graphs currently lent to thieves, with the channel each loan comes
+    /// home on. Any job touching one of these (and every broadcast) is a
+    /// reclaim barrier.
+    lent: BTreeMap<String, Receiver<ReturnPkg>>,
+    /// At most one outstanding steal per worker; polled at every blocking
+    /// point so loans always resolve (no wait cycle can include a thief).
+    pending: Option<PendingSteal>,
+}
+
+impl Worker {
+    fn run(mut self) -> EngineStats {
+        while let Some(item) = self.next_item() {
+            self.process(item);
         }
-        return engine.stats();
+        // Closed and drained: every loan must come home (merging its
+        // stats delta) before this shard's numbers are final.
+        self.reclaim_all();
+        self.engine.stats()
     }
 
-    let mut pending: VecDeque<Job> = VecDeque::new();
-    loop {
-        // Block only when nothing is pending; the channel closing while
-        // pending is empty is the (graceful) exit.
-        if pending.is_empty() {
-            match rx.recv() {
-                Ok(job) => pending.push_back(job),
-                Err(_) => break,
-            }
-        }
-        // Opportunistic drain: everything already queued joins this round,
-        // so a burst of reads becomes one batch instead of many singles.
-        while pending.len() < opts.max_batch {
-            match rx.try_recv() {
-                Ok(job) => pending.push_back(job),
-                Err(_) => break,
-            }
-        }
-        let job = pending.pop_front().expect("pending is non-empty here");
-        match job.request {
-            Request::Query { name, query } => {
-                // Extend with the maximal run of consecutive queries
-                // against the same graph; the next mutation (or any other
-                // request) is the batch barrier.
-                let mut queries = vec![query];
-                let mut replies = vec![job.reply];
-                while let Some(Job { request: Request::Query { name: next, .. }, .. }) =
-                    pending.front()
-                {
-                    if *next != name {
-                        break;
-                    }
-                    if let Some(Job { request: Request::Query { query, .. }, reply }) =
-                        pending.pop_front()
-                    {
-                        queries.push(query);
-                        replies.push(reply);
-                    }
+    /// Next work item, or `None` at graceful exit (queue closed, drained,
+    /// and no steal outstanding). While idle: resolve an arrived loan,
+    /// else try to steal, else park.
+    fn next_item(&mut self) -> Option<WorkItem> {
+        loop {
+            {
+                let mut st = self.queues[self.id].state.lock().expect("queue lock poisoned");
+                if let Some(item) = st.items.pop_front() {
+                    return Some(item);
                 }
-                let responses = engine.execute_read_batch(&name, queries);
-                for (reply, response) in replies.into_iter().zip(responses) {
-                    let _ = reply.send(response);
+                if st.closed && self.pending.is_none() {
+                    return None;
                 }
             }
-            request => {
-                let _ = job.reply.send(engine.execute(request));
+            if self.poll_pending() {
+                continue;
+            }
+            if self.opts.placement.steal && self.pending.is_none() && self.try_steal() {
+                continue;
+            }
+            let st = self.queues[self.id].state.lock().expect("queue lock poisoned");
+            if !st.items.is_empty() {
+                continue;
+            }
+            if st.closed {
+                // Closed with a loan still outstanding: spin gently until
+                // the victim lends (handoffs drain before workers exit).
+                drop(st);
+                std::thread::sleep(POLL);
+                continue;
+            }
+            if self.opts.placement.steal || self.pending.is_some() {
+                // Bounded park: steal opportunities and pending loans need
+                // periodic re-polling even while this queue sleeps.
+                drop(self.queues[self.id].cv.wait_timeout(st, PARK).expect("queue lock poisoned"));
+            } else {
+                drop(self.queues[self.id].cv.wait(st).expect("queue lock poisoned"));
             }
         }
     }
-    engine.stats()
+
+    fn process(&mut self, item: WorkItem) {
+        match item {
+            WorkItem::Exec(job) => self.exec(job),
+            WorkItem::MigrateOut { name, to } => {
+                if self.lent.contains_key(&name) {
+                    self.reclaim(&name);
+                }
+                let export = self.engine.export_graph(&name);
+                // A failed send means the target worker died; its panic
+                // surfaces at join.
+                let _ = to.send(MigrationPkg { export });
+            }
+            WorkItem::MigrateIn { name, from } => {
+                let pkg = self.wait_on(&from, "migration");
+                if let Some(export) = pkg.export {
+                    let installed = self.engine.import_graph(export).is_ok();
+                    debug_assert!(installed, "graph '{name}' collided at migrate-in");
+                }
+            }
+            WorkItem::StealHandoff { name, loan, ret } => {
+                if self.lent.contains_key(&name) {
+                    // A second thief wants a graph still out with the
+                    // first: serialize the loans (earlier run first).
+                    self.reclaim(&name);
+                }
+                let entry = self.engine.take_entry(&name);
+                let _ = loan.send(LoanPkg { entry });
+                self.lent.insert(name, ret);
+            }
+        }
+    }
+
+    fn exec(&mut self, job: Job) {
+        // A job touching a lent-out graph — or any broadcast — is a
+        // reclaim barrier: the loan (its responses are already promised to
+        // the thief's tickets, plus its stats delta) must come home first.
+        // This is what keeps merged broadcast answers exactly equal to the
+        // unsharded engine's.
+        match &job.request {
+            Request::ListGraphs | Request::Stats => self.reclaim_all(),
+            Request::Create { name, .. }
+            | Request::Drop { name }
+            | Request::Mutate { name, .. }
+            | Request::Query { name, .. } => {
+                if self.lent.contains_key(name.as_str()) {
+                    let name = name.clone();
+                    self.reclaim(&name);
+                }
+            }
+        }
+        if self.opts.batch {
+            if let Request::Query { name, .. } = &job.request {
+                let name = name.clone();
+                self.exec_batched(name, job);
+                return;
+            }
+        }
+        let Job { request, reply } = job;
+        // A dropped ticket is fine — compute anyway (mutations must still
+        // apply), discard the undeliverable answer.
+        let _ = reply.send(self.engine.execute(request));
+    }
+
+    /// Batch mode: extend `job` with the maximal run of consecutive
+    /// same-graph queries at the queue front (up to `max_batch`) and
+    /// execute them through one [`Engine::execute_read_batch`] call. Any
+    /// other queued item is the barrier that ends the run. Queue order is
+    /// preserved exactly, so batching never changes a response.
+    fn exec_batched(&mut self, name: String, job: Job) {
+        let Job { request, reply } = job;
+        let Request::Query { query, .. } = request else {
+            unreachable!("exec_batched is only called for queries");
+        };
+        let mut queries = vec![query];
+        let mut replies = vec![reply];
+        {
+            let mut st = self.queues[self.id].state.lock().expect("queue lock poisoned");
+            while queries.len() < self.opts.max_batch {
+                let same_graph = matches!(
+                    st.items.front(),
+                    Some(WorkItem::Exec(Job { request: Request::Query { name: next, .. }, .. }))
+                        if *next == name
+                );
+                if !same_graph {
+                    break;
+                }
+                let Some(WorkItem::Exec(Job { request: Request::Query { query, .. }, reply })) =
+                    st.items.pop_front()
+                else {
+                    unreachable!("front matched a same-graph query");
+                };
+                queries.push(query);
+                replies.push(reply);
+            }
+        }
+        let responses = self.engine.execute_read_batch(&name, queries);
+        for (reply, response) in replies.into_iter().zip(responses) {
+            let _ = reply.send(response);
+        }
+    }
+
+    /// Wait for a package while continuing to service an outstanding steal
+    /// loan — the polling that guarantees no blocking cycle can form
+    /// between victims and thieves.
+    fn wait_on<T>(&mut self, rx: &Receiver<T>, what: &str) -> T {
+        loop {
+            match rx.try_recv() {
+                Ok(pkg) => return pkg,
+                Err(TryRecvError::Disconnected) => {
+                    panic!("shard worker {}: {what} channel lost (peer worker died)", self.id)
+                }
+                Err(TryRecvError::Empty) => {}
+            }
+            if !self.poll_pending() {
+                std::thread::sleep(POLL);
+            }
+        }
+    }
+
+    /// Take a lent graph back: block (politely) for the thief's return,
+    /// reinstall the entry, and merge the stolen run's counters into this
+    /// shard's stats — stolen work is accounted where the graph lives.
+    fn reclaim(&mut self, name: &str) {
+        let Some(rx) = self.lent.remove(name) else { return };
+        let pkg = self.wait_on(&rx, "steal return");
+        if let Some(entry) = pkg.entry {
+            self.engine.put_entry(name.to_string(), entry);
+        }
+        self.engine.stats_mut().merge(&pkg.delta);
+    }
+
+    fn reclaim_all(&mut self) {
+        let names: Vec<String> = self.lent.keys().cloned().collect();
+        for name in names {
+            self.reclaim(&name);
+        }
+    }
+
+    /// If the pending loan has arrived, serve the stolen run against the
+    /// borrowed entry, reply to its tickets, and send the entry (plus the
+    /// run's stats delta) home. Returns whether a loan was serviced.
+    fn poll_pending(&mut self) -> bool {
+        let Some(pending) = &self.pending else { return false };
+        let pkg = match pending.loan.try_recv() {
+            Ok(pkg) => pkg,
+            Err(TryRecvError::Empty) => return false,
+            Err(TryRecvError::Disconnected) => {
+                panic!("shard worker {}: steal loan channel lost (victim died)", self.id)
+            }
+        };
+        let PendingSteal { name, ret, jobs, .. } =
+            self.pending.take().expect("pending checked above");
+        match pkg.entry {
+            Some(mut entry) => {
+                let stolen = jobs.len() as u64;
+                let mut delta = EngineStats::default();
+                for job in jobs {
+                    let Request::Query { query, .. } = job.request else {
+                        unreachable!("steals only take query runs");
+                    };
+                    let response = serve_query(&mut delta, &self.opts.cfg, &mut entry, query);
+                    let _ = job.reply.send(response);
+                }
+                let stats = self.engine.stats_mut();
+                stats.steal_batches += 1;
+                stats.steal_reads += stolen;
+                let _ = ret.send(ReturnPkg { entry: Some(entry), delta });
+            }
+            None => {
+                // The graph was gone by handoff time: answer exactly as
+                // the engine would for an unknown name (and, like the
+                // engine, bump no counters).
+                for job in jobs {
+                    let message = format!("no graph named '{name}'");
+                    let _ = job.reply.send(Response::Error { message });
+                }
+                let _ = ret.send(ReturnPkg { entry: None, delta: EngineStats::default() });
+            }
+        }
+        true
+    }
+
+    /// Attempt one steal: from the longest sibling queue, take the maximal
+    /// tail run of same-graph queries — but only when the run is that
+    /// graph's entire presence in the queue (per-graph order cannot be
+    /// jumped) and no broadcast is pending there (a stolen run's counters
+    /// merge at the victim's barriers; lifting reads over a queued `Stats`
+    /// would merge them too early). Returns whether a steal is now
+    /// pending.
+    fn try_steal(&mut self) -> bool {
+        debug_assert!(self.pending.is_none(), "one outstanding steal at a time");
+        let min = self.opts.placement.steal_min.max(1);
+        let mut victims: Vec<(usize, usize)> = Vec::new(); // (queue len, shard)
+        for (shard, q) in self.queues.iter().enumerate() {
+            if shard == self.id {
+                continue;
+            }
+            let st = q.state.lock().expect("queue lock poisoned");
+            if !st.closed && st.items.len() >= min {
+                victims.push((st.items.len(), shard));
+            }
+        }
+        victims.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        victims.into_iter().any(|(_, shard)| self.steal_from(shard))
+    }
+
+    fn steal_from(&mut self, victim: usize) -> bool {
+        let q = &self.queues[victim];
+        let mut st = q.state.lock().expect("queue lock poisoned");
+        if st.closed {
+            return false;
+        }
+        // The maximal same-graph query run at the tail.
+        let mut run_len = 0usize;
+        let mut graph: Option<&str> = None;
+        for item in st.items.iter().rev() {
+            match item {
+                WorkItem::Exec(Job { request: Request::Query { name, .. }, .. }) => match graph {
+                    None => {
+                        graph = Some(name);
+                        run_len = 1;
+                    }
+                    Some(g) if g == name => run_len += 1,
+                    Some(_) => break,
+                },
+                _ => break,
+            }
+        }
+        let Some(graph) = graph else { return false };
+        if run_len < self.opts.placement.steal_min.max(1) {
+            return false;
+        }
+        let graph = graph.to_string();
+        // Disqualifiers in the rest of the queue: any other reference to
+        // the graph (order safety), any broadcast (stats-merge safety).
+        let rest = st.items.len() - run_len;
+        for item in st.items.iter().take(rest) {
+            match item {
+                WorkItem::Exec(Job { request, .. }) => match request {
+                    Request::ListGraphs | Request::Stats => return false,
+                    Request::Create { name, .. }
+                    | Request::Drop { name }
+                    | Request::Mutate { name, .. }
+                    | Request::Query { name, .. } => {
+                        if *name == graph {
+                            return false;
+                        }
+                    }
+                },
+                WorkItem::MigrateOut { name, .. }
+                | WorkItem::MigrateIn { name, .. }
+                | WorkItem::StealHandoff { name, .. } => {
+                    if *name == graph {
+                        return false;
+                    }
+                }
+            }
+        }
+        // Take the run and leave a handoff at the queue *front*: the
+        // victim lends the entry as its very next step (after whatever it
+        // is currently executing — possibly the graph's last earlier job —
+        // completes). Front insertion is order-safe because the queue
+        // holds no other job for this graph.
+        let jobs: Vec<Job> = st
+            .items
+            .drain(rest..)
+            .map(|item| match item {
+                WorkItem::Exec(job) => job,
+                _ => unreachable!("the tail run holds only exec items"),
+            })
+            .collect();
+        let (loan_tx, loan_rx) = unbounded();
+        let (ret_tx, ret_rx) = unbounded();
+        st.items.push_front(WorkItem::StealHandoff {
+            name: graph.clone(),
+            loan: loan_tx,
+            ret: ret_rx,
+        });
+        drop(st);
+        q.cv.notify_all();
+        self.pending = Some(PendingSteal { name: graph, loan: loan_rx, ret: ret_tx, jobs });
+        true
+    }
 }
 
 #[cfg(test)]
@@ -653,5 +1346,198 @@ mod tests {
         for req in requests {
             assert_eq!(sharded.execute(req.clone()), plain.execute(req));
         }
+    }
+
+    #[test]
+    fn rebalancing_rotates_a_pinned_hot_graph() {
+        // One graph takes all the traffic: static placement pins it (and
+        // 100% of the routed share) to one shard forever. With rebalancing
+        // on, the router must rotate it so both shards carry real share.
+        let placement =
+            PlacementOptions { rebalance: true, window: 8, ..PlacementOptions::default() };
+        let mut e =
+            ShardedEngine::with_options(2, ShardOptions { placement, ..ShardOptions::default() });
+        create(&mut e, "hot", 12);
+        for _ in 0..200 {
+            let r = e.execute(Request::Query { name: "hot".into(), query: Query::Connectivity });
+            assert!(matches!(r, Response::ConnectivityValue { components: 1, .. }));
+        }
+        let report = e.placement_report();
+        assert!(report.migrations >= 10, "got only {} migrations", report.migrations);
+        assert_eq!(report.generation, report.migrations);
+        let routed = e.routed().to_vec();
+        let min = routed.iter().min().copied().unwrap_or(0);
+        assert!(
+            min >= 40,
+            "rotation must spread the hot graph's routed share (routed: {routed:?})"
+        );
+        let per_shard = e.shutdown();
+        let ins: u64 = per_shard.iter().map(|s| s.migrations_in).sum();
+        let outs: u64 = per_shard.iter().map(|s| s.migrations_out).sum();
+        assert_eq!(ins, report.migrations);
+        assert_eq!(outs, report.migrations);
+    }
+
+    #[test]
+    fn rebalancing_migrations_preserve_responses_and_counters() {
+        // A dense migration schedule (window 3) interleaved with
+        // mutations, drops, re-creates, and broadcasts: every response
+        // must equal the unsharded engine's, and the per-shard migration
+        // counters must balance against the router's count.
+        let placement = PlacementOptions {
+            rebalance: true,
+            window: 3,
+            max_moves: 4,
+            ..PlacementOptions::default()
+        };
+        let mut sharded =
+            ShardedEngine::with_options(3, ShardOptions { placement, ..ShardOptions::default() });
+        let mut plain = Engine::new();
+
+        let mut requests: Vec<Request> = Vec::new();
+        for i in 0..4 {
+            requests.push(Request::Create {
+                name: format!("g{i}"),
+                spec: GraphSpec::Cycle { n: 12 + i },
+            });
+        }
+        for round in 0..30u64 {
+            requests.push(Request::Query { name: "g0".into(), query: Query::ExactMinCut });
+            requests.push(Request::Query { name: "g0".into(), query: Query::Connectivity });
+            if round % 3 == 0 {
+                requests.push(Request::Mutate {
+                    name: "g0".into(),
+                    op: Mutation::InsertEdge { u: 0, v: 2 + (round % 9) as u32, w: 1 + round },
+                });
+            }
+            if round % 7 == 0 {
+                requests.push(Request::Query {
+                    name: format!("g{}", round % 4),
+                    query: Query::ExactMinCut,
+                });
+            }
+            if round == 10 {
+                requests.push(Request::Drop { name: "g1".into() });
+            }
+            if round == 20 {
+                requests
+                    .push(Request::Create { name: "g1".into(), spec: GraphSpec::Cycle { n: 9 } });
+            }
+            if round % 10 == 5 {
+                requests.push(Request::Stats);
+                requests.push(Request::ListGraphs);
+            }
+        }
+        for req in requests {
+            assert_eq!(sharded.execute(req.clone()), plain.execute(req));
+        }
+
+        let report = sharded.placement_report();
+        assert!(report.migrations > 0, "window=3 under hot skew must migrate");
+        let per_shard = sharded.shutdown();
+        let ins: u64 = per_shard.iter().map(|s| s.migrations_in).sum();
+        let outs: u64 = per_shard.iter().map(|s| s.migrations_out).sum();
+        assert_eq!(ins, report.migrations, "every migration must land");
+        assert_eq!(outs, report.migrations, "every migration must leave");
+        let mut total = EngineStats::default();
+        for s in &per_shard {
+            total.merge(s);
+        }
+        assert_eq!(total.queries, plain.stats().queries);
+        assert_eq!(total.cache_hits, plain.stats().cache_hits);
+        assert_eq!(total.mutations, plain.stats().mutations);
+    }
+
+    #[test]
+    fn idle_worker_steals_tail_run_preserving_order() {
+        // Shard 0 gets a heavy head plus a long run of cheap queries;
+        // shard 1 owns nothing. With stealing on, the idle worker must
+        // take (some of) the tail run — and every response must still
+        // match the unsharded engine, cached flags included.
+        let placement =
+            PlacementOptions { steal: true, steal_min: 2, ..PlacementOptions::default() };
+        let opts = ShardOptions { placement, ..ShardOptions::default() };
+        let mut sharded = ShardedEngine::with_options(2, opts);
+        // A name that the default placement puts on shard 0.
+        let hot = (0..)
+            .map(|i| format!("hot{i}"))
+            .find(|n| default_shard(n, 2) == 0)
+            .expect("some name hashes to shard 0");
+        let n = 96u32;
+        let spec = GraphSpec::ConnectedGnm {
+            n: n as usize,
+            m: 3 * n as usize,
+            w_min: 1,
+            w_max: 9,
+            seed: 5,
+        };
+
+        let mut requests: Vec<Request> =
+            vec![Request::Create { name: hot.clone(), spec: spec.clone() }];
+        // The heavy head occupies the victim while the run queues behind.
+        requests.push(Request::Query { name: hot.clone(), query: Query::KCut { k: 4 } });
+        for i in 0..400u32 {
+            requests.push(Request::Query {
+                name: hot.clone(),
+                query: Query::StCutWeight { s: i % n, t: (i + 11) % n },
+            });
+        }
+
+        let mut plain = Engine::new();
+        let mut expected: Vec<Response> =
+            requests.iter().map(|r| plain.execute(r.clone())).collect();
+
+        let mut tickets: Vec<Ticket> = requests.iter().map(|r| sharded.submit(r.clone())).collect();
+        // Leave the queues alone while the victim grinds the heavy head —
+        // a queued broadcast would (correctly) disqualify stealing, and
+        // this test wants to observe a steal.
+        std::thread::sleep(Duration::from_millis(30));
+        expected.push(plain.execute(Request::Stats));
+        tickets.push(sharded.submit(Request::Stats));
+        let got: Vec<Response> = tickets.into_iter().map(|t| t.wait()).collect();
+        assert_eq!(got, expected, "stolen runs must not change any response");
+
+        let per_shard = sharded.shutdown();
+        let stolen: u64 = per_shard.iter().map(|s| s.steal_reads).sum();
+        assert!(stolen > 0, "the idle shard must have stolen part of the tail run");
+        assert_eq!(per_shard[0].steal_reads, 0, "the busy victim steals nothing");
+        // Stolen work is accounted where the graph lives: the merged
+        // query counters must match the unsharded engine exactly.
+        let mut total = EngineStats::default();
+        for s in &per_shard {
+            total.merge(s);
+        }
+        assert_eq!(total.queries, plain.stats().queries);
+        assert_eq!(total.cache_hits, plain.stats().cache_hits);
+    }
+
+    #[test]
+    fn shutdown_resolves_pending_steals() {
+        // Close the queues while a steal may be in flight: every ticket
+        // must still resolve with the right answer (the victim lends
+        // during its drain; the thief serves, returns, and exits).
+        let placement =
+            PlacementOptions { steal: true, steal_min: 2, ..PlacementOptions::default() };
+        let mut sharded =
+            ShardedEngine::with_options(2, ShardOptions { placement, ..ShardOptions::default() });
+        let hot = (0..)
+            .map(|i| format!("hot{i}"))
+            .find(|n| default_shard(n, 2) == 0)
+            .expect("some name hashes to shard 0");
+        let mut plain = Engine::new();
+        let mut requests: Vec<Request> =
+            vec![Request::Create { name: hot.clone(), spec: GraphSpec::Cycle { n: 24 } }];
+        requests.push(Request::Query { name: hot.clone(), query: Query::KCut { k: 4 } });
+        for i in 0..100u32 {
+            requests.push(Request::Query {
+                name: hot.clone(),
+                query: Query::StCutWeight { s: i % 24, t: (i + 5) % 24 },
+            });
+        }
+        let expected: Vec<Response> = requests.iter().map(|r| plain.execute(r.clone())).collect();
+        let tickets: Vec<Ticket> = requests.iter().map(|r| sharded.submit(r.clone())).collect();
+        let _ = sharded.shutdown();
+        let got: Vec<Response> = tickets.into_iter().map(|t| t.wait()).collect();
+        assert_eq!(got, expected);
     }
 }

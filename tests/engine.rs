@@ -6,8 +6,8 @@
 
 use ampc_mincut::prelude::*;
 use cut_engine::{
-    ActionMix, Engine, GraphSpec, Mutation, Query, Request, Response, ShardOptions, ShardedEngine,
-    Workload, WorkloadConfig,
+    ActionMix, Engine, GraphSpec, Mutation, PlacementOptions, Query, Request, Response,
+    ShardOptions, ShardedEngine, Workload, WorkloadConfig,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -316,6 +316,76 @@ proptest! {
         prop_assert_eq!(total.cache_hits, reference.stats().cache_hits);
         prop_assert_eq!(total.mutations, reference.stats().mutations);
         prop_assert_eq!(total.index.csr_builds, reference.stats().index.csr_builds);
+    }
+
+    /// Adaptive placement under fire: with an aggressive rebalance window
+    /// (migrations every few submissions) and stealing enabled, the
+    /// pipelined response stream — broadcasts injected — must stay
+    /// element-wise identical to the single-threaded engine for any shard
+    /// count, batching on or off; and the served counters must survive the
+    /// migration/steal accounting (stolen-run deltas merge on the owning
+    /// shard, migration counters balance).
+    #[test]
+    fn rebalanced_stealing_engine_matches_unsharded_on_random_workloads(
+        seed in any::<u64>(),
+        ops in 40usize..120,
+        shards in 1usize..5,
+        batch in any::<bool>(),
+    ) {
+        let cfg = WorkloadConfig {
+            ops,
+            seed,
+            graphs: 6,
+            initial_n: 16,
+            ..WorkloadConfig::default()
+        };
+        let workload = Workload::generate(&cfg);
+        // Inject broadcasts so reclaim barriers and merged partials are
+        // exercised mid-stream, not just at quiet points.
+        let mut requests: Vec<Request> = Vec::new();
+        for (i, r) in workload.all_requests().enumerate() {
+            requests.push(r.clone());
+            if i % 13 == 7 {
+                requests.push(Request::Stats);
+            }
+            if i % 29 == 11 {
+                requests.push(Request::ListGraphs);
+            }
+        }
+
+        let mut reference = Engine::new();
+        let expected: Vec<Response> =
+            requests.iter().map(|r| reference.execute(r.clone())).collect();
+
+        let placement = PlacementOptions {
+            rebalance: true,
+            window: 6,
+            max_moves: 4,
+            steal: true,
+            steal_min: 2,
+            ..PlacementOptions::default()
+        };
+        let mut sharded = ShardedEngine::with_options(
+            shards,
+            ShardOptions { batch, placement, ..ShardOptions::default() },
+        );
+        let tickets: Vec<_> = requests.iter().map(|r| sharded.submit(r.clone())).collect();
+        let got: Vec<Response> = tickets.into_iter().map(|t| t.wait()).collect();
+        prop_assert_eq!(&got, &expected);
+
+        let report = sharded.placement_report();
+        let per_shard = sharded.shutdown();
+        let ins: u64 = per_shard.iter().map(|s| s.migrations_in).sum();
+        let outs: u64 = per_shard.iter().map(|s| s.migrations_out).sum();
+        prop_assert_eq!(ins, report.migrations);
+        prop_assert_eq!(outs, report.migrations);
+        let mut total = cut_engine::EngineStats::default();
+        for s in &per_shard {
+            total.merge(s);
+        }
+        prop_assert_eq!(total.queries, reference.stats().queries);
+        prop_assert_eq!(total.cache_hits, reference.stats().cache_hits);
+        prop_assert_eq!(total.mutations, reference.stats().mutations);
     }
 
     /// Replaying any seeded workload twice produces byte-identical
