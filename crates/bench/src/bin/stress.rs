@@ -1,49 +1,140 @@
 //! Stress driver for the cut-query engine.
 //!
 //! Generates a seeded workload (see `cut_engine::workload`) and replays it
-//! through the engine, reporting throughput, per-action latency
-//! percentiles, and the epoch cache's hit rate. The full operation log
-//! (request + response per op, no timing) is folded into an FNV-1a digest:
-//! two runs with the same `--seed` print the same digest, which is the
-//! determinism check the harness tests rely on.
+//! through the engine, reporting throughput, latency, and the epoch
+//! cache's hit rate. The full operation log (request + response per op, no
+//! timing) is folded into an FNV-1a digest: two runs with the same
+//! workload flags print the same digest, which is the determinism check
+//! the harness tests rely on.
+//!
+//! Two replay modes:
+//!
+//! - **Closed loop** (default): each window of requests is kept full as
+//!   fast as the engine drains it; the report shows ops/sec and, on
+//!   single-threaded runs, per-action service-time percentiles.
+//! - **Open loop** (`--arrival`, `--phases`): the workload carries a
+//!   deterministic arrival schedule; the harness submits each request at
+//!   its timestamp regardless of how the engine is keeping up, and
+//!   reports **latency under load** (completion − scheduled arrival) per
+//!   phase, plus queue-depth-over-time samples. This is the regime where
+//!   bursts and popularity drift actually hurt — and where `--rebalance
+//!   --steal --latency-proxy` earn their keep.
 //!
 //! `--shards 1` (the default) replays through the single-threaded
 //! `Engine::execute` path; `--shards N` pipelines the same stream through
 //! an N-worker `ShardedEngine` (submission-order responses, so the digest
 //! is identical for any shard count) and additionally reports per-shard
-//! occupancy. `--batch` turns on the shard workers' read batching (runs of
-//! queued same-graph queries share one index snapshot; mutations are
-//! barriers); `--rebalance` turns on adaptive placement (load-driven graph
-//! migration between shards, reported in the placement section); `--steal`
-//! lets idle workers steal tail runs of same-graph queries from the
-//! longest queue. None of these change a response, so the digest is
-//! invariant across every flag combination; the report sections show what
-//! each layer absorbed. Comparing the ops/sec lines across flags is the
-//! one-flag benchmark for each feature.
+//! occupancy. `--batch` turns on read batching, `--rebalance` adaptive
+//! placement, `--steal` work stealing, `--latency-proxy` measured serve
+//! times as the rebalancer's load signal. None of these change a
+//! response, so the digest is invariant across every flag combination.
+//!
+//! A workload can be saved and replayed byte-identically: `--trace-out
+//! PATH` writes the timestamped request stream, `--trace-in PATH` replays
+//! it (same requests, same schedule, same digest).
 //!
 //! ```text
 //! cargo run --release -p cut_bench --bin stress -- --ops 10000 --seed 7
 //! cargo run --release -p cut_bench --bin stress -- --ops 10000 --seed 7 --shards 4
-//! cargo run --release -p cut_bench --bin stress -- --ops 10000 --seed 7 --shards 4 --batch
 //! cargo run --release -p cut_bench --bin stress -- --ops 10000 --seed 7 --shards 4 \
-//!     --rebalance --steal
+//!     --phases bursty --arrival poisson:20000 --rebalance --steal --latency-proxy
+//! cargo run --release -p cut_bench --bin stress -- --ops 10000 --trace-out /tmp/run.trace
+//! cargo run --release -p cut_bench --bin stress -- --trace-in /tmp/run.trace --shards 4
 //! ```
 //!
 //! Flags: `--ops N` `--seed S` `--graphs G` `--initial-n N` `--zipf Z`
 //! `--mix default|read-only|write-heavy` `--shards N` `--batch`
-//! `--rebalance` `--rebalance-window N` `--steal` `--cache-entries N`
-//! `--dump-log PATH`. See `docs/SHARDING.md` for tuning guidance.
+//! `--rebalance` `--rebalance-window N` `--steal` `--latency-proxy`
+//! `--arrival closed|steady:R|poisson:R|bursts:B:P|diurnal:L:H`
+//! `--phases single|bursty|diurnal|flash` `--trace-out PATH`
+//! `--trace-in PATH` `--cache-entries N` `--dump-log PATH`. See
+//! `docs/WORKLOADS.md` for the workload model and `docs/SHARDING.md` for
+//! placement tuning.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::TryRecvError;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use cut_engine::{
-    ActionMix, Engine, EngineConfig, EngineStats, PlacementOptions, PlacementReport, Request,
-    Response, ShardOptions, ShardedEngine, Ticket, Workload, WorkloadConfig, BATCH_BUCKET_LABELS,
-    QUERY_KINDS,
+    ActionMix, ArrivalProcess, Engine, EngineConfig, EngineStats, PlacementOptions,
+    PlacementReport, Request, Response, ShardOptions, ShardedEngine, Ticket, Timeline, Workload,
+    WorkloadConfig, BATCH_BUCKET_LABELS, QUERY_KINDS,
 };
 // FNV-1a over the log bytes — stable across runs and platforms.
 use cut_graph::hash::fnv1a;
+
+/// `--arrival` before rates are turned into a concrete process (the
+/// time-varying shapes need the op count to pick sane periods).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ArrivalArg {
+    Closed,
+    Steady(f64),
+    Poisson(f64),
+    /// `bursts:BASE:PEAK`.
+    Bursts(f64, f64),
+    /// `diurnal:LOW:HIGH`.
+    Diurnal(f64, f64),
+}
+
+impl ArrivalArg {
+    fn parse(spec: &str) -> Result<ArrivalArg, String> {
+        let mut parts = spec.split(':');
+        let kind = parts.next().unwrap_or("");
+        let mut rate = |what: &str| -> Result<f64, String> {
+            let tok = parts.next().ok_or(format!("--arrival {kind} needs {what}"))?;
+            let v: f64 = tok.parse().map_err(|_| format!("bad {what} '{tok}'"))?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("{what} must be positive (got {tok})"));
+            }
+            Ok(v)
+        };
+        let arg = match kind {
+            "closed" => ArrivalArg::Closed,
+            "steady" => ArrivalArg::Steady(rate("a rate")?),
+            "poisson" => ArrivalArg::Poisson(rate("a rate")?),
+            "bursts" => ArrivalArg::Bursts(rate("a base rate")?, rate("a peak rate")?),
+            "diurnal" => ArrivalArg::Diurnal(rate("a low rate")?, rate("a high rate")?),
+            other => return Err(format!("unknown arrival process '{other}'")),
+        };
+        if let Some(extra) = parts.next() {
+            return Err(format!("trailing '{extra}' in --arrival {spec}"));
+        }
+        Ok(arg)
+    }
+
+    /// The baseline ops/sec this spec implies (used by `--phases` presets).
+    fn base_rate(&self) -> Option<f64> {
+        match *self {
+            ArrivalArg::Closed => None,
+            ArrivalArg::Steady(r) | ArrivalArg::Poisson(r) => Some(r),
+            ArrivalArg::Bursts(base, _) => Some(base),
+            ArrivalArg::Diurnal(low, high) => Some((low + high) / 2.0),
+        }
+    }
+
+    /// Materialize for a single-phase run of `ops` operations.
+    fn materialize(&self, ops: usize) -> ArrivalProcess {
+        match *self {
+            ArrivalArg::Closed => ArrivalProcess::Closed,
+            ArrivalArg::Steady(rate) => ArrivalProcess::Steady { rate },
+            ArrivalArg::Poisson(rate) => ArrivalProcess::Poisson { rate },
+            ArrivalArg::Bursts(base, peak) => {
+                // ~3 on/off cycles across the run, bursts 1/3 of each.
+                let mean = (2.0 * base + peak) / 3.0;
+                let period = (ops as f64 / mean / 3.0).max(1e-6);
+                ArrivalProcess::Bursts { base, peak, period, burst: period / 3.0 }
+            }
+            ArrivalArg::Diurnal(low, high) => {
+                // Two full day cycles across the run.
+                let mean = (low + high) / 2.0;
+                let period = (ops as f64 / mean / 2.0).max(1e-6);
+                ArrivalProcess::Diurnal { low, high, period }
+            }
+        }
+    }
+}
 
 struct Args {
     ops: usize,
@@ -58,6 +149,11 @@ struct Args {
     rebalance: bool,
     rebalance_window: usize,
     steal: bool,
+    latency_proxy: bool,
+    arrival: ArrivalArg,
+    phases: String,
+    trace_out: Option<String>,
+    trace_in: Option<String>,
     cache_entries: usize,
     dump_log: Option<String>,
 }
@@ -76,6 +172,11 @@ fn parse_args() -> Result<Args, String> {
         rebalance: false,
         rebalance_window: PlacementOptions::default().window,
         steal: false,
+        latency_proxy: false,
+        arrival: ArrivalArg::Closed,
+        phases: "single".to_string(),
+        trace_out: None,
+        trace_in: None,
         cache_entries: EngineConfig::default().max_cache_entries,
         dump_log: None,
     };
@@ -116,6 +217,11 @@ fn parse_args() -> Result<Args, String> {
                     value(&mut i)?.parse().map_err(|e| format!("--rebalance-window: {e}"))?
             }
             "--steal" => args.steal = true,
+            "--latency-proxy" => args.latency_proxy = true,
+            "--arrival" => args.arrival = ArrivalArg::parse(&value(&mut i)?)?,
+            "--phases" => args.phases = value(&mut i)?,
+            "--trace-out" => args.trace_out = Some(value(&mut i)?),
+            "--trace-in" => args.trace_in = Some(value(&mut i)?),
             "--cache-entries" => {
                 args.cache_entries =
                     value(&mut i)?.parse().map_err(|e| format!("--cache-entries: {e}"))?
@@ -125,7 +231,10 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "stress --ops N --seed S [--graphs G] [--initial-n N] [--zipf Z] \
                      [--mix default|read-only|write-heavy] [--shards N] [--batch] \
-                     [--rebalance] [--rebalance-window N] [--steal] [--cache-entries N] \
+                     [--rebalance] [--rebalance-window N] [--steal] [--latency-proxy] \
+                     [--arrival closed|steady:R|poisson:R|bursts:B:P|diurnal:L:H] \
+                     [--phases single|bursty|diurnal|flash] \
+                     [--trace-out PATH] [--trace-in PATH] [--cache-entries N] \
                      [--dump-log PATH]"
                 );
                 std::process::exit(0);
@@ -152,6 +261,17 @@ fn parse_args() -> Result<Args, String> {
     if args.rebalance_window == 0 {
         return Err("--rebalance-window must be at least 1".into());
     }
+    if !matches!(args.phases.as_str(), "single" | "bursty" | "diurnal" | "flash") {
+        return Err(format!(
+            "--phases must be single|bursty|diurnal|flash (got '{}')",
+            args.phases
+        ));
+    }
+    if args.phases != "single" && args.arrival == ArrivalArg::Closed {
+        // Presets are open-loop shapes; give them a sane default pace
+        // rather than erroring (20k ops/sec keeps CI runs short).
+        args.arrival = ArrivalArg::Poisson(20_000.0);
+    }
     Ok(args)
 }
 
@@ -175,15 +295,13 @@ fn fmt_nanos(ns: u64) -> String {
     }
 }
 
-fn main() {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(2);
-        }
-    };
-
+/// Build (or load) the workload the flags describe.
+fn build_workload(args: &Args) -> Result<Workload, String> {
+    if let Some(path) = &args.trace_in {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading trace {path}: {e}"))?;
+        return Workload::from_trace(&text).map_err(|e| format!("parsing trace {path}: {e}"));
+    }
     let cfg = WorkloadConfig {
         ops: args.ops,
         seed: args.seed,
@@ -193,51 +311,117 @@ fn main() {
         mix: args.mix,
         ..WorkloadConfig::default()
     };
+    let rate = args.arrival.base_rate().unwrap_or(20_000.0);
+    let timeline = match args.phases.as_str() {
+        "single" => Timeline::single("main", args.ops, args.arrival.materialize(args.ops)),
+        "bursty" => Timeline::bursty(args.ops, rate, args.mix, args.zipf),
+        "diurnal" => Timeline::diurnal(args.ops, rate, args.mix, args.zipf),
+        "flash" => Timeline::flash(args.ops, rate, args.mix, args.zipf),
+        other => return Err(format!("unknown phases preset '{other}'")),
+    };
+    // `single` + `closed` must stay the legacy closed-loop workload.
+    if args.phases == "single" && args.arrival == ArrivalArg::Closed {
+        return Ok(Workload::generate(&cfg));
+    }
+    Ok(Workload::generate_timeline(&cfg, &timeline))
+}
 
-    println!(
-        "cut-engine stress: ops={} seed={} graphs={} initial-n={} zipf={} mix={} shards={} \
-         batch={} rebalance={} steal={} cache-entries={}",
-        cfg.ops,
-        cfg.seed,
-        cfg.graphs,
-        cfg.initial_n,
-        cfg.zipf_exponent,
-        args.mix_name,
-        args.shards,
-        args.batch,
-        args.rebalance,
-        args.steal,
-        args.cache_entries
-    );
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Under --trace-in the generation flags do not describe the workload
+    // (the trace does) — print only what is actually in effect.
+    if let Some(path) = &args.trace_in {
+        println!(
+            "cut-engine stress: trace={path} shards={} batch={} rebalance={} steal={} \
+             latency-proxy={} cache-entries={}",
+            args.shards,
+            args.batch,
+            args.rebalance,
+            args.steal,
+            args.latency_proxy,
+            args.cache_entries
+        );
+    } else {
+        println!(
+            "cut-engine stress: ops={} seed={} graphs={} initial-n={} zipf={} mix={} shards={} \
+             batch={} rebalance={} steal={} latency-proxy={} arrival={:?} phases={} \
+             cache-entries={}",
+            args.ops,
+            args.seed,
+            args.graphs,
+            args.initial_n,
+            args.zipf,
+            args.mix_name,
+            args.shards,
+            args.batch,
+            args.rebalance,
+            args.steal,
+            args.latency_proxy,
+            args.arrival,
+            args.phases,
+            args.cache_entries
+        );
+    }
 
     let t_gen = Instant::now();
-    let workload = Workload::generate(&cfg);
+    let workload = match build_workload(&args) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     println!(
-        "generated {} requests ({} create + {} ops) in {}",
+        "{} {} requests ({} create + {} ops, {}) in {}",
+        if args.trace_in.is_some() { "loaded" } else { "generated" },
         workload.len(),
         workload.prologue.len(),
         workload.operations.len(),
+        if workload.is_open_loop() { "open-loop" } else { "closed-loop" },
         fmt_nanos(t_gen.elapsed().as_nanos() as u64)
     );
 
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = std::fs::write(path, workload.to_trace()) {
+            eprintln!("error: writing trace {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("workload trace written to {path}");
+    }
+
     let engine_cfg =
         EngineConfig { max_cache_entries: args.cache_entries, ..EngineConfig::default() };
-    let sharded_path = args.shards > 1 || args.batch || args.rebalance || args.steal;
-    let mut report = if !sharded_path {
+    let placement = PlacementOptions {
+        rebalance: args.rebalance,
+        window: args.rebalance_window,
+        steal: args.steal,
+        latency_proxy: args.latency_proxy,
+        ..PlacementOptions::default()
+    };
+    let opts = ShardOptions {
+        cfg: engine_cfg.clone(),
+        batch: args.batch,
+        placement,
+        ..ShardOptions::default()
+    };
+    let sharded_path = args.shards > 1
+        || args.batch
+        || args.rebalance
+        || args.steal
+        || args.latency_proxy
+        || workload.is_open_loop();
+    let mut report = if workload.is_open_loop() {
+        run_open_loop(&workload, args.shards, opts)
+    } else if !sharded_path {
         run_single(&workload, engine_cfg)
     } else {
-        let placement = PlacementOptions {
-            rebalance: args.rebalance,
-            window: args.rebalance_window,
-            steal: args.steal,
-            ..PlacementOptions::default()
-        };
-        let opts = ShardOptions {
-            cfg: engine_cfg,
-            batch: args.batch,
-            placement,
-            ..ShardOptions::default()
-        };
         run_sharded(&workload, args.shards, opts)
     };
 
@@ -283,14 +467,66 @@ fn main() {
         }
     }
 
+    if let Some(open) = &mut report.open {
+        println!();
+        println!("open-loop latency under load (completion − scheduled arrival):");
+        println!(
+            "{:<12} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
+            "phase", "ops", "p50", "p95", "p99", "max", "q-mean", "q-max"
+        );
+        let mut all: Vec<u64> = Vec::new();
+        for phase in &mut open.phases {
+            phase.lat.sort_unstable();
+            all.extend_from_slice(&phase.lat);
+            let q_mean = if phase.depth_samples == 0 {
+                0.0
+            } else {
+                phase.depth_sum as f64 / phase.depth_samples as f64
+            };
+            println!(
+                "{:<12} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9.1} {:>8}",
+                phase.name,
+                phase.lat.len(),
+                fmt_nanos(percentile(&phase.lat, 50.0)),
+                fmt_nanos(percentile(&phase.lat, 95.0)),
+                fmt_nanos(percentile(&phase.lat, 99.0)),
+                fmt_nanos(phase.lat.last().copied().unwrap_or(0)),
+                q_mean,
+                phase.depth_max,
+            );
+        }
+        all.sort_unstable();
+        println!(
+            "{:<12} {:>8} {:>9} {:>9} {:>9} {:>9}",
+            "overall",
+            all.len(),
+            fmt_nanos(percentile(&all, 50.0)),
+            fmt_nanos(percentile(&all, 95.0)),
+            fmt_nanos(percentile(&all, 99.0)),
+            fmt_nanos(all.last().copied().unwrap_or(0)),
+        );
+        println!(
+            "schedule horizon {} (offered {:.0} ops/sec); replay wall {}",
+            fmt_nanos(open.horizon_nanos),
+            if open.horizon_nanos == 0 {
+                0.0
+            } else {
+                all.len() as f64 / (open.horizon_nanos as f64 / 1e9)
+            },
+            fmt_nanos(report.wall.as_nanos() as u64),
+        );
+    }
+
     if let Some(occupancy) = &report.occupancy {
         let routed_total: u64 = occupancy.iter().map(|(r, _)| *r).sum::<u64>().max(1);
+        let busy_total: u64 = occupancy.iter().map(|(_, s)| s.serve_nanos).sum::<u64>().max(1);
         println!();
         println!(
-            "{:<8} {:>8} {:>7} {:>7} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7}",
+            "{:<8} {:>8} {:>7} {:>7} {:>7} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7}",
             "shard",
             "routed",
             "share",
+            "busy",
             "graphs",
             "queries",
             "mutations",
@@ -305,10 +541,11 @@ fn main() {
             let owned = (s.graphs_created + s.migrations_in) as i64
                 - (s.graphs_dropped + s.migrations_out) as i64;
             println!(
-                "{:<8} {:>8} {:>6.1}% {:>7} {:>9} {:>9} {:>8.1}% {:>7} {:>7} {:>7}",
+                "{:<8} {:>8} {:>6.1}% {:>6.1}% {:>7} {:>9} {:>9} {:>8.1}% {:>7} {:>7} {:>7}",
                 shard,
                 routed,
                 *routed as f64 / routed_total as f64 * 100.0,
+                s.serve_nanos as f64 / busy_total as f64 * 100.0,
                 owned,
                 s.queries,
                 s.mutations,
@@ -321,15 +558,23 @@ fn main() {
         let max_share = occupancy.iter().map(|(r, _)| *r).max().unwrap_or(0) as f64
             / routed_total as f64
             * 100.0;
-        println!("max shard occupancy: {max_share:.1}% of routed requests");
+        let max_busy = occupancy.iter().map(|(_, s)| s.serve_nanos).max().unwrap_or(0) as f64
+            / busy_total as f64
+            * 100.0;
+        println!(
+            "max shard occupancy: {max_share:.1}% of routed requests, {max_busy:.1}% of busy time"
+        );
     }
 
     if let Some(placement) = &report.placement {
         let stats = &report.stats;
         println!();
         println!(
-            "placement: {} rebalances, {} migrations (generation {})",
-            placement.rebalances, placement.migrations, placement.generation
+            "placement: {} rebalances, {} migrations (generation {}){}",
+            placement.rebalances,
+            placement.migrations,
+            placement.generation,
+            if args.latency_proxy { "  [latency proxy]" } else { "" }
         );
         if stats.steal_batches > 0 {
             println!(
@@ -418,6 +663,24 @@ fn print_index_efficiency(stats: &EngineStats, batch: bool) {
     }
 }
 
+/// Per-phase open-loop measurements.
+struct PhaseLatency {
+    name: String,
+    /// Completion − scheduled arrival, nanos, one per operation.
+    lat: Vec<u64>,
+    /// Queue-depth samples (in-flight count at each submission).
+    depth_sum: u64,
+    depth_max: u64,
+    depth_samples: u64,
+}
+
+/// What the open-loop replay measured on top of the common report.
+struct OpenLoopReport {
+    phases: Vec<PhaseLatency>,
+    /// Last scheduled arrival (the offered-load horizon).
+    horizon_nanos: u64,
+}
+
 /// What a replay produced, whichever execution front ran it.
 struct RunReport {
     /// The deterministic `index request -> response` log.
@@ -426,13 +689,15 @@ struct RunReport {
     wall: std::time::Duration,
     /// Engine counters (summed across shards on the sharded path).
     stats: cut_engine::EngineStats,
-    /// Per-action latency samples — single-shard path only (per-op timing
-    /// is meaningless when ops overlap).
+    /// Per-action latency samples — single-shard closed-loop path only
+    /// (per-op service timing is meaningless when ops overlap).
     latencies: Option<BTreeMap<&'static str, Vec<u64>>>,
     /// `(requests routed, final per-shard stats)` — sharded path only.
     occupancy: Option<Vec<(u64, cut_engine::EngineStats)>>,
     /// Adaptive-placement summary — sharded path only.
     placement: Option<PlacementReport>,
+    /// Latency-under-load measurements — open-loop path only.
+    open: Option<OpenLoopReport>,
 }
 
 /// Replay through the single-threaded `Engine::execute` path, timing each
@@ -467,6 +732,7 @@ fn run_single(workload: &Workload, cfg: EngineConfig) -> RunReport {
         latencies: Some(latencies),
         occupancy: None,
         placement: None,
+        open: None,
     }
 }
 
@@ -526,5 +792,154 @@ fn run_sharded(workload: &Workload, shards: usize, opts: ShardOptions) -> RunRep
         latencies: None,
         occupancy: Some(routed.into_iter().zip(per_shard).collect()),
         placement: adaptive.then_some(placement),
+        open: None,
+    }
+}
+
+/// Replay an open-loop workload: submit each operation at its scheduled
+/// arrival regardless of engine backlog, and measure latency under load
+/// (completion − scheduled arrival) per phase.
+///
+/// Always drives the sharded front-end (its response stream is
+/// byte-identical to the plain engine at any shard count, so the digest is
+/// comparable across every execution shape). A collector thread polls
+/// in-flight tickets with [`Ticket::try_wait`] so completions are stamped
+/// when they happen, not when an earlier slow request finally resolves.
+fn run_open_loop(workload: &Workload, shards: usize, opts: ShardOptions) -> RunReport {
+    assert!(workload.is_open_loop(), "open-loop replay needs an arrival schedule");
+    let adaptive = opts.placement.rebalance || opts.placement.steal;
+    let mut engine = ShardedEngine::with_options(shards, opts);
+    let mut log = String::with_capacity(workload.len() * 64);
+    let mut errors = 0usize;
+
+    let t_run = Instant::now();
+    // Prologue: closed-loop, untimed — registering the graph population is
+    // setup, not offered load.
+    for (i, request) in workload.prologue.iter().enumerate() {
+        let response = engine.execute(request.clone());
+        if matches!(response, Response::Error { .. }) {
+            errors += 1;
+        }
+        log.push_str(&format!("{i:06} {request} -> {response}\n"));
+    }
+
+    // Collector: polls outstanding tickets, stamping each completion as it
+    // lands; results come back keyed by operation index.
+    let completed = Arc::new(AtomicU64::new(0));
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, u64, Ticket)>();
+    let t0 = Instant::now();
+    let collector = {
+        let completed = Arc::clone(&completed);
+        std::thread::spawn(move || {
+            let mut outstanding: VecDeque<(usize, u64, Ticket)> = VecDeque::new();
+            let mut done: Vec<(usize, u64, Response)> = Vec::new();
+            let mut closed = false;
+            loop {
+                loop {
+                    match rx.try_recv() {
+                        Ok(item) => outstanding.push_back(item),
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => {
+                            closed = true;
+                            break;
+                        }
+                    }
+                }
+                let mut progressed = false;
+                let mut i = 0;
+                while i < outstanding.len() {
+                    if let Some(response) = outstanding[i].2.try_wait() {
+                        let now = t0.elapsed().as_nanos() as u64;
+                        let (op, sched, _) = outstanding.remove(i).expect("index in range");
+                        done.push((op, now.saturating_sub(sched), response));
+                        completed.fetch_add(1, Ordering::Relaxed);
+                        progressed = true;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if closed && outstanding.is_empty() {
+                    return done;
+                }
+                if !progressed {
+                    std::thread::sleep(Duration::from_micros(20));
+                }
+            }
+        })
+    };
+
+    // Pace the submissions against the schedule.
+    let mut phases: Vec<PhaseLatency> = workload
+        .phases
+        .iter()
+        .map(|(name, ops)| PhaseLatency {
+            name: name.clone(),
+            lat: Vec::with_capacity(*ops),
+            depth_sum: 0,
+            depth_max: 0,
+            depth_samples: 0,
+        })
+        .collect();
+    for (op, request) in workload.operations.iter().enumerate() {
+        let sched = workload.arrivals[op];
+        loop {
+            let now = t0.elapsed().as_nanos() as u64;
+            if now >= sched {
+                break;
+            }
+            let wait = sched - now;
+            if wait > 100_000 {
+                std::thread::sleep(Duration::from_nanos(wait - 50_000));
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        let ticket = engine.submit(request.clone());
+        tx.send((op, sched, ticket)).expect("collector alive until sender drops");
+        let depth = (op as u64 + 1).saturating_sub(completed.load(Ordering::Relaxed));
+        if let Some(p) = workload.phase_of(op) {
+            phases[p].depth_sum += depth;
+            phases[p].depth_max = phases[p].depth_max.max(depth);
+            phases[p].depth_samples += 1;
+        }
+    }
+    drop(tx);
+    let mut done = collector.join().expect("collector thread panicked");
+    let wall = t_run.elapsed();
+
+    // Assemble the log in submission order and bucket latencies per phase.
+    done.sort_unstable_by_key(|(op, _, _)| *op);
+    let base = workload.prologue.len();
+    for (op, latency, response) in done {
+        if matches!(response, Response::Error { .. }) {
+            errors += 1;
+        }
+        let request = &workload.operations[op];
+        log.push_str(&format!("{:06} {request} -> {response}\n", base + op));
+        if let Some(p) = workload.phase_of(op) {
+            phases[p].lat.push(latency);
+        }
+    }
+
+    let routed = engine.routed().to_vec();
+    let placement = engine.placement_report();
+    let per_shard = engine.shutdown();
+    let mut stats = cut_engine::EngineStats::default();
+    for s in &per_shard {
+        stats.merge(s);
+    }
+
+    RunReport {
+        log,
+        errors,
+        wall,
+        stats,
+        latencies: None,
+        occupancy: Some(routed.into_iter().zip(per_shard).collect()),
+        placement: adaptive.then_some(placement),
+        open: Some(OpenLoopReport {
+            phases,
+            horizon_nanos: workload.arrivals.last().copied().unwrap_or(0),
+        }),
     }
 }

@@ -126,6 +126,12 @@ pub struct EngineStats {
     pub steal_batches: u64,
     /// Queries inside those stolen runs (thief-side).
     pub steal_reads: u64,
+    /// Nanoseconds spent actually serving requests. Filled by the sharded
+    /// front-end's workers (the plain engine does not time itself), and
+    /// attributed to the worker that did the work — stolen runs count on
+    /// the *thief*, unlike the logical query counters. Per-shard values
+    /// give the busy-time occupancy the stress report prints.
+    pub serve_nanos: u64,
 }
 
 impl EngineStats {
@@ -159,6 +165,7 @@ impl EngineStats {
             migrations_out,
             steal_batches,
             steal_reads,
+            serve_nanos,
         } = *other;
         self.queries += queries;
         self.cache_hits += cache_hits;
@@ -182,6 +189,7 @@ impl EngineStats {
         self.migrations_out += migrations_out;
         self.steal_batches += steal_batches;
         self.steal_reads += steal_reads;
+        self.serve_nanos += serve_nanos;
     }
 }
 

@@ -35,11 +35,18 @@
 //! query cache. [`EngineStats`] reports how much work the layer absorbed
 //! (builds avoided, DSU fast-path hits, evictions, batch sizes).
 //!
-//! The [`workload`] module generates seeded, replayable request streams
-//! (weighted action mix + Zipf graph-popularity skew); the `cut_bench`
+//! The [`workload`] module generates seeded, replayable request streams:
+//! closed-loop (weighted action mix + Zipf graph-popularity skew) or
+//! **trace-shaped** — a [`Timeline`] of phases with their own arrival
+//! processes (steady / Poisson bursts / diurnal), mixes, and popularity
+//! drift (hot-set rotation, flash crowds), emitting deterministic
+//! arrival timestamps, and serializing losslessly to a replayable trace
+//! ([`Workload::to_trace`]/[`Workload::from_trace`]). The `cut_bench`
 //! crate's `stress` binary replays them through either front
-//! (`--shards N`) and reports throughput, per-action latency percentiles,
-//! per-shard occupancy, and cache hit rate.
+//! (`--shards N`), closed-loop or open-loop (`--arrival`/`--phases`),
+//! and reports throughput, latency (per-action service times, or
+//! per-phase latency-under-load), per-shard occupancy, and cache hit
+//! rate. `docs/WORKLOADS.md` is the model reference.
 //!
 //! ```
 //! use cut_engine::{Engine, GraphSpec, Mutation, Query, Request, Response};
@@ -87,4 +94,6 @@ pub use engine::BATCH_BUCKET_LABELS;
 pub use engine::{batch_bucket, Engine, EngineConfig, EngineStats, GraphExport, BATCH_BUCKETS};
 pub use request::{GraphSpec, Mutation, Query, Request, Response, QUERY_KINDS};
 pub use shard::{PlacementOptions, PlacementReport, ShardOptions, ShardedEngine, Ticket};
-pub use workload::{ActionMix, Workload, WorkloadConfig};
+pub use workload::{
+    ActionMix, ArrivalProcess, Phase, PopularityDrift, Timeline, Workload, WorkloadConfig,
+};

@@ -305,6 +305,139 @@ impl fmt::Display for Query {
     }
 }
 
+/// Percent-encode the characters that would break the whitespace-delimited
+/// trace format: `%` itself, spaces, tabs, newlines. Graph names the
+/// workload generator emits (`g000`, …) pass through unchanged. The empty
+/// name gets the sentinel `%-` (which no non-empty name can encode to,
+/// since a literal `%` always escapes to `%25`).
+pub(crate) fn encode_name(name: &str) -> String {
+    if name.is_empty() {
+        return "%-".to_string();
+    }
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            ' ' => out.push_str("%20"),
+            '\t' => out.push_str("%09"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Invert [`encode_name`].
+pub(crate) fn decode_name(token: &str) -> Result<String, String> {
+    if token == "%-" {
+        return Ok(String::new());
+    }
+    let mut out = String::with_capacity(token.len());
+    let mut chars = token.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let hi = chars.next().ok_or("truncated %-escape in name")?;
+        let lo = chars.next().ok_or("truncated %-escape in name")?;
+        let byte = u8::from_str_radix(&format!("{hi}{lo}"), 16)
+            .map_err(|_| format!("bad %-escape '%{hi}{lo}' in name"))?;
+        out.push(byte as char);
+    }
+    Ok(out)
+}
+
+/// Pull the next whitespace token, or error with context.
+fn next_tok<'a>(tokens: &mut impl Iterator<Item = &'a str>, what: &str) -> Result<&'a str, String> {
+    tokens.next().ok_or_else(|| format!("trace line ended early: expected {what}"))
+}
+
+/// Parse the next token as an integer/float, or error with context.
+fn parse_tok<'a, T: std::str::FromStr>(
+    tokens: &mut impl Iterator<Item = &'a str>,
+    what: &str,
+) -> Result<T, String> {
+    let tok = next_tok(tokens, what)?;
+    tok.parse().map_err(|_| format!("bad {what} '{tok}' in trace line"))
+}
+
+impl GraphSpec {
+    /// Serialize to the trace token form (see [`Request::to_trace_line`]).
+    fn to_trace_tokens(&self) -> String {
+        match self {
+            GraphSpec::Edges { n, edges } => {
+                let mut s = format!("edges {n} {}", edges.len());
+                for &(u, v, w) in edges {
+                    s.push_str(&format!(" {u}:{v}:{w}"));
+                }
+                s
+            }
+            GraphSpec::Gnm { n, m, w_min, w_max, seed } => {
+                format!("gnm {n} {m} {w_min} {w_max} {seed}")
+            }
+            GraphSpec::ConnectedGnm { n, m, w_min, w_max, seed } => {
+                format!("cgnm {n} {m} {w_min} {w_max} {seed}")
+            }
+            GraphSpec::PlantedCut { half, internal_m, cross, seed } => {
+                format!("planted {half} {internal_m} {cross} {seed}")
+            }
+            GraphSpec::Cycle { n } => format!("cycle {n}"),
+            GraphSpec::RandomTree { n, seed } => format!("tree {n} {seed}"),
+        }
+    }
+
+    /// Parse the token form produced by [`GraphSpec::to_trace_tokens`].
+    fn from_trace_tokens<'a>(tokens: &mut impl Iterator<Item = &'a str>) -> Result<Self, String> {
+        match next_tok(tokens, "graph spec kind")? {
+            "edges" => {
+                let n = parse_tok(tokens, "edges n")?;
+                let m: usize = parse_tok(tokens, "edges m")?;
+                let mut edges = Vec::with_capacity(m);
+                for _ in 0..m {
+                    let triple = next_tok(tokens, "u:v:w edge triple")?;
+                    let mut parts = triple.split(':');
+                    let mut field = |what: &str| -> Result<&str, String> {
+                        parts.next().ok_or_else(|| format!("bad edge triple '{triple}': {what}"))
+                    };
+                    let u = field("u")?.parse().map_err(|_| format!("bad u in '{triple}'"))?;
+                    let v = field("v")?.parse().map_err(|_| format!("bad v in '{triple}'"))?;
+                    let w = field("w")?.parse().map_err(|_| format!("bad w in '{triple}'"))?;
+                    edges.push((u, v, w));
+                }
+                Ok(GraphSpec::Edges { n, edges })
+            }
+            "gnm" => Ok(GraphSpec::Gnm {
+                n: parse_tok(tokens, "gnm n")?,
+                m: parse_tok(tokens, "gnm m")?,
+                w_min: parse_tok(tokens, "gnm w_min")?,
+                w_max: parse_tok(tokens, "gnm w_max")?,
+                seed: parse_tok(tokens, "gnm seed")?,
+            }),
+            "cgnm" => Ok(GraphSpec::ConnectedGnm {
+                n: parse_tok(tokens, "cgnm n")?,
+                m: parse_tok(tokens, "cgnm m")?,
+                w_min: parse_tok(tokens, "cgnm w_min")?,
+                w_max: parse_tok(tokens, "cgnm w_max")?,
+                seed: parse_tok(tokens, "cgnm seed")?,
+            }),
+            "planted" => Ok(GraphSpec::PlantedCut {
+                half: parse_tok(tokens, "planted half")?,
+                internal_m: parse_tok(tokens, "planted internal_m")?,
+                cross: parse_tok(tokens, "planted cross")?,
+                seed: parse_tok(tokens, "planted seed")?,
+            }),
+            "cycle" => Ok(GraphSpec::Cycle { n: parse_tok(tokens, "cycle n")? }),
+            "tree" => Ok(GraphSpec::RandomTree {
+                n: parse_tok(tokens, "tree n")?,
+                seed: parse_tok(tokens, "tree seed")?,
+            }),
+            other => Err(format!("unknown graph spec kind '{other}'")),
+        }
+    }
+}
+
 /// One operation against the engine.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -353,6 +486,120 @@ impl Request {
             Request::ListGraphs => "list",
             Request::Stats => "stats",
         }
+    }
+
+    /// Serialize to one line of the workload trace format — a lossless,
+    /// whitespace-delimited encoding (unlike [`std::fmt::Display`], which
+    /// abbreviates graph specs for log compactness). Graph names are
+    /// percent-encoded, so any name round-trips.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cut_engine::{Query, Request};
+    ///
+    /// let req = Request::Query { name: "g000".into(), query: Query::StCutWeight { s: 2, t: 9 } };
+    /// let line = req.to_trace_line();
+    /// assert_eq!(line, "stcut g000 2 9");
+    /// assert_eq!(Request::from_trace_line(&line), Ok(req));
+    /// ```
+    pub fn to_trace_line(&self) -> String {
+        match self {
+            Request::Create { name, spec } => {
+                format!("create {} {}", encode_name(name), spec.to_trace_tokens())
+            }
+            Request::Drop { name } => format!("drop {}", encode_name(name)),
+            Request::Mutate { name, op } => {
+                let name = encode_name(name);
+                match op {
+                    Mutation::InsertEdge { u, v, w } => format!("insert {name} {u} {v} {w}"),
+                    Mutation::DeleteEdge { u, v } => format!("delete {name} {u} {v}"),
+                    Mutation::ContractVertices { u, v } => format!("contract {name} {u} {v}"),
+                }
+            }
+            Request::Query { name, query } => {
+                let name = encode_name(name);
+                match query {
+                    Query::ApproxMinCut { seed } => format!("approx {name} {seed}"),
+                    Query::ExactMinCut => format!("exact {name}"),
+                    Query::SingletonCut { seed } => format!("singleton {name} {seed}"),
+                    Query::KCut { k } => format!("kcut {name} {k}"),
+                    Query::Connectivity => format!("conn {name}"),
+                    Query::StCutWeight { s, t } => format!("stcut {name} {s} {t}"),
+                }
+            }
+            Request::ListGraphs => "list".to_string(),
+            Request::Stats => "stats".to_string(),
+        }
+    }
+
+    /// Parse one line produced by [`Request::to_trace_line`]. Inverse of
+    /// serialization: `from_trace_line(&r.to_trace_line()) == Ok(r)` for
+    /// every request.
+    pub fn from_trace_line(line: &str) -> Result<Request, String> {
+        let mut tokens = line.split_whitespace();
+        let kind = next_tok(&mut tokens, "request kind")?;
+        let name = |tokens: &mut std::str::SplitWhitespace| -> Result<String, String> {
+            decode_name(next_tok(tokens, "graph name")?)
+        };
+        let request = match kind {
+            "create" => {
+                let name = name(&mut tokens)?;
+                let spec = GraphSpec::from_trace_tokens(&mut tokens)?;
+                Request::Create { name, spec }
+            }
+            "drop" => Request::Drop { name: name(&mut tokens)? },
+            "insert" => Request::Mutate {
+                name: name(&mut tokens)?,
+                op: Mutation::InsertEdge {
+                    u: parse_tok(&mut tokens, "insert u")?,
+                    v: parse_tok(&mut tokens, "insert v")?,
+                    w: parse_tok(&mut tokens, "insert w")?,
+                },
+            },
+            "delete" => Request::Mutate {
+                name: name(&mut tokens)?,
+                op: Mutation::DeleteEdge {
+                    u: parse_tok(&mut tokens, "delete u")?,
+                    v: parse_tok(&mut tokens, "delete v")?,
+                },
+            },
+            "contract" => Request::Mutate {
+                name: name(&mut tokens)?,
+                op: Mutation::ContractVertices {
+                    u: parse_tok(&mut tokens, "contract u")?,
+                    v: parse_tok(&mut tokens, "contract v")?,
+                },
+            },
+            "approx" => Request::Query {
+                name: name(&mut tokens)?,
+                query: Query::ApproxMinCut { seed: parse_tok(&mut tokens, "approx seed")? },
+            },
+            "exact" => Request::Query { name: name(&mut tokens)?, query: Query::ExactMinCut },
+            "singleton" => Request::Query {
+                name: name(&mut tokens)?,
+                query: Query::SingletonCut { seed: parse_tok(&mut tokens, "singleton seed")? },
+            },
+            "kcut" => Request::Query {
+                name: name(&mut tokens)?,
+                query: Query::KCut { k: parse_tok(&mut tokens, "kcut k")? },
+            },
+            "conn" => Request::Query { name: name(&mut tokens)?, query: Query::Connectivity },
+            "stcut" => Request::Query {
+                name: name(&mut tokens)?,
+                query: Query::StCutWeight {
+                    s: parse_tok(&mut tokens, "stcut s")?,
+                    t: parse_tok(&mut tokens, "stcut t")?,
+                },
+            },
+            "list" => Request::ListGraphs,
+            "stats" => Request::Stats,
+            other => return Err(format!("unknown request kind '{other}'")),
+        };
+        if let Some(extra) = tokens.next() {
+            return Err(format!("trailing token '{extra}' after {kind} request"));
+        }
+        Ok(request)
     }
 
     /// Relative serve-cost weight of this request (see
@@ -560,6 +807,72 @@ mod tests {
             Query::StCutWeight { s: 0, t: 1 },
         ] {
             assert!(q.cost_weight() > 0, "{q} must cost something");
+        }
+    }
+
+    #[test]
+    fn trace_lines_round_trip_every_request_shape() {
+        let requests = vec![
+            Request::Create {
+                name: "g".into(),
+                spec: GraphSpec::Edges { n: 4, edges: vec![(0, 1, 9), (2, 3, 1)] },
+            },
+            Request::Create { name: "g".into(), spec: GraphSpec::Edges { n: 2, edges: vec![] } },
+            Request::Create {
+                name: "g".into(),
+                spec: GraphSpec::Gnm { n: 10, m: 20, w_min: 1, w_max: 5, seed: 42 },
+            },
+            Request::Create {
+                name: "g".into(),
+                spec: GraphSpec::ConnectedGnm { n: 10, m: 20, w_min: 2, w_max: 7, seed: u64::MAX },
+            },
+            Request::Create {
+                name: "g".into(),
+                spec: GraphSpec::PlantedCut { half: 8, internal_m: 30, cross: 3, seed: 7 },
+            },
+            Request::Create { name: "g".into(), spec: GraphSpec::Cycle { n: 9 } },
+            Request::Create { name: "g".into(), spec: GraphSpec::RandomTree { n: 12, seed: 3 } },
+            Request::Drop { name: "g".into() },
+            Request::Mutate { name: "g".into(), op: Mutation::InsertEdge { u: 0, v: 7, w: 16 } },
+            Request::Mutate { name: "g".into(), op: Mutation::DeleteEdge { u: 3, v: 1 } },
+            Request::Mutate { name: "g".into(), op: Mutation::ContractVertices { u: 2, v: 5 } },
+            Request::Query { name: "g".into(), query: Query::ApproxMinCut { seed: 11 } },
+            Request::Query { name: "g".into(), query: Query::ExactMinCut },
+            Request::Query { name: "g".into(), query: Query::SingletonCut { seed: 0 } },
+            Request::Query { name: "g".into(), query: Query::KCut { k: 3 } },
+            Request::Query { name: "g".into(), query: Query::Connectivity },
+            Request::Query { name: "g".into(), query: Query::StCutWeight { s: 1, t: 8 } },
+            Request::ListGraphs,
+            Request::Stats,
+        ];
+        for req in requests {
+            let line = req.to_trace_line();
+            assert_eq!(Request::from_trace_line(&line), Ok(req.clone()), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn trace_names_escape_whitespace_and_percent() {
+        for name in ["plain", "two words", "tab\there", "line\nbreak", "100%", "%20", "", "%-"] {
+            let req = Request::Drop { name: name.to_string() };
+            let line = req.to_trace_line();
+            assert!(!line.trim_end().contains('\n'), "encoded line must stay one line: {line:?}");
+            assert_eq!(Request::from_trace_line(&line), Ok(req), "name: {name:?}");
+        }
+    }
+
+    #[test]
+    fn from_trace_line_rejects_malformed_input() {
+        for bad in [
+            "",
+            "warp g",
+            "insert g 0 1",     // missing weight
+            "insert g 0 1 2 3", // trailing token
+            "kcut g notanumber",
+            "create g gnm 1 2 3",    // truncated spec
+            "create g blob 1 2 3 4", // unknown spec kind
+        ] {
+            assert!(Request::from_trace_line(bad).is_err(), "should reject {bad:?}");
         }
     }
 }

@@ -159,6 +159,21 @@ pub struct PlacementOptions {
     /// Smallest tail run worth stealing (and the smallest victim queue
     /// considered). Raising it avoids churn on short queues.
     pub steal_min: usize,
+    /// Feed **measured serve times** back into placement: workers post
+    /// the nanoseconds each request actually took (keyed by graph) to a
+    /// shared board, and at every window boundary the router re-derives
+    /// each graph's mean observed cost and estimates its *compute
+    /// pressure* (window request count × mean). Rebalancing then also
+    /// rotates a graph whose measured compute exceeds one shard's fair
+    /// share of busy time — a pressure the static
+    /// [`Request::cost_weight`] table cannot see (it prices request
+    /// kinds, not graph size, density, or cache-hit rate). The
+    /// queue-pressure accounting and satellite shedding are unchanged,
+    /// so count balance is not traded away. The migration *schedule*
+    /// becomes timing-dependent, but responses and the log digest stay
+    /// byte-identical, because migrations never change a response. No
+    /// effect unless [`PlacementOptions::rebalance`] is on.
+    pub latency_proxy: bool,
 }
 
 impl Default for PlacementOptions {
@@ -170,6 +185,7 @@ impl Default for PlacementOptions {
             imbalance: 1.25,
             steal: false,
             steal_min: 3,
+            latency_proxy: false,
         }
     }
 }
@@ -251,6 +267,14 @@ struct ReturnPkg {
     delta: EngineStats,
 }
 
+/// The latency-proxy feedback: cumulative `(serve nanos, requests served)`
+/// per graph, posted by workers (and thieves), read by the router once per
+/// rebalance window to re-derive each graph's mean observed serve time —
+/// the signal no static table can provide (graph size and density, cache
+/// hit rates, drifting mixes all fold into it). Writes are one short lock
+/// per served request (or per batch).
+type LoadBoard = Mutex<BTreeMap<String, (u64, u64)>>;
+
 /// One shard's shared job queue. Workers pop from the front; the router
 /// pushes to the back; thieves inspect it and may remove a tail run (and
 /// front-insert a handoff) under the same lock.
@@ -292,8 +316,9 @@ pub struct Ticket {
 enum TicketInner {
     /// One shard answers.
     Single(Receiver<Response>),
-    /// Every shard answers; the partials merge into one response.
-    Merge { kind: MergeKind, parts: Vec<Receiver<Response>> },
+    /// Every shard answers; the partials merge into one response. `got`
+    /// buffers the partials [`Ticket::try_wait`] has already collected.
+    Merge { kind: MergeKind, parts: Vec<Receiver<Response>>, got: Vec<Option<Response>> },
 }
 
 impl Ticket {
@@ -304,15 +329,49 @@ impl Ticket {
     pub fn wait(self) -> Response {
         match self.inner {
             TicketInner::Single(rx) => rx.recv().unwrap_or_else(|_| worker_lost()),
-            TicketInner::Merge { kind, parts } => {
+            TicketInner::Merge { kind, parts, got } => {
                 let mut partials = Vec::with_capacity(parts.len());
-                for rx in parts {
-                    match rx.recv() {
-                        Ok(r) => partials.push(r),
-                        Err(_) => return worker_lost(),
+                for (rx, buffered) in parts.iter().zip(got) {
+                    match buffered {
+                        Some(r) => partials.push(r),
+                        None => match rx.recv() {
+                            Ok(r) => partials.push(r),
+                            Err(_) => return worker_lost(),
+                        },
                     }
                 }
                 merge_partials(kind, partials)
+            }
+        }
+    }
+
+    /// Non-blocking poll: `Some(response)` once every owing shard has
+    /// answered, `None` while any is still working. The open-loop stress
+    /// harness uses this to stamp per-request completion times without
+    /// head-of-line blocking on slower earlier tickets.
+    ///
+    /// Once this returns `Some`, the ticket is spent — drop it (further
+    /// calls report a disconnected-worker error).
+    pub fn try_wait(&mut self) -> Option<Response> {
+        match &mut self.inner {
+            TicketInner::Single(rx) => match rx.try_recv() {
+                Ok(r) => Some(r),
+                Err(TryRecvError::Empty) => None,
+                Err(TryRecvError::Disconnected) => Some(worker_lost()),
+            },
+            TicketInner::Merge { kind, parts, got } => {
+                for (rx, slot) in parts.iter().zip(got.iter_mut()) {
+                    if slot.is_some() {
+                        continue;
+                    }
+                    match rx.try_recv() {
+                        Ok(r) => *slot = Some(r),
+                        Err(TryRecvError::Empty) => return None,
+                        Err(TryRecvError::Disconnected) => return Some(worker_lost()),
+                    }
+                }
+                let partials = got.iter_mut().map(|s| s.take().expect("all arrived")).collect();
+                Some(merge_partials(*kind, partials))
             }
         }
     }
@@ -419,8 +478,23 @@ pub struct ShardedEngine {
     /// created on first routing (default = stable FNV shard) and moved
     /// only by [`rebalance`](Self::rebalance) migrations.
     table: BTreeMap<String, usize>,
-    /// Per-graph window load (serve-time proxy), decayed each rebalance.
+    /// Per-graph window load in the static cost-weight currency, decayed
+    /// each rebalance — the queue-pressure signal (drives hot-graph
+    /// rotation, and satellite shedding when no better signal exists).
     loads: BTreeMap<String, u64>,
+    /// Per-graph window *request counts*, decayed alongside `loads`
+    /// (`latency_proxy` mode only): multiplied by each graph's measured
+    /// mean serve time they give the compute-pressure signal shedding
+    /// uses.
+    counts: BTreeMap<String, u64>,
+    /// Cumulative per-graph measured serve times, posted by workers
+    /// (`latency_proxy` mode only).
+    board: Arc<LoadBoard>,
+    /// Mean observed nanoseconds per request of each graph, re-derived
+    /// from the board at every rebalance. Captures per-graph cost (size,
+    /// density, hit rate) the static table cannot see; the compute-
+    /// pressure currency shedding uses under the latency proxy.
+    graph_mean: BTreeMap<String, u64>,
     since_rebalance: usize,
     migrations: u64,
     rebalances: u64,
@@ -460,12 +534,17 @@ impl ShardedEngine {
         let queues: Arc<Vec<ShardQueue>> =
             Arc::new((0..shards).map(|_| ShardQueue::default()).collect());
         let placement = opts.placement;
+        let board: Arc<LoadBoard> = Arc::new(Mutex::new(BTreeMap::new()));
         let mut workers = Vec::with_capacity(shards);
         for shard in 0..shards {
             let worker = Worker {
                 id: shard,
                 queues: Arc::clone(&queues),
                 engine: Engine::with_config(opts.cfg.clone()),
+                // Observed serve times only matter where a rebalancer
+                // will read them; otherwise skip the per-request lock.
+                observe: placement.rebalance && placement.latency_proxy,
+                board: Arc::clone(&board),
                 opts: opts.clone(),
                 lent: BTreeMap::new(),
                 pending: None,
@@ -483,6 +562,9 @@ impl ShardedEngine {
             placement,
             table: BTreeMap::new(),
             loads: BTreeMap::new(),
+            counts: BTreeMap::new(),
+            board,
+            graph_mean: BTreeMap::new(),
             since_rebalance: 0,
             migrations: 0,
             rebalances: 0,
@@ -539,7 +621,33 @@ impl ShardedEngine {
             | Request::Query { name, .. } => {
                 let shard = self.place(name);
                 if self.placement.rebalance {
-                    *self.loads.entry(name.clone()).or_insert(0) += request.cost_weight();
+                    if matches!(request, Request::Drop { .. }) {
+                        // Stop accounting a graph the stream is dropping:
+                        // migrating a tombstone would spend a barrier (and
+                        // a move budget slot) on nothing. The board entry
+                        // goes too, so per-graph state stays bounded by
+                        // live graphs and a re-created name starts its
+                        // serve-time history fresh instead of inheriting
+                        // a dead namesake's mean. (A straggler job timed
+                        // after this purge recreates a small, fresh
+                        // entry — harmless.)
+                        self.loads.remove(name);
+                        self.counts.remove(name);
+                        self.graph_mean.remove(name);
+                        if self.placement.latency_proxy {
+                            self.board.lock().expect("load board poisoned").remove(name);
+                        }
+                    } else {
+                        // Queue-pressure accounting, charged at submit
+                        // time so it leads the queue, not trails it.
+                        *self.loads.entry(name.clone()).or_insert(0) += request.cost_weight();
+                        if self.placement.latency_proxy {
+                            // Raw request counts: multiplied by measured
+                            // mean serve times at the next rebalance, they
+                            // estimate each graph's *compute* pressure.
+                            *self.counts.entry(name.clone()).or_insert(0) += 1;
+                        }
+                    }
                 }
                 let (reply, rx) = unbounded();
                 self.routed[shard] += 1;
@@ -558,7 +666,8 @@ impl ShardedEngine {
                     self.push(shard, WorkItem::Exec(Job { request: request.clone(), reply }));
                     parts.push(rx);
                 }
-                Ticket { inner: TicketInner::Merge { kind, parts } }
+                let got = (0..parts.len()).map(|_| None).collect();
+                Ticket { inner: TicketInner::Merge { kind, parts, got } }
             }
         };
         if self.placement.rebalance {
@@ -631,11 +740,17 @@ impl ShardedEngine {
     /// spreads its *run-long* routed share across shards (stealing
     /// relieves the instantaneous queue). Phase 2 greedily moves the
     /// heaviest helpful satellite graphs off the hottest shard onto the
-    /// coldest while that strictly lowers the pair's max. Loads then decay
-    /// (halve) so the accounting tracks recent traffic.
+    /// coldest while that strictly lowers the pair's max — in the static
+    /// cost-weight currency, or, under [`PlacementOptions::latency_proxy`],
+    /// in **measured compute pressure** (window request count × the
+    /// graph's mean observed serve time), which sees expensive graphs the
+    /// static weights misjudge. Loads then decay (halve) so the
+    /// accounting tracks recent traffic.
     ///
-    /// Fully deterministic: ties break by shard index / name order, so a
-    /// given request stream always produces the same migration schedule.
+    /// Without the latency proxy this is fully deterministic: ties break
+    /// by shard index / name order, so a given request stream always
+    /// produces the same migration schedule. With it, the *schedule*
+    /// depends on measured times — responses never do.
     fn rebalance(&mut self) {
         let shards = self.queues.len();
         if shards < 2 {
@@ -654,7 +769,10 @@ impl ShardedEngine {
         if total > 0 && self.placement.max_moves > 0 {
             // Phase 1: spread a graph no single shard should keep. The
             // rotation spends from the same move budget as phase 2, so
-            // `max_moves: 0` really does mean zero migrations.
+            // `max_moves: 0` really does mean zero migrations. Always
+            // judged in the queue-pressure (cost-weight) currency: the
+            // point of rotation is spreading *routed traffic*, and cheap
+            // requests still occupy queue slots.
             if let Some((name, load)) = hottest_graph(&self.loads) {
                 if load * shards as u64 > total {
                     let cur = self.table[&name];
@@ -677,42 +795,55 @@ impl ShardedEngine {
                 }
             }
 
-            // Phase 2: shed satellites from the hottest shard.
-            while moves.len() < self.placement.max_moves {
-                let (mut hot, mut cold) = (0usize, 0usize);
-                for s in 1..shards {
-                    if shard_load[s] > shard_load[hot] {
-                        hot = s;
-                    }
-                    if shard_load[s] < shard_load[cold] {
-                        cold = s;
+            // Phase 1b (latency proxy only): also rotate a graph whose
+            // *measured compute* exceeds one shard's fair share of busy
+            // time — a shard can be swamped in actual serve time (one
+            // expensive graph, cold caches, lopsided sizes) while its
+            // request counts look fine; the static currency cannot see
+            // that, the workers' measurements can. Rotation, not
+            // shedding, because a graph too hot for any shard must be
+            // *spread*, and because this leaves the count-balancing
+            // machinery below untouched.
+            if self.placement.latency_proxy && moves.len() < self.placement.max_moves {
+                let (tloads, shard_time) = self.compute_pressure(&moves, shards);
+                let total_time: u64 = shard_time.iter().sum();
+                if let Some((name, tload)) = hottest_graph(&tloads) {
+                    let already_moved = moves.iter().any(|(moved, _, _)| *moved == name);
+                    if !already_moved && total_time > 0 && tload * shards as u64 > total_time {
+                        let cur = self.table[&name];
+                        let mut target = cur;
+                        let mut best = u64::MAX;
+                        for offset in 1..shards {
+                            let s = (cur + offset) % shards;
+                            if shard_time[s] < best {
+                                best = shard_time[s];
+                                target = s;
+                            }
+                        }
+                        if target != cur {
+                            // Keep the count currency's books consistent
+                            // for the shedding pass below.
+                            let cost = self.loads.get(&name).copied().unwrap_or(0);
+                            shard_load[cur] -= cost.min(shard_load[cur]);
+                            shard_load[target] += cost;
+                            moves.push((name, cur, target));
+                        }
                     }
                 }
-                let mean = total as f64 / shards as f64;
-                if hot == cold || shard_load[hot] as f64 <= self.placement.imbalance.max(1.0) * mean
-                {
-                    break;
-                }
-                let mut best: Option<(String, u64)> = None;
-                for (name, &load) in &self.loads {
-                    if load == 0
-                        || self.table.get(name) != Some(&hot)
-                        || moves.iter().any(|(moved, _, _)| moved == name)
-                    {
-                        continue;
-                    }
-                    // Only moves that strictly lower the pair's max load.
-                    if shard_load[cold] + load < shard_load[hot]
-                        && best.as_ref().is_none_or(|(_, b)| load > *b)
-                    {
-                        best = Some((name.clone(), load));
-                    }
-                }
-                let Some((name, load)) = best else { break };
-                shard_load[hot] -= load;
-                shard_load[cold] += load;
-                moves.push((name, hot, cold));
             }
+
+            // Phase 2: shed satellites from the hottest shard, in the
+            // queue-pressure (cost-weight) currency — identical with or
+            // without the latency proxy, so measured feedback never costs
+            // the count balance the static accounting already achieves.
+            shed_satellites(
+                &self.placement,
+                &self.table,
+                &self.loads,
+                &mut shard_load,
+                &mut moves,
+                self.placement.max_moves,
+            );
         }
 
         for (name, from, to) in moves {
@@ -720,10 +851,57 @@ impl ShardedEngine {
         }
         // Decay, dropping entries that reach zero so the accounting stays
         // proportional to recently-active graphs, not all names ever seen.
-        self.loads.retain(|_, load| {
-            *load /= 2;
-            *load > 0
-        });
+        let decay = |map: &mut BTreeMap<String, u64>| {
+            map.retain(|_, load| {
+                *load /= 2;
+                *load > 0
+            })
+        };
+        decay(&mut self.loads);
+        decay(&mut self.counts);
+    }
+
+    /// The compute-pressure view for this window: per graph, its
+    /// estimated busy time — window request count × mean observed
+    /// nanoseconds per request, falling back to the static guess at ~1µs
+    /// per cost-weight unit for graphs the workers have not measured
+    /// yet — and the per-shard sums with the moves already decided this
+    /// round applied. Refreshes `graph_mean` from the workers' board
+    /// first.
+    fn compute_pressure(
+        &mut self,
+        moves: &[(String, usize, usize)],
+        shards: usize,
+    ) -> (BTreeMap<String, u64>, Vec<u64>) {
+        for (name, (nanos, count)) in self.board.lock().expect("load board poisoned").iter() {
+            // Only graphs the router is still accounting (dropped names
+            // leave `loads` at the Drop): a straggler measurement must
+            // not resurrect a dead graph's mean.
+            if *count > 0 && self.loads.contains_key(name) {
+                self.graph_mean.insert(name.clone(), (nanos / count).max(1));
+            }
+        }
+        let mut tloads = BTreeMap::new();
+        let mut shard_time = vec![0u64; shards];
+        for (name, &count) in &self.counts {
+            if count == 0 {
+                continue;
+            }
+            let mean = self.graph_mean.get(name).copied().unwrap_or_else(|| {
+                // Unmeasured graph: the static guess, scaled to
+                // nanosecond-ish units (one cost-weight unit ≈ 1µs).
+                self.loads.get(name).copied().unwrap_or(count) * 1_000 / count
+            });
+            let load = count * mean.max(1);
+            let Some(&home) = self.table.get(name) else { continue };
+            let shard = moves
+                .iter()
+                .find_map(|(moved, _, to)| (moved == name).then_some(*to))
+                .unwrap_or(home);
+            shard_time[shard] += load;
+            tloads.insert(name.clone(), load);
+        }
+        (tloads, shard_time)
     }
 
     /// Enqueue one migration: the barrier pair (out marker on the old
@@ -738,6 +916,59 @@ impl ShardedEngine {
         self.table.insert(name, to);
         self.generation += 1;
         self.migrations += 1;
+    }
+}
+
+/// Greedily move the heaviest helpful satellite graphs off the hottest
+/// shard onto the coldest while that strictly lowers the pair's max —
+/// the currency (cost weights or measured compute pressure) is whatever
+/// `loads`/`shard_load` were built in. Spends from the shared `moves`
+/// vector up to `budget` (≤ [`PlacementOptions::max_moves`]); graphs
+/// already moved this round (e.g. by rotation) are skipped, and the
+/// hot/cold membership check uses the pre-round `table`.
+fn shed_satellites(
+    placement: &PlacementOptions,
+    table: &BTreeMap<String, usize>,
+    loads: &BTreeMap<String, u64>,
+    shard_load: &mut [u64],
+    moves: &mut Vec<(String, usize, usize)>,
+    budget: usize,
+) {
+    let shards = shard_load.len();
+    let total: u64 = shard_load.iter().sum();
+    while moves.len() < budget.min(placement.max_moves) {
+        let (mut hot, mut cold) = (0usize, 0usize);
+        for s in 1..shards {
+            if shard_load[s] > shard_load[hot] {
+                hot = s;
+            }
+            if shard_load[s] < shard_load[cold] {
+                cold = s;
+            }
+        }
+        let mean = total as f64 / shards as f64;
+        if hot == cold || shard_load[hot] as f64 <= placement.imbalance.max(1.0) * mean {
+            break;
+        }
+        let mut best: Option<(String, u64)> = None;
+        for (name, &load) in loads {
+            if load == 0
+                || table.get(name) != Some(&hot)
+                || moves.iter().any(|(moved, _, _)| moved == name)
+            {
+                continue;
+            }
+            // Only moves that strictly lower the pair's max load.
+            if shard_load[cold] + load < shard_load[hot]
+                && best.as_ref().is_none_or(|(_, b)| load > *b)
+            {
+                best = Some((name.clone(), load));
+            }
+        }
+        let Some((name, load)) = best else { break };
+        shard_load[hot] -= load;
+        shard_load[cold] += load;
+        moves.push((name, hot, cold));
     }
 }
 
@@ -780,6 +1011,10 @@ struct Worker {
     id: usize,
     queues: Arc<Vec<ShardQueue>>,
     engine: Engine,
+    /// Post measured per-graph serve times to the board
+    /// (`rebalance && latency_proxy`).
+    observe: bool,
+    board: Arc<LoadBoard>,
     opts: ShardOptions,
     /// Graphs currently lent to thieves, with the channel each loan comes
     /// home on. Any job touching one of these (and every broadcast) is a
@@ -899,10 +1134,43 @@ impl Worker {
                 return;
             }
         }
+        // Broadcasts are cheap and not charged by the router's load
+        // accounting, so only named requests feed the measurements.
+        let observed = if self.observe {
+            match &job.request {
+                Request::Create { name, .. }
+                | Request::Drop { name }
+                | Request::Mutate { name, .. }
+                | Request::Query { name, .. } => Some(name.clone()),
+                Request::ListGraphs | Request::Stats => None,
+            }
+        } else {
+            None
+        };
         let Job { request, reply } = job;
+        let start = std::time::Instant::now();
+        let response = self.engine.execute(request);
+        let nanos = start.elapsed().as_nanos() as u64;
+        self.engine.stats_mut().serve_nanos += nanos;
+        if let Some(name) = observed {
+            self.post_serve_time(&name, 1, nanos);
+        }
         // A dropped ticket is fine — compute anyway (mutations must still
         // apply), discard the undeliverable answer.
-        let _ = reply.send(self.engine.execute(request));
+        let _ = reply.send(response);
+    }
+
+    /// Post `nanos` of measured serve time covering `requests` requests
+    /// for graph `name` to the feedback board (multi-request postings
+    /// come from batches and stolen runs, which are timed as a whole).
+    fn post_serve_time(&self, name: &str, requests: u64, nanos: u64) {
+        if requests == 0 {
+            return;
+        }
+        let mut board = self.board.lock().expect("load board poisoned");
+        let (graph_nanos, graph_count) = board.entry(name.to_string()).or_insert((0, 0));
+        *graph_nanos += nanos;
+        *graph_count += requests;
     }
 
     /// Batch mode: extend `job` with the maximal run of consecutive
@@ -937,7 +1205,14 @@ impl Worker {
                 replies.push(reply);
             }
         }
+        let batch_len = queries.len() as u64;
+        let start = std::time::Instant::now();
         let responses = self.engine.execute_read_batch(&name, queries);
+        let nanos = start.elapsed().as_nanos() as u64;
+        self.engine.stats_mut().serve_nanos += nanos;
+        if self.observe {
+            self.post_serve_time(&name, batch_len, nanos);
+        }
         for (reply, response) in replies.into_iter().zip(responses) {
             let _ = reply.send(response);
         }
@@ -998,6 +1273,7 @@ impl Worker {
             Some(mut entry) => {
                 let stolen = jobs.len() as u64;
                 let mut delta = EngineStats::default();
+                let start = std::time::Instant::now();
                 for job in jobs {
                     let Request::Query { query, .. } = job.request else {
                         unreachable!("steals only take query runs");
@@ -1005,7 +1281,16 @@ impl Worker {
                     let response = serve_query(&mut delta, &self.opts.cfg, &mut entry, query);
                     let _ = job.reply.send(response);
                 }
+                // Stolen work still measures: the board is global, not
+                // per-shard, so it doesn't matter where the run executed.
+                let nanos = start.elapsed().as_nanos() as u64;
+                if self.observe {
+                    self.post_serve_time(&name, stolen, nanos);
+                }
                 let stats = self.engine.stats_mut();
+                // The delta's logical counters merge on the victim, but
+                // busy time belongs to the worker that burned it: here.
+                stats.serve_nanos += nanos;
                 stats.steal_batches += 1;
                 stats.steal_reads += stolen;
                 let _ = ret.send(ReturnPkg { entry: Some(entry), delta });
@@ -1509,6 +1794,124 @@ mod tests {
         }
         assert_eq!(total.queries, plain.stats().queries);
         assert_eq!(total.cache_hits, plain.stats().cache_hits);
+    }
+
+    #[test]
+    fn latency_proxy_preserves_responses_and_counters() {
+        // Same shape as the dense-migration test, with the latency proxy
+        // driving placement: every response must still equal the
+        // unsharded engine's, and the migration counters must balance —
+        // the measured feedback may only change the *schedule*.
+        let placement = PlacementOptions {
+            rebalance: true,
+            latency_proxy: true,
+            window: 3,
+            max_moves: 4,
+            steal: true,
+            steal_min: 2,
+            ..PlacementOptions::default()
+        };
+        let mut sharded =
+            ShardedEngine::with_options(3, ShardOptions { placement, ..ShardOptions::default() });
+        let mut plain = Engine::new();
+
+        let mut requests: Vec<Request> = Vec::new();
+        for i in 0..4 {
+            requests.push(Request::Create {
+                name: format!("g{i}"),
+                spec: GraphSpec::Cycle { n: 12 + i },
+            });
+        }
+        for round in 0..30u64 {
+            requests.push(Request::Query { name: "g0".into(), query: Query::ExactMinCut });
+            requests.push(Request::Query { name: "g1".into(), query: Query::KCut { k: 3 } });
+            requests.push(Request::Query { name: "g0".into(), query: Query::Connectivity });
+            if round % 4 == 0 {
+                requests.push(Request::Mutate {
+                    name: "g0".into(),
+                    op: Mutation::InsertEdge { u: 0, v: 2 + (round % 9) as u32, w: 1 + round },
+                });
+            }
+            if round == 12 {
+                requests.push(Request::Drop { name: "g2".into() });
+            }
+            if round % 9 == 5 {
+                requests.push(Request::Stats);
+                requests.push(Request::ListGraphs);
+            }
+        }
+        for req in requests {
+            assert_eq!(sharded.execute(req.clone()), plain.execute(req));
+        }
+
+        let report = sharded.placement_report();
+        assert!(report.rebalances > 0);
+        let per_shard = sharded.shutdown();
+        let ins: u64 = per_shard.iter().map(|s| s.migrations_in).sum();
+        let outs: u64 = per_shard.iter().map(|s| s.migrations_out).sum();
+        // The proxy's schedule is timing-dependent (a migration may find
+        // its graph already dropped and move nothing), so assert the
+        // balance invariant rather than an exact count.
+        assert_eq!(ins, outs, "every migration that leaves must land");
+        assert!(ins <= report.migrations);
+        let mut total = EngineStats::default();
+        for s in &per_shard {
+            total.merge(s);
+        }
+        assert_eq!(total.queries, plain.stats().queries);
+        assert_eq!(total.cache_hits, plain.stats().cache_hits);
+        assert_eq!(total.mutations, plain.stats().mutations);
+        assert!(total.serve_nanos > 0, "workers must account busy time");
+    }
+
+    #[test]
+    fn latency_proxy_rotates_a_measured_hot_graph() {
+        // One expensive graph, hammered: the measured feedback must
+        // detect it and rotate it even though the static weights would
+        // agree here — the point is that the loop closes end to end.
+        let placement = PlacementOptions {
+            rebalance: true,
+            latency_proxy: true,
+            window: 8,
+            ..PlacementOptions::default()
+        };
+        let mut e =
+            ShardedEngine::with_options(2, ShardOptions { placement, ..ShardOptions::default() });
+        create(&mut e, "hot", 24);
+        for seed in 0..120u64 {
+            let r = e.execute(Request::Query {
+                name: "hot".into(),
+                query: Query::ApproxMinCut { seed },
+            });
+            assert!(matches!(r, Response::CutValue { .. }));
+        }
+        let report = e.placement_report();
+        assert!(report.migrations > 0, "measured load must trigger rotation");
+        let routed = e.routed().to_vec();
+        assert!(routed.iter().all(|&r| r > 0), "rotation must spread traffic: {routed:?}");
+        e.shutdown();
+    }
+
+    #[test]
+    fn try_wait_resolves_single_and_broadcast_tickets() {
+        let mut e = ShardedEngine::new(3);
+        create(&mut e, "ring", 10);
+        let mut single =
+            e.submit(Request::Query { name: "ring".into(), query: Query::ExactMinCut });
+        let mut broadcast = e.submit(Request::Stats);
+        let spin = |t: &mut Ticket| loop {
+            if let Some(r) = t.try_wait() {
+                return r;
+            }
+            std::thread::yield_now();
+        };
+        assert!(matches!(spin(&mut single), Response::CutValue { weight: 2, .. }));
+        let stats = spin(&mut broadcast);
+        assert!(
+            matches!(stats, Response::EngineStats { graphs: 1, queries: 1, .. }),
+            "broadcast partials must merge through try_wait: {stats}"
+        );
+        e.shutdown();
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Seeded workload generation: a deterministic stream of engine requests.
+//! Seeded workload generation: a deterministic stream of engine requests,
+//! optionally **trace-shaped** — phased, timestamped, and drifting.
 //!
 //! The generator follows the algorithm-engineering playbook for cut
 //! benchmarks: a weighted action mix (`WeightedIndex`) decides *what* each
@@ -7,11 +8,31 @@
 //! makes the engine's epoch cache earn its keep), while the long tail keeps
 //! the registry honest.
 //!
-//! The generator mirrors engine state (per-graph vertex counts and the
-//! multiset of present edges) so every emitted mutation is valid by
-//! construction:
-//! replaying a workload never produces `Response::Error`, and identical
-//! seeds produce identical request streams.
+//! On top of that sits the **timeline layer**: a [`Timeline`] is a sequence
+//! of [`Phase`]s, each with its own arrival process ([`ArrivalProcess`]:
+//! steady pacing, Poisson bursts, a diurnal ramp), action mix, Zipf
+//! exponent, and popularity drift ([`PopularityDrift`]: hot-set rotation or
+//! a flash crowd that yanks the Zipf head onto another graph mid-run).
+//! [`Workload::generate_timeline`] emits the concatenated phases as one
+//! stream of requests with deterministic arrival timestamps — the open-loop
+//! input the stress harness measures latency-under-load against.
+//!
+//! Determinism is load-bearing everywhere:
+//!
+//! - Every phase draws from its **own sub-seeded RNG** (derived from the
+//!   master seed and the phase *name*), so inserting or removing a phase
+//!   never perturbs the random streams of phases around it. (Mutations
+//!   still carry state across phases through the shared graph mirrors —
+//!   a query-only phase is entirely transparent to its successors.)
+//! - The generator mirrors engine state (per-graph vertex counts and the
+//!   multiset of present edges) so every emitted mutation is valid by
+//!   construction: replaying a workload never produces `Response::Error`,
+//!   and identical seeds produce identical request streams, timestamps
+//!   included.
+//! - A workload round-trips **byte-identically** through the trace format
+//!   ([`Workload::to_trace`] / [`Workload::from_trace`]): save a run,
+//!   diff it, replay it later — same requests, same timestamps, same
+//!   stress digest.
 
 use std::collections::BTreeMap;
 
@@ -143,6 +164,389 @@ impl Default for WorkloadConfig {
     }
 }
 
+/// When operations of a phase *arrive* — the open-loop load shape.
+///
+/// Rates are in operations per second; timestamps are deterministic
+/// functions of the phase's sub-seeded RNG, so two generations of the same
+/// timeline produce identical schedules. Time-varying processes
+/// ([`ArrivalProcess::Bursts`], [`ArrivalProcess::Diurnal`]) evaluate their
+/// rate at the phase-relative time, so a phase's shape is self-contained.
+///
+/// # Examples
+///
+/// ```
+/// use cut_engine::{ArrivalProcess, Timeline, Workload, WorkloadConfig};
+///
+/// let cfg = WorkloadConfig { graphs: 4, seed: 9, ..WorkloadConfig::default() };
+/// let timeline = Timeline::single("paced", 100, ArrivalProcess::Steady { rate: 10_000.0 });
+/// let wl = Workload::generate_timeline(&cfg, &timeline);
+/// assert_eq!(wl.arrivals.len(), 100);
+/// // Steady pacing: op k arrives at (k+1) * 100µs.
+/// assert_eq!(wl.arrivals[0], 100_000);
+/// assert_eq!(wl.arrivals[99], 10_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Closed loop: no pacing. Operations carry the phase-start timestamp
+    /// and the harness issues them as fast as the engine drains them. (A
+    /// `Closed` phase inside an otherwise open timeline is a *flash dump*:
+    /// its whole batch lands at one instant.)
+    Closed,
+    /// Fixed inter-arrival gap of `1/rate` seconds — the metronome.
+    Steady {
+        /// Operations per second.
+        rate: f64,
+    },
+    /// Poisson arrivals: exponential inter-arrival gaps with mean
+    /// `1/rate` — memoryless, with the natural short-range clumping of
+    /// real traffic.
+    Poisson {
+        /// Mean operations per second.
+        rate: f64,
+    },
+    /// ON/OFF bursts: Poisson at `base` between bursts; for the first
+    /// `burst` seconds of every `period` seconds (phase-relative), Poisson
+    /// at `peak`. The flash-sale load shape.
+    Bursts {
+        /// Quiet-interval mean rate (ops/sec).
+        base: f64,
+        /// In-burst mean rate (ops/sec).
+        peak: f64,
+        /// Seconds from one burst start to the next.
+        period: f64,
+        /// Burst length in seconds (must be < `period`).
+        burst: f64,
+    },
+    /// A sinusoidal ramp between `low` and `high` over `period` seconds —
+    /// a compressed diurnal cycle (starts at `low`, peaks at `period/2`).
+    Diurnal {
+        /// Trough mean rate (ops/sec).
+        low: f64,
+        /// Peak mean rate (ops/sec).
+        high: f64,
+        /// Seconds per full cycle.
+        period: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The next inter-arrival gap in seconds, given the phase-relative
+    /// time `t`. Consumes RNG draws only for stochastic processes, so a
+    /// `Closed` or `Steady` phase's request stream is independent of its
+    /// arrival bookkeeping.
+    fn gap_secs(&self, rng: &mut SmallRng, t: f64) -> f64 {
+        // Exponential inter-arrival with mean 1/rate; 1 - u is in (0, 1]
+        // so ln never sees zero.
+        let exp = |rng: &mut SmallRng, rate: f64| -(1.0 - rng.gen::<f64>()).ln() / rate;
+        match *self {
+            ArrivalProcess::Closed => 0.0,
+            ArrivalProcess::Steady { rate } => 1.0 / rate,
+            ArrivalProcess::Poisson { rate } => exp(rng, rate),
+            ArrivalProcess::Bursts { base, peak, period, burst } => {
+                let in_burst = t.rem_euclid(period.max(f64::MIN_POSITIVE)) < burst;
+                exp(rng, if in_burst { peak } else { base })
+            }
+            ArrivalProcess::Diurnal { low, high, period } => {
+                let phase =
+                    t.rem_euclid(period.max(f64::MIN_POSITIVE)) / period.max(f64::MIN_POSITIVE);
+                let rate = low + (high - low) * 0.5 * (1.0 - (std::f64::consts::TAU * phase).cos());
+                exp(rng, rate.max(low.min(high)))
+            }
+        }
+    }
+
+    /// True for processes that emit real timestamps (everything but
+    /// [`ArrivalProcess::Closed`]).
+    fn is_open(&self) -> bool {
+        !matches!(self, ArrivalProcess::Closed)
+    }
+
+    /// Validate rates/periods; the generator calls this per phase so a bad
+    /// timeline fails loudly before any request is emitted.
+    fn validate(&self) -> Result<(), String> {
+        let pos = |v: f64, what: &str| {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(format!("{what} must be positive and finite (got {v})"))
+            }
+        };
+        match *self {
+            ArrivalProcess::Closed => Ok(()),
+            ArrivalProcess::Steady { rate } | ArrivalProcess::Poisson { rate } => {
+                pos(rate, "arrival rate")
+            }
+            ArrivalProcess::Bursts { base, peak, period, burst } => {
+                pos(base, "burst base rate")?;
+                pos(peak, "burst peak rate")?;
+                pos(period, "burst period")?;
+                pos(burst, "burst length")?;
+                if burst >= period {
+                    return Err(format!("burst length {burst} must be < period {period}"));
+                }
+                Ok(())
+            }
+            ArrivalProcess::Diurnal { low, high, period } => {
+                pos(low, "diurnal low rate")?;
+                pos(high, "diurnal high rate")?;
+                pos(period, "diurnal period")
+            }
+        }
+    }
+}
+
+/// How a phase's popularity ranking maps onto actual graphs — the knob
+/// that makes the Zipf *head* move mid-run instead of pinning one graph
+/// as eternally hot.
+///
+/// The Zipf table ranks abstract positions (rank 0 hottest); the drift
+/// maps ranks to graph indices. Targets are taken modulo the graph count,
+/// so a drift never lands out of range even on small registries.
+///
+/// # Examples
+///
+/// ```
+/// use cut_engine::{PopularityDrift, Request};
+/// use cut_engine::{ArrivalProcess, Phase, Timeline, Workload, WorkloadConfig};
+///
+/// // A flash crowd: graph 2 takes the Zipf head for the whole phase.
+/// let phase = Phase {
+///     drift: PopularityDrift::FlashCrowd { target: 2 },
+///     ..Phase::named("flash", 400)
+/// };
+/// let cfg = WorkloadConfig { graphs: 4, zipf_exponent: 1.2, ..WorkloadConfig::default() };
+/// let wl = Workload::generate_timeline(&cfg, &Timeline { phases: vec![phase] });
+/// let on = |g: &str| {
+///     wl.operations
+///         .iter()
+///         .filter(|r| {
+///             matches!(r, Request::Mutate { name, .. } | Request::Query { name, .. } if name == g)
+///         })
+///         .count()
+/// };
+/// assert!(on("g002") > on("g000"), "the flash target must out-draw the usual head");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PopularityDrift {
+    /// Rank `i` is graph `i` for the whole phase — the classic static skew.
+    None,
+    /// Hot-set drift: the rank→graph mapping rotates by one position every
+    /// `every` emitted operations, so the Zipf head crawls across the
+    /// registry during the phase (`every = 0` behaves as `1`).
+    Rotate {
+        /// Operations between rotation steps.
+        every: usize,
+    },
+    /// Flash crowd: graph `target` swaps places with the usual head (rank
+    /// 0) for the whole phase; every other rank keeps its graph.
+    FlashCrowd {
+        /// Graph index that becomes the head (taken modulo the graph count).
+        target: usize,
+    },
+}
+
+impl PopularityDrift {
+    /// Map a sampled Zipf rank to a graph index, `emitted` operations into
+    /// the phase.
+    fn graph_for(&self, rank: usize, emitted: usize, graphs: usize) -> usize {
+        match *self {
+            PopularityDrift::None => rank,
+            PopularityDrift::Rotate { every } => (rank + emitted / every.max(1)) % graphs,
+            PopularityDrift::FlashCrowd { target } => {
+                let target = target % graphs;
+                match rank {
+                    0 => target,
+                    r if r == target => 0,
+                    r => r,
+                }
+            }
+        }
+    }
+}
+
+/// One contiguous segment of a [`Timeline`]: how many operations, how they
+/// arrive, what they do, and which graphs they favor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Phase name. Doubles as the phase's RNG identity: the sub-seed is
+    /// derived from `(master seed, name)`, so renaming a phase reshuffles
+    /// *its* stream only, and phases sharing a name draw identical streams.
+    pub name: String,
+    /// Operations this phase emits (0 is allowed: an empty phase is
+    /// invisible to the request stream *and* to other phases' RNG).
+    pub ops: usize,
+    /// The arrival process (open-loop timestamps).
+    pub arrival: ArrivalProcess,
+    /// The action mix for this phase.
+    pub mix: ActionMix,
+    /// Zipf popularity exponent for this phase (0 = uniform).
+    pub zipf_exponent: f64,
+    /// How ranks map to graphs over the phase.
+    pub drift: PopularityDrift,
+}
+
+impl Phase {
+    /// A closed-loop phase with the default mix and skew — the base other
+    /// phases are built from with struct update syntax.
+    pub fn named(name: &str, ops: usize) -> Phase {
+        Phase {
+            name: name.to_string(),
+            ops,
+            arrival: ArrivalProcess::Closed,
+            mix: ActionMix::default(),
+            zipf_exponent: WorkloadConfig::default().zipf_exponent,
+            drift: PopularityDrift::None,
+        }
+    }
+}
+
+/// A phased load shape: the phases run back to back, sharing graph state
+/// (mutations persist) but each drawing from its own sub-seeded RNG.
+///
+/// Presets ([`Timeline::bursty`], [`Timeline::diurnal`],
+/// [`Timeline::flash`]) build the trace shapes the stress harness exposes
+/// as `--phases`; custom timelines compose the same pieces.
+///
+/// # Examples
+///
+/// ```
+/// use cut_engine::{Timeline, Workload, WorkloadConfig};
+///
+/// let cfg = WorkloadConfig { seed: 3, graphs: 6, ..WorkloadConfig::default() };
+/// let timeline = Timeline::bursty(2_000, 50_000.0, cfg.mix, cfg.zipf_exponent);
+/// assert_eq!(timeline.total_ops(), 2_000);
+///
+/// let wl = Workload::generate_timeline(&cfg, &timeline);
+/// assert_eq!(wl.operations.len(), 2_000);
+/// assert_eq!(wl.arrivals.len(), 2_000, "open-loop timelines timestamp every op");
+/// // Phase boundaries are recorded for per-phase latency reporting.
+/// assert_eq!(wl.phases.iter().map(|(_, ops)| ops).sum::<usize>(), 2_000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    /// The phases, in execution order.
+    pub phases: Vec<Phase>,
+}
+
+impl Timeline {
+    /// A one-phase timeline with the default mix and skew.
+    pub fn single(name: &str, ops: usize, arrival: ArrivalProcess) -> Timeline {
+        Timeline { phases: vec![Phase { arrival, ..Phase::named(name, ops) }] }
+    }
+
+    /// The bursty preset: a steady warm-up, an ON/OFF burst phase with
+    /// hot-set rotation, a flash-crowd spike on a cold graph, and a slow
+    /// cool-down. `rate` is the baseline ops/sec; the burst peaks at 6×
+    /// and the flash crowd runs at 3×.
+    pub fn bursty(ops: usize, rate: f64, mix: ActionMix, zipf_exponent: f64) -> Timeline {
+        let warm = ops / 5;
+        let burst = ops * 3 / 10;
+        let flash = ops / 4;
+        let cool = ops - warm - burst - flash;
+        // Aim for ~3 burst cycles across the burst phase (mean rate there
+        // is roughly 8/3 the baseline with a 1:2 on:off split at 6×).
+        let burst_span = burst as f64 / (rate * 8.0 / 3.0).max(f64::MIN_POSITIVE);
+        let period = (burst_span / 3.0).max(1e-6);
+        let base = Phase { mix, zipf_exponent, ..Phase::named("", 0) };
+        Timeline {
+            phases: vec![
+                Phase {
+                    arrival: ArrivalProcess::Steady { rate },
+                    ..Phase { name: "warm".into(), ops: warm, ..base.clone() }
+                },
+                Phase {
+                    arrival: ArrivalProcess::Bursts {
+                        base: rate,
+                        peak: 6.0 * rate,
+                        period,
+                        burst: period / 3.0,
+                    },
+                    drift: PopularityDrift::Rotate { every: (burst / 6).max(1) },
+                    ..Phase { name: "burst".into(), ops: burst, ..base.clone() }
+                },
+                Phase {
+                    arrival: ArrivalProcess::Poisson { rate: 3.0 * rate },
+                    drift: PopularityDrift::FlashCrowd { target: 3 },
+                    ..Phase { name: "flash".into(), ops: flash, ..base.clone() }
+                },
+                Phase {
+                    arrival: ArrivalProcess::Poisson { rate: rate / 2.0 },
+                    ..Phase { name: "cool".into(), ops: cool, ..base }
+                },
+            ],
+        }
+    }
+
+    /// The diurnal preset: two sinusoidal day cycles (trough `rate/4`,
+    /// peak `2×rate`), with the Zipf head drifting during the second.
+    pub fn diurnal(ops: usize, rate: f64, mix: ActionMix, zipf_exponent: f64) -> Timeline {
+        let day1 = ops / 2;
+        let day2 = ops - day1;
+        // One cycle per phase: the mean of the sinusoid is (low+high)/2.
+        let mean = (rate / 4.0 + 2.0 * rate) / 2.0;
+        let period = |ops: usize| (ops as f64 / mean.max(f64::MIN_POSITIVE)).max(1e-6);
+        let arrival =
+            |p: f64| ArrivalProcess::Diurnal { low: rate / 4.0, high: 2.0 * rate, period: p };
+        let base = Phase { mix, zipf_exponent, ..Phase::named("", 0) };
+        Timeline {
+            phases: vec![
+                Phase {
+                    arrival: arrival(period(day1)),
+                    ..Phase { name: "day1".into(), ops: day1, ..base.clone() }
+                },
+                Phase {
+                    arrival: arrival(period(day2)),
+                    drift: PopularityDrift::Rotate { every: (day2 / 4).max(1) },
+                    ..Phase { name: "day2".into(), ops: day2, ..base }
+                },
+            ],
+        }
+    }
+
+    /// The flash preset: steady cruise, a 4× Poisson flash crowd pinning a
+    /// normally-cold graph at the Zipf head, then recovery at the old rate.
+    pub fn flash(ops: usize, rate: f64, mix: ActionMix, zipf_exponent: f64) -> Timeline {
+        let cruise = ops * 2 / 5;
+        let crowd = ops * 2 / 5;
+        let recover = ops - cruise - crowd;
+        let base = Phase { mix, zipf_exponent, ..Phase::named("", 0) };
+        Timeline {
+            phases: vec![
+                Phase {
+                    arrival: ArrivalProcess::Steady { rate },
+                    ..Phase { name: "cruise".into(), ops: cruise, ..base.clone() }
+                },
+                Phase {
+                    arrival: ArrivalProcess::Poisson { rate: 4.0 * rate },
+                    drift: PopularityDrift::FlashCrowd { target: 5 },
+                    ..Phase { name: "crowd".into(), ops: crowd, ..base.clone() }
+                },
+                Phase {
+                    arrival: ArrivalProcess::Steady { rate },
+                    ..Phase { name: "recover".into(), ops: recover, ..base }
+                },
+            ],
+        }
+    }
+
+    /// Total operations across all phases.
+    pub fn total_ops(&self) -> usize {
+        self.phases.iter().map(|p| p.ops).sum()
+    }
+}
+
+/// Sub-seed for a namespaced random stream: FNV-1a over the master seed,
+/// a namespace tag, and a name. Phase streams depend on the phase *name*,
+/// not its position, so editing a timeline only reshuffles the phases
+/// actually touched.
+fn derived_seed(master: u64, tag: &str, name: &str) -> u64 {
+    let mut bytes = Vec::with_capacity(8 + tag.len() + name.len());
+    bytes.extend_from_slice(&master.to_le_bytes());
+    bytes.extend_from_slice(tag.as_bytes());
+    bytes.extend_from_slice(name.as_bytes());
+    cut_graph::hash::fnv1a(&bytes)
+}
+
 /// Per-graph generator mirror: enough engine state to emit only valid
 /// mutations. Edges are a **multiset** of normalized endpoint pairs
 /// (parallel edges counted), matching the engine's edge-list semantics:
@@ -215,22 +619,55 @@ impl GraphMirror {
 /// let again = Workload::generate(&cfg);
 /// assert_eq!(workload.operations, again.operations);
 /// ```
+#[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     /// Create requests for every graph (run these first).
     pub prologue: Vec<Request>,
-    /// The `ops` main-phase requests.
+    /// The main-phase requests, phases concatenated in timeline order.
     pub operations: Vec<Request>,
+    /// Arrival timestamp per operation, in nanoseconds from the start of
+    /// the main phase (monotone non-decreasing). **Empty for fully
+    /// closed-loop workloads** — e.g. anything from [`Workload::generate`] —
+    /// where pacing is the replayer's business, not the workload's.
+    pub arrivals: Vec<u64>,
+    /// `(phase name, operation count)` in timeline order; `operations`
+    /// concatenates them. Closed-loop workloads carry one `"main"` phase.
+    pub phases: Vec<(String, usize)>,
 }
 
 impl Workload {
-    /// Generate the workload for `cfg`. Pure: equal configs yield equal
-    /// request streams.
+    /// Generate the workload for `cfg` — a single closed-loop phase named
+    /// `"main"`. Pure: equal configs yield equal request streams.
     pub fn generate(cfg: &WorkloadConfig) -> Workload {
+        let phase = Phase {
+            mix: cfg.mix,
+            zipf_exponent: cfg.zipf_exponent,
+            ..Phase::named("main", cfg.ops)
+        };
+        Self::generate_timeline(cfg, &Timeline { phases: vec![phase] })
+    }
+
+    /// Generate a phased workload. The timeline's per-phase `ops`, `mix`,
+    /// and `zipf_exponent` supersede the ones in `cfg` (which still
+    /// supplies the master seed, graph population, and query-seed pool).
+    /// Pure: equal `(cfg, timeline)` pairs yield equal request streams and
+    /// arrival schedules.
+    ///
+    /// # Panics
+    /// Panics if `cfg` is invalid (no graphs, `initial_n < 8`) or a phase's
+    /// arrival process has a non-positive rate or period.
+    pub fn generate_timeline(cfg: &WorkloadConfig, timeline: &Timeline) -> Workload {
         assert!(cfg.graphs > 0, "workload needs at least one graph");
         assert!(cfg.initial_n >= 8, "workload graphs need initial_n >= 8");
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        for phase in &timeline.phases {
+            if let Err(e) = phase.arrival.validate() {
+                panic!("phase '{}': {e}", phase.name);
+            }
+        }
 
-        // --- Prologue: register the graph population. ---
+        // --- Prologue: register the graph population (its own namespaced
+        // stream, so timeline edits never reshuffle the graphs). ---
+        let mut rng = SmallRng::seed_from_u64(derived_seed(cfg.seed, "/prologue", ""));
         let mut mirrors: Vec<GraphMirror> = Vec::with_capacity(cfg.graphs);
         let mut prologue = Vec::with_capacity(cfg.graphs);
         for i in 0..cfg.graphs {
@@ -245,79 +682,107 @@ impl Workload {
             prologue.push(Request::Create { name, spec });
         }
 
-        // --- Popularity: Zipf-skewed choice over graphs. ---
-        let zipf = WeightedIndex::new(
-            (0..cfg.graphs).map(|rank| 1.0 / ((rank + 1) as f64).powf(cfg.zipf_exponent)),
-        )
-        .expect("zipf weights are positive");
-        let actions =
-            WeightedIndex::new(cfg.mix.weights()).expect("action mix has a positive weight");
-
-        // --- Main phase. ---
-        let mut operations = Vec::with_capacity(cfg.ops);
+        // --- Phases, back to back. ---
+        let total_ops = timeline.total_ops();
+        let open_loop = timeline.phases.iter().any(|p| p.ops > 0 && p.arrival.is_open());
+        let mut operations = Vec::with_capacity(total_ops);
+        let mut arrivals: Vec<u64> = Vec::with_capacity(total_ops);
+        let mut phases = Vec::with_capacity(timeline.phases.len());
         let seed_pool = cfg.query_seed_pool.max(1);
-        while operations.len() < cfg.ops {
-            let mirror = &mut mirrors[zipf.sample(&mut rng)];
-            let action = actions.sample(&mut rng);
-            let n = mirror.n as u32;
-            let request = match action {
-                // insert-edge
-                0 => {
-                    let u = rng.gen_range(0..n);
-                    let v = rng.gen_range(0..n - 1);
-                    let v = if v >= u { v + 1 } else { v };
-                    let w = rng.gen_range(1..=16u64);
-                    mirror.insert_pair(u, v);
-                    Request::Mutate {
-                        name: mirror.name.clone(),
-                        op: Mutation::InsertEdge { u, v, w },
+        let mut t = 0.0f64; // seconds since main-phase start, across phases
+        for phase in &timeline.phases {
+            phases.push((phase.name.clone(), phase.ops));
+            if phase.ops == 0 {
+                continue;
+            }
+            let mut rng = SmallRng::seed_from_u64(derived_seed(cfg.seed, "/phase/", &phase.name));
+            let zipf = WeightedIndex::new(
+                (0..cfg.graphs).map(|rank| 1.0 / ((rank + 1) as f64).powf(phase.zipf_exponent)),
+            )
+            .expect("zipf weights are positive");
+            let actions =
+                WeightedIndex::new(phase.mix.weights()).expect("action mix has a positive weight");
+            let phase_start = t;
+            let mut emitted = 0usize;
+            while emitted < phase.ops {
+                let rank = zipf.sample(&mut rng);
+                let graph = phase.drift.graph_for(rank, emitted, cfg.graphs);
+                let mirror = &mut mirrors[graph];
+                let action = actions.sample(&mut rng);
+                let n = mirror.n as u32;
+                let request = match action {
+                    // insert-edge
+                    0 => {
+                        let u = rng.gen_range(0..n);
+                        let v = rng.gen_range(0..n - 1);
+                        let v = if v >= u { v + 1 } else { v };
+                        let w = rng.gen_range(1..=16u64);
+                        mirror.insert_pair(u, v);
+                        Request::Mutate {
+                            name: mirror.name.clone(),
+                            op: Mutation::InsertEdge { u, v, w },
+                        }
                     }
-                }
-                // delete-edge: only while the graph stays usefully dense;
-                // otherwise resample another (graph, action) pair.
-                1 if mirror.m > mirror.n => {
-                    let i = rng.gen_range(0..mirror.pairs.len());
-                    let (u, v) = mirror.delete_nth_pair(i);
-                    Request::Mutate { name: mirror.name.clone(), op: Mutation::DeleteEdge { u, v } }
-                }
-                1 => continue,
-                // contract: keep graphs from collapsing entirely.
-                2 if mirror.n > 12 => {
-                    let u = rng.gen_range(0..n);
-                    let v = rng.gen_range(0..n - 1);
-                    let v = if v >= u { v + 1 } else { v };
-                    mirror.relabel_after_contract(u.min(v), u.max(v));
-                    Request::Mutate {
-                        name: mirror.name.clone(),
-                        op: Mutation::ContractVertices { u: u.min(v), v: u.max(v) },
+                    // delete-edge: only while the graph stays usefully
+                    // dense; otherwise resample another (graph, action).
+                    1 if mirror.m > mirror.n => {
+                        let i = rng.gen_range(0..mirror.pairs.len());
+                        let (u, v) = mirror.delete_nth_pair(i);
+                        Request::Mutate {
+                            name: mirror.name.clone(),
+                            op: Mutation::DeleteEdge { u, v },
+                        }
                     }
-                }
-                2 => continue,
-                3 => Request::Query {
-                    name: mirror.name.clone(),
-                    query: Query::ApproxMinCut { seed: rng.gen_range(0..seed_pool) },
-                },
-                4 => Request::Query { name: mirror.name.clone(), query: Query::ExactMinCut },
-                5 => Request::Query {
-                    name: mirror.name.clone(),
-                    query: Query::SingletonCut { seed: rng.gen_range(0..seed_pool) },
-                },
-                6 => {
-                    let k = rng.gen_range(2..=4usize.min(mirror.n));
-                    Request::Query { name: mirror.name.clone(), query: Query::KCut { k } }
-                }
-                7 => Request::Query { name: mirror.name.clone(), query: Query::Connectivity },
-                _ => {
-                    let s = rng.gen_range(0..n);
-                    let t = rng.gen_range(0..n - 1);
-                    let t = if t >= s { t + 1 } else { t };
-                    Request::Query { name: mirror.name.clone(), query: Query::StCutWeight { s, t } }
-                }
-            };
-            operations.push(request);
+                    1 => continue,
+                    // contract: keep graphs from collapsing entirely.
+                    2 if mirror.n > 12 => {
+                        let u = rng.gen_range(0..n);
+                        let v = rng.gen_range(0..n - 1);
+                        let v = if v >= u { v + 1 } else { v };
+                        mirror.relabel_after_contract(u.min(v), u.max(v));
+                        Request::Mutate {
+                            name: mirror.name.clone(),
+                            op: Mutation::ContractVertices { u: u.min(v), v: u.max(v) },
+                        }
+                    }
+                    2 => continue,
+                    3 => Request::Query {
+                        name: mirror.name.clone(),
+                        query: Query::ApproxMinCut { seed: rng.gen_range(0..seed_pool) },
+                    },
+                    4 => Request::Query { name: mirror.name.clone(), query: Query::ExactMinCut },
+                    5 => Request::Query {
+                        name: mirror.name.clone(),
+                        query: Query::SingletonCut { seed: rng.gen_range(0..seed_pool) },
+                    },
+                    6 => {
+                        let k = rng.gen_range(2..=4usize.min(mirror.n));
+                        Request::Query { name: mirror.name.clone(), query: Query::KCut { k } }
+                    }
+                    7 => Request::Query { name: mirror.name.clone(), query: Query::Connectivity },
+                    _ => {
+                        let s = rng.gen_range(0..n);
+                        let t = rng.gen_range(0..n - 1);
+                        let t = if t >= s { t + 1 } else { t };
+                        Request::Query {
+                            name: mirror.name.clone(),
+                            query: Query::StCutWeight { s, t },
+                        }
+                    }
+                };
+                t += phase.arrival.gap_secs(&mut rng, t - phase_start);
+                arrivals.push((t * 1e9).round() as u64);
+                operations.push(request);
+                emitted += 1;
+            }
+        }
+        if !open_loop {
+            // Fully closed-loop: the all-zero schedule carries no
+            // information — drop it so replayers need no mode flag.
+            arrivals.clear();
         }
 
-        Workload { prologue, operations }
+        Workload { prologue, operations, arrivals, phases }
     }
 
     /// Prologue followed by the main phase, as one stream.
@@ -333,6 +798,152 @@ impl Workload {
     /// True when the workload is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// True when the workload carries an open-loop arrival schedule.
+    pub fn is_open_loop(&self) -> bool {
+        !self.arrivals.is_empty()
+    }
+
+    /// The phase index of operation `i` (an index into
+    /// [`Workload::phases`]); `None` past the end of the stream.
+    pub fn phase_of(&self, i: usize) -> Option<usize> {
+        let mut before = 0usize;
+        for (idx, (_, ops)) in self.phases.iter().enumerate() {
+            before += ops;
+            if i < before {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    /// Serialize the whole workload — prologue, phase table, and
+    /// timestamped operations — to the compact line-oriented trace format.
+    /// [`Workload::from_trace`] inverts it exactly, so a saved run replays
+    /// byte-identically (same requests, same schedule, same stress digest).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cut_engine::{ArrivalProcess, Timeline, Workload, WorkloadConfig};
+    ///
+    /// let cfg = WorkloadConfig { graphs: 3, ..WorkloadConfig::default() };
+    /// let timeline = Timeline::single("t", 40, ArrivalProcess::Poisson { rate: 10_000.0 });
+    /// let wl = Workload::generate_timeline(&cfg, &timeline);
+    ///
+    /// let trace = wl.to_trace();
+    /// assert!(trace.starts_with("cut-trace v1 "));
+    /// let back = Workload::from_trace(&trace).unwrap();
+    /// assert_eq!(back, wl, "a trace round-trip is lossless");
+    /// ```
+    pub fn to_trace(&self) -> String {
+        let mut out = String::with_capacity(64 * (self.len() + self.phases.len() + 1));
+        out.push_str(&format!(
+            "cut-trace v1 prologue={} ops={} open={}\n",
+            self.prologue.len(),
+            self.operations.len(),
+            u8::from(self.is_open_loop()),
+        ));
+        for (name, ops) in &self.phases {
+            // Request-name escaping keeps arbitrary phase names safe in
+            // the whitespace-delimited format.
+            out.push_str(&format!("f {} {ops}\n", crate::request::encode_name(name)));
+        }
+        for req in &self.prologue {
+            out.push_str(&format!("p {}\n", req.to_trace_line()));
+        }
+        for (i, req) in self.operations.iter().enumerate() {
+            let at = self.arrivals.get(i).copied().unwrap_or(0);
+            out.push_str(&format!("o {at} {}\n", req.to_trace_line()));
+        }
+        out
+    }
+
+    /// Parse a trace produced by [`Workload::to_trace`]. Strict: version,
+    /// counts, and every line must check out, so a corrupted trace fails
+    /// loudly instead of replaying a subtly different run.
+    pub fn from_trace(trace: &str) -> Result<Workload, String> {
+        let mut lines = trace.lines().enumerate();
+        let (_, header) = lines.next().ok_or("empty trace")?;
+        let mut tokens = header.split_whitespace();
+        if tokens.next() != Some("cut-trace") || tokens.next() != Some("v1") {
+            return Err("not a cut-trace v1 file".into());
+        }
+        let mut prologue_n = None;
+        let mut ops_n = None;
+        let mut open = None;
+        for tok in tokens {
+            let (key, value) = tok.split_once('=').ok_or(format!("bad header field '{tok}'"))?;
+            let parsed: u64 = value.parse().map_err(|_| format!("bad header value '{tok}'"))?;
+            match key {
+                "prologue" => prologue_n = Some(parsed as usize),
+                "ops" => ops_n = Some(parsed as usize),
+                "open" => open = Some(parsed != 0),
+                other => return Err(format!("unknown header field '{other}'")),
+            }
+        }
+        let prologue_n = prologue_n.ok_or("header missing prologue=")?;
+        let ops_n = ops_n.ok_or("header missing ops=")?;
+        let open = open.ok_or("header missing open=")?;
+
+        let mut workload = Workload {
+            prologue: Vec::with_capacity(prologue_n),
+            operations: Vec::with_capacity(ops_n),
+            arrivals: Vec::with_capacity(if open { ops_n } else { 0 }),
+            phases: Vec::new(),
+        };
+        for (lineno, line) in lines {
+            let context = |e: String| format!("trace line {}: {e}", lineno + 1);
+            let (kind, rest) =
+                line.split_once(' ').ok_or_else(|| context("missing payload".into()))?;
+            match kind {
+                "f" => {
+                    let (name, ops) =
+                        rest.split_once(' ').ok_or_else(|| context("bad phase line".into()))?;
+                    let decoded = crate::request::decode_name(name).map_err(context)?;
+                    let ops = ops.parse().map_err(|_| context(format!("bad phase ops '{ops}'")))?;
+                    workload.phases.push((decoded, ops));
+                }
+                "p" => workload.prologue.push(Request::from_trace_line(rest).map_err(context)?),
+                "o" => {
+                    let (at, req) =
+                        rest.split_once(' ').ok_or_else(|| context("missing op payload".into()))?;
+                    let at: u64 =
+                        at.parse().map_err(|_| context(format!("bad timestamp '{at}'")))?;
+                    if open {
+                        workload.arrivals.push(at);
+                    } else if at != 0 {
+                        return Err(context("closed-loop trace carries a timestamp".into()));
+                    }
+                    workload.operations.push(Request::from_trace_line(req).map_err(context)?);
+                }
+                other => return Err(context(format!("unknown line kind '{other}'"))),
+            }
+        }
+        if workload.prologue.len() != prologue_n {
+            return Err(format!(
+                "trace header promises {prologue_n} prologue requests, found {}",
+                workload.prologue.len()
+            ));
+        }
+        if workload.operations.len() != ops_n {
+            return Err(format!(
+                "trace header promises {ops_n} operations, found {}",
+                workload.operations.len()
+            ));
+        }
+        if workload.phases.is_empty() {
+            workload.phases.push(("trace".to_string(), ops_n));
+        } else {
+            let phase_ops: usize = workload.phases.iter().map(|(_, ops)| ops).sum();
+            if phase_ops != ops_n {
+                return Err(format!(
+                    "trace phase table covers {phase_ops} operations, header promises {ops_n}"
+                ));
+            }
+        }
+        Ok(workload)
     }
 }
 
@@ -426,5 +1037,203 @@ mod tests {
             WorkloadConfig { ops: 300, mix: ActionMix::read_only(), ..WorkloadConfig::default() };
         let wl = Workload::generate(&cfg);
         assert!(wl.operations.iter().all(|r| matches!(r, Request::Query { .. })));
+    }
+
+    #[test]
+    fn closed_loop_generate_has_no_arrivals_and_one_phase() {
+        let cfg = WorkloadConfig { ops: 100, ..WorkloadConfig::default() };
+        let wl = Workload::generate(&cfg);
+        assert!(!wl.is_open_loop());
+        assert!(wl.arrivals.is_empty());
+        assert_eq!(wl.phases, vec![("main".to_string(), 100)]);
+        assert_eq!(wl.phase_of(0), Some(0));
+        assert_eq!(wl.phase_of(99), Some(0));
+        assert_eq!(wl.phase_of(100), None);
+    }
+
+    #[test]
+    fn open_loop_arrivals_are_monotone_and_cover_every_op() {
+        let cfg = WorkloadConfig { ops: 0, graphs: 4, seed: 21, ..WorkloadConfig::default() };
+        for timeline in [
+            Timeline::bursty(500, 100_000.0, ActionMix::default(), 1.1),
+            Timeline::diurnal(500, 100_000.0, ActionMix::default(), 1.1),
+            Timeline::flash(500, 100_000.0, ActionMix::default(), 1.1),
+        ] {
+            let wl = Workload::generate_timeline(&cfg, &timeline);
+            assert_eq!(wl.operations.len(), 500);
+            assert_eq!(wl.arrivals.len(), 500);
+            assert!(wl.arrivals.windows(2).all(|w| w[0] <= w[1]), "arrivals must be monotone");
+            assert!(*wl.arrivals.last().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn phase_streams_are_independent_of_phase_insertion() {
+        // The per-phase sub-seed refactor's contract: inserting a
+        // query-only phase must not perturb any other phase's stream.
+        let cfg = WorkloadConfig { ops: 0, graphs: 5, seed: 77, ..WorkloadConfig::default() };
+        let tail = Phase { mix: ActionMix::read_only(), ..Phase::named("tail", 200) };
+        let head = Phase { mix: ActionMix::read_only(), ..Phase::named("head", 150) };
+        let inserted = Phase { mix: ActionMix::read_only(), ..Phase::named("inserted", 120) };
+
+        let without = Workload::generate_timeline(
+            &cfg,
+            &Timeline { phases: vec![head.clone(), tail.clone()] },
+        );
+        let with =
+            Workload::generate_timeline(&cfg, &Timeline { phases: vec![head, inserted, tail] });
+
+        assert_eq!(without.prologue, with.prologue, "prologue has its own seed stream");
+        // head is a shared prefix; tail is byte-identical after skipping
+        // the inserted phase's operations.
+        assert_eq!(without.operations[..150], with.operations[..150]);
+        assert_eq!(without.operations[150..], with.operations[270..]);
+    }
+
+    #[test]
+    fn empty_phases_are_invisible() {
+        let cfg = WorkloadConfig { ops: 0, graphs: 4, seed: 5, ..WorkloadConfig::default() };
+        let solid = Phase { ..Phase::named("solid", 300) };
+        let a = Workload::generate_timeline(&cfg, &Timeline { phases: vec![solid.clone()] });
+        let b = Workload::generate_timeline(
+            &cfg,
+            &Timeline {
+                phases: vec![
+                    Phase::named("empty-before", 0),
+                    solid,
+                    Phase {
+                        arrival: ArrivalProcess::Poisson { rate: 1.0 },
+                        ..Phase::named("empty-after", 0)
+                    },
+                ],
+            },
+        );
+        assert_eq!(a.operations, b.operations);
+        // An empty open-loop phase must not flip the workload open.
+        assert!(!b.is_open_loop());
+        assert_eq!(b.phases.len(), 3, "empty phases still appear in the phase table");
+    }
+
+    #[test]
+    fn single_op_burst_phase_works() {
+        let cfg = WorkloadConfig { ops: 0, graphs: 3, seed: 13, ..WorkloadConfig::default() };
+        let timeline = Timeline {
+            phases: vec![Phase {
+                arrival: ArrivalProcess::Bursts { base: 10.0, peak: 1e6, period: 1.0, burst: 0.5 },
+                drift: PopularityDrift::Rotate { every: 1 },
+                ..Phase::named("blip", 1)
+            }],
+        };
+        let wl = Workload::generate_timeline(&cfg, &timeline);
+        assert_eq!(wl.operations.len(), 1);
+        assert_eq!(wl.arrivals.len(), 1);
+    }
+
+    #[test]
+    fn drift_targets_stay_in_range_on_tiny_registries() {
+        // Rotation offsets and flash targets far beyond the graph count
+        // must wrap, not panic or emit unknown names.
+        let cfg = WorkloadConfig { ops: 0, graphs: 2, seed: 3, ..WorkloadConfig::default() };
+        let timeline = Timeline {
+            phases: vec![
+                Phase {
+                    drift: PopularityDrift::Rotate { every: 0 }, // 0 behaves as 1
+                    ..Phase::named("spin", 100)
+                },
+                Phase {
+                    drift: PopularityDrift::FlashCrowd { target: 999 },
+                    ..Phase::named("crowd", 100)
+                },
+            ],
+        };
+        let wl = Workload::generate_timeline(&cfg, &timeline);
+        let mut engine = Engine::new();
+        for req in wl.all_requests() {
+            let resp = engine.execute(req.clone());
+            assert!(!matches!(resp, Response::Error { .. }), "{req} -> {resp}");
+        }
+    }
+
+    #[test]
+    fn rotation_drift_moves_the_hot_set() {
+        let cfg = WorkloadConfig { ops: 0, graphs: 8, seed: 11, ..WorkloadConfig::default() };
+        let count_on = |wl: &Workload, range: std::ops::Range<usize>, g: &str| {
+            wl.operations[range]
+                .iter()
+                .filter(|r| {
+                    matches!(r, Request::Mutate { name, .. } | Request::Query { name, .. }
+                        if name == g)
+                })
+                .count()
+        };
+        let timeline = Timeline {
+            phases: vec![Phase {
+                zipf_exponent: 1.4,
+                drift: PopularityDrift::Rotate { every: 500 },
+                ..Phase::named("drift", 2_000)
+            }],
+        };
+        let wl = Workload::generate_timeline(&cfg, &timeline);
+        // In the first rotation step g000 is the head; two steps later the
+        // head has moved to g002 and g000 is a tail graph.
+        assert!(count_on(&wl, 0..500, "g000") > count_on(&wl, 0..500, "g002"));
+        assert!(count_on(&wl, 1000..1500, "g002") > count_on(&wl, 1000..1500, "g000"));
+    }
+
+    #[test]
+    fn trace_round_trip_is_lossless_for_generated_workloads() {
+        let cfg = WorkloadConfig { ops: 0, graphs: 5, seed: 9, ..WorkloadConfig::default() };
+        let timeline = Timeline::bursty(400, 50_000.0, ActionMix::write_heavy(), 1.2);
+        let wl = Workload::generate_timeline(&cfg, &timeline);
+        let back = Workload::from_trace(&wl.to_trace()).expect("trace parses");
+        assert_eq!(back, wl);
+
+        // Closed-loop workloads round-trip too (no timestamps).
+        let closed = Workload::generate(&WorkloadConfig { ops: 120, ..WorkloadConfig::default() });
+        let back = Workload::from_trace(&closed.to_trace()).expect("trace parses");
+        assert_eq!(back, closed);
+    }
+
+    #[test]
+    fn trace_round_trips_drops_odd_names_and_manual_streams() {
+        // Traces cover the full request surface — including drops and
+        // names with spaces/percents — not just generator output, so a
+        // drift landing on a graph the stream later drops replays
+        // faithfully.
+        let wl = Workload {
+            prologue: vec![Request::Create {
+                name: "odd name %20".into(),
+                spec: GraphSpec::Edges { n: 3, edges: vec![(0, 1, 4), (1, 2, 7)] },
+            }],
+            operations: vec![
+                Request::Query { name: "odd name %20".into(), query: Query::ExactMinCut },
+                Request::Drop { name: "odd name %20".into() },
+                Request::Query { name: "odd name %20".into(), query: Query::Connectivity },
+                Request::ListGraphs,
+                Request::Stats,
+            ],
+            arrivals: vec![10, 20, 30, 40, 50],
+            phases: vec![("flash %".to_string(), 5)],
+        };
+        let back = Workload::from_trace(&wl.to_trace()).expect("trace parses");
+        assert_eq!(back, wl);
+    }
+
+    #[test]
+    fn from_trace_rejects_corruption() {
+        let cfg = WorkloadConfig { ops: 30, ..WorkloadConfig::default() };
+        let trace = Workload::generate(&cfg).to_trace();
+        // Garbage header.
+        assert!(Workload::from_trace("not-a-trace v9\n").is_err());
+        // Truncation (count mismatch).
+        let truncated: String =
+            trace.lines().take(trace.lines().count() - 1).map(|l| format!("{l}\n")).collect();
+        assert!(Workload::from_trace(&truncated).is_err());
+        // A mangled op line.
+        let mangled = trace.replace("o 0 ", "o zero ");
+        assert!(Workload::from_trace(&mangled).is_err());
+        // A phase table that doesn't cover the operations.
+        let short_phase = trace.replace("f main 30", "f main 3");
+        assert!(Workload::from_trace(&short_phase).is_err());
     }
 }

@@ -6,8 +6,8 @@
 
 use ampc_mincut::prelude::*;
 use cut_engine::{
-    ActionMix, Engine, GraphSpec, Mutation, PlacementOptions, Query, Request, Response,
-    ShardOptions, ShardedEngine, Workload, WorkloadConfig,
+    ActionMix, ArrivalProcess, Engine, GraphSpec, Mutation, PlacementOptions, Query, Request,
+    Response, ShardOptions, ShardedEngine, Timeline, Workload, WorkloadConfig,
 };
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -331,6 +331,7 @@ proptest! {
         ops in 40usize..120,
         shards in 1usize..5,
         batch in any::<bool>(),
+        latency_proxy in any::<bool>(),
     ) {
         let cfg = WorkloadConfig {
             ops,
@@ -363,6 +364,7 @@ proptest! {
             max_moves: 4,
             steal: true,
             steal_min: 2,
+            latency_proxy,
             ..PlacementOptions::default()
         };
         let mut sharded = ShardedEngine::with_options(
@@ -386,6 +388,52 @@ proptest! {
         prop_assert_eq!(total.queries, reference.stats().queries);
         prop_assert_eq!(total.cache_hits, reference.stats().cache_hits);
         prop_assert_eq!(total.mutations, reference.stats().mutations);
+    }
+
+    /// A trace round-trip (`to_trace` → `from_trace`) reproduces the
+    /// identical request stream, arrival schedule, and — replayed through
+    /// an engine — a byte-identical response log (the stress digest's
+    /// input), for closed-loop and phased open-loop workloads alike.
+    #[test]
+    fn trace_round_trip_reproduces_stream_and_response_log(
+        seed in any::<u64>(),
+        ops in 40usize..120,
+        shape in 0u8..3,
+    ) {
+        let cfg = WorkloadConfig {
+            ops,
+            seed,
+            graphs: 4,
+            initial_n: 16,
+            mix: ActionMix::write_heavy(),
+            ..WorkloadConfig::default()
+        };
+        let workload = match shape {
+            0 => Workload::generate(&cfg),
+            1 => Workload::generate_timeline(
+                &cfg,
+                &Timeline::bursty(ops, 200_000.0, cfg.mix, cfg.zipf_exponent),
+            ),
+            _ => Workload::generate_timeline(
+                &cfg,
+                &Timeline::single("poisson", ops, ArrivalProcess::Poisson { rate: 150_000.0 }),
+            ),
+        };
+        let replayed = Workload::from_trace(&workload.to_trace())
+            .map_err(TestCaseError::fail)?;
+        prop_assert_eq!(&replayed, &workload);
+
+        let log_of = |wl: &Workload| {
+            let mut engine = Engine::new();
+            let mut log = String::new();
+            for req in wl.all_requests() {
+                let resp = engine.execute(req.clone());
+                log.push_str(&format!("{req} -> {resp}\n"));
+            }
+            log
+        };
+        let (original_log, replayed_log) = (log_of(&workload), log_of(&replayed));
+        prop_assert_eq!(original_log.as_bytes(), replayed_log.as_bytes());
     }
 
     /// Replaying any seeded workload twice produces byte-identical
