@@ -33,6 +33,23 @@
 //! PATH` writes the timestamped request stream, `--trace-in PATH` replays
 //! it (same requests, same schedule, same digest).
 //!
+//! **Remote mode** (`--remote ADDR`, optionally `--connections N`): the
+//! same seeded workload drives a `cut-server` over real TCP sockets
+//! instead of an in-process engine. Requests route to connections by
+//! graph name (the shard-router trick), so per-graph ordering is
+//! preserved; open-loop percentiles become *end-to-end client-observed*
+//! latency, and a per-connection throughput table is reported. At one
+//! connection the operation log — and therefore the digest — is
+//! byte-identical to an in-process run of the same flags, which is the
+//! CI loopback gate. Engine-side flags (`--shards`, `--batch`,
+//! `--rebalance`, `--steal`, `--latency-proxy`, `--cache-entries`) are
+//! *server* properties under a network split: pass them to `cut-server`,
+//! not to a `--remote` stress run.
+//!
+//! `--json-out PATH` writes the whole report as a machine-readable
+//! `BENCH_*.json` artifact with the same schema (`cut-stress/1`) local
+//! and remote.
+//!
 //! ```text
 //! cargo run --release -p cut_bench --bin stress -- --ops 10000 --seed 7
 //! cargo run --release -p cut_bench --bin stress -- --ops 10000 --seed 7 --shards 4
@@ -40,6 +57,9 @@
 //!     --phases bursty --arrival poisson:20000 --rebalance --steal --latency-proxy
 //! cargo run --release -p cut_bench --bin stress -- --ops 10000 --trace-out /tmp/run.trace
 //! cargo run --release -p cut_bench --bin stress -- --trace-in /tmp/run.trace --shards 4
+//! cargo run --release -p cut_server --bin cut-server -- --shards 4 &
+//! cargo run --release -p cut_bench --bin stress -- --ops 10000 --seed 7 \
+//!     --phases bursty --remote 127.0.0.1:7641 --connections 4 --json-out BENCH_remote.json
 //! ```
 //!
 //! Flags: `--ops N` `--seed S` `--graphs G` `--initial-n N` `--zipf Z`
@@ -47,16 +67,19 @@
 //! `--rebalance` `--rebalance-window N` `--steal` `--latency-proxy`
 //! `--arrival closed|steady:R|poisson:R|bursts:B:P|diurnal:L:H`
 //! `--phases single|bursty|diurnal|flash` `--trace-out PATH`
-//! `--trace-in PATH` `--cache-entries N` `--dump-log PATH`. See
-//! `docs/WORKLOADS.md` for the workload model and `docs/SHARDING.md` for
-//! placement tuning.
+//! `--trace-in PATH` `--cache-entries N` `--dump-log PATH`
+//! `--remote ADDR` `--connections N` `--json-out PATH`. See
+//! `docs/WORKLOADS.md` for the workload model, `docs/SHARDING.md` for
+//! placement tuning, and `docs/PROTOCOL.md` for the wire format behind
+//! `--remote`.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::TryRecvError;
+use std::sync::mpsc::{RecvTimeoutError, TryRecvError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use cut_client::{ClientError, Connection, ReconnectPolicy, RemoteTicket};
 use cut_engine::{
     ActionMix, ArrivalProcess, Engine, EngineConfig, EngineStats, PlacementOptions,
     PlacementReport, Request, Response, ShardOptions, ShardedEngine, Ticket, Timeline, Workload,
@@ -156,6 +179,9 @@ struct Args {
     trace_in: Option<String>,
     cache_entries: usize,
     dump_log: Option<String>,
+    remote: Option<String>,
+    connections: usize,
+    json_out: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -179,7 +205,11 @@ fn parse_args() -> Result<Args, String> {
         trace_in: None,
         cache_entries: EngineConfig::default().max_cache_entries,
         dump_log: None,
+        remote: None,
+        connections: 1,
+        json_out: None,
     };
+    let mut connections_given = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -227,6 +257,13 @@ fn parse_args() -> Result<Args, String> {
                     value(&mut i)?.parse().map_err(|e| format!("--cache-entries: {e}"))?
             }
             "--dump-log" => args.dump_log = Some(value(&mut i)?),
+            "--remote" => args.remote = Some(value(&mut i)?),
+            "--connections" => {
+                connections_given = true;
+                args.connections =
+                    value(&mut i)?.parse().map_err(|e| format!("--connections: {e}"))?
+            }
+            "--json-out" => args.json_out = Some(value(&mut i)?),
             "--help" | "-h" => {
                 println!(
                     "stress --ops N --seed S [--graphs G] [--initial-n N] [--zipf Z] \
@@ -235,7 +272,8 @@ fn parse_args() -> Result<Args, String> {
                      [--arrival closed|steady:R|poisson:R|bursts:B:P|diurnal:L:H] \
                      [--phases single|bursty|diurnal|flash] \
                      [--trace-out PATH] [--trace-in PATH] [--cache-entries N] \
-                     [--dump-log PATH]"
+                     [--dump-log PATH] [--remote ADDR [--connections N]] \
+                     [--json-out PATH]"
                 );
                 std::process::exit(0);
             }
@@ -272,8 +310,40 @@ fn parse_args() -> Result<Args, String> {
         // rather than erroring (20k ops/sec keeps CI runs short).
         args.arrival = ArrivalArg::Poisson(20_000.0);
     }
+    if connections_given && args.remote.is_none() {
+        return Err("--connections only makes sense with --remote".into());
+    }
+    if args.connections == 0 || args.connections > 256 {
+        return Err(format!("--connections must be in 1..=256 (got {})", args.connections));
+    }
+    if args.remote.is_some() {
+        // Under a network split the engine lives in the server process;
+        // accepting these here would silently configure nothing.
+        let engine_flags_touched = args.shards != 1
+            || args.batch
+            || args.rebalance
+            || args.steal
+            || args.latency_proxy
+            || args.rebalance_window != PlacementOptions::default().window
+            || args.cache_entries != EngineConfig::default().max_cache_entries;
+        if engine_flags_touched {
+            return Err(
+                "--remote drives a cut-server: engine flags (--shards, --batch, --rebalance, \
+                 --rebalance-window, --steal, --latency-proxy, --cache-entries) belong on the \
+                 cut-server command line, not here"
+                    .into(),
+            );
+        }
+    }
     Ok(args)
 }
+
+/// How long an open-loop collector parks on a ticket (or its intake
+/// channel) when a non-blocking sweep found nothing. A bounded park in
+/// place of a spin: the recv wakes early the moment the awaited answer
+/// lands, so only answers landing on *other* tickets can be stamped up
+/// to this much late.
+const COLLECTOR_PARK: Duration = Duration::from_micros(200);
 
 fn percentile(sorted_nanos: &[u64], p: f64) -> u64 {
     if sorted_nanos.is_empty() {
@@ -417,7 +487,14 @@ fn main() {
         || args.steal
         || args.latency_proxy
         || workload.is_open_loop();
-    let mut report = if workload.is_open_loop() {
+    let mut report = if let Some(addr) = &args.remote {
+        println!("remote: driving cut-server at {addr} over {} connection(s)", args.connections);
+        if workload.is_open_loop() {
+            run_remote_open(&workload, addr, args.connections)
+        } else {
+            run_remote_closed(&workload, addr, args.connections)
+        }
+    } else if workload.is_open_loop() {
         run_open_loop(&workload, args.shards, opts)
     } else if !sharded_path {
         run_single(&workload, engine_cfg)
@@ -435,15 +512,19 @@ fn main() {
         report.wall.as_secs_f64(),
         report.errors
     );
-    println!(
-        "cache: {} hits / {} misses over {} queries  (hit rate {:.1}%, {} lru evictions)",
-        stats.cache_hits,
-        stats.cache_misses,
-        stats.queries,
-        stats.hit_rate() * 100.0,
-        stats.index.lru_evictions,
-    );
-    print_index_efficiency(&stats, args.batch);
+    // Cache and index counters live in the engine; under --remote that is
+    // the server's process, so there is nothing truthful to print here.
+    if args.remote.is_none() {
+        println!(
+            "cache: {} hits / {} misses over {} queries  (hit rate {:.1}%, {} lru evictions)",
+            stats.cache_hits,
+            stats.cache_misses,
+            stats.queries,
+            stats.hit_rate() * 100.0,
+            stats.index.lru_evictions,
+        );
+        print_index_efficiency(&stats, args.batch);
+    }
 
     if let Some(latencies) = &mut report.latencies {
         println!();
@@ -469,7 +550,10 @@ fn main() {
 
     if let Some(open) = &mut report.open {
         println!();
-        println!("open-loop latency under load (completion − scheduled arrival):");
+        println!(
+            "open-loop latency under load ({}completion − scheduled arrival):",
+            if args.remote.is_some() { "end-to-end client-observed: " } else { "" }
+        );
         println!(
             "{:<12} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
             "phase", "ops", "p50", "p95", "p99", "max", "q-mean", "q-max"
@@ -594,12 +678,24 @@ fn main() {
         }
     }
 
+    if let Some(conn_stats) = &report.connections {
+        println!();
+        println!("per-connection throughput:");
+        println!("{:<12} {:>10} {:>8} {:>12}", "connection", "ops", "errors", "ops/sec");
+        for (c, (ops, errs)) in conn_stats.iter().enumerate() {
+            println!(
+                "{:<12} {:>10} {:>8} {:>12.0}",
+                c,
+                ops,
+                errs,
+                *ops as f64 / report.wall.as_secs_f64()
+            );
+        }
+    }
+
+    let digest = fnv1a(report.log.as_bytes());
     println!();
-    println!(
-        "log digest: {:#018x}  ({} log bytes)",
-        fnv1a(report.log.as_bytes()),
-        report.log.len()
-    );
+    println!("log digest: {:#018x}  ({} log bytes)", digest, report.log.len());
     println!("(re-run with the same --seed: the digest must not change)");
 
     if let Some(path) = &args.dump_log {
@@ -608,6 +704,15 @@ fn main() {
             std::process::exit(1);
         }
         println!("operation log written to {path}");
+    }
+
+    if let Some(path) = &args.json_out {
+        let json = render_json(&args, &workload, &mut report, digest, ops_per_sec);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("json report written to {path}");
     }
 }
 
@@ -698,6 +803,9 @@ struct RunReport {
     placement: Option<PlacementReport>,
     /// Latency-under-load measurements — open-loop path only.
     open: Option<OpenLoopReport>,
+    /// `(ops submitted, error responses)` per connection — remote path
+    /// only (prologue setup is excluded from open-loop counts).
+    connections: Option<Vec<(u64, u64)>>,
 }
 
 /// Replay through the single-threaded `Engine::execute` path, timing each
@@ -733,6 +841,7 @@ fn run_single(workload: &Workload, cfg: EngineConfig) -> RunReport {
         occupancy: None,
         placement: None,
         open: None,
+        connections: None,
     }
 }
 
@@ -793,6 +902,7 @@ fn run_sharded(workload: &Workload, shards: usize, opts: ShardOptions) -> RunRep
         occupancy: Some(routed.into_iter().zip(per_shard).collect()),
         placement: adaptive.then_some(placement),
         open: None,
+        connections: None,
     }
 }
 
@@ -862,7 +972,27 @@ fn run_open_loop(workload: &Workload, shards: usize, opts: ShardOptions) -> RunR
                     return done;
                 }
                 if !progressed {
-                    std::thread::sleep(Duration::from_micros(20));
+                    // Nothing landed this sweep: park on the oldest
+                    // outstanding ticket instead of hot-polling — the
+                    // recv wakes the instant that answer arrives, so its
+                    // stamp stays exact, and the timeout bounds staleness
+                    // for answers landing on younger tickets.
+                    if let Some(front) = outstanding.front_mut() {
+                        if let Some(response) = front.2.wait_timeout(COLLECTOR_PARK) {
+                            let now = t0.elapsed().as_nanos() as u64;
+                            let (op, sched, _) = outstanding.pop_front().expect("non-empty");
+                            done.push((op, now.saturating_sub(sched), response));
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    } else {
+                        // Queue empty, pacer still running: block for the
+                        // next submission rather than spinning on try_recv.
+                        match rx.recv_timeout(COLLECTOR_PARK) {
+                            Ok(item) => outstanding.push_back(item),
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => closed = true,
+                        }
+                    }
                 }
             }
         })
@@ -941,5 +1071,505 @@ fn run_open_loop(workload: &Workload, shards: usize, opts: ShardOptions) -> RunR
             phases,
             horizon_nanos: workload.arrivals.last().copied().unwrap_or(0),
         }),
+        connections: None,
     }
+}
+
+/// Abort a remote run: a [`ClientError`] means the connection (or the
+/// server) is gone, and the response stream — hence the log and digest —
+/// can no longer be completed truthfully.
+fn fatal_remote(op: usize, e: &ClientError) -> ! {
+    eprintln!("error: remote run failed at op {op}: {e}");
+    std::process::exit(1);
+}
+
+/// Which connection serves `request`: per-graph affinity via the same
+/// FNV-1a trick the shard router uses, so every request touching a graph
+/// rides one connection and per-graph ordering survives the fan-out.
+/// Broadcasts (`list`, `stats`) ride connection 0. At `connections == 1`
+/// the whole stream shares one pipeline and the response log is
+/// byte-identical to an in-process run.
+fn conn_for(request: &Request, connections: usize) -> usize {
+    if connections <= 1 {
+        return 0;
+    }
+    match request {
+        Request::Create { name, .. }
+        | Request::Drop { name }
+        | Request::Mutate { name, .. }
+        | Request::Query { name, .. } => (fnv1a(name.as_bytes()) % connections as u64) as usize,
+        Request::ListGraphs | Request::Stats => 0,
+    }
+}
+
+/// Dial `connections` sockets, retrying with backoff so a freshly
+/// backgrounded `cut-server` has time to bind (the CI loopback pattern).
+fn open_connections(addr: &str, connections: usize) -> Vec<Connection> {
+    let policy = ReconnectPolicy {
+        attempts: 8,
+        base_delay: Duration::from_millis(50),
+        max_delay: Duration::from_secs(1),
+    };
+    (0..connections)
+        .map(|c| {
+            Connection::connect_with_retry(addr, &policy).unwrap_or_else(|e| {
+                eprintln!("error: connecting to {addr} (connection {c}): {e}");
+                std::process::exit(1);
+            })
+        })
+        .collect()
+}
+
+/// Closed-loop replay against a remote `cut-server`: the same bounded
+/// in-flight window as [`run_sharded`], but tickets resolve over the
+/// wire. Responses are drained in global submission order (each
+/// connection's stream is in-order, so cross-connection waits are safe).
+fn run_remote_closed(workload: &Workload, addr: &str, connections: usize) -> RunReport {
+    /// Same depth as the in-process window: deep enough to keep the
+    /// server's shards busy across the network, bounded so client memory
+    /// stays flat.
+    const WINDOW: usize = 1024;
+
+    fn drain_one(
+        inflight: &mut VecDeque<(usize, &Request, usize, RemoteTicket)>,
+        log: &mut String,
+        errors: &mut usize,
+        conn_stats: &mut [(u64, u64)],
+    ) {
+        let (i, request, c, ticket) = inflight.pop_front().expect("non-empty window");
+        let response = ticket.wait().unwrap_or_else(|e| fatal_remote(i, &e));
+        if matches!(response, Response::Error { .. }) {
+            *errors += 1;
+            conn_stats[c].1 += 1;
+        }
+        log.push_str(&format!("{i:06} {request} -> {response}\n"));
+    }
+
+    let mut conns = open_connections(addr, connections);
+    let mut log = String::with_capacity(workload.len() * 64);
+    let mut errors = 0usize;
+    let mut conn_stats = vec![(0u64, 0u64); connections];
+    let mut inflight: VecDeque<(usize, &Request, usize, RemoteTicket)> = VecDeque::new();
+
+    let t_run = Instant::now();
+    for (i, request) in workload.all_requests().enumerate() {
+        let c = conn_for(request, connections);
+        let ticket = conns[c].submit(request).unwrap_or_else(|e| fatal_remote(i, &e));
+        conn_stats[c].0 += 1;
+        inflight.push_back((i, request, c, ticket));
+        if inflight.len() >= WINDOW {
+            drain_one(&mut inflight, &mut log, &mut errors, &mut conn_stats);
+        }
+    }
+    while !inflight.is_empty() {
+        drain_one(&mut inflight, &mut log, &mut errors, &mut conn_stats);
+    }
+    let wall = t_run.elapsed();
+    for conn in conns {
+        conn.close();
+    }
+
+    RunReport {
+        log,
+        errors,
+        wall,
+        stats: EngineStats::default(),
+        latencies: None,
+        occupancy: None,
+        placement: None,
+        open: None,
+        connections: Some(conn_stats),
+    }
+}
+
+/// Open-loop replay against a remote `cut-server`: the same paced
+/// schedule as [`run_open_loop`], but submissions fan out over real
+/// sockets and the measured latency is *end-to-end client-observed*
+/// (response line parsed at the client − scheduled arrival).
+///
+/// The collector exploits per-connection response ordering: only each
+/// connection's head ticket can land next, so it sweeps the heads
+/// non-blockingly and, when nothing lands, parks on the oldest head via
+/// [`RemoteTicket::wait_timeout`] instead of hot-polling.
+fn run_remote_open(workload: &Workload, addr: &str, connections: usize) -> RunReport {
+    assert!(workload.is_open_loop(), "open-loop replay needs an arrival schedule");
+    let mut conns = open_connections(addr, connections);
+    let mut log = String::with_capacity(workload.len() * 64);
+    let mut errors = 0usize;
+    let mut conn_stats = vec![(0u64, 0u64); connections];
+
+    let t_run = Instant::now();
+    // Prologue: serial and untimed — every graph must exist before the
+    // paced stream begins, whichever connection its operations ride.
+    for (i, request) in workload.prologue.iter().enumerate() {
+        let c = conn_for(request, connections);
+        let response = conns[c].execute(request).unwrap_or_else(|e| fatal_remote(i, &e));
+        if matches!(response, Response::Error { .. }) {
+            errors += 1;
+        }
+        log.push_str(&format!("{i:06} {request} -> {response}\n"));
+    }
+
+    let completed = Arc::new(AtomicU64::new(0));
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, u64, usize, RemoteTicket)>();
+    let t0 = Instant::now();
+    let collector = {
+        let completed = Arc::clone(&completed);
+        std::thread::spawn(move || {
+            let mut queues: Vec<VecDeque<(usize, u64, RemoteTicket)>> =
+                (0..connections).map(|_| VecDeque::new()).collect();
+            let mut outstanding = 0usize;
+            let mut done: Vec<(usize, usize, u64, Response)> = Vec::new();
+            let mut closed = false;
+            let settle = |entry: (usize, u64, RemoteTicket),
+                          c: usize,
+                          result: Result<Response, ClientError>,
+                          done: &mut Vec<(usize, usize, u64, Response)>| {
+                let now = t0.elapsed().as_nanos() as u64;
+                let (op, sched, _ticket) = entry;
+                let response = result.unwrap_or_else(|e| fatal_remote(op, &e));
+                done.push((op, c, now.saturating_sub(sched), response));
+                completed.fetch_add(1, Ordering::Relaxed);
+            };
+            loop {
+                loop {
+                    match rx.try_recv() {
+                        Ok((op, sched, c, ticket)) => {
+                            queues[c].push_back((op, sched, ticket));
+                            outstanding += 1;
+                        }
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => {
+                            closed = true;
+                            break;
+                        }
+                    }
+                }
+                let mut progressed = false;
+                for (c, queue) in queues.iter_mut().enumerate() {
+                    // In-order responses: only the head can land next.
+                    while let Some(head) = queue.front() {
+                        let Some(result) = head.2.try_wait() else { break };
+                        let entry = queue.pop_front().expect("non-empty queue");
+                        outstanding -= 1;
+                        settle(entry, c, result, &mut done);
+                        progressed = true;
+                    }
+                }
+                if closed && outstanding == 0 {
+                    return done;
+                }
+                if !progressed {
+                    // Park on the oldest head across connections — the
+                    // recv wakes the instant that response arrives, so
+                    // its stamp stays exact; heads of other connections
+                    // wait at most one park interval for their sweep.
+                    let oldest = (0..queues.len())
+                        .filter(|&c| !queues[c].is_empty())
+                        .min_by_key(|&c| queues[c].front().expect("non-empty queue").0);
+                    match oldest {
+                        Some(c) => {
+                            let waited = queues[c]
+                                .front()
+                                .expect("non-empty queue")
+                                .2
+                                .wait_timeout(COLLECTOR_PARK);
+                            if let Some(result) = waited {
+                                let entry = queues[c].pop_front().expect("non-empty queue");
+                                outstanding -= 1;
+                                settle(entry, c, result, &mut done);
+                            }
+                        }
+                        // Nothing outstanding: block for the next
+                        // submission rather than spinning on try_recv.
+                        None => match rx.recv_timeout(COLLECTOR_PARK) {
+                            Ok((op, sched, c, ticket)) => {
+                                queues[c].push_back((op, sched, ticket));
+                                outstanding += 1;
+                            }
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => closed = true,
+                        },
+                    }
+                }
+            }
+        })
+    };
+
+    // Pace the submissions against the schedule (same as the local path).
+    let mut phases: Vec<PhaseLatency> = workload
+        .phases
+        .iter()
+        .map(|(name, ops)| PhaseLatency {
+            name: name.clone(),
+            lat: Vec::with_capacity(*ops),
+            depth_sum: 0,
+            depth_max: 0,
+            depth_samples: 0,
+        })
+        .collect();
+    for (op, request) in workload.operations.iter().enumerate() {
+        let sched = workload.arrivals[op];
+        loop {
+            let now = t0.elapsed().as_nanos() as u64;
+            if now >= sched {
+                break;
+            }
+            let wait = sched - now;
+            if wait > 100_000 {
+                std::thread::sleep(Duration::from_nanos(wait - 50_000));
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        let c = conn_for(request, connections);
+        let ticket = conns[c].submit(request).unwrap_or_else(|e| fatal_remote(op, &e));
+        conn_stats[c].0 += 1;
+        tx.send((op, sched, c, ticket)).expect("collector alive until sender drops");
+        let depth = (op as u64 + 1).saturating_sub(completed.load(Ordering::Relaxed));
+        if let Some(p) = workload.phase_of(op) {
+            phases[p].depth_sum += depth;
+            phases[p].depth_max = phases[p].depth_max.max(depth);
+            phases[p].depth_samples += 1;
+        }
+    }
+    drop(tx);
+    let mut done = collector.join().expect("collector thread panicked");
+    let wall = t_run.elapsed();
+    for conn in conns {
+        conn.close();
+    }
+
+    // Assemble the log in submission order and bucket latencies per phase.
+    done.sort_unstable_by_key(|&(op, _, _, _)| op);
+    let base = workload.prologue.len();
+    for (op, c, latency, response) in done {
+        if matches!(response, Response::Error { .. }) {
+            errors += 1;
+            conn_stats[c].1 += 1;
+        }
+        let request = &workload.operations[op];
+        log.push_str(&format!("{:06} {request} -> {response}\n", base + op));
+        if let Some(p) = workload.phase_of(op) {
+            phases[p].lat.push(latency);
+        }
+    }
+
+    RunReport {
+        log,
+        errors,
+        wall,
+        stats: EngineStats::default(),
+        latencies: None,
+        occupancy: None,
+        placement: None,
+        open: Some(OpenLoopReport {
+            phases,
+            horizon_nanos: workload.arrivals.last().copied().unwrap_or(0),
+        }),
+        connections: Some(conn_stats),
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// enough for graph/mix/addr/path strings; no external dependency.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_opt_str(s: Option<&String>) -> String {
+    s.map(|v| json_str(v)).unwrap_or_else(|| "null".to_string())
+}
+
+/// Render the whole run as the `cut-stress/1` JSON artifact (`--json-out`).
+/// Sections that the execution path did not measure are `null`, so the
+/// schema is identical for local and remote, closed- and open-loop runs.
+fn render_json(
+    args: &Args,
+    workload: &Workload,
+    report: &mut RunReport,
+    digest: u64,
+    ops_per_sec: f64,
+) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n  \"schema\": \"cut-stress/1\",\n");
+
+    out.push_str("  \"config\": {\n");
+    out.push_str(&format!("    \"trace_in\": {},\n", json_opt_str(args.trace_in.as_ref())));
+    out.push_str(&format!("    \"ops\": {},\n", args.ops));
+    out.push_str(&format!("    \"seed\": {},\n", args.seed));
+    out.push_str(&format!("    \"graphs\": {},\n", args.graphs));
+    out.push_str(&format!("    \"initial_n\": {},\n", args.initial_n));
+    out.push_str(&format!("    \"zipf\": {},\n", args.zipf));
+    out.push_str(&format!("    \"mix\": {},\n", json_str(&args.mix_name)));
+    out.push_str(&format!("    \"shards\": {},\n", args.shards));
+    out.push_str(&format!("    \"batch\": {},\n", args.batch));
+    out.push_str(&format!("    \"rebalance\": {},\n", args.rebalance));
+    out.push_str(&format!("    \"rebalance_window\": {},\n", args.rebalance_window));
+    out.push_str(&format!("    \"steal\": {},\n", args.steal));
+    out.push_str(&format!("    \"latency_proxy\": {},\n", args.latency_proxy));
+    out.push_str(&format!("    \"arrival\": {},\n", json_str(&format!("{:?}", args.arrival))));
+    out.push_str(&format!("    \"phases\": {},\n", json_str(&args.phases)));
+    out.push_str(&format!("    \"cache_entries\": {},\n", args.cache_entries));
+    out.push_str(&format!("    \"remote\": {},\n", json_opt_str(args.remote.as_ref())));
+    out.push_str(&format!(
+        "    \"connections\": {}\n",
+        if args.remote.is_some() { args.connections.to_string() } else { "null".to_string() }
+    ));
+    out.push_str("  },\n");
+
+    out.push_str("  \"totals\": {\n");
+    out.push_str(&format!("    \"ops\": {},\n", workload.len()));
+    out.push_str(&format!("    \"wall_nanos\": {},\n", report.wall.as_nanos()));
+    out.push_str(&format!("    \"ops_per_sec\": {ops_per_sec:.1},\n"));
+    out.push_str(&format!("    \"errors\": {}\n", report.errors));
+    out.push_str("  },\n");
+    out.push_str(&format!("  \"digest\": {},\n", json_str(&format!("{digest:#018x}"))));
+    out.push_str(&format!("  \"log_bytes\": {},\n", report.log.len()));
+
+    // Engine-side counters are only truthful when the engine ran in this
+    // process; a remote run reports them as null (they live server-side).
+    if args.remote.is_some() {
+        out.push_str("  \"cache\": null,\n");
+    } else {
+        let s = &report.stats;
+        out.push_str("  \"cache\": {\n");
+        out.push_str(&format!("    \"queries\": {},\n", s.queries));
+        out.push_str(&format!("    \"mutations\": {},\n", s.mutations));
+        out.push_str(&format!("    \"hits\": {},\n", s.cache_hits));
+        out.push_str(&format!("    \"misses\": {},\n", s.cache_misses));
+        out.push_str(&format!("    \"hit_rate\": {:.4},\n", s.hit_rate()));
+        out.push_str(&format!("    \"lru_evictions\": {},\n", s.index.lru_evictions));
+        out.push_str(&format!("    \"csr_builds\": {},\n", s.index.csr_builds));
+        out.push_str(&format!("    \"csr_reuses\": {},\n", s.index.csr_reuses));
+        out.push_str(&format!("    \"dsu_fast_hits\": {},\n", s.index.dsu_fast_hits));
+        out.push_str(&format!("    \"dsu_rebuilds\": {},\n", s.index.dsu_rebuilds));
+        out.push_str(&format!("    \"batches\": {},\n", s.batches));
+        out.push_str(&format!("    \"batched_reads\": {}\n", s.batched_reads));
+        out.push_str("  },\n");
+    }
+
+    match &mut report.latencies {
+        Some(latencies) => {
+            out.push_str("  \"actions\": [\n");
+            let last = latencies.len().saturating_sub(1);
+            for (row, (kind, nanos)) in latencies.iter_mut().enumerate() {
+                nanos.sort_unstable();
+                let total: u64 = nanos.iter().sum();
+                out.push_str(&format!(
+                    "    {{\"action\": {}, \"count\": {}, \"p50_nanos\": {}, \"p90_nanos\": {}, \
+                     \"p99_nanos\": {}, \"max_nanos\": {}, \"total_nanos\": {}}}{}\n",
+                    json_str(kind),
+                    nanos.len(),
+                    percentile(nanos, 50.0),
+                    percentile(nanos, 90.0),
+                    percentile(nanos, 99.0),
+                    nanos.last().copied().unwrap_or(0),
+                    total,
+                    if row == last { "" } else { "," },
+                ));
+            }
+            out.push_str("  ],\n");
+        }
+        None => out.push_str("  \"actions\": null,\n"),
+    }
+
+    match &mut report.open {
+        Some(open) => {
+            out.push_str("  \"open_loop\": {\n");
+            out.push_str(&format!("    \"horizon_nanos\": {},\n", open.horizon_nanos));
+            out.push_str("    \"phases\": [\n");
+            let last = open.phases.len().saturating_sub(1);
+            for (row, phase) in open.phases.iter_mut().enumerate() {
+                phase.lat.sort_unstable();
+                let q_mean = if phase.depth_samples == 0 {
+                    0.0
+                } else {
+                    phase.depth_sum as f64 / phase.depth_samples as f64
+                };
+                out.push_str(&format!(
+                    "      {{\"name\": {}, \"ops\": {}, \"p50_nanos\": {}, \"p95_nanos\": {}, \
+                     \"p99_nanos\": {}, \"max_nanos\": {}, \"queue_depth_mean\": {:.2}, \
+                     \"queue_depth_max\": {}}}{}\n",
+                    json_str(&phase.name),
+                    phase.lat.len(),
+                    percentile(&phase.lat, 50.0),
+                    percentile(&phase.lat, 95.0),
+                    percentile(&phase.lat, 99.0),
+                    phase.lat.last().copied().unwrap_or(0),
+                    q_mean,
+                    phase.depth_max,
+                    if row == last { "" } else { "," },
+                ));
+            }
+            out.push_str("    ]\n  },\n");
+        }
+        None => out.push_str("  \"open_loop\": null,\n"),
+    }
+
+    match &report.occupancy {
+        Some(occupancy) => {
+            out.push_str("  \"occupancy\": [\n");
+            let last = occupancy.len().saturating_sub(1);
+            for (shard, (routed, s)) in occupancy.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"shard\": {shard}, \"routed\": {routed}, \"serve_nanos\": {}, \
+                     \"queries\": {}, \"mutations\": {}, \"hit_rate\": {:.4}, \
+                     \"migrations_in\": {}, \"migrations_out\": {}, \"steal_batches\": {}}}{}\n",
+                    s.serve_nanos,
+                    s.queries,
+                    s.mutations,
+                    s.hit_rate(),
+                    s.migrations_in,
+                    s.migrations_out,
+                    s.steal_batches,
+                    if shard == last { "" } else { "," },
+                ));
+            }
+            out.push_str("  ],\n");
+        }
+        None => out.push_str("  \"occupancy\": null,\n"),
+    }
+
+    match &report.placement {
+        Some(p) => out.push_str(&format!(
+            "  \"placement\": {{\"rebalances\": {}, \"migrations\": {}, \"generation\": {}}},\n",
+            p.rebalances, p.migrations, p.generation
+        )),
+        None => out.push_str("  \"placement\": null,\n"),
+    }
+
+    match &report.connections {
+        Some(conn_stats) => {
+            out.push_str("  \"connections\": [\n");
+            let last = conn_stats.len().saturating_sub(1);
+            for (c, (ops, errs)) in conn_stats.iter().enumerate() {
+                out.push_str(&format!(
+                    "    {{\"connection\": {c}, \"ops\": {ops}, \"errors\": {errs}, \
+                     \"ops_per_sec\": {:.1}}}{}\n",
+                    *ops as f64 / report.wall.as_secs_f64(),
+                    if c == last { "" } else { "," },
+                ));
+            }
+            out.push_str("  ]\n");
+        }
+        None => out.push_str("  \"connections\": null\n"),
+    }
+
+    out.push_str("}\n");
+    out
 }

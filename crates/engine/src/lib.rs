@@ -28,6 +28,14 @@
 //!   from the longest queue. Neither changes a response; see
 //!   `docs/SHARDING.md` for the protocols and the determinism argument.
 //!
+//! A third front lives out-of-crate: the `cut_server` crate's
+//! `cut-server` binary serves a [`ShardedEngine`] over TCP, speaking
+//! [`Request::to_trace_line`]/[`Response::to_trace_line`] as a
+//! line-delimited wire protocol (`docs/PROTOCOL.md`), and the
+//! `cut_client` crate is the matching client library. The trace codec
+//! doubles as the wire codec, so remote responses are byte-identical to
+//! in-process ones.
+//!
 //! Beneath both sits the **index layer** (the `cut_index` crate): every
 //! registry entry keeps a generation-stamped CSR snapshot (one build per
 //! mutation, shared by all reads in between), an incremental DSU so

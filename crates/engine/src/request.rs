@@ -725,7 +725,132 @@ pub enum Response {
     },
 }
 
+/// Parse the next token as a strict `0`/`1` boolean (the trace encoding of
+/// `cached` flags). Anything else — including `true`/`false` — is rejected,
+/// so a corrupted line cannot silently flip a flag.
+fn parse_bool_tok<'a>(
+    tokens: &mut impl Iterator<Item = &'a str>,
+    what: &str,
+) -> Result<bool, String> {
+    match next_tok(tokens, what)? {
+        "0" => Ok(false),
+        "1" => Ok(true),
+        other => Err(format!("bad {what} '{other}' in trace line (want 0 or 1)")),
+    }
+}
+
 impl Response {
+    /// Serialize to one line of the wire/trace format — the lossless
+    /// counterpart of [`Request::to_trace_line`], and the encoding
+    /// `cut-server` puts on the socket. Graph names and error messages are
+    /// percent-encoded, so any response round-trips byte-exactly; in
+    /// particular `from_trace_line(&r.to_trace_line()) == Ok(r)` and the
+    /// decoded response's [`std::fmt::Display`] (the operation-log form the
+    /// stress digest hashes) is identical to the original's.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cut_engine::Response;
+    ///
+    /// let resp = Response::CutValue { weight: 7, side_size: 3, cached: true };
+    /// let line = resp.to_trace_line();
+    /// assert_eq!(line, "cut 7 3 1");
+    /// assert_eq!(Response::from_trace_line(&line), Ok(resp));
+    /// ```
+    pub fn to_trace_line(&self) -> String {
+        match self {
+            Response::Created { name, n, m } => format!("created {} {n} {m}", encode_name(name)),
+            Response::Dropped { name } => format!("dropped {}", encode_name(name)),
+            Response::Mutated { name, epoch, n, m } => {
+                format!("mutated {} {epoch} {n} {m}", encode_name(name))
+            }
+            Response::CutValue { weight, side_size, cached } => {
+                format!("cut {weight} {side_size} {}", *cached as u8)
+            }
+            Response::KCutValue { weight, parts, cached } => {
+                format!("kcut {weight} {parts} {}", *cached as u8)
+            }
+            Response::ConnectivityValue { components, cached } => {
+                format!("conn {components} {}", *cached as u8)
+            }
+            Response::Graphs { names } => {
+                let mut s = format!("graphs {}", names.len());
+                for name in names {
+                    s.push(' ');
+                    s.push_str(&encode_name(name));
+                }
+                s
+            }
+            Response::EngineStats { graphs, queries, cache_hits, cache_misses, mutations } => {
+                format!("stats {graphs} {queries} {cache_hits} {cache_misses} {mutations}")
+            }
+            Response::Error { message } => format!("error {}", encode_name(message)),
+        }
+    }
+
+    /// Parse one line produced by [`Response::to_trace_line`]. Strict, like
+    /// the request parser: unknown kinds, truncated headers, missing
+    /// fields, malformed booleans, and trailing tokens are all errors —
+    /// this is the wire format, so a garbled line must surface as a typed
+    /// protocol error, never as a silently wrong answer.
+    pub fn from_trace_line(line: &str) -> Result<Response, String> {
+        let mut tokens = line.split_whitespace();
+        let kind = next_tok(&mut tokens, "response kind")?;
+        let name = |tokens: &mut std::str::SplitWhitespace| -> Result<String, String> {
+            decode_name(next_tok(tokens, "graph name")?)
+        };
+        let response = match kind {
+            "created" => Response::Created {
+                name: name(&mut tokens)?,
+                n: parse_tok(&mut tokens, "created n")?,
+                m: parse_tok(&mut tokens, "created m")?,
+            },
+            "dropped" => Response::Dropped { name: name(&mut tokens)? },
+            "mutated" => Response::Mutated {
+                name: name(&mut tokens)?,
+                epoch: parse_tok(&mut tokens, "mutated epoch")?,
+                n: parse_tok(&mut tokens, "mutated n")?,
+                m: parse_tok(&mut tokens, "mutated m")?,
+            },
+            "cut" => Response::CutValue {
+                weight: parse_tok(&mut tokens, "cut weight")?,
+                side_size: parse_tok(&mut tokens, "cut side size")?,
+                cached: parse_bool_tok(&mut tokens, "cut cached flag")?,
+            },
+            "kcut" => Response::KCutValue {
+                weight: parse_tok(&mut tokens, "kcut weight")?,
+                parts: parse_tok(&mut tokens, "kcut parts")?,
+                cached: parse_bool_tok(&mut tokens, "kcut cached flag")?,
+            },
+            "conn" => Response::ConnectivityValue {
+                components: parse_tok(&mut tokens, "connectivity components")?,
+                cached: parse_bool_tok(&mut tokens, "connectivity cached flag")?,
+            },
+            "graphs" => {
+                let count: usize = parse_tok(&mut tokens, "graphs count")?;
+                let mut names = Vec::with_capacity(count.min(1 << 16));
+                for _ in 0..count {
+                    names.push(name(&mut tokens)?);
+                }
+                Response::Graphs { names }
+            }
+            "stats" => Response::EngineStats {
+                graphs: parse_tok(&mut tokens, "stats graphs")?,
+                queries: parse_tok(&mut tokens, "stats queries")?,
+                cache_hits: parse_tok(&mut tokens, "stats cache hits")?,
+                cache_misses: parse_tok(&mut tokens, "stats cache misses")?,
+                mutations: parse_tok(&mut tokens, "stats mutations")?,
+            },
+            "error" => Response::Error { message: name(&mut tokens)? },
+            other => return Err(format!("unknown response kind '{other}'")),
+        };
+        if let Some(extra) = tokens.next() {
+            return Err(format!("trailing token '{extra}' after {kind} response"));
+        }
+        Ok(response)
+    }
+
     /// True when this response was served from the query cache.
     pub fn was_cached(&self) -> bool {
         matches!(
@@ -873,6 +998,139 @@ mod tests {
             "create g blob 1 2 3 4", // unknown spec kind
         ] {
             assert!(Request::from_trace_line(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn response_trace_lines_round_trip_every_shape() {
+        let responses = vec![
+            Response::Created { name: "g000".into(), n: 48, m: 96 },
+            Response::Dropped { name: "two words".into() },
+            Response::Mutated { name: "g".into(), epoch: 17, n: 10, m: 20 },
+            Response::CutValue { weight: 0, side_size: 0, cached: false },
+            Response::CutValue { weight: u64::MAX, side_size: 31, cached: true },
+            Response::KCutValue { weight: 9, parts: 3, cached: false },
+            Response::ConnectivityValue { components: 1, cached: true },
+            Response::Graphs { names: vec![] },
+            Response::Graphs { names: vec!["a".into(), "".into(), "100%".into()] },
+            Response::EngineStats {
+                graphs: 8,
+                queries: 10_000,
+                cache_hits: 7_400,
+                cache_misses: 2_600,
+                mutations: 1_200,
+            },
+            Response::Error { message: "graph 'g' not found".into() },
+            Response::Error { message: String::new() },
+        ];
+        for resp in responses {
+            let line = resp.to_trace_line();
+            assert!(!line.contains('\n'), "encoded line must stay one line: {line:?}");
+            assert_eq!(Response::from_trace_line(&line), Ok(resp.clone()), "line: {line}");
+            // The wire hop must not perturb the operation log the stress
+            // digest hashes: Display survives the round trip byte-exactly.
+            let back = Response::from_trace_line(&line).unwrap();
+            assert_eq!(format!("{back}"), format!("{resp}"));
+        }
+    }
+
+    #[test]
+    fn response_from_trace_line_rejects_malformed_input() {
+        for bad in [
+            "",
+            "warped 1 2",        // unknown kind
+            "created g 4",       // truncated header (missing m)
+            "created g 4 5 6",   // trailing token
+            "cut 7 3",           // missing cached flag
+            "cut 7 3 maybe",     // non-0/1 cached flag
+            "cut 7 3 true",      // Display form is not the wire form
+            "conn x 0",          // non-numeric field
+            "graphs 2 only-one", // fewer names than the count promises
+            "graphs two a b",    // non-numeric count
+            "stats 1 2 3 4",     // truncated stats
+            "error",             // missing message token
+            "mutated g 1 2",     // truncated mutated
+        ] {
+            assert!(Response::from_trace_line(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    /// Names (and error messages) exercising every escape the codec knows.
+    fn name_from_seed(seed: u64, len: usize) -> String {
+        const PALETTE: [char; 10] = ['g', '0', '%', ' ', '\t', '\n', '\r', '-', 'é', '7'];
+        let mut s = String::new();
+        let mut x = seed;
+        for _ in 0..len {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s.push(PALETTE[(x >> 33) as usize % PALETTE.len()]);
+        }
+        s
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(256))]
+
+        /// Wire-format pinning: every reachable response round-trips
+        /// losslessly, including hostile graph names and messages.
+        #[test]
+        fn response_trace_round_trip_is_lossless(
+            (variant, a, b, flag, nseed) in
+                (0u8..9, proptest::any::<u64>(), proptest::any::<u64>(),
+                 proptest::any::<bool>(), proptest::any::<u64>())
+        ) {
+            let name = name_from_seed(nseed, (nseed % 7) as usize);
+            let resp = match variant {
+                0 => Response::Created { name, n: a as usize, m: b as usize },
+                1 => Response::Dropped { name },
+                2 => Response::Mutated { name, epoch: a, n: b as usize, m: (a ^ b) as usize },
+                3 => Response::CutValue { weight: a, side_size: b as usize, cached: flag },
+                4 => Response::KCutValue { weight: a, parts: b as usize, cached: flag },
+                5 => Response::ConnectivityValue { components: a as usize, cached: flag },
+                6 => Response::Graphs {
+                    names: (0..(a % 5))
+                        .map(|i| name_from_seed(nseed.wrapping_add(i), (b % 6) as usize))
+                        .collect(),
+                },
+                7 => Response::EngineStats {
+                    graphs: a as usize,
+                    queries: b,
+                    cache_hits: a ^ b,
+                    cache_misses: a.wrapping_add(b),
+                    mutations: a.rotate_left(17),
+                },
+                _ => Response::Error { message: name },
+            };
+            let line = resp.to_trace_line();
+            proptest::prop_assert!(!line.contains('\n'), "line must stay one line: {:?}", line);
+            proptest::prop_assert_eq!(Response::from_trace_line(&line), Ok(resp));
+        }
+
+        /// Truncation never parses: chopping any trailing portion off a
+        /// valid line (leaving at least the kind token intact) is rejected
+        /// rather than decoded as a shorter valid response.
+        #[test]
+        fn response_trace_rejects_every_truncation(
+            (a, b, cut_at) in
+                (proptest::any::<u64>(), proptest::any::<u64>(), proptest::any::<u64>())
+        ) {
+            let resp = Response::Mutated {
+                name: "graph name".into(),
+                epoch: a,
+                n: b as usize,
+                m: (a ^ b) as usize,
+            };
+            let line = resp.to_trace_line();
+            // Truncate at a boundary strictly inside the token stream:
+            // keep the kind, drop at least one later token.
+            let cuts: Vec<usize> = (0..line.len())
+                .filter(|&i| i > "mutated".len() && line.as_bytes()[i] == b' ')
+                .collect();
+            let cut = cuts[(cut_at % cuts.len() as u64) as usize];
+            proptest::prop_assert!(
+                Response::from_trace_line(&line[..cut]).is_err(),
+                "truncated line must not parse: {:?}",
+                &line[..cut]
+            );
         }
     }
 }

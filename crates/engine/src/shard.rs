@@ -93,7 +93,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use crate::engine::{serve_query, Engine, EngineConfig, EngineStats, GraphEntry};
 use crate::request::{Request, Response};
@@ -374,6 +374,41 @@ impl Ticket {
                 Some(merge_partials(*kind, partials))
             }
         }
+    }
+
+    /// Bounded-blocking poll: park up to `timeout` for the next missing
+    /// answer, then report like [`Ticket::try_wait`]. Collectors that would
+    /// otherwise hot-poll `try_wait` in a spin loop should park here
+    /// instead — the wait ends the moment the answer lands, so completion
+    /// timestamps stay accurate without burning a core.
+    ///
+    /// `None` means the timeout elapsed (any partials that arrived are
+    /// buffered); `Some` spends the ticket exactly as `try_wait` does.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<Response> {
+        match &mut self.inner {
+            TicketInner::Single(rx) => {
+                return match rx.recv_timeout(timeout) {
+                    Ok(r) => Some(r),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => Some(worker_lost()),
+                };
+            }
+            TicketInner::Merge { parts, got, .. } => {
+                // Park on the first missing partial only; the rest are
+                // swept non-blockingly below (they usually land together).
+                if let Some((rx, slot)) =
+                    parts.iter().zip(got.iter_mut()).find(|(_, slot)| slot.is_none())
+                {
+                    match rx.recv_timeout(timeout) {
+                        Ok(r) => *slot = Some(r),
+                        Err(RecvTimeoutError::Timeout) => return None,
+                        // Let try_wait below report the lost worker.
+                        Err(RecvTimeoutError::Disconnected) => {}
+                    }
+                }
+            }
+        }
+        self.try_wait()
     }
 }
 
@@ -1420,6 +1455,33 @@ mod tests {
     fn create(engine: &mut ShardedEngine, name: &str, n: usize) {
         let r = engine.execute(Request::Create { name: name.into(), spec: GraphSpec::Cycle { n } });
         assert!(matches!(r, Response::Created { .. }), "create failed: {r}");
+    }
+
+    #[test]
+    fn wait_timeout_parks_then_delivers_like_try_wait() {
+        let mut e = ShardedEngine::new(3);
+        create(&mut e, "ring", 12);
+        // Single-shard ticket: park-polling must converge on the answer.
+        let mut ticket =
+            e.submit(Request::Query { name: "ring".into(), query: Query::ExactMinCut });
+        let response = loop {
+            if let Some(r) = ticket.wait_timeout(Duration::from_millis(1)) {
+                break r;
+            }
+        };
+        assert!(matches!(response, Response::CutValue { weight: 2, .. }), "got {response}");
+        // Broadcast (merge) ticket: partials buffer across timeouts.
+        let mut ticket = e.submit(Request::ListGraphs);
+        let response = loop {
+            if let Some(r) = ticket.wait_timeout(Duration::from_millis(1)) {
+                break r;
+            }
+        };
+        assert!(
+            matches!(&response, Response::Graphs { names } if names == &vec!["ring".to_string()]),
+            "got {response}"
+        );
+        e.shutdown();
     }
 
     #[test]

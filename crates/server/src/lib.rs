@@ -1,0 +1,483 @@
+//! # `cut-server` — the network serving layer over [`cut_engine`]
+//!
+//! Turns the in-process `Request -> Response` contract into a TCP
+//! service: a [`Server`] owns one [`ShardedEngine`] and a
+//! `std::net::TcpListener`, accepts up to
+//! [`ServerConfig::max_conns`] concurrent connections
+//! (thread-per-connection — the vendoring constraints rule out an async
+//! runtime, and a bounded acceptor pool is exactly what the engine's
+//! thread-backed shards want anyway), and speaks the line-delimited wire
+//! protocol specified in `docs/PROTOCOL.md`:
+//!
+//! - the client opens with `HELLO cut/1`, the server answers `OK cut/1`
+//!   (anything else — version mismatch, capacity, draining — is an
+//!   `error …` line followed by close);
+//! - each subsequent client line is one [`Request::to_trace_line`];
+//! - each server line is one [`Response::to_trace_line`], **in
+//!   per-connection submission order** — a session is a pipeline, not a
+//!   lockstep RPC;
+//! - a malformed request line costs exactly one `error protocol: …`
+//!   response; the session (and every other session) keeps serving.
+//!
+//! Every connection pipelines into the *same* [`ShardedEngine`]: a
+//! session's reader thread parses lines and submits them (one short
+//! critical section per request, so concurrent sessions interleave at
+//! request granularity and per-connection order is preserved), while its
+//! writer thread resolves tickets in order and streams the response
+//! lines back. All placement machinery — shards, batching, rebalancing,
+//! stealing, the latency proxy — is configured at construction via
+//! [`ShardOptions`] and works unchanged underneath the socket layer.
+//!
+//! **Graceful drain** ([`ServerHandle::shutdown`], the SIGTERM-equivalent
+//! — the `cut-server` binary triggers it from a `shutdown` line on
+//! stdin, since vendored-offline builds have no signal-handling crate):
+//! new connections are refused with `error server draining`, open
+//! sessions keep reading until their socket goes quiet for one poll
+//! interval — so requests the client already flushed are still served —
+//! then finish and deliver every in-flight response, and [`Server::run`]
+//! returns the engine's final per-shard stats once the last session
+//! closes.
+//!
+//! With [`ServerConfig::log_path`] set, the server also writes the same
+//! `{seq:06} {request} -> {response}` operation log the stress harness
+//! digests — sequence numbers are allocated in engine-submission order,
+//! so a single-connection session's server log is byte-identical to an
+//! in-process run of the same request stream (the CI loopback gate).
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cut_engine::{EngineStats, Request, Response, ShardOptions, ShardedEngine, Ticket};
+
+/// The protocol version this server speaks. The handshake is strict
+/// equality — see `docs/PROTOCOL.md` for how versions evolve.
+pub const PROTOCOL_VERSION: &str = "cut/1";
+
+/// How to run a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker shards of the underlying [`ShardedEngine`].
+    pub shards: usize,
+    /// Per-shard engine configuration plus batching/placement flags.
+    pub opts: ShardOptions,
+    /// Accepted-connection cap: connection `max_conns + 1` is refused
+    /// with an `error server at capacity …` line, not queued.
+    pub max_conns: usize,
+    /// A session with no traffic for this long is closed (an `error idle
+    /// timeout …` line is sent best-effort first).
+    pub idle_timeout: Duration,
+    /// When set, append the deterministic `{seq:06} {request} ->
+    /// {response}` operation log here (the stress-digest format).
+    pub log_path: Option<String>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shards: 1,
+            opts: ShardOptions::default(),
+            max_conns: 64,
+            idle_timeout: Duration::from_secs(30),
+            log_path: None,
+        }
+    }
+}
+
+/// The engine plus the request sequence counter it orders. One mutex for
+/// both, so "allocate seq" and "submit" are a single atomic step — that
+/// is what makes the server log's sequence numbers equal the engine's
+/// true submission order.
+struct EngineSlot {
+    /// `None` once drained: late requests get `error server draining`.
+    engine: Option<ShardedEngine>,
+    next_seq: u64,
+}
+
+/// State shared by the acceptor and every session thread.
+struct Shared {
+    engine: Mutex<EngineSlot>,
+    /// Live sessions' streams — the capacity count, and a place to hang
+    /// future per-connection introspection.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    draining: AtomicBool,
+    idle_timeout: Duration,
+    max_conns: usize,
+    /// The `{seq:06} {request} -> {response}` operation log, if enabled.
+    log: Option<Mutex<BufWriter<File>>>,
+    /// Responses delivered over all sessions (reported at shutdown).
+    served: AtomicU64,
+}
+
+impl Shared {
+    /// Append one operation-log line. Flushing is deferred to the
+    /// session's quiet moments (`flush_log`).
+    fn log_line(&self, seq: u64, display: &str, response: &Response) {
+        if let Some(log) = &self.log {
+            let mut w = log.lock().expect("log lock");
+            let _ = writeln!(w, "{seq:06} {display} -> {response}");
+        }
+    }
+
+    fn flush_log(&self) {
+        if let Some(log) = &self.log {
+            let _ = log.lock().expect("log lock").flush();
+        }
+    }
+}
+
+/// A bound, not-yet-running server. [`Server::run`] consumes it and
+/// blocks until a [`ServerHandle::shutdown`] drain completes.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+/// Remote control for a running [`Server`] — cloneable, thread-safe, and
+/// the hook tests and the binary's stdin watcher use to trigger the
+/// graceful drain.
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// Begin the graceful drain (idempotent): refuse new connections,
+    /// let open sessions consume what their clients already sent (they
+    /// exit at the first quiet poll interval), let every in-flight
+    /// request finish and deliver its response, then let [`Server::run`]
+    /// return. Session readers poll with a short timeout, so no nudge is
+    /// needed — a blocked reader notices the drain within ~100ms.
+    pub fn shutdown(&self) {
+        if self.shared.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor, which is parked in accept().
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Server {
+    /// Bind the listener and spin up the engine. Port 0 picks a free
+    /// port — read it back with [`Server::local_addr`] (the tests' and
+    /// loopback CI's pattern).
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServerConfig) -> io::Result<Server> {
+        assert!(cfg.shards > 0, "a server needs at least one engine shard");
+        assert!(cfg.max_conns > 0, "a server that accepts zero connections serves nobody");
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let log = match &cfg.log_path {
+            Some(path) => Some(Mutex::new(BufWriter::new(File::create(path)?))),
+            None => None,
+        };
+        let shared = Arc::new(Shared {
+            engine: Mutex::new(EngineSlot {
+                engine: Some(ShardedEngine::with_options(cfg.shards, cfg.opts)),
+                next_seq: 0,
+            }),
+            conns: Mutex::new(HashMap::new()),
+            draining: AtomicBool::new(false),
+            idle_timeout: cfg.idle_timeout,
+            max_conns: cfg.max_conns,
+            log,
+            served: AtomicU64::new(0),
+        });
+        Ok(Server { listener, addr, shared })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for triggering shutdown from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { addr: self.addr, shared: Arc::clone(&self.shared) }
+    }
+
+    /// Accept and serve until [`ServerHandle::shutdown`] drains the
+    /// server. Returns the engine's final per-shard stats (the same
+    /// counters `ShardedEngine::shutdown` reports in process).
+    pub fn run(self) -> Vec<EngineStats> {
+        let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+        let mut next_conn = 0u64;
+        for stream in self.listener.incoming() {
+            let draining = self.shared.draining.load(Ordering::SeqCst);
+            let Ok(stream) = stream else { continue };
+            if draining {
+                refuse(stream, "server draining");
+                break;
+            }
+            // Reap finished sessions so the handle list stays bounded.
+            sessions.retain(|s| !s.is_finished());
+            let conn_id = next_conn;
+            next_conn += 1;
+            {
+                let mut conns = self.shared.conns.lock().expect("conns lock");
+                if conns.len() >= self.shared.max_conns {
+                    drop(conns);
+                    refuse(
+                        stream,
+                        &format!("server at capacity ({} connections)", self.shared.max_conns),
+                    );
+                    continue;
+                }
+                if let Ok(clone) = stream.try_clone() {
+                    conns.insert(conn_id, clone);
+                } else {
+                    continue;
+                }
+            }
+            let shared = Arc::clone(&self.shared);
+            sessions.push(std::thread::spawn(move || {
+                serve_session(stream, &shared);
+                shared.conns.lock().expect("conns lock").remove(&conn_id);
+            }));
+        }
+        // Drain: every session finishes its in-flight work and exits.
+        for session in sessions {
+            let _ = session.join();
+        }
+        self.shared.flush_log();
+        let engine = self.shared.engine.lock().expect("engine lock").engine.take();
+        engine.map(ShardedEngine::shutdown).unwrap_or_default()
+    }
+
+    /// Total responses delivered so far (all sessions).
+    pub fn served(&self) -> u64 {
+        self.shared.served.load(Ordering::Relaxed)
+    }
+}
+
+/// Close an unwanted connection with one explanatory `error` line, so the
+/// client's handshake fails typed instead of mysteriously.
+fn refuse(stream: TcpStream, why: &str) {
+    let mut w = BufWriter::new(stream);
+    let _ = writeln!(w, "{}", Response::Error { message: why.to_string() }.to_trace_line());
+    let _ = w.flush();
+}
+
+/// How long a session reader blocks per read attempt. Short enough that
+/// a parked session notices a drain promptly; the configured idle
+/// timeout is accumulated across consecutive quiet polls.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// What one polled line-read attempt produced.
+enum ReadOutcome {
+    /// A line is in the buffer (possibly unterminated, at EOF).
+    Line,
+    /// Clean end of stream.
+    Eof,
+    /// No traffic for the full idle timeout.
+    Idle,
+    /// The server is draining and the socket went quiet for one poll
+    /// interval — everything the client flushed has been consumed.
+    Drained,
+    /// Hard socket error (reset etc.).
+    Failed,
+}
+
+/// Read one line with the socket's short poll timeout, accumulating
+/// quiet polls toward the idle timeout and watching the drain flag.
+/// Partial lines survive across poll timeouts: `read_line` appends what
+/// arrived, and the next attempt continues the same `line`.
+fn read_line_polled(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    poll: Duration,
+    shared: &Shared,
+) -> ReadOutcome {
+    let mut idle = Duration::ZERO;
+    loop {
+        let before = line.len();
+        match reader.read_line(line) {
+            // At EOF, a previously-buffered partial line is still a line.
+            Ok(0) => {
+                return if line.trim_end_matches(['\r', '\n']).is_empty() {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Line
+                };
+            }
+            Ok(_) => return ReadOutcome::Line,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return ReadOutcome::Drained;
+                }
+                // A partial read is progress, not idleness.
+                if line.len() > before {
+                    idle = Duration::ZERO;
+                } else {
+                    idle += poll;
+                    if idle >= shared.idle_timeout {
+                        return ReadOutcome::Idle;
+                    }
+                }
+            }
+            Err(_) => return ReadOutcome::Failed,
+        }
+    }
+}
+
+/// What a session's reader hands its writer.
+enum Item {
+    /// A raw protocol line (greeting, idle notice) — sent verbatim.
+    Raw(String),
+    /// An engine-free response (protocol errors, draining refusals).
+    Ready(Response),
+    /// A submitted request: resolve the ticket, log, respond.
+    Pending { seq: u64, display: String, ticket: Ticket },
+}
+
+/// One session: this thread reads, parses, and submits; a paired writer
+/// thread resolves tickets in order and streams responses back. The split
+/// is what makes a session a *pipeline* — the reader can be many requests
+/// ahead of the slowest response.
+fn serve_session(stream: TcpStream, shared: &Arc<Shared>) {
+    stream.set_nodelay(true).ok();
+    // Short socket timeout = the reader's poll tick; idle and drain
+    // detection are layered on top in `read_line_polled`.
+    let poll = POLL_INTERVAL.min(shared.idle_timeout);
+    stream.set_read_timeout(Some(poll)).ok();
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+
+    let (tx, rx) = channel::<Item>();
+    let writer = {
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || writer_loop(stream, rx, &shared))
+    };
+
+    // Handshake: exactly one HELLO line, answered before anything else.
+    let mut line = String::new();
+    let outcome = read_line_polled(&mut reader, &mut line, poll, shared);
+    let hello_ok = matches!(outcome, ReadOutcome::Line)
+        && line.trim_end_matches(['\r', '\n']) == format!("HELLO {PROTOCOL_VERSION}");
+    if !hello_ok {
+        let message = match outcome {
+            ReadOutcome::Drained => "server draining".to_string(),
+            ReadOutcome::Idle => format!("idle timeout ({:?})", shared.idle_timeout),
+            _ => format!(
+                "unsupported handshake (want 'HELLO {PROTOCOL_VERSION}'): {}",
+                line.trim_end_matches(['\r', '\n'])
+            ),
+        };
+        let _ = tx.send(Item::Ready(Response::Error { message }));
+        drop(tx);
+        let _ = writer.join();
+        return;
+    }
+    let _ = tx.send(Item::Raw(format!("OK {PROTOCOL_VERSION}")));
+
+    loop {
+        line.clear();
+        match read_line_polled(&mut reader, &mut line, poll, shared) {
+            ReadOutcome::Line => {}
+            // Draining and the socket went quiet: everything the client
+            // flushed before the drain has been submitted. Stop reading;
+            // the writer still delivers every in-flight response.
+            ReadOutcome::Drained => break,
+            ReadOutcome::Idle => {
+                // Idle timeout: tell the client why, best-effort, and close.
+                let _ = tx.send(Item::Ready(Response::Error {
+                    message: format!("idle timeout ({:?})", shared.idle_timeout),
+                }));
+                break;
+            }
+            ReadOutcome::Eof | ReadOutcome::Failed => break,
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            continue; // blank keep-alive lines are tolerated
+        }
+        let request = match Request::from_trace_line(trimmed) {
+            Ok(request) => request,
+            Err(e) => {
+                // One malformed line costs one error response; the
+                // session — and its pipeline position — survives.
+                let _ = tx.send(Item::Ready(Response::Error { message: format!("protocol: {e}") }));
+                continue;
+            }
+        };
+        // The log line wants the compact Display form, not the wire form.
+        let display = format!("{request}");
+        let submitted = {
+            let mut slot = shared.engine.lock().expect("engine lock");
+            let slot = &mut *slot;
+            match slot.engine.as_mut() {
+                Some(engine) => {
+                    let seq = slot.next_seq;
+                    slot.next_seq += 1;
+                    Some((seq, engine.submit(request)))
+                }
+                None => None,
+            }
+        };
+        let item = match submitted {
+            Some((seq, ticket)) => Item::Pending { seq, display, ticket },
+            None => Item::Ready(Response::Error { message: "server draining".into() }),
+        };
+        if tx.send(item).is_err() {
+            break; // writer died (socket gone); nothing left to serve
+        }
+    }
+
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// The session's write half: resolve items in order, stream response
+/// lines, and batch flushes to the pipeline's quiet moments. Socket write
+/// failures do not abort the loop — tickets already submitted must still
+/// be resolved so the server log records every served request.
+fn writer_loop(stream: TcpStream, rx: Receiver<Item>, shared: &Arc<Shared>) {
+    let mut w = BufWriter::new(stream);
+    let mut client_gone = false;
+    while let Ok(first) = rx.recv() {
+        let mut next = Some(first);
+        while let Some(item) = next {
+            let line = match item {
+                Item::Raw(line) => line,
+                Item::Ready(response) => response.to_trace_line(),
+                Item::Pending { seq, display, ticket } => {
+                    let response = ticket.wait();
+                    shared.log_line(seq, &display, &response);
+                    shared.served.fetch_add(1, Ordering::Relaxed);
+                    response.to_trace_line()
+                }
+            };
+            if !client_gone {
+                let write = w.write_all(line.as_bytes()).and_then(|_| w.write_all(b"\n"));
+                if write.is_err() {
+                    client_gone = true;
+                }
+            }
+            next = rx.try_recv().ok();
+        }
+        // Queue momentarily empty: push what we have to the client (and
+        // the log file, so an external `cmp` right after a client run
+        // never races buffered lines).
+        if !client_gone && w.flush().is_err() {
+            client_gone = true;
+        }
+        shared.flush_log();
+    }
+    if !client_gone {
+        let _ = w.flush();
+    }
+    let _ = w.get_ref().shutdown(Shutdown::Both);
+    shared.flush_log();
+}

@@ -1,0 +1,206 @@
+//! The `cut-server` binary: serve a [`ShardedEngine`] over TCP.
+//!
+//! ```text
+//! cargo run --release -p cut_server --bin cut-server -- \
+//!     --addr 127.0.0.1:7641 --shards 4 --rebalance --steal
+//! ```
+//!
+//! All engine-side flags of the stress harness are exposed here, because
+//! under a network split they are *server* properties: `--shards N`,
+//! `--batch`, `--rebalance`, `--rebalance-window N`, `--steal`,
+//! `--latency-proxy`, `--cache-entries N`. Serving-layer flags:
+//! `--addr HOST:PORT`, `--max-conns N`, `--idle-timeout-ms N`, and
+//! `--log PATH` (the deterministic operation log, byte-comparable to an
+//! in-process `stress --dump-log` run — the CI loopback gate).
+//!
+//! Shutdown: send the line `shutdown` on stdin (the SIGTERM-equivalent
+//! available without a signal-handling dependency); the server refuses
+//! new connections, finishes and delivers all in-flight responses, then
+//! prints final per-shard stats and exits. Killing the process instead
+//! also works — clients see the socket close — it just skips the stats.
+
+use std::io::BufRead;
+use std::time::Duration;
+
+use cut_engine::{EngineConfig, PlacementOptions, ShardOptions};
+use cut_server::{Server, ServerConfig};
+
+struct Args {
+    addr: String,
+    shards: usize,
+    batch: bool,
+    rebalance: bool,
+    rebalance_window: usize,
+    steal: bool,
+    latency_proxy: bool,
+    cache_entries: usize,
+    max_conns: usize,
+    idle_timeout_ms: u64,
+    log: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let defaults = ServerConfig::default();
+    let mut args = Args {
+        addr: "127.0.0.1:7641".to_string(),
+        shards: 1,
+        batch: false,
+        rebalance: false,
+        rebalance_window: PlacementOptions::default().window,
+        steal: false,
+        latency_proxy: false,
+        cache_entries: EngineConfig::default().max_cache_entries,
+        max_conns: defaults.max_conns,
+        idle_timeout_ms: defaults.idle_timeout.as_millis() as u64,
+        log: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--addr" => args.addr = value(&mut i)?,
+            "--shards" => {
+                args.shards = value(&mut i)?.parse().map_err(|e| format!("--shards: {e}"))?
+            }
+            "--batch" => args.batch = true,
+            "--rebalance" => args.rebalance = true,
+            "--rebalance-window" => {
+                args.rebalance_window =
+                    value(&mut i)?.parse().map_err(|e| format!("--rebalance-window: {e}"))?
+            }
+            "--steal" => args.steal = true,
+            "--latency-proxy" => args.latency_proxy = true,
+            "--cache-entries" => {
+                args.cache_entries =
+                    value(&mut i)?.parse().map_err(|e| format!("--cache-entries: {e}"))?
+            }
+            "--max-conns" => {
+                args.max_conns = value(&mut i)?.parse().map_err(|e| format!("--max-conns: {e}"))?
+            }
+            "--idle-timeout-ms" => {
+                args.idle_timeout_ms =
+                    value(&mut i)?.parse().map_err(|e| format!("--idle-timeout-ms: {e}"))?
+            }
+            "--log" => args.log = Some(value(&mut i)?),
+            "--help" | "-h" => {
+                println!(
+                    "cut-server --addr HOST:PORT [--shards N] [--batch] [--rebalance] \
+                     [--rebalance-window N] [--steal] [--latency-proxy] [--cache-entries N] \
+                     [--max-conns N] [--idle-timeout-ms N] [--log PATH]\n\
+                     send 'shutdown' on stdin for a graceful drain"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    if args.shards == 0 || args.shards > 1024 {
+        return Err(format!("--shards must be in 1..=1024 (got {})", args.shards));
+    }
+    if args.max_conns == 0 || args.max_conns > 4096 {
+        return Err(format!("--max-conns must be in 1..=4096 (got {})", args.max_conns));
+    }
+    if args.idle_timeout_ms == 0 {
+        return Err("--idle-timeout-ms must be at least 1".into());
+    }
+    if args.cache_entries == 0 {
+        return Err("--cache-entries must be at least 1".into());
+    }
+    if args.rebalance_window == 0 {
+        return Err("--rebalance-window must be at least 1".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let cfg = ServerConfig {
+        shards: args.shards,
+        opts: ShardOptions {
+            cfg: EngineConfig { max_cache_entries: args.cache_entries, ..EngineConfig::default() },
+            batch: args.batch,
+            placement: PlacementOptions {
+                rebalance: args.rebalance,
+                window: args.rebalance_window,
+                steal: args.steal,
+                latency_proxy: args.latency_proxy,
+                ..PlacementOptions::default()
+            },
+            ..ShardOptions::default()
+        },
+        max_conns: args.max_conns,
+        idle_timeout: Duration::from_millis(args.idle_timeout_ms),
+        log_path: args.log.clone(),
+    };
+
+    let server = match Server::bind(&args.addr, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: binding {}: {e}", args.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "cut-server listening on {} (shards={} batch={} rebalance={} steal={} latency-proxy={} \
+         max-conns={} idle-timeout={}ms{})",
+        server.local_addr(),
+        args.shards,
+        args.batch,
+        args.rebalance,
+        args.steal,
+        args.latency_proxy,
+        args.max_conns,
+        args.idle_timeout_ms,
+        args.log.as_deref().map(|p| format!(" log={p}")).unwrap_or_default(),
+    );
+
+    // The SIGTERM-equivalent: a `shutdown` line on stdin triggers the
+    // graceful drain. EOF on stdin (e.g. a backgrounded shell job) is
+    // deliberately ignored — only the explicit word drains the server.
+    let handle = server.handle();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if line.trim() == "shutdown" {
+                println!("cut-server: shutdown requested, draining");
+                handle.shutdown();
+                return;
+            }
+        }
+        // EOF: park rather than drain — killing the process is the other
+        // supported stop, and it should stay an explicit choice.
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    });
+
+    let per_shard = server.run();
+    let mut queries = 0u64;
+    let mut mutations = 0u64;
+    println!("cut-server: drained; per-shard totals:");
+    for (shard, stats) in per_shard.iter().enumerate() {
+        queries += stats.queries;
+        mutations += stats.mutations;
+        println!(
+            "  shard {shard}: {} queries, {} mutations, hit rate {:.1}%",
+            stats.queries,
+            stats.mutations,
+            stats.hit_rate() * 100.0
+        );
+    }
+    println!("cut-server: {queries} queries + {mutations} mutations served; bye");
+}

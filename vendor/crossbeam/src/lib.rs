@@ -118,6 +118,16 @@ pub mod channel {
             })
         }
 
+        /// Receive with a deadline: block up to `timeout` for a message.
+        /// Like [`Receiver::recv`], disconnection is only reported once the
+        /// queue is drained.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
         /// Blocking iterator over messages until disconnection.
         pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
             self.inner.iter()
@@ -143,6 +153,15 @@ pub mod channel {
     pub enum TryRecvError {
         /// No message queued right now; senders still live.
         Empty,
+        /// All senders disconnected and the queue is empty.
+        Disconnected,
+    }
+
+    /// Why a `recv_timeout` returned nothing.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with no message; senders still live.
+        Timeout,
         /// All senders disconnected and the queue is empty.
         Disconnected,
     }
@@ -195,6 +214,18 @@ mod tests {
         assert_eq!(rx.recv(), Ok(7));
         assert!(rx.recv().is_err());
         assert_eq!(rx.try_recv(), Err(crate::channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use crate::channel::RecvTimeoutError;
+        use std::time::Duration;
+        let (tx, rx) = crate::channel::unbounded();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Timeout));
+        tx.send(9u32).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(9));
+        drop(tx);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(RecvTimeoutError::Disconnected));
     }
 
     #[test]
