@@ -72,6 +72,16 @@
 //! `docs/WORKLOADS.md` for the workload model, `docs/SHARDING.md` for
 //! placement tuning, and `docs/PROTOCOL.md` for the wire format behind
 //! `--remote`.
+//!
+//! **Durable mode** (`--data-dir PATH`, plus `--snapshot-every N`,
+//! `--resident-cap N`, `--fsync`): the engine write-ahead logs every
+//! applied request into a `cut_store::Store`, recovering whatever the
+//! directory already holds on startup, and the report gains `durability`
+//! and `recovery` sections (text and JSON — null in the JSON when the
+//! run was remote or not durable). The digest is invariant under all of
+//! it, including a `--resident-cap` far below `--graphs`: spilling cold
+//! graphs to disk and faulting them back must never change a response.
+//! See `docs/DURABILITY.md`.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -81,12 +91,13 @@ use std::time::{Duration, Instant};
 
 use cut_client::{ClientError, Connection, ReconnectPolicy, RemoteTicket};
 use cut_engine::{
-    ActionMix, ArrivalProcess, Engine, EngineConfig, EngineStats, PlacementOptions,
+    ActionMix, ArrivalProcess, Engine, EngineConfig, EngineStats, GraphStore, PlacementOptions,
     PlacementReport, Request, Response, ShardOptions, ShardedEngine, Ticket, Timeline, Workload,
     WorkloadConfig, BATCH_BUCKET_LABELS, QUERY_KINDS,
 };
 // FNV-1a over the log bytes — stable across runs and platforms.
 use cut_graph::hash::fnv1a;
+use cut_store::{Store, StoreOptions};
 
 /// `--arrival` before rates are turned into a concrete process (the
 /// time-varying shapes need the op count to pick sane periods).
@@ -182,6 +193,10 @@ struct Args {
     remote: Option<String>,
     connections: usize,
     json_out: Option<String>,
+    data_dir: Option<String>,
+    snapshot_every: Option<u64>,
+    resident_cap: usize,
+    fsync: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -208,6 +223,10 @@ fn parse_args() -> Result<Args, String> {
         remote: None,
         connections: 1,
         json_out: None,
+        data_dir: None,
+        snapshot_every: None,
+        resident_cap: 0,
+        fsync: false,
     };
     let mut connections_given = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -264,6 +283,16 @@ fn parse_args() -> Result<Args, String> {
                     value(&mut i)?.parse().map_err(|e| format!("--connections: {e}"))?
             }
             "--json-out" => args.json_out = Some(value(&mut i)?),
+            "--data-dir" => args.data_dir = Some(value(&mut i)?),
+            "--snapshot-every" => {
+                args.snapshot_every =
+                    Some(value(&mut i)?.parse().map_err(|e| format!("--snapshot-every: {e}"))?)
+            }
+            "--resident-cap" => {
+                args.resident_cap =
+                    value(&mut i)?.parse().map_err(|e| format!("--resident-cap: {e}"))?
+            }
+            "--fsync" => args.fsync = true,
             "--help" | "-h" => {
                 println!(
                     "stress --ops N --seed S [--graphs G] [--initial-n N] [--zipf Z] \
@@ -273,7 +302,8 @@ fn parse_args() -> Result<Args, String> {
                      [--phases single|bursty|diurnal|flash] \
                      [--trace-out PATH] [--trace-in PATH] [--cache-entries N] \
                      [--dump-log PATH] [--remote ADDR [--connections N]] \
-                     [--json-out PATH]"
+                     [--json-out PATH] [--data-dir PATH [--snapshot-every N] \
+                     [--resident-cap N] [--fsync]]"
                 );
                 std::process::exit(0);
             }
@@ -315,6 +345,26 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.connections == 0 || args.connections > 256 {
         return Err(format!("--connections must be in 1..=256 (got {})", args.connections));
+    }
+    if args.data_dir.is_none() {
+        if args.resident_cap != 0 {
+            return Err("--resident-cap needs --data-dir (spilled graphs live there)".into());
+        }
+        if args.snapshot_every.is_some() {
+            return Err("--snapshot-every needs --data-dir".into());
+        }
+        if args.fsync {
+            return Err("--fsync needs --data-dir".into());
+        }
+    }
+    if args.remote.is_some() && args.data_dir.is_some() {
+        // Durability is an engine property; under a network split it
+        // belongs on the cut-server command line.
+        return Err(
+            "--remote drives a cut-server: durability flags (--data-dir, --snapshot-every, \
+             --resident-cap, --fsync) belong on the cut-server command line, not here"
+                .into(),
+        );
     }
     if args.remote.is_some() {
         // Under a network split the engine lives in the server process;
@@ -466,8 +516,34 @@ fn main() {
         println!("workload trace written to {path}");
     }
 
-    let engine_cfg =
-        EngineConfig { max_cache_entries: args.cache_entries, ..EngineConfig::default() };
+    // Durable mode: open (and recover) the store before any engine runs,
+    // and keep the handle so the report can read its counters afterwards.
+    let store = args.data_dir.as_ref().map(|dir| {
+        let opts = StoreOptions {
+            snapshot_every: args.snapshot_every.unwrap_or(StoreOptions::default().snapshot_every),
+            fsync: args.fsync,
+        };
+        let store = match Store::open(dir, opts) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: opening data dir {dir}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let r = store.recovery_report();
+        println!(
+            "durable: recovered {} graphs from {dir} ({} WAL records, {} torn tails truncated, \
+             {} tombstones collected, {} orphan tmps removed)",
+            r.graphs, r.wal_records, r.torn_tails, r.tombstones_gcd, r.orphan_tmps
+        );
+        Arc::new(store)
+    });
+
+    let engine_cfg = EngineConfig {
+        max_cache_entries: args.cache_entries,
+        resident_cap: args.resident_cap,
+        ..EngineConfig::default()
+    };
     let placement = PlacementOptions {
         rebalance: args.rebalance,
         window: args.rebalance_window,
@@ -479,6 +555,7 @@ fn main() {
         cfg: engine_cfg.clone(),
         batch: args.batch,
         placement,
+        store: store.clone().map(|s| s as Arc<dyn GraphStore>),
         ..ShardOptions::default()
     };
     let sharded_path = args.shards > 1
@@ -497,7 +574,7 @@ fn main() {
     } else if workload.is_open_loop() {
         run_open_loop(&workload, args.shards, opts)
     } else if !sharded_path {
-        run_single(&workload, engine_cfg)
+        run_single(&workload, engine_cfg, store.clone())
     } else {
         run_sharded(&workload, args.shards, opts)
     };
@@ -693,6 +770,28 @@ fn main() {
         }
     }
 
+    if let Some(store) = &store {
+        let c = store.counters();
+        let r = store.recovery_report();
+        println!();
+        println!(
+            "durability: {} WAL appends, {} snapshots + {} compactions, {} spills / {} \
+             fault-ins, {} records replayed{}",
+            c.wal_appends,
+            c.snapshots,
+            c.compactions,
+            c.spills,
+            c.fault_ins,
+            c.replayed,
+            if args.fsync { "  [fsync]" } else { "" }
+        );
+        println!(
+            "recovery: {} graphs adopted, {} WAL records, {} torn tails truncated, {} \
+             tombstones collected, {} orphan tmps removed",
+            r.graphs, r.wal_records, r.torn_tails, r.tombstones_gcd, r.orphan_tmps
+        );
+    }
+
     let digest = fnv1a(report.log.as_bytes());
     println!();
     println!("log digest: {:#018x}  ({} log bytes)", digest, report.log.len());
@@ -707,7 +806,8 @@ fn main() {
     }
 
     if let Some(path) = &args.json_out {
-        let json = render_json(&args, &workload, &mut report, digest, ops_per_sec);
+        let json =
+            render_json(&args, &workload, &mut report, digest, ops_per_sec, store.as_deref());
         if let Err(e) = std::fs::write(path, json) {
             eprintln!("error: writing {path}: {e}");
             std::process::exit(1);
@@ -810,8 +910,16 @@ struct RunReport {
 
 /// Replay through the single-threaded `Engine::execute` path, timing each
 /// op individually.
-fn run_single(workload: &Workload, cfg: EngineConfig) -> RunReport {
+fn run_single(workload: &Workload, cfg: EngineConfig, store: Option<Arc<Store>>) -> RunReport {
     let mut engine = Engine::with_config(cfg);
+    if let Some(store) = store {
+        // A single engine owns every durable graph; adopt them all so a
+        // re-run on a populated --data-dir resumes where the log ends.
+        engine.attach_store(Arc::clone(&store) as Arc<dyn GraphStore>);
+        for name in store.names() {
+            engine.adopt_stored(&name);
+        }
+    }
     let mut log = String::with_capacity(workload.len() * 64);
     let mut latencies: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
     let mut errors = 0usize;
@@ -1404,6 +1512,7 @@ fn render_json(
     report: &mut RunReport,
     digest: u64,
     ops_per_sec: f64,
+    store: Option<&Store>,
 ) -> String {
     let mut out = String::with_capacity(4096);
     out.push_str("{\n  \"schema\": \"cut-stress/1\",\n");
@@ -1551,6 +1660,36 @@ fn render_json(
             p.rebalances, p.migrations, p.generation
         )),
         None => out.push_str("  \"placement\": null,\n"),
+    }
+
+    // Durability counters live with the store; a remote run (or a run
+    // without --data-dir) reports both sections as null. Same schema
+    // either way, so downstream tooling never branches on shape.
+    match store {
+        Some(store) => {
+            let c = store.counters();
+            let r = store.recovery_report();
+            out.push_str("  \"durability\": {\n");
+            out.push_str(&format!("    \"wal_appends\": {},\n", c.wal_appends));
+            out.push_str(&format!("    \"snapshots\": {},\n", c.snapshots));
+            out.push_str(&format!("    \"compactions\": {},\n", c.compactions));
+            out.push_str(&format!("    \"spills\": {},\n", c.spills));
+            out.push_str(&format!("    \"fault_ins\": {},\n", c.fault_ins));
+            out.push_str(&format!("    \"replayed_records\": {},\n", c.replayed));
+            out.push_str(&format!("    \"fsync\": {}\n", args.fsync));
+            out.push_str("  },\n");
+            out.push_str("  \"recovery\": {\n");
+            out.push_str(&format!("    \"graphs\": {},\n", r.graphs));
+            out.push_str(&format!("    \"wal_records\": {},\n", r.wal_records));
+            out.push_str(&format!("    \"torn_tails\": {},\n", r.torn_tails));
+            out.push_str(&format!("    \"tombstones_gcd\": {},\n", r.tombstones_gcd));
+            out.push_str(&format!("    \"orphan_tmps\": {}\n", r.orphan_tmps));
+            out.push_str("  },\n");
+        }
+        None => {
+            out.push_str("  \"durability\": null,\n");
+            out.push_str("  \"recovery\": null,\n");
+        }
     }
 
     match &report.connections {

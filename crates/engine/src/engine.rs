@@ -22,7 +22,8 @@
 //! never changes a response, only what producing it costs;
 //! [`EngineStats`] counts the work it absorbed.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use cut_graph::{stoer_wagner, CutResult, Edge, Graph};
 use cut_index::{GraphIndex, IndexStats, LruCache};
@@ -33,7 +34,10 @@ use mincut_core::{
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::request::{GraphSpec, Mutation, Query, Request, Response, QUERY_KINDS};
+use crate::request::{
+    decode_name, encode_name, GraphSpec, Mutation, Query, Request, Response, QUERY_KINDS,
+};
+use crate::store_api::GraphStore;
 
 /// Number of buckets in [`EngineStats::batch_hist`]: sizes 1, 2, 3–4,
 /// 5–8, 9–16, 17–32, 33+.
@@ -70,6 +74,12 @@ pub struct EngineConfig {
     /// Per-graph query cache capacity (LRU: the coldest entry is evicted
     /// at capacity, so hot queries survive under seed-heavy workloads).
     pub max_cache_entries: usize,
+    /// Resident-graph budget: with an attached store, at most this many
+    /// graphs are kept in memory; the coldest (by windowed request-cost
+    /// heat, the same currency the placement rebalancer tracks) are
+    /// spilled to the store and faulted back on access. `0` = unlimited
+    /// (no spilling). Ignored without a store.
+    pub resident_cap: usize,
 }
 
 impl Default for EngineConfig {
@@ -80,9 +90,15 @@ impl Default for EngineConfig {
             repetitions: 2,
             exact_below: 48,
             max_cache_entries: 4096,
+            resident_cap: 0,
         }
     }
 }
+
+/// Named ops between residency-heat half-life decays — the same window
+/// length the placement table defaults to, so "cold" means the same thing
+/// to the spiller as it does to the rebalancer.
+const RESIDENCY_WINDOW: u64 = 512;
 
 /// Engine-level counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -257,6 +273,21 @@ pub struct Engine {
     /// deterministic.
     graphs: BTreeMap<String, GraphEntry>,
     stats: EngineStats,
+    /// Durability backend, when attached: every applied named request is
+    /// write-ahead logged here before its response is released, and cold
+    /// graphs spill here under [`EngineConfig::resident_cap`].
+    store: Option<Arc<dyn GraphStore>>,
+    /// Graphs this engine owns but has spilled to the store (or adopted
+    /// from it at startup without faulting in). Disjoint from `graphs`;
+    /// `ListGraphs`/`Stats` report the union, so spilling is invisible to
+    /// clients.
+    spilled: BTreeSet<String>,
+    /// Windowed residency heat per resident graph (request cost-weights,
+    /// halved every [`RESIDENCY_WINDOW`] named ops) — the eviction signal
+    /// under a resident cap.
+    heat: BTreeMap<String, u64>,
+    /// Named ops since the engine started (drives the heat half-life).
+    heat_ops: u64,
 }
 
 impl Default for Engine {
@@ -273,7 +304,45 @@ impl Engine {
 
     /// Engine with explicit configuration.
     pub fn with_config(cfg: EngineConfig) -> Self {
-        Self { cfg, graphs: BTreeMap::new(), stats: EngineStats::default() }
+        Self {
+            cfg,
+            graphs: BTreeMap::new(),
+            stats: EngineStats::default(),
+            store: None,
+            spilled: BTreeSet::new(),
+            heat: BTreeMap::new(),
+            heat_ops: 0,
+        }
+    }
+
+    /// Attach a durability backend. From here on, every applied named
+    /// request is logged to `store` before its response is released, and
+    /// graphs absent from the registry are faulted in from the store on
+    /// access. Attaching adopts nothing by itself — call
+    /// [`Engine::adopt_stored`] for each durable graph this engine should
+    /// own (recovery is lazy: adopted graphs fault in on first touch).
+    pub fn attach_store(&mut self, store: Arc<dyn GraphStore>) {
+        self.store = Some(store);
+    }
+
+    /// Mark a durable graph as owned-but-not-resident: it shows up in
+    /// `ListGraphs`/`Stats` immediately and faults in from the store on
+    /// first access. No-op if the graph is already resident.
+    pub fn adopt_stored(&mut self, name: &str) {
+        if !self.graphs.contains_key(name) {
+            self.spilled.insert(name.to_string());
+        }
+    }
+
+    /// True when `name` is owned here but currently spilled to the store.
+    pub fn is_spilled(&self, name: &str) -> bool {
+        self.spilled.contains(name)
+    }
+
+    /// Drop the spilled marker for `name` without touching the store —
+    /// the graph's ownership is moving elsewhere (shard migration).
+    pub(crate) fn forget_spilled(&mut self, name: &str) {
+        self.spilled.remove(name);
     }
 
     /// Engine-level counters.
@@ -339,22 +408,149 @@ impl Engine {
     /// assert_eq!(engine.epoch("path"), Some(0));
     /// ```
     pub fn execute(&mut self, request: Request) -> Response {
-        match request {
-            Request::Create { name, spec } => self.create(name, &spec),
-            Request::Drop { name } => self.drop_graph(&name),
-            Request::Mutate { name, op } => self.mutate(&name, op),
-            Request::Query { name, query } => self.query(&name, query),
+        let name = match &request {
             Request::ListGraphs => {
-                Response::Graphs { names: self.graphs.keys().cloned().collect() }
+                // Spilled graphs are still owned: list the union, sorted.
+                let mut names: Vec<String> = self.graphs.keys().cloned().collect();
+                names.extend(self.spilled.iter().cloned());
+                names.sort_unstable();
+                return Response::Graphs { names };
             }
-            Request::Stats => Response::EngineStats {
-                graphs: self.graphs.len(),
-                queries: self.stats.queries,
-                cache_hits: self.stats.cache_hits,
-                cache_misses: self.stats.cache_misses,
-                mutations: self.stats.mutations,
-            },
+            Request::Stats => {
+                return Response::EngineStats {
+                    graphs: self.graphs.len() + self.spilled.len(),
+                    queries: self.stats.queries,
+                    cache_hits: self.stats.cache_hits,
+                    cache_misses: self.stats.cache_misses,
+                    mutations: self.stats.mutations,
+                }
+            }
+            Request::Create { name, .. }
+            | Request::Drop { name }
+            | Request::Mutate { name, .. }
+            | Request::Query { name, .. } => name.clone(),
+        };
+        self.ensure_resident(&name);
+        let response = self.dispatch_named(&request);
+        if let Some(store) = self.store.clone() {
+            if matches!(response, Response::Dropped { .. }) {
+                store.drop_graph(&name, &request, &response);
+                self.spilled.remove(&name);
+                self.heat.remove(&name);
+            } else if self.graphs.contains_key(&name) {
+                // Log iff the graph is live after execution: error queries
+                // against a live graph mutate cache state (stale-entry
+                // removal) and must replay, while failed ops on absent
+                // graphs must never conjure durable state.
+                store.log(&name, &request, &response);
+                if store.wants_snapshot(&name) {
+                    let entry = self.graphs.get(&name).expect("checked resident above");
+                    store.snapshot(&name, &entry_to_trace(&name, entry));
+                }
+            }
         }
+        if self.graphs.contains_key(&name) {
+            self.charge_heat(&name, request.cost_weight());
+            self.enforce_resident_cap(&name);
+        }
+        response
+    }
+
+    /// Dispatch one named request (broadcasts are handled in
+    /// [`Engine::execute`]). Shared by live execution and WAL replay —
+    /// replay goes through the exact machinery that produced the logged
+    /// responses, so recovered state (epochs, caches, recency) matches
+    /// the pre-crash engine bit for bit.
+    fn dispatch_named(&mut self, request: &Request) -> Response {
+        match request {
+            Request::Create { name, spec } => self.create(name.clone(), spec),
+            Request::Drop { name } => self.drop_graph(name),
+            Request::Mutate { name, op } => self.mutate(name, *op),
+            Request::Query { name, query } => self.query(name, *query),
+            Request::ListGraphs | Request::Stats => {
+                unreachable!("broadcasts never reach the named dispatch")
+            }
+        }
+    }
+
+    /// Fault `name` in from the store if it is not resident: install the
+    /// latest snapshot, then replay the WAL records past its watermark
+    /// through normal dispatch (without re-logging them). No-op when the
+    /// graph is resident, no store is attached, or the store has nothing.
+    pub(crate) fn ensure_resident(&mut self, name: &str) {
+        if self.graphs.contains_key(name) {
+            return;
+        }
+        let Some(store) = self.store.clone() else { return };
+        if !self.spilled.contains(name) && !store.contains(name) {
+            return;
+        }
+        if let Some(recovered) = store.load(name) {
+            if let Some(snapshot) = &recovered.snapshot {
+                match GraphExport::from_trace(snapshot, self.cfg.max_cache_entries) {
+                    Ok(export) => {
+                        let GraphExport { name, entry } = export;
+                        self.graphs.insert(name, entry);
+                    }
+                    Err(e) => debug_assert!(false, "invalid snapshot for '{name}': {e}"),
+                }
+            }
+            for line in &recovered.wal {
+                match Request::from_trace_line(line) {
+                    Ok(request) => {
+                        let _ = self.dispatch_named(&request);
+                    }
+                    Err(e) => debug_assert!(false, "invalid WAL record for '{name}': {e}"),
+                }
+            }
+        }
+        self.spilled.remove(name);
+    }
+
+    /// Charge `weight` to `name`'s residency heat, halving every graph's
+    /// heat each [`RESIDENCY_WINDOW`] named ops so old traffic decays.
+    fn charge_heat(&mut self, name: &str, weight: u64) {
+        if self.cfg.resident_cap == 0 || self.store.is_none() {
+            return;
+        }
+        *self.heat.entry(name.to_string()).or_insert(0) += weight;
+        self.heat_ops += 1;
+        if self.heat_ops.is_multiple_of(RESIDENCY_WINDOW) {
+            for v in self.heat.values_mut() {
+                *v /= 2;
+            }
+        }
+    }
+
+    /// Spill coldest-first until the resident set fits the cap again,
+    /// never evicting `keep` (the graph the current request touched).
+    fn enforce_resident_cap(&mut self, keep: &str) {
+        if self.cfg.resident_cap == 0 || self.store.is_none() {
+            return;
+        }
+        while self.graphs.len() > self.cfg.resident_cap {
+            // BTreeMap iterates in name order and `min_by_key` keeps the
+            // first minimum, so ties break by name — deterministic.
+            let victim = self
+                .graphs
+                .keys()
+                .filter(|k| k.as_str() != keep)
+                .min_by_key(|k| self.heat.get(*k).copied().unwrap_or(0))
+                .cloned();
+            let Some(victim) = victim else { return };
+            self.spill_graph(&victim);
+        }
+    }
+
+    /// Evict `name` to the store: serialize the whole entry (edges,
+    /// epoch, warmed cache) and drop it from the registry. The spilled
+    /// marker keeps the graph visible to `ListGraphs`/`Stats`.
+    fn spill_graph(&mut self, name: &str) {
+        let Some(store) = self.store.clone() else { return };
+        let Some(entry) = self.graphs.remove(name) else { return };
+        store.spill(name, &entry_to_trace(name, &entry));
+        self.spilled.insert(name.to_string());
+        self.heat.remove(name);
     }
 
     fn create(&mut self, name: String, spec: &GraphSpec) -> Response {
@@ -423,6 +619,8 @@ impl Engine {
     /// execution; only the batch counters in [`EngineStats`] differ. This
     /// is the seam the sharded front-end's batching worker drives.
     pub fn execute_read_batch(&mut self, name: &str, queries: Vec<Query>) -> Vec<Response> {
+        self.ensure_resident(name);
+        let store = self.store.clone();
         let Some(entry) = self.graphs.get_mut(name) else {
             // Mirror the serial path exactly: per-query errors, no
             // query-counter bumps — and no batch counters either, since
@@ -436,9 +634,25 @@ impl Engine {
         self.stats.batched_reads += queries.len() as u64;
         self.stats.batch_hist[batch_bucket(queries.len())] += 1;
         let mut responses = Vec::with_capacity(queries.len());
+        let mut heat = 0u64;
         for query in queries {
-            responses.push(serve_query(&mut self.stats, &self.cfg, entry, query));
+            let response = serve_query(&mut self.stats, &self.cfg, entry, query);
+            if let Some(store) = &store {
+                // Same log-per-query discipline as the serial path, so a
+                // recovered engine replays batched reads identically.
+                store.log(name, &Request::Query { name: name.to_string(), query }, &response);
+            }
+            heat += query.cost_weight();
+            responses.push(response);
         }
+        if let Some(store) = &store {
+            if store.wants_snapshot(name) {
+                let entry = self.graphs.get(name).expect("entry still resident");
+                store.snapshot(name, &entry_to_trace(name, entry));
+            }
+        }
+        self.charge_heat(name, heat);
+        self.enforce_resident_cap(name);
         responses
     }
 
@@ -532,6 +746,158 @@ impl GraphExport {
     pub fn epoch(&self) -> u64 {
         self.entry.epoch
     }
+
+    /// Serialize the export to the snapshot trace format — the on-disk
+    /// counterpart of the in-memory migration container, reusing the
+    /// request/response line codec for the cached-answers section:
+    ///
+    /// ```text
+    /// graph <name> <n> <epoch>
+    /// edges <m>
+    /// <u> <v> <w>              (m lines, exact edge-list order)
+    /// cache <k>
+    /// <stamp>\t<query-line>\t<response-line>   (k lines, LRU-oldest first)
+    /// end
+    /// ```
+    ///
+    /// Edge order matters (`DeleteEdge` removes the first positional
+    /// match) and cache order matters (re-inserting oldest-first
+    /// reproduces the exact LRU recency), so both serialize verbatim.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cut_engine::{Engine, GraphExport, GraphSpec, Query, Request};
+    ///
+    /// let mut a = Engine::new();
+    /// a.execute(Request::Create { name: "ring".into(), spec: GraphSpec::Cycle { n: 8 } });
+    /// a.execute(Request::Query { name: "ring".into(), query: Query::ExactMinCut });
+    /// let trace = a.export_graph("ring").unwrap().to_trace();
+    ///
+    /// // A restored engine answers from the restored cache.
+    /// let export = GraphExport::from_trace(&trace, 4096).unwrap();
+    /// let mut b = Engine::new();
+    /// b.import_graph(export).unwrap();
+    /// let r = b.execute(Request::Query { name: "ring".into(), query: Query::ExactMinCut });
+    /// assert!(r.was_cached());
+    /// ```
+    pub fn to_trace(&self) -> String {
+        entry_to_trace(&self.name, &self.entry)
+    }
+
+    /// Parse a trace produced by [`GraphExport::to_trace`], rebuilding
+    /// the full entry: edge list in original order, index resumed at the
+    /// stored generation, and the query cache re-inserted oldest-first so
+    /// recency (and therefore future evictions) match the source engine.
+    /// `cache_capacity` is the restoring engine's
+    /// [`EngineConfig::max_cache_entries`].
+    pub fn from_trace(trace: &str, cache_capacity: usize) -> Result<GraphExport, String> {
+        let mut lines = trace.lines();
+        let mut next_line =
+            |what: &str| lines.next().ok_or_else(|| format!("snapshot ended early: {what}"));
+
+        let header = next_line("graph header")?;
+        let mut tokens = header.split_whitespace();
+        if tokens.next() != Some("graph") {
+            return Err(format!("bad snapshot header '{header}'"));
+        }
+        let name = decode_name(tokens.next().ok_or("snapshot header missing name")?)?;
+        let n: usize = tokens
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("bad n in snapshot header '{header}'"))?;
+        let epoch: u64 = tokens
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("bad epoch in snapshot header '{header}'"))?;
+        if tokens.next().is_some() {
+            return Err(format!("trailing tokens in snapshot header '{header}'"));
+        }
+
+        let edges_header = next_line("edges header")?;
+        let m: usize = edges_header
+            .strip_prefix("edges ")
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("bad edges header '{edges_header}'"))?;
+        let mut edges = Vec::with_capacity(m);
+        for _ in 0..m {
+            let line = next_line("edge line")?;
+            let mut parts = line.split_whitespace();
+            let mut field = |what: &str| -> Result<&str, String> {
+                parts.next().ok_or_else(|| format!("bad edge line '{line}': missing {what}"))
+            };
+            let u: u32 = field("u")?.parse().map_err(|_| format!("bad u in '{line}'"))?;
+            let v: u32 = field("v")?.parse().map_err(|_| format!("bad v in '{line}'"))?;
+            let w: u64 = field("w")?.parse().map_err(|_| format!("bad w in '{line}'"))?;
+            if parts.next().is_some() {
+                return Err(format!("trailing tokens in edge line '{line}'"));
+            }
+            if u as usize >= n || v as usize >= n {
+                return Err(format!("edge ({u}, {v}) out of range for n = {n} in snapshot"));
+            }
+            edges.push(Edge::new(u, v, w));
+        }
+
+        let cache_header = next_line("cache header")?;
+        let k: usize = cache_header
+            .strip_prefix("cache ")
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| format!("bad cache header '{cache_header}'"))?;
+        let mut cache: LruCache<Query, (u64, Response)> = LruCache::new(cache_capacity.max(1));
+        for _ in 0..k {
+            let line = next_line("cache line")?;
+            let mut fields = line.splitn(3, '\t');
+            let stamp: u64 = fields
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| format!("bad cache stamp in '{line}'"))?;
+            let request_line =
+                fields.next().ok_or_else(|| format!("cache line '{line}' missing query"))?;
+            let response_line =
+                fields.next().ok_or_else(|| format!("cache line '{line}' missing response"))?;
+            let Request::Query { query, .. } = Request::from_trace_line(request_line)? else {
+                return Err(format!("cache line '{line}' does not hold a query"));
+            };
+            let response = Response::from_trace_line(response_line)?;
+            cache.insert(query, (stamp, response));
+        }
+
+        if next_line("end marker")? != "end" {
+            return Err("snapshot missing end marker".into());
+        }
+        if lines.next().is_some() {
+            return Err("trailing lines after snapshot end marker".into());
+        }
+
+        // The index resumes at the stored generation so the epoch ==
+        // generation lockstep invariant (and the epoch-stamped cache)
+        // survive the round trip.
+        let index = GraphIndex::with_generation(n, &edges, epoch);
+        Ok(GraphExport { name, entry: GraphEntry { n, edges, index, epoch, cache } })
+    }
+}
+
+/// Serialize one registry entry to the snapshot trace format (see
+/// [`GraphExport::to_trace`] — this is the engine-internal worker both it
+/// and the durability hooks call without detaching the entry).
+pub(crate) fn entry_to_trace(name: &str, entry: &GraphEntry) -> String {
+    let mut out = String::with_capacity(64 + entry.edges.len() * 12);
+    out.push_str(&format!("graph {} {} {}\n", encode_name(name), entry.n, entry.epoch));
+    out.push_str(&format!("edges {}\n", entry.edges.len()));
+    for e in &entry.edges {
+        out.push_str(&format!("{} {} {}\n", e.u, e.v, e.w));
+    }
+    out.push_str(&format!("cache {}\n", entry.cache.len()));
+    for (query, (stamp, response)) in entry.cache.iter_lru() {
+        let request = Request::Query { name: name.to_string(), query: *query };
+        out.push_str(&format!(
+            "{stamp}\t{}\t{}\n",
+            request.to_trace_line(),
+            response.to_trace_line()
+        ));
+    }
+    out.push_str("end\n");
+    out
 }
 
 impl std::fmt::Debug for GraphExport {

@@ -91,9 +91,18 @@
 //! assert!(!r.was_cached());
 //! ```
 
+//! **Durability** is a pluggable seam: [`GraphStore`] (the [`store_api`]
+//! module) is the backend interface — write-ahead logging of applied
+//! requests, snapshot compaction of [`GraphExport`] traces, cold-graph
+//! spill under [`EngineConfig::resident_cap`], and lazy fault-in on
+//! access. The `cut_store` crate is the filesystem implementation;
+//! `docs/DURABILITY.md` covers the formats and the crash-recovery
+//! protocol.
+
 pub mod engine;
 pub mod request;
 pub mod shard;
+pub mod store_api;
 pub mod workload;
 
 // The index layer under every registry entry (see the `cut_index` crate).
@@ -102,6 +111,7 @@ pub use engine::BATCH_BUCKET_LABELS;
 pub use engine::{batch_bucket, Engine, EngineConfig, EngineStats, GraphExport, BATCH_BUCKETS};
 pub use request::{GraphSpec, Mutation, Query, Request, Response, QUERY_KINDS};
 pub use shard::{PlacementOptions, PlacementReport, ShardOptions, ShardedEngine, Ticket};
+pub use store_api::{GraphStore, RecoveredGraph};
 pub use workload::{
     ActionMix, ArrivalProcess, Phase, PopularityDrift, Timeline, Workload, WorkloadConfig,
 };

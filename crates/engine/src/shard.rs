@@ -97,6 +97,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvE
 
 use crate::engine::{serve_query, Engine, EngineConfig, EngineStats, GraphEntry};
 use crate::request::{Request, Response};
+use crate::store_api::GraphStore;
 
 /// How long an idle steal-enabled worker parks between scans for work, and
 /// the poll cadence inside blocking waits. Pure performance knobs: they
@@ -191,7 +192,7 @@ impl Default for PlacementOptions {
 }
 
 /// How a [`ShardedEngine`]'s workers execute their queues.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ShardOptions {
     /// Per-shard engine configuration.
     pub cfg: EngineConfig,
@@ -203,6 +204,12 @@ pub struct ShardOptions {
     pub max_batch: usize,
     /// Adaptive placement: rebalancing migrations and work stealing.
     pub placement: PlacementOptions,
+    /// Durability backend, shared by every worker. Each worker attaches
+    /// it to its private [`Engine`] and adopts (as spilled, faulted in on
+    /// first touch) the stored graphs whose stable FNV default shard is
+    /// its own — so recovery needs no placement history and works for
+    /// any shard count.
+    pub store: Option<Arc<dyn GraphStore>>,
 }
 
 impl Default for ShardOptions {
@@ -212,7 +219,20 @@ impl Default for ShardOptions {
             batch: false,
             max_batch: 256,
             placement: PlacementOptions::default(),
+            store: None,
         }
+    }
+}
+
+impl std::fmt::Debug for ShardOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardOptions")
+            .field("cfg", &self.cfg)
+            .field("batch", &self.batch)
+            .field("max_batch", &self.max_batch)
+            .field("placement", &self.placement)
+            .field("store", &self.store.as_ref().map(|_| "dyn GraphStore"))
+            .finish()
     }
 }
 
@@ -248,10 +268,15 @@ enum WorkItem {
     StealHandoff { name: String, loan: Sender<LoanPkg>, ret: Receiver<ReturnPkg> },
 }
 
-/// A migrating graph (`None` when the graph was dropped between the
-/// rebalance decision and the source shard reaching the marker).
+/// A migrating graph (`export: None` when the graph was dropped between
+/// the rebalance decision and the source shard reaching the marker — or,
+/// with `spilled`, when the graph is cold on disk: ownership of the
+/// durable copy moves without faulting it in).
 struct MigrationPkg {
     export: Option<crate::engine::GraphExport>,
+    /// The source shard held the graph as a spilled (on-disk) entry; the
+    /// target adopts the name and faults it in on first touch.
+    spilled: bool,
 }
 
 /// A loaned graph entry (`None` when the graph vanished first; the thief
@@ -429,8 +454,11 @@ fn merge_partials(kind: MergeKind, partials: Vec<Response>) -> Response {
                 }
             }
             // Each shard's list is sorted; the global contract is one
-            // sorted list.
+            // sorted list. Dedup guards the durable-adoption edge: a
+            // name must never be double-reported even if two shards
+            // transiently track it.
             names.sort_unstable();
+            names.dedup();
             Response::Graphs { names }
         }
         MergeKind::Stats => {
@@ -572,10 +600,24 @@ impl ShardedEngine {
         let board: Arc<LoadBoard> = Arc::new(Mutex::new(BTreeMap::new()));
         let mut workers = Vec::with_capacity(shards);
         for shard in 0..shards {
+            let mut engine = Engine::with_config(opts.cfg.clone());
+            if let Some(store) = &opts.store {
+                engine.attach_store(Arc::clone(store));
+                // Adopt this shard's slice of the durable graphs — by
+                // the stable FNV default placement, so recovery is
+                // portable across shard counts and needs no record of
+                // the previous run's placement table. Adopted graphs
+                // stay on disk until first touched.
+                for name in store.names() {
+                    if default_shard(&name, shards) == shard {
+                        engine.adopt_stored(&name);
+                    }
+                }
+            }
             let worker = Worker {
                 id: shard,
                 queues: Arc::clone(&queues),
-                engine: Engine::with_config(opts.cfg.clone()),
+                engine,
                 // Observed serve times only matter where a rebalancer
                 // will read them; otherwise skip the per-request lock.
                 observe: placement.rebalance && placement.latency_proxy,
@@ -1120,15 +1162,23 @@ impl Worker {
                     self.reclaim(&name);
                 }
                 let export = self.engine.export_graph(&name);
+                // A cold (spilled) graph migrates without touching disk:
+                // only the ownership of the durable copy moves.
+                let spilled = export.is_none() && self.engine.is_spilled(&name);
+                if spilled {
+                    self.engine.forget_spilled(&name);
+                }
                 // A failed send means the target worker died; its panic
                 // surfaces at join.
-                let _ = to.send(MigrationPkg { export });
+                let _ = to.send(MigrationPkg { export, spilled });
             }
             WorkItem::MigrateIn { name, from } => {
                 let pkg = self.wait_on(&from, "migration");
                 if let Some(export) = pkg.export {
                     let installed = self.engine.import_graph(export).is_ok();
                     debug_assert!(installed, "graph '{name}' collided at migrate-in");
+                } else if pkg.spilled {
+                    self.engine.adopt_stored(&name);
                 }
             }
             WorkItem::StealHandoff { name, loan, ret } => {
@@ -1137,6 +1187,9 @@ impl Worker {
                     // first: serialize the loans (earlier run first).
                     self.reclaim(&name);
                 }
+                // A spilled graph can be stolen from: fault it in first
+                // (the loaned entry must be real memory).
+                self.engine.ensure_resident(&name);
                 let entry = self.engine.take_entry(&name);
                 let _ = loan.send(LoanPkg { entry });
                 self.lent.insert(name, ret);
@@ -1314,6 +1367,14 @@ impl Worker {
                         unreachable!("steals only take query runs");
                     };
                     let response = serve_query(&mut delta, &self.opts.cfg, &mut entry, query);
+                    // The thief serves against the borrowed entry, so the
+                    // thief also logs: during a loan nobody else appends
+                    // to this graph's WAL, and the append must precede
+                    // the response's release (log-then-ack).
+                    if let Some(store) = &self.opts.store {
+                        let request = Request::Query { name: name.clone(), query };
+                        store.log(&name, &request, &response);
+                    }
                     let _ = job.reply.send(response);
                 }
                 // Stolen work still measures: the board is global, not

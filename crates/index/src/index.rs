@@ -115,6 +115,18 @@ impl GraphIndex {
         index
     }
 
+    /// Index a restored graph whose mutation history happened in a
+    /// previous process: identical to [`new`](GraphIndex::new) except the
+    /// generation counter resumes at `generation` instead of 0, so
+    /// generation-keyed state layered above (epoch-stamped caches) stays
+    /// valid across a snapshot/recover cycle.
+    pub fn with_generation(n: usize, edges: &[Edge], generation: u64) -> Self {
+        let mut index = Self::new(n, edges);
+        index.generation = generation;
+        index.snapshot_generation = generation;
+        index
+    }
+
     /// Current mutation generation (0 for a fresh index).
     pub fn generation(&self) -> u64 {
         self.generation

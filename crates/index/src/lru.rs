@@ -145,6 +145,23 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         true
     }
 
+    /// Iterate live entries from least- to most-recently-used, without
+    /// touching recency. This is the serialization order for snapshots:
+    /// re-inserting the yielded pairs into a fresh cache (oldest first)
+    /// reproduces the exact recency list, so post-restore evictions fall
+    /// on the same entries they would have in the original.
+    pub fn iter_lru(&self) -> impl Iterator<Item = (&K, &V)> {
+        let mut slot = self.tail;
+        std::iter::from_fn(move || {
+            if slot == NIL {
+                return None;
+            }
+            let s = &self.slots[slot];
+            slot = s.prev;
+            Some((&s.key, &s.value))
+        })
+    }
+
     /// Drop every entry (capacity is kept).
     pub fn clear(&mut self) {
         self.map.clear();
@@ -300,5 +317,24 @@ mod tests {
     #[should_panic(expected = "capacity >= 1")]
     fn zero_capacity_is_a_bug() {
         let _ = LruCache::<u32, u32>::new(0);
+    }
+
+    #[test]
+    fn iter_lru_yields_oldest_first_and_rebuilds_recency() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        c.get(&1); // recency now (oldest..newest): 2, 3, 1
+        let order: Vec<u32> = c.iter_lru().map(|(k, _)| *k).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+
+        // Re-inserting in yielded order reproduces eviction behavior.
+        let mut rebuilt: LruCache<u32, u32> = LruCache::new(3);
+        for (k, v) in c.iter_lru() {
+            rebuilt.insert(*k, *v);
+        }
+        assert_eq!(rebuilt.insert(4, 40), Some((2, 20)));
+        assert_eq!(c.insert(4, 40), Some((2, 20)));
     }
 }

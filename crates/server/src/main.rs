@@ -13,6 +13,16 @@
 //! `--log PATH` (the deterministic operation log, byte-comparable to an
 //! in-process `stress --dump-log` run — the CI loopback gate).
 //!
+//! Durability (`docs/DURABILITY.md`): `--data-dir PATH` attaches a
+//! `cut_store::Store` — every applied request is write-ahead logged, and
+//! on startup the directory is scanned and every durable graph adopted
+//! (faulted in lazily on first touch), so a killed server restarted on
+//! the same directory resumes exactly where the log ends. With it:
+//! `--snapshot-every N` (WAL records between snapshot compactions),
+//! `--resident-cap N` (spill the coldest graphs beyond N to disk), and
+//! `--fsync` (fsync appends/snapshots — a power-loss knob; plain crash
+//! durability needs only the default flush).
+//!
 //! Shutdown: send the line `shutdown` on stdin (the SIGTERM-equivalent
 //! available without a signal-handling dependency); the server refuses
 //! new connections, finishes and delivers all in-flight responses, then
@@ -20,10 +30,12 @@
 //! also works — clients see the socket close — it just skips the stats.
 
 use std::io::BufRead;
+use std::sync::Arc;
 use std::time::Duration;
 
 use cut_engine::{EngineConfig, PlacementOptions, ShardOptions};
 use cut_server::{Server, ServerConfig};
+use cut_store::{Store, StoreOptions};
 
 struct Args {
     addr: String,
@@ -37,6 +49,10 @@ struct Args {
     max_conns: usize,
     idle_timeout_ms: u64,
     log: Option<String>,
+    data_dir: Option<String>,
+    snapshot_every: Option<u64>,
+    resident_cap: usize,
+    fsync: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +69,10 @@ fn parse_args() -> Result<Args, String> {
         max_conns: defaults.max_conns,
         idle_timeout_ms: defaults.idle_timeout.as_millis() as u64,
         log: None,
+        data_dir: None,
+        snapshot_every: None,
+        resident_cap: 0,
+        fsync: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -87,11 +107,22 @@ fn parse_args() -> Result<Args, String> {
                     value(&mut i)?.parse().map_err(|e| format!("--idle-timeout-ms: {e}"))?
             }
             "--log" => args.log = Some(value(&mut i)?),
+            "--data-dir" => args.data_dir = Some(value(&mut i)?),
+            "--snapshot-every" => {
+                args.snapshot_every =
+                    Some(value(&mut i)?.parse().map_err(|e| format!("--snapshot-every: {e}"))?)
+            }
+            "--resident-cap" => {
+                args.resident_cap =
+                    value(&mut i)?.parse().map_err(|e| format!("--resident-cap: {e}"))?
+            }
+            "--fsync" => args.fsync = true,
             "--help" | "-h" => {
                 println!(
                     "cut-server --addr HOST:PORT [--shards N] [--batch] [--rebalance] \
                      [--rebalance-window N] [--steal] [--latency-proxy] [--cache-entries N] \
-                     [--max-conns N] [--idle-timeout-ms N] [--log PATH]\n\
+                     [--max-conns N] [--idle-timeout-ms N] [--log PATH] [--data-dir PATH] \
+                     [--snapshot-every N] [--resident-cap N] [--fsync]\n\
                      send 'shutdown' on stdin for a graceful drain"
                 );
                 std::process::exit(0);
@@ -115,6 +146,17 @@ fn parse_args() -> Result<Args, String> {
     if args.rebalance_window == 0 {
         return Err("--rebalance-window must be at least 1".into());
     }
+    if args.data_dir.is_none() {
+        if args.resident_cap != 0 {
+            return Err("--resident-cap needs --data-dir (spilled graphs live there)".into());
+        }
+        if args.snapshot_every.is_some() {
+            return Err("--snapshot-every needs --data-dir".into());
+        }
+        if args.fsync {
+            return Err("--fsync needs --data-dir".into());
+        }
+    }
     Ok(args)
 }
 
@@ -127,10 +169,34 @@ fn main() {
         }
     };
 
+    let store = args.data_dir.as_ref().map(|dir| {
+        let opts = StoreOptions {
+            snapshot_every: args.snapshot_every.unwrap_or(StoreOptions::default().snapshot_every),
+            fsync: args.fsync,
+        };
+        let store = match Store::open(dir, opts) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: opening data dir {dir}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let r = store.recovery_report();
+        println!(
+            "cut-server: recovered {} graphs from {dir} ({} WAL records, {} torn tails \
+             truncated, {} tombstones collected, {} orphan tmps removed)",
+            r.graphs, r.wal_records, r.torn_tails, r.tombstones_gcd, r.orphan_tmps
+        );
+        Arc::new(store)
+    });
     let cfg = ServerConfig {
         shards: args.shards,
         opts: ShardOptions {
-            cfg: EngineConfig { max_cache_entries: args.cache_entries, ..EngineConfig::default() },
+            cfg: EngineConfig {
+                max_cache_entries: args.cache_entries,
+                resident_cap: args.resident_cap,
+                ..EngineConfig::default()
+            },
             batch: args.batch,
             placement: PlacementOptions {
                 rebalance: args.rebalance,
@@ -139,6 +205,7 @@ fn main() {
                 latency_proxy: args.latency_proxy,
                 ..PlacementOptions::default()
             },
+            store: store.map(|s| s as Arc<dyn cut_engine::GraphStore>),
             ..ShardOptions::default()
         },
         max_conns: args.max_conns,

@@ -1,0 +1,319 @@
+//! Crash-injection harness: run a seeded workload against a real
+//! `cut-server` child process with `--data-dir`, kill it at injection
+//! points — externally with SIGKILL between requests, and internally
+//! mid-WAL-append / mid-snapshot / mid-spill via the store's crash env
+//! hooks (`CUT_STORE_CRASH_POINT` / `CUT_STORE_CRASH_AFTER`, which
+//! half-write the in-flight file and abort) — restart it on the same
+//! directory, and resume.
+//!
+//! The gate: the concatenated response log across every crash and
+//! restart must be **byte-identical** to an uninterrupted in-process
+//! run of the same seed. The resume protocol is the one a real client
+//! gets: the server executes, then write-ahead logs, then releases the
+//! response — so after a crash, a graph's durable record count is
+//! either equal to the client's acked count (the in-flight request
+//! never applied: re-send it) or one ahead (it applied but the ack was
+//! lost: recover the response from the last WAL record).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use cut_client::{ClientError, Connection, ReconnectPolicy};
+use cut_engine::{Engine, GraphStore, Query, Request, Response, Workload, WorkloadConfig};
+use cut_store::{RecoveryReport, Store, StoreOptions};
+
+const SNAPSHOT_EVERY: &str = "5";
+const RESIDENT_CAP: &str = "3";
+
+fn workload_requests() -> Vec<Request> {
+    let cfg = WorkloadConfig {
+        ops: 240,
+        seed: 0xC7A54,
+        graphs: 6,
+        initial_n: 12,
+        zipf_exponent: 1.1,
+        ..WorkloadConfig::default()
+    };
+    Workload::generate(&cfg).all_requests().cloned().collect()
+}
+
+/// The uninterrupted reference: a plain in-process engine, no
+/// durability, no shards, no crashes.
+fn reference_log(requests: &[Request]) -> Vec<String> {
+    let mut engine = Engine::new();
+    requests.iter().map(|r| engine.execute(r.clone()).to_trace_line()).collect()
+}
+
+fn graph_name(request: &Request) -> &str {
+    match request {
+        Request::Create { name, .. }
+        | Request::Drop { name }
+        | Request::Mutate { name, .. }
+        | Request::Query { name, .. } => name,
+        Request::ListGraphs | Request::Stats => {
+            panic!("the workload generator never emits broadcasts")
+        }
+    }
+}
+
+struct ServerProc {
+    child: Child,
+    addr: String,
+    /// Held so the child's stdout pipe stays open for its lifetime.
+    _stdout: BufReader<std::process::ChildStdout>,
+}
+
+/// Spawn `cut-server` on a free port over `dir`, optionally with a crash
+/// injection env pair, and wait for the listening line.
+fn spawn_server(dir: &std::path::Path, shards: usize, crash: Option<(&str, u64)>) -> ServerProc {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_cut-server"));
+    cmd.args([
+        "--addr",
+        "127.0.0.1:0",
+        "--shards",
+        &shards.to_string(),
+        "--data-dir",
+        dir.to_str().expect("utf8 temp path"),
+        "--snapshot-every",
+        SNAPSHOT_EVERY,
+        "--resident-cap",
+        RESIDENT_CAP,
+    ]);
+    cmd.stdin(Stdio::piped()).stdout(Stdio::piped()).stderr(Stdio::null());
+    if let Some((point, after)) = crash {
+        cmd.env("CUT_STORE_CRASH_POINT", point).env("CUT_STORE_CRASH_AFTER", after.to_string());
+    }
+    let mut child = cmd.spawn().expect("spawn cut-server");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut line = String::new();
+    let addr = loop {
+        line.clear();
+        let n = stdout.read_line(&mut line).expect("read server stdout");
+        assert!(n > 0, "server exited before listening (line so far: {line:?})");
+        if let Some(rest) = line.trim_end().strip_prefix("cut-server listening on ") {
+            break rest.split_whitespace().next().expect("addr token").to_string();
+        }
+    };
+    ServerProc { child, addr, _stdout: stdout }
+}
+
+fn connect(addr: &str) -> Connection {
+    let policy = ReconnectPolicy {
+        attempts: 40,
+        base_delay: Duration::from_millis(25),
+        max_delay: Duration::from_millis(200),
+    };
+    Connection::connect_with_retry(addr, &policy).expect("reconnect to restarted server")
+}
+
+/// Drive `requests` one at a time against a durable server, crashing and
+/// restarting per the plan. Returns the response log (one trace line per
+/// request, in order) and the summed recovery reports of every
+/// post-crash scan.
+///
+/// `first_leg_crash`: env-injected abort (point, after) armed only for
+/// the first server process. `kills`: request indices before which the
+/// running server is SIGKILLed externally.
+fn run_with_crashes(
+    dir: &std::path::Path,
+    requests: &[Request],
+    shards: usize,
+    first_leg_crash: Option<(&str, u64)>,
+    kills: &[usize],
+) -> (Vec<String>, RecoveryReport, u32) {
+    let mut responses = Vec::with_capacity(requests.len());
+    let mut acked: HashMap<String, u64> = HashMap::new();
+    let mut totals = RecoveryReport::default();
+    let mut crashes = 0u32;
+
+    let mut server = spawn_server(dir, shards, first_leg_crash);
+    let mut conn = connect(&server.addr);
+    let mut i = 0;
+    while i < requests.len() {
+        if kills.contains(&i) {
+            server.child.kill().expect("SIGKILL server");
+            server.child.wait().expect("reap killed server");
+            crashes += 1;
+            accumulate(&mut totals, &scan(dir));
+            server = spawn_server(dir, shards, None);
+            conn = connect(&server.addr);
+        }
+        let request = &requests[i];
+        let name = graph_name(request);
+        match conn.execute(request) {
+            Ok(response) => {
+                responses.push(response.to_trace_line());
+                *acked.entry(name.to_string()).or_insert(0) += 1;
+                i += 1;
+            }
+            Err(ClientError::Io(_) | ClientError::ConnectionClosed) => {
+                // The injected abort fired with this request in flight.
+                server.child.wait().expect("reap aborted server");
+                crashes += 1;
+                accumulate(&mut totals, &scan(dir));
+                let store = Store::open(dir, StoreOptions::default()).expect("reopen store");
+                let durable = store.durable_count(name);
+                let acked_n = acked.get(name).copied().unwrap_or(0);
+                if durable == acked_n + 1 {
+                    // Applied and logged; only the ack was lost. The WAL
+                    // keeps the full request/response pair for exactly
+                    // this hand-off.
+                    let (_, request_line, response_line) =
+                        store.last_record(name).expect("durable record exists");
+                    assert_eq!(
+                        request_line,
+                        request.to_trace_line(),
+                        "last durable record must be the in-flight request"
+                    );
+                    responses.push(response_line);
+                    acked.insert(name.to_string(), durable);
+                    i += 1;
+                } else {
+                    assert_eq!(
+                        durable, acked_n,
+                        "durable count may only ever be the acked count or one ahead"
+                    );
+                    // Not applied: leave `i` alone and re-send.
+                }
+                drop(store);
+                server = spawn_server(dir, shards, None);
+                conn = connect(&server.addr);
+            }
+            Err(other) => panic!("unexpected client error at request {i}: {other}"),
+        }
+    }
+
+    // Graceful end so per-graph state is quiescent for final probes.
+    server.child.kill().expect("final kill");
+    server.child.wait().expect("final reap");
+    (responses, totals, crashes)
+}
+
+/// Sum the *repair events* of successive recovery scans; the state
+/// counts (graphs, WAL records) keep the latest scan's values.
+fn accumulate(totals: &mut RecoveryReport, scan: &RecoveryReport) {
+    totals.torn_tails += scan.torn_tails;
+    totals.tombstones_gcd += scan.tombstones_gcd;
+    totals.orphan_tmps += scan.orphan_tmps;
+    totals.graphs = scan.graphs;
+    totals.wal_records = scan.wal_records;
+}
+
+/// One post-crash scan: `Store::open` IS the recovery path (torn-tail
+/// truncation, tombstone GC, orphan tmp removal), run here in-process so
+/// the test can inspect the report. It is idempotent, so the restarted
+/// server's own open sees an already-clean directory.
+fn scan(dir: &std::path::Path) -> RecoveryReport {
+    Store::open(dir, StoreOptions::default()).expect("recovery scan").recovery_report()
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cut_crash_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Post-recovery state check: adopt everything durable into a fresh
+/// engine and compare listings and exact cuts against the uninterrupted
+/// reference engine.
+fn assert_final_state_matches(dir: &std::path::Path, requests: &[Request]) {
+    let mut plain = Engine::new();
+    for request in requests {
+        plain.execute(request.clone());
+    }
+    let store = std::sync::Arc::new(Store::open(dir, StoreOptions::default()).expect("reopen"));
+    let mut revived = Engine::new();
+    revived.attach_store(store.clone() as std::sync::Arc<dyn cut_engine::GraphStore>);
+    for name in store.names() {
+        revived.adopt_stored(&name);
+    }
+    assert_eq!(revived.execute(Request::ListGraphs), plain.execute(Request::ListGraphs));
+    let Response::Graphs { names } = plain.execute(Request::ListGraphs) else {
+        panic!("list must answer");
+    };
+    for name in names {
+        let probe = Request::Query { name, query: Query::ExactMinCut };
+        assert_eq!(revived.execute(probe.clone()), plain.execute(probe));
+    }
+}
+
+#[test]
+fn external_sigkills_recover_byte_identically() {
+    let requests = workload_requests();
+    let reference = reference_log(&requests);
+    let dir = temp_dir("sigkill");
+    // Three kill points spread across the run, derived from the workload
+    // seed so reruns are reproducible.
+    let kills = [41, 118, 209];
+    let (log, _, crashes) = run_with_crashes(&dir, &requests, 1, None, &kills);
+    assert_eq!(crashes, 3);
+    assert_eq!(log, reference, "SIGKILL + restart must not change a single response");
+    assert_final_state_matches(&dir, &requests);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn mid_append_crash_truncates_the_torn_tail_and_resumes() {
+    let requests = workload_requests();
+    let reference = reference_log(&requests);
+    let dir = temp_dir("append");
+    let (log, totals, crashes) = run_with_crashes(&dir, &requests, 1, Some(("append", 37)), &[]);
+    assert_eq!(crashes, 1, "the armed append crash must fire");
+    assert!(
+        totals.torn_tails >= 1,
+        "a half-written WAL record must be detected and truncated (report: {totals:?})"
+    );
+    assert_eq!(log, reference, "recovery from a torn WAL tail must not change any response");
+    assert_final_state_matches(&dir, &requests);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn mid_snapshot_crash_leaves_an_orphan_tmp_and_resumes() {
+    let requests = workload_requests();
+    let reference = reference_log(&requests);
+    let dir = temp_dir("snapshot");
+    let (log, totals, crashes) = run_with_crashes(&dir, &requests, 1, Some(("snapshot", 4)), &[]);
+    assert_eq!(crashes, 1, "the armed snapshot crash must fire");
+    assert!(
+        totals.orphan_tmps >= 1,
+        "a half-written snapshot must be swept as an orphan tmp (report: {totals:?})"
+    );
+    assert_eq!(log, reference, "a crash mid-snapshot must not change any response");
+    assert_final_state_matches(&dir, &requests);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn mid_spill_crash_leaves_an_orphan_tmp_and_resumes() {
+    let requests = workload_requests();
+    let reference = reference_log(&requests);
+    let dir = temp_dir("spill");
+    let (log, totals, crashes) = run_with_crashes(&dir, &requests, 1, Some(("spill", 3)), &[]);
+    assert_eq!(crashes, 1, "the armed spill crash must fire");
+    assert!(
+        totals.orphan_tmps >= 1,
+        "a half-written spill must be swept as an orphan tmp (report: {totals:?})"
+    );
+    assert_eq!(log, reference, "a crash mid-spill must not change any response");
+    assert_final_state_matches(&dir, &requests);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sharded_server_sigkill_recovers_byte_identically() {
+    let requests = workload_requests();
+    let reference = reference_log(&requests);
+    let dir = temp_dir("sharded");
+    let kills = [77, 160];
+    let (log, _, crashes) = run_with_crashes(&dir, &requests, 2, None, &kills);
+    assert_eq!(crashes, 2);
+    assert_eq!(
+        log, reference,
+        "a 2-shard durable server killed twice must still match the serial reference"
+    );
+    assert_final_state_matches(&dir, &requests);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,119 @@
+//! Snapshot payload properties: the [`GraphExport`] trace serialization
+//! round-trips losslessly across random mutation histories
+//! (insert/delete/contract interleavings with cache-warming queries), and
+//! a round-tripped export is indistinguishable from the original to the
+//! engine — same epoch, same responses, same cache hits.
+
+use cut_engine::{
+    ActionMix, Engine, EngineConfig, GraphExport, Query, Request, Response, Workload,
+    WorkloadConfig,
+};
+use proptest::prelude::*;
+
+proptest::proptest! {
+    #![proptest_config(proptest::ProptestConfig::with_cases(48))]
+
+    /// `to_trace` then `from_trace` is the identity on every reachable
+    /// export, and a proper prefix of a trace never parses.
+    #[test]
+    fn export_trace_round_trips(seed in proptest::any::<u64>()) {
+        let cfg = WorkloadConfig {
+            ops: 150,
+            seed,
+            graphs: 3,
+            initial_n: 16,
+            mix: ActionMix::write_heavy(),
+            ..WorkloadConfig::default()
+        };
+        let workload = Workload::generate(&cfg);
+        let mut engine = Engine::new();
+        for request in workload.all_requests() {
+            engine.execute(request.clone());
+        }
+        let cache_capacity = EngineConfig::default().max_cache_entries;
+        for i in 0..cfg.graphs {
+            let name = format!("g{i:03}");
+            let trace = engine.export_graph(&name).expect("graph resident").to_trace();
+            let parsed = GraphExport::from_trace(&trace, cache_capacity)
+                .expect("every produced trace must parse");
+            prop_assert_eq!(parsed.to_trace(), trace.clone());
+
+            // Strictness: a trace cut short at any line boundary (and the
+            // whole trace with a line appended) must be rejected — a
+            // half-written snapshot can never be mistaken for a graph.
+            let lines: Vec<&str> = trace.lines().collect();
+            for keep in 0..lines.len() {
+                let partial: String =
+                    lines[..keep].iter().map(|l| format!("{l}\n")).collect();
+                prop_assert!(
+                    GraphExport::from_trace(&partial, cache_capacity).is_err(),
+                    "prefix of {} lines must not parse",
+                    keep
+                );
+            }
+            let extended = format!("{trace}stray trailing line\n");
+            prop_assert!(GraphExport::from_trace(&extended, cache_capacity).is_err());
+        }
+    }
+
+    /// A round-tripped export installed in a fresh engine behaves exactly
+    /// like the original graph: repeated queries hit the restored cache,
+    /// and a mutation advances the restored epoch.
+    #[test]
+    fn round_tripped_export_serves_identically(seed in proptest::any::<u64>()) {
+        let cfg = WorkloadConfig {
+            ops: 100,
+            seed,
+            graphs: 1,
+            initial_n: 14,
+            ..WorkloadConfig::default()
+        };
+        let workload = Workload::generate(&cfg);
+        let mut original = Engine::new();
+        for request in workload.all_requests() {
+            original.execute(request.clone());
+        }
+
+        let trace = original.export_graph("g000").expect("graph resident").to_trace();
+        let cache_capacity = EngineConfig::default().max_cache_entries;
+        let export = GraphExport::from_trace(&trace, cache_capacity).expect("trace parses");
+        let mut restored = Engine::new();
+        prop_assert!(restored.import_graph(export).is_ok(), "no collision in an empty engine");
+
+        // Reinstall the original too, so both engines answer side by side.
+        let export = GraphExport::from_trace(&trace, cache_capacity).expect("trace parses");
+        let mut reference = Engine::new();
+        prop_assert!(reference.import_graph(export).is_ok(), "no collision in an empty engine");
+
+        let probes = [
+            Request::Query { name: "g000".into(), query: Query::ExactMinCut },
+            Request::Query { name: "g000".into(), query: Query::Connectivity },
+            Request::Query { name: "g000".into(), query: Query::ApproxMinCut { seed } },
+            Request::Mutate {
+                name: "g000".into(),
+                op: cut_engine::Mutation::InsertEdge { u: 0, v: 7, w: 3 },
+            },
+            Request::Query { name: "g000".into(), query: Query::ExactMinCut },
+        ];
+        for probe in probes {
+            let a = reference.execute(probe.clone());
+            let b = restored.execute(probe);
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+/// Non-property pinning: the empty-cache, zero-edge export shape.
+#[test]
+fn minimal_export_trace_shape() {
+    let mut engine = Engine::new();
+    let r = engine.execute(Request::Create {
+        name: "tiny".into(),
+        spec: cut_engine::GraphSpec::Cycle { n: 8 },
+    });
+    assert!(matches!(r, Response::Created { .. }));
+    let trace = engine.export_graph("tiny").expect("resident").to_trace();
+    let mut lines = trace.lines();
+    assert_eq!(lines.next(), Some("graph tiny 8 0"));
+    assert_eq!(lines.next(), Some("edges 8"));
+}
