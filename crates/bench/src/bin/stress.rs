@@ -50,6 +50,16 @@
 //! `BENCH_*.json` artifact with the same schema (`cut-stress/1`) local
 //! and remote.
 //!
+//! **Telemetry** (`docs/OBSERVABILITY.md`): every run finishes with a
+//! `stats metrics` broadcast — outside the digest-logged stream, so the
+//! digest is byte-identical with and without it — and reports queue-wait
+//! and serve-time percentiles from the merged lifecycle-span histograms
+//! (per phase on local open-loop runs, via metrics barriers at phase
+//! boundaries). `--metrics-out PATH` additionally writes the raw
+//! end-of-run snapshot as a `cut-metrics/1` JSON artifact, and
+//! `--metrics-text PATH` the same snapshot in Prometheus text
+//! exposition.
+//!
 //! ```text
 //! cargo run --release -p cut_bench --bin stress -- --ops 10000 --seed 7
 //! cargo run --release -p cut_bench --bin stress -- --ops 10000 --seed 7 --shards 4
@@ -68,7 +78,8 @@
 //! `--arrival closed|steady:R|poisson:R|bursts:B:P|diurnal:L:H`
 //! `--phases single|bursty|diurnal|flash` `--trace-out PATH`
 //! `--trace-in PATH` `--cache-entries N` `--dump-log PATH`
-//! `--remote ADDR` `--connections N` `--json-out PATH`. See
+//! `--remote ADDR` `--connections N` `--json-out PATH`
+//! `--metrics-out PATH` `--metrics-text PATH`. See
 //! `docs/WORKLOADS.md` for the workload model, `docs/SHARDING.md` for
 //! placement tuning, and `docs/PROTOCOL.md` for the wire format behind
 //! `--remote`.
@@ -91,9 +102,9 @@ use std::time::{Duration, Instant};
 
 use cut_client::{ClientError, Connection, ReconnectPolicy, RemoteTicket};
 use cut_engine::{
-    ActionMix, ArrivalProcess, Engine, EngineConfig, EngineStats, GraphStore, PlacementOptions,
-    PlacementReport, Request, Response, ShardOptions, ShardedEngine, Ticket, Timeline, Workload,
-    WorkloadConfig, BATCH_BUCKET_LABELS, QUERY_KINDS,
+    ActionMix, ArrivalProcess, Engine, EngineConfig, EngineStats, GraphStore, Histogram,
+    PlacementOptions, PlacementReport, Registry, Request, Response, ShardOptions, ShardedEngine,
+    Ticket, Timeline, Workload, WorkloadConfig, BATCH_BUCKET_LABELS, QUERY_KINDS,
 };
 // FNV-1a over the log bytes — stable across runs and platforms.
 use cut_graph::hash::fnv1a;
@@ -193,6 +204,8 @@ struct Args {
     remote: Option<String>,
     connections: usize,
     json_out: Option<String>,
+    metrics_out: Option<String>,
+    metrics_text: Option<String>,
     data_dir: Option<String>,
     snapshot_every: Option<u64>,
     resident_cap: usize,
@@ -223,6 +236,8 @@ fn parse_args() -> Result<Args, String> {
         remote: None,
         connections: 1,
         json_out: None,
+        metrics_out: None,
+        metrics_text: None,
         data_dir: None,
         snapshot_every: None,
         resident_cap: 0,
@@ -283,6 +298,8 @@ fn parse_args() -> Result<Args, String> {
                     value(&mut i)?.parse().map_err(|e| format!("--connections: {e}"))?
             }
             "--json-out" => args.json_out = Some(value(&mut i)?),
+            "--metrics-out" => args.metrics_out = Some(value(&mut i)?),
+            "--metrics-text" => args.metrics_text = Some(value(&mut i)?),
             "--data-dir" => args.data_dir = Some(value(&mut i)?),
             "--snapshot-every" => {
                 args.snapshot_every =
@@ -302,7 +319,8 @@ fn parse_args() -> Result<Args, String> {
                      [--phases single|bursty|diurnal|flash] \
                      [--trace-out PATH] [--trace-in PATH] [--cache-entries N] \
                      [--dump-log PATH] [--remote ADDR [--connections N]] \
-                     [--json-out PATH] [--data-dir PATH [--snapshot-every N] \
+                     [--json-out PATH] [--metrics-out PATH] [--metrics-text PATH] \
+                     [--data-dir PATH [--snapshot-every N] \
                      [--resident-cap N] [--fsync]]"
                 );
                 std::process::exit(0);
@@ -401,6 +419,21 @@ fn percentile(sorted_nanos: &[u64], p: f64) -> u64 {
     }
     let rank = (p / 100.0 * (sorted_nanos.len() - 1) as f64).round() as usize;
     sorted_nanos[rank.min(sorted_nanos.len() - 1)]
+}
+
+/// Decode a `stats metrics` response into a registry. A malformed
+/// snapshot is a harness/engine bug, not a workload error — abort loudly.
+fn decode_metrics(response: Response) -> Registry {
+    match response {
+        Response::Metrics { snapshot } => Registry::from_wire(&snapshot).unwrap_or_else(|e| {
+            eprintln!("error: undecodable metrics snapshot: {e}");
+            std::process::exit(1);
+        }),
+        other => {
+            eprintln!("error: stats metrics answered: {other}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn fmt_nanos(ns: u64) -> String {
@@ -770,6 +803,40 @@ fn main() {
         }
     }
 
+    if let Some(metrics) = &report.metrics {
+        let overall_q = metrics.histogram("request_queue_wait_nanos");
+        let overall_s = metrics.histogram("request_serve_nanos");
+        if let (Some(q), Some(s)) = (overall_q, overall_s) {
+            println!();
+            println!(
+                "telemetry: queue-wait / serve-time per named request (merged across shards):"
+            );
+            println!(
+                "{:<12} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                "phase", "ops", "qw-p50", "qw-p99", "qw-max", "sv-p50", "sv-p99", "sv-max"
+            );
+            let row = |name: &str, q: &Histogram, s: &Histogram| {
+                println!(
+                    "{:<12} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                    name,
+                    s.count(),
+                    fmt_nanos(q.quantile(0.5)),
+                    fmt_nanos(q.quantile(0.99)),
+                    fmt_nanos(q.max()),
+                    fmt_nanos(s.quantile(0.5)),
+                    fmt_nanos(s.quantile(0.99)),
+                    fmt_nanos(s.max()),
+                );
+            };
+            if let Some(open) = &report.open {
+                for (phase, (ph_q, ph_s)) in open.phases.iter().zip(&open.phase_telemetry) {
+                    row(&phase.name, ph_q, ph_s);
+                }
+            }
+            row("overall", q, s);
+        }
+    }
+
     if let Some(store) = &store {
         let c = store.counters();
         let r = store.recovery_report();
@@ -813,6 +880,38 @@ fn main() {
             std::process::exit(1);
         }
         println!("json report written to {path}");
+    }
+
+    if let Some(path) = &args.metrics_out {
+        match &report.metrics {
+            Some(metrics) => {
+                if let Err(e) = std::fs::write(path, metrics.render_json()) {
+                    eprintln!("error: writing {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!("metrics snapshot (cut-metrics/1) written to {path}");
+            }
+            None => {
+                eprintln!("error: no metrics snapshot collected for --metrics-out");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(path) = &args.metrics_text {
+        match &report.metrics {
+            Some(metrics) => {
+                if let Err(e) = std::fs::write(path, metrics.render_text()) {
+                    eprintln!("error: writing {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!("metrics exposition (Prometheus text) written to {path}");
+            }
+            None => {
+                eprintln!("error: no metrics snapshot collected for --metrics-text");
+                std::process::exit(1);
+            }
+        }
     }
 }
 
@@ -884,6 +983,12 @@ struct OpenLoopReport {
     phases: Vec<PhaseLatency>,
     /// Last scheduled arrival (the offered-load horizon).
     horizon_nanos: u64,
+    /// Per-phase `(queue_wait, serve_time)` interval histograms, diffed
+    /// from the metrics barriers submitted at phase boundaries — local
+    /// runs only (remote phase boundaries are not cross-connection
+    /// barriers, so per-phase numbers would lie). Parallel to `phases`;
+    /// empty when not collected.
+    phase_telemetry: Vec<(Histogram, Histogram)>,
 }
 
 /// What a replay produced, whichever execution front ran it.
@@ -906,6 +1011,12 @@ struct RunReport {
     /// `(ops submitted, error responses)` per connection — remote path
     /// only (prologue setup is excluded from open-loop counts).
     connections: Option<Vec<(u64, u64)>>,
+    /// End-of-run merged telemetry snapshot (the `stats metrics`
+    /// broadcast): request lifecycle histograms plus engine/store
+    /// counters. The metrics requests that produce it ride outside the
+    /// digest-logged stream, so the log is byte-identical with and
+    /// without collection.
+    metrics: Option<Registry>,
 }
 
 /// Replay through the single-threaded `Engine::execute` path, timing each
@@ -939,6 +1050,9 @@ fn run_single(workload: &Workload, cfg: EngineConfig, store: Option<Arc<Store>>)
         log.push_str(&format!("{i:06} {request} -> {response}\n"));
     }
     let wall = t_run.elapsed();
+    // Snapshot outside the logged stream: the single-threaded path has no
+    // worker spans, but engine and store counters still export.
+    let metrics = decode_metrics(engine.execute(Request::Metrics));
 
     RunReport {
         log,
@@ -950,6 +1064,7 @@ fn run_single(workload: &Workload, cfg: EngineConfig, store: Option<Arc<Store>>)
         placement: None,
         open: None,
         connections: None,
+        metrics: Some(metrics),
     }
 }
 
@@ -992,6 +1107,10 @@ fn run_sharded(workload: &Workload, shards: usize, opts: ShardOptions) -> RunRep
         drain(entry, &mut log, &mut errors);
     }
     let wall = t_run.elapsed();
+    // A metrics barrier after the last logged op: the merged snapshot
+    // covers every named request of the run, and the request itself rides
+    // outside the digest-logged stream.
+    let metrics = decode_metrics(engine.submit(Request::Metrics).wait());
 
     let routed = engine.routed().to_vec();
     let placement = engine.placement_report();
@@ -1011,6 +1130,7 @@ fn run_sharded(workload: &Workload, shards: usize, opts: ShardOptions) -> RunRep
         placement: adaptive.then_some(placement),
         open: None,
         connections: None,
+        metrics: Some(metrics),
     }
 }
 
@@ -1040,6 +1160,15 @@ fn run_open_loop(workload: &Workload, shards: usize, opts: ShardOptions) -> RunR
         }
         log.push_str(&format!("{i:06} {request} -> {response}\n"));
     }
+
+    // Metrics barriers bracket each phase: a baseline after the prologue,
+    // one at each phase boundary, one after the last operation. Broadcast
+    // merges have Stats barrier semantics — a snapshot submitted after
+    // phase k's last operation covers exactly phases <= k — so diffing
+    // consecutive snapshots yields per-phase interval histograms. None of
+    // these ride the logged stream: the digest is byte-identical with or
+    // without them.
+    let mut metric_tickets: Vec<Ticket> = vec![engine.submit(Request::Metrics)];
 
     // Collector: polls outstanding tickets, stamping each completion as it
     // lands; results come back keyed by operation index.
@@ -1118,7 +1247,16 @@ fn run_open_loop(workload: &Workload, shards: usize, opts: ShardOptions) -> RunR
             depth_samples: 0,
         })
         .collect();
+    let mut cur_phase = 0usize;
     for (op, request) in workload.operations.iter().enumerate() {
+        if let Some(p) = workload.phase_of(op) {
+            // Entering a new phase: snapshot the end of every phase
+            // crossed (empty phases get a duplicate boundary).
+            for _ in cur_phase..p {
+                metric_tickets.push(engine.submit(Request::Metrics));
+            }
+            cur_phase = p;
+        }
         let sched = workload.arrivals[op];
         loop {
             let now = t0.elapsed().as_nanos() as u64;
@@ -1141,9 +1279,16 @@ fn run_open_loop(workload: &Workload, shards: usize, opts: ShardOptions) -> RunR
             phases[p].depth_samples += 1;
         }
     }
+    // End-of-run snapshots for the last phase (and any trailing empty
+    // ones), keeping one end snapshot per phase plus the baseline.
+    for _ in cur_phase..phases.len() {
+        metric_tickets.push(engine.submit(Request::Metrics));
+    }
     drop(tx);
     let mut done = collector.join().expect("collector thread panicked");
     let wall = t_run.elapsed();
+    let snapshots: Vec<Registry> =
+        metric_tickets.into_iter().map(|t| decode_metrics(t.wait())).collect();
 
     // Assemble the log in submission order and bucket latencies per phase.
     done.sort_unstable_by_key(|(op, _, _)| *op);
@@ -1158,6 +1303,20 @@ fn run_open_loop(workload: &Workload, shards: usize, opts: ShardOptions) -> RunR
             phases[p].lat.push(latency);
         }
     }
+
+    // Phase k's interval histograms: end-of-k snapshot minus end-of-(k-1)
+    // (the baseline for phase 0, which therefore excludes the prologue).
+    let hist = |r: &Registry, name: &str| r.histogram(name).cloned().unwrap_or_default();
+    let phase_telemetry: Vec<(Histogram, Histogram)> = (0..phases.len())
+        .map(|k| {
+            let (before, after) = (&snapshots[k], &snapshots[k + 1]);
+            (
+                hist(after, "request_queue_wait_nanos")
+                    .diff(&hist(before, "request_queue_wait_nanos")),
+                hist(after, "request_serve_nanos").diff(&hist(before, "request_serve_nanos")),
+            )
+        })
+        .collect();
 
     let routed = engine.routed().to_vec();
     let placement = engine.placement_report();
@@ -1178,8 +1337,10 @@ fn run_open_loop(workload: &Workload, shards: usize, opts: ShardOptions) -> RunR
         open: Some(OpenLoopReport {
             phases,
             horizon_nanos: workload.arrivals.last().copied().unwrap_or(0),
+            phase_telemetry,
         }),
         connections: None,
+        metrics: snapshots.last().cloned(),
     }
 }
 
@@ -1194,9 +1355,9 @@ fn fatal_remote(op: usize, e: &ClientError) -> ! {
 /// Which connection serves `request`: per-graph affinity via the same
 /// FNV-1a trick the shard router uses, so every request touching a graph
 /// rides one connection and per-graph ordering survives the fan-out.
-/// Broadcasts (`list`, `stats`) ride connection 0. At `connections == 1`
-/// the whole stream shares one pipeline and the response log is
-/// byte-identical to an in-process run.
+/// Broadcasts (`list`, `stats` and its `metrics`/`slowlog` subcommands)
+/// ride connection 0. At `connections == 1` the whole stream shares one
+/// pipeline and the response log is byte-identical to an in-process run.
 fn conn_for(request: &Request, connections: usize) -> usize {
     if connections <= 1 {
         return 0;
@@ -1206,7 +1367,7 @@ fn conn_for(request: &Request, connections: usize) -> usize {
         | Request::Drop { name }
         | Request::Mutate { name, .. }
         | Request::Query { name, .. } => (fnv1a(name.as_bytes()) % connections as u64) as usize,
-        Request::ListGraphs | Request::Stats => 0,
+        Request::ListGraphs | Request::Stats | Request::Metrics | Request::Slowlog => 0,
     }
 }
 
@@ -1273,6 +1434,12 @@ fn run_remote_closed(workload: &Workload, addr: &str, connections: usize) -> Run
         drain_one(&mut inflight, &mut log, &mut errors, &mut conn_stats);
     }
     let wall = t_run.elapsed();
+    // The server-merged telemetry snapshot, fetched after the last logged
+    // op so its histograms cover the whole run (and never enter the log).
+    let last = workload.len();
+    let metrics = decode_metrics(
+        conns[0].execute(&Request::Metrics).unwrap_or_else(|e| fatal_remote(last, &e)),
+    );
     for conn in conns {
         conn.close();
     }
@@ -1287,6 +1454,7 @@ fn run_remote_closed(workload: &Workload, addr: &str, connections: usize) -> Run
         placement: None,
         open: None,
         connections: Some(conn_stats),
+        metrics: Some(metrics),
     }
 }
 
@@ -1356,7 +1524,7 @@ fn run_remote_open(workload: &Workload, addr: &str, connections: usize) -> RunRe
                 let mut progressed = false;
                 for (c, queue) in queues.iter_mut().enumerate() {
                     // In-order responses: only the head can land next.
-                    while let Some(head) = queue.front() {
+                    while let Some(head) = queue.front_mut() {
                         let Some(result) = head.2.try_wait() else { break };
                         let entry = queue.pop_front().expect("non-empty queue");
                         outstanding -= 1;
@@ -1378,7 +1546,7 @@ fn run_remote_open(workload: &Workload, addr: &str, connections: usize) -> RunRe
                     match oldest {
                         Some(c) => {
                             let waited = queues[c]
-                                .front()
+                                .front_mut()
                                 .expect("non-empty queue")
                                 .2
                                 .wait_timeout(COLLECTOR_PARK);
@@ -1444,6 +1612,14 @@ fn run_remote_open(workload: &Workload, addr: &str, connections: usize) -> RunRe
     drop(tx);
     let mut done = collector.join().expect("collector thread panicked");
     let wall = t_run.elapsed();
+    // Overall server-merged snapshot only: a phase boundary on connection
+    // 0 is not a barrier for requests in flight on other connections, so
+    // per-phase telemetry would lie here — remote runs report the
+    // end-of-run merge and leave the per-phase split to local runs.
+    let last = workload.len();
+    let metrics = decode_metrics(
+        conns[0].execute(&Request::Metrics).unwrap_or_else(|e| fatal_remote(last, &e)),
+    );
     for conn in conns {
         conn.close();
     }
@@ -1474,8 +1650,10 @@ fn run_remote_open(workload: &Workload, addr: &str, connections: usize) -> RunRe
         open: Some(OpenLoopReport {
             phases,
             horizon_nanos: workload.arrivals.last().copied().unwrap_or(0),
+            phase_telemetry: Vec::new(),
         }),
         connections: Some(conn_stats),
+        metrics: Some(metrics),
     }
 }
 
@@ -1501,6 +1679,21 @@ fn json_str(s: &str) -> String {
 
 fn json_opt_str(s: Option<&String>) -> String {
     s.map(|v| json_str(v)).unwrap_or_else(|| "null".to_string())
+}
+
+/// One histogram as a compact JSON percentile summary (the full bucket
+/// vector lives in the `--metrics-out` cut-metrics/1 artifact; the stress
+/// report only carries the digested view).
+fn json_hist(h: &Histogram) -> String {
+    format!(
+        "{{\"count\": {}, \"p50_nanos\": {}, \"p90_nanos\": {}, \"p99_nanos\": {}, \
+         \"max_nanos\": {}}}",
+        h.count(),
+        h.quantile(0.5),
+        h.quantile(0.9),
+        h.quantile(0.99),
+        h.max()
+    )
 }
 
 /// Render the whole run as the `cut-stress/1` JSON artifact (`--json-out`).
@@ -1660,6 +1853,42 @@ fn render_json(
             p.rebalances, p.migrations, p.generation
         )),
         None => out.push_str("  \"placement\": null,\n"),
+    }
+
+    // Request-lifecycle telemetry from the end-of-run `stats metrics`
+    // snapshot; null when the path records no worker spans (the
+    // single-threaded local front). Per-phase interval histograms exist
+    // only for local open-loop runs (see `OpenLoopReport`).
+    let span_hists = report.metrics.as_ref().and_then(|m| {
+        Some((m.histogram("request_queue_wait_nanos")?, m.histogram("request_serve_nanos")?))
+    });
+    match span_hists {
+        Some((q, s)) => {
+            out.push_str("  \"telemetry\": {\n");
+            out.push_str(&format!("    \"queue_wait\": {},\n", json_hist(q)));
+            out.push_str(&format!("    \"serve\": {},\n", json_hist(s)));
+            match &report.open {
+                Some(open) if !open.phase_telemetry.is_empty() => {
+                    out.push_str("    \"phases\": [\n");
+                    let last = open.phase_telemetry.len().saturating_sub(1);
+                    for (row, (phase, (ph_q, ph_s))) in
+                        open.phases.iter().zip(&open.phase_telemetry).enumerate()
+                    {
+                        out.push_str(&format!(
+                            "      {{\"name\": {}, \"queue_wait\": {}, \"serve\": {}}}{}\n",
+                            json_str(&phase.name),
+                            json_hist(ph_q),
+                            json_hist(ph_s),
+                            if row == last { "" } else { "," },
+                        ));
+                    }
+                    out.push_str("    ]\n");
+                }
+                _ => out.push_str("    \"phases\": null\n"),
+            }
+            out.push_str("  },\n");
+        }
+        None => out.push_str("  \"telemetry\": null,\n"),
     }
 
     // Durability counters live with the store; a remote run (or a run

@@ -45,7 +45,9 @@
 use std::fmt;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
 use std::time::Duration;
 
 pub use cut_engine::{Request, Response};
@@ -147,11 +149,17 @@ impl ReconnectPolicy {
 #[must_use = "a ticket holds a pending response; wait() on it to collect"]
 pub struct RemoteTicket {
     rx: Receiver<Result<Response, ClientError>>,
+    /// Set once a wait variant has collected the response; a ticket
+    /// dropped with this still `false` was abandoned and counts toward
+    /// [`Connection::abandoned_tickets`].
+    resolved: bool,
+    abandoned: Option<Arc<AtomicU64>>,
 }
 
 impl RemoteTicket {
     /// Block until the response (or the connection's failure) arrives.
-    pub fn wait(self) -> Result<Response, ClientError> {
+    pub fn wait(mut self) -> Result<Response, ClientError> {
+        self.resolved = true;
         self.rx.recv().unwrap_or(Err(ClientError::ConnectionClosed))
     }
 
@@ -162,22 +170,40 @@ impl RemoteTicket {
     /// costs nothing and burns no core.
     ///
     /// Once this returns `Some`, the ticket is spent — drop it.
-    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Response, ClientError>> {
-        match self.rx.recv_timeout(timeout) {
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<Result<Response, ClientError>> {
+        let result = match self.rx.recv_timeout(timeout) {
             Ok(result) => Some(result),
             Err(RecvTimeoutError::Timeout) => None,
             Err(RecvTimeoutError::Disconnected) => Some(Err(ClientError::ConnectionClosed)),
+        };
+        if result.is_some() {
+            self.resolved = true;
         }
+        result
     }
 
     /// Non-blocking poll, mirroring the in-process `Ticket::try_wait`.
     ///
     /// Once this returns `Some`, the ticket is spent — drop it.
-    pub fn try_wait(&self) -> Option<Result<Response, ClientError>> {
-        match self.rx.try_recv() {
+    pub fn try_wait(&mut self) -> Option<Result<Response, ClientError>> {
+        let result = match self.rx.try_recv() {
             Ok(result) => Some(result),
             Err(TryRecvError::Empty) => None,
             Err(TryRecvError::Disconnected) => Some(Err(ClientError::ConnectionClosed)),
+        };
+        if result.is_some() {
+            self.resolved = true;
+        }
+        result
+    }
+}
+
+impl Drop for RemoteTicket {
+    fn drop(&mut self) {
+        if !self.resolved {
+            if let Some(counter) = &self.abandoned {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -198,6 +224,12 @@ pub struct Connection {
     /// Registers a response slot with the reader thread. `None` once the
     /// connection is known broken.
     pending: Option<Sender<Slot>>,
+    /// Tickets from this connection dropped before any wait collected
+    /// their response. The reader thread still reads and discards those
+    /// responses (framing survives), but the answers were thrown away —
+    /// the same leak the in-process `ShardedEngine::abandoned_tickets`
+    /// tracks.
+    abandoned: Arc<AtomicU64>,
 }
 
 impl Connection {
@@ -259,7 +291,15 @@ impl Connection {
         let (pending_tx, pending_rx) = channel::<Slot>();
         std::thread::spawn(move || reader_loop(reader, pending_rx));
 
-        Ok(Connection { writer, pending: Some(pending_tx) })
+        Ok(Connection { writer, pending: Some(pending_tx), abandoned: Arc::new(AtomicU64::new(0)) })
+    }
+
+    /// How many tickets from this connection were dropped without
+    /// collecting their response — each one a request whose answer was
+    /// paid for on the wire and then thrown away. Mirrors the in-process
+    /// `ShardedEngine::abandoned_tickets` accounting.
+    pub fn abandoned_tickets(&self) -> u64 {
+        self.abandoned.load(Ordering::Relaxed)
     }
 
     /// Send one request down the pipe and return a ticket for its
@@ -288,7 +328,7 @@ impl Connection {
             self.pending = None;
             return Err(ClientError::Io(e));
         }
-        Ok(RemoteTicket { rx })
+        Ok(RemoteTicket { rx, resolved: false, abandoned: Some(Arc::clone(&self.abandoned)) })
     }
 
     /// Execute one request and block for its answer — the remote drop-in
@@ -381,6 +421,49 @@ mod tests {
             .err()
             .expect("nothing is listening");
         assert!(matches!(err, ClientError::Io(_)), "got: {err}");
+    }
+
+    #[test]
+    fn dropped_remote_tickets_count_as_abandoned() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let ticket = |counter: &Arc<AtomicU64>| {
+            let (tx, rx) = channel();
+            let t = RemoteTicket { rx, resolved: false, abandoned: Some(Arc::clone(counter)) };
+            (tx, t)
+        };
+
+        // Dropped without any wait: abandoned.
+        let (_tx, t) = ticket(&counter);
+        drop(t);
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+
+        // Resolved through try_wait, then dropped: not abandoned.
+        let (tx, mut t) = ticket(&counter);
+        tx.send(Ok(Response::Graphs { names: Vec::new() })).expect("slot open");
+        assert!(t.try_wait().is_some());
+        drop(t);
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+
+        // Resolved through wait_timeout: not abandoned.
+        let (tx, mut t) = ticket(&counter);
+        tx.send(Ok(Response::Graphs { names: Vec::new() })).expect("slot open");
+        assert!(t.wait_timeout(Duration::from_millis(50)).is_some());
+        drop(t);
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+
+        // wait_timeout that *times out* leaves the ticket live; dropping
+        // it afterwards is still an abandonment.
+        let (_tx, mut t) = ticket(&counter);
+        assert!(t.wait_timeout(Duration::from_millis(1)).is_none());
+        drop(t);
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+
+        // wait() consumes and resolves: not abandoned even though the
+        // channel reports closure.
+        let (tx, t) = ticket(&counter);
+        drop(tx);
+        assert!(t.wait().is_err());
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -27,6 +27,7 @@ use std::sync::Arc;
 
 use cut_graph::{stoer_wagner, CutResult, Edge, Graph};
 use cut_index::{GraphIndex, IndexStats, LruCache};
+use cut_obs::{Clock, Registry};
 use mincut_core::{
     approx_min_cut, apx_split, exponential_priorities, smallest_singleton_cut, KCutOptions,
     MinCutOptions,
@@ -207,6 +208,138 @@ impl EngineStats {
         self.steal_reads += steal_reads;
         self.serve_nanos += serve_nanos;
     }
+
+    /// Export every counter onto a telemetry [`Registry`] under the
+    /// `engine_` prefix — the registry is the single exposition point for
+    /// these numbers (`stats metrics`, `--metrics-out`, `render_text`),
+    /// while this struct remains the zero-allocation merge vehicle the
+    /// shard barrier already uses. The exhaustive destructuring makes a
+    /// new field here a compile error until it is exported too.
+    pub fn export_registry(&self, reg: &mut Registry) {
+        let EngineStats {
+            queries,
+            cache_hits,
+            cache_misses,
+            mutations,
+            graphs_created,
+            graphs_dropped,
+            index,
+            builds_by_kind,
+            reuse_by_kind,
+            batches,
+            batched_reads,
+            batch_hist,
+            migrations_in,
+            migrations_out,
+            steal_batches,
+            steal_reads,
+            serve_nanos,
+        } = *self;
+        reg.inc("engine_queries", queries);
+        reg.inc("engine_cache_hits", cache_hits);
+        reg.inc("engine_cache_misses", cache_misses);
+        reg.inc("engine_mutations", mutations);
+        reg.inc("engine_graphs_created", graphs_created);
+        reg.inc("engine_graphs_dropped", graphs_dropped);
+        reg.inc("engine_csr_builds", index.csr_builds);
+        reg.inc("engine_csr_reuses", index.csr_reuses);
+        reg.inc("engine_dsu_fast_hits", index.dsu_fast_hits);
+        reg.inc("engine_dsu_rebuilds", index.dsu_rebuilds);
+        reg.inc("engine_lru_evictions", index.lru_evictions);
+        for (kind, (builds, reuses)) in
+            QUERY_KINDS.iter().zip(builds_by_kind.iter().zip(reuse_by_kind.iter()))
+        {
+            reg.inc(&format!("engine_csr_builds_{kind}"), *builds);
+            reg.inc(&format!("engine_csr_reuses_{kind}"), *reuses);
+        }
+        reg.inc("engine_batches", batches);
+        reg.inc("engine_batched_reads", batched_reads);
+        for (i, c) in batch_hist.iter().enumerate() {
+            reg.inc(&format!("engine_batch_hist_{i}"), *c);
+        }
+        reg.inc("engine_migrations_in", migrations_in);
+        reg.inc("engine_migrations_out", migrations_out);
+        reg.inc("engine_steal_batches", steal_batches);
+        reg.inc("engine_steal_reads", steal_reads);
+        reg.inc("engine_serve_nanos_total", serve_nanos);
+    }
+}
+
+/// Per-request serve-time attribution drained by the sharded front-end
+/// after each execute: where inside the serve window the time went, plus
+/// spill/fault-in events the request triggered.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ObsDelta {
+    /// Nanoseconds spent (re)building CSR snapshots.
+    pub index_nanos: u64,
+    /// Nanoseconds spent appending to / snapshotting the store.
+    pub store_nanos: u64,
+    /// Graphs spilled to the store while serving.
+    pub spills: u64,
+    /// Graphs faulted in from the store while serving.
+    pub fault_ins: u64,
+}
+
+/// The engine's telemetry scratch: an optional [`Clock`] (timing is off —
+/// and costs nothing — until one is attached) plus serve-time attribution
+/// split into the *current request's* delta and engine-lifetime totals.
+/// Purely an observer: nothing here ever feeds back into execution, which
+/// is what keeps responses byte-identical with telemetry on or off.
+#[derive(Debug, Default)]
+pub(crate) struct ObsScratch {
+    clock: Option<Arc<dyn Clock>>,
+    delta: ObsDelta,
+    total: ObsDelta,
+}
+
+impl ObsScratch {
+    /// Scratch with a clock already attached — for the sharded front-end's
+    /// thieves, which serve stolen runs against a borrowed entry outside
+    /// any engine and so need a local attribution scratch.
+    pub(crate) fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        ObsScratch { clock: Some(clock), ..ObsScratch::default() }
+    }
+
+    /// Current clock reading, if a clock is attached.
+    pub(crate) fn now(&self) -> Option<u64> {
+        self.clock.as_ref().map(|c| c.now())
+    }
+
+    /// Charge elapsed time since `t0` to the index-build bucket.
+    fn charge_index(&mut self, t0: Option<u64>) {
+        if let (Some(t0), Some(clock)) = (t0, self.clock.as_ref()) {
+            self.delta.index_nanos += clock.now().saturating_sub(t0);
+        }
+    }
+
+    /// Charge elapsed time since `t0` to the store-append bucket.
+    pub(crate) fn charge_store(&mut self, t0: Option<u64>) {
+        if let (Some(t0), Some(clock)) = (t0, self.clock.as_ref()) {
+            self.delta.store_nanos += clock.now().saturating_sub(t0);
+        }
+    }
+
+    /// Take the current request's attribution, folding it into the
+    /// lifetime totals.
+    pub(crate) fn take_delta(&mut self) -> ObsDelta {
+        let d = self.delta;
+        self.total.index_nanos += d.index_nanos;
+        self.total.store_nanos += d.store_nanos;
+        self.total.spills += d.spills;
+        self.total.fault_ins += d.fault_ins;
+        self.delta = ObsDelta::default();
+        d
+    }
+
+    /// Lifetime totals including any not-yet-taken delta.
+    fn lifetime(&self) -> ObsDelta {
+        ObsDelta {
+            index_nanos: self.total.index_nanos + self.delta.index_nanos,
+            store_nanos: self.total.store_nanos + self.delta.store_nanos,
+            spills: self.total.spills + self.delta.spills,
+            fault_ins: self.total.fault_ins + self.delta.fault_ins,
+        }
+    }
 }
 
 /// One registered graph: its mutable edge list, the incremental index
@@ -288,6 +421,9 @@ pub struct Engine {
     heat: BTreeMap<String, u64>,
     /// Named ops since the engine started (drives the heat half-life).
     heat_ops: u64,
+    /// Telemetry scratch: optional clock plus serve-time attribution
+    /// (index-build vs store-append) and spill/fault-in event counts.
+    obs: ObsScratch,
 }
 
 impl Default for Engine {
@@ -312,7 +448,56 @@ impl Engine {
             spilled: BTreeSet::new(),
             heat: BTreeMap::new(),
             heat_ops: 0,
+            obs: ObsScratch::default(),
         }
+    }
+
+    /// Attach a telemetry clock. Until one is attached the engine never
+    /// reads time (attribution stays zero); with one attached it stamps
+    /// index builds and store appends but never lets a reading influence
+    /// a response — telemetry on/off is behaviourally invisible.
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.obs.clock = Some(clock);
+    }
+
+    /// The telemetry scratch, for the sharded front-end's workers to
+    /// drain per-request attribution from (and for the steal path to
+    /// time loaned-entry serves against).
+    pub(crate) fn obs_mut(&mut self) -> &mut ObsScratch {
+        &mut self.obs
+    }
+
+    /// Engine-local counters as a telemetry registry: every
+    /// [`EngineStats`] field under `engine_`, residency gauges, and the
+    /// engine-lifetime serve-time attribution. Store-level families are
+    /// deliberately *not* included — the store is shared across shards,
+    /// so exactly one exporter must own them (see
+    /// [`Engine::store_metrics`]).
+    pub fn metrics_registry(&self) -> Registry {
+        let mut reg = Registry::new();
+        self.stats.export_registry(&mut reg);
+        reg.set_gauge("engine_graphs_resident", self.graphs.len() as u64);
+        reg.set_gauge("engine_graphs_spilled", self.spilled.len() as u64);
+        let life = self.obs.lifetime();
+        reg.inc("engine_index_build_nanos", life.index_nanos);
+        reg.inc("engine_store_append_nanos", life.store_nanos);
+        reg.inc("engine_spill_events", life.spills);
+        reg.inc("engine_fault_in_events", life.fault_ins);
+        reg
+    }
+
+    /// The attached store's counter families under `store_` (recovery
+    /// tallies, WAL appends, compactions, ...), or an empty registry
+    /// without a store. Merged by exactly one shard per snapshot so a
+    /// shared store is not multiply counted.
+    pub fn store_metrics(&self) -> Registry {
+        let mut reg = Registry::new();
+        if let Some(store) = &self.store {
+            for (name, value) in store.telemetry() {
+                reg.inc(&format!("store_{name}"), value);
+            }
+        }
+        reg
     }
 
     /// Attach a durability backend. From here on, every applied named
@@ -425,6 +610,21 @@ impl Engine {
                     mutations: self.stats.mutations,
                 }
             }
+            Request::Metrics => {
+                // The plain engine's metrics view: its own counters plus
+                // the store families (no sharded front-end means no other
+                // exporter can double count them). Queue/serve histograms
+                // live in the sharded workers and merge in above this
+                // level.
+                let mut reg = self.metrics_registry();
+                reg.merge(&self.store_metrics());
+                return Response::Metrics { snapshot: reg.to_wire() };
+            }
+            Request::Slowlog => {
+                // Spans are recorded by the sharded front-end's workers;
+                // a bare engine has no queue and records none.
+                return Response::Slowlog { snapshot: cut_obs::SlowLog::new(0).to_wire() };
+            }
             Request::Create { name, .. }
             | Request::Drop { name }
             | Request::Mutate { name, .. }
@@ -433,6 +633,7 @@ impl Engine {
         self.ensure_resident(&name);
         let response = self.dispatch_named(&request);
         if let Some(store) = self.store.clone() {
+            let t0 = self.obs.now();
             if matches!(response, Response::Dropped { .. }) {
                 store.drop_graph(&name, &request, &response);
                 self.spilled.remove(&name);
@@ -448,6 +649,7 @@ impl Engine {
                     store.snapshot(&name, &entry_to_trace(&name, entry));
                 }
             }
+            self.obs.charge_store(t0);
         }
         if self.graphs.contains_key(&name) {
             self.charge_heat(&name, request.cost_weight());
@@ -467,7 +669,7 @@ impl Engine {
             Request::Drop { name } => self.drop_graph(name),
             Request::Mutate { name, op } => self.mutate(name, *op),
             Request::Query { name, query } => self.query(name, *query),
-            Request::ListGraphs | Request::Stats => {
+            Request::ListGraphs | Request::Stats | Request::Metrics | Request::Slowlog => {
                 unreachable!("broadcasts never reach the named dispatch")
             }
         }
@@ -486,6 +688,7 @@ impl Engine {
             return;
         }
         if let Some(recovered) = store.load(name) {
+            self.obs.delta.fault_ins += 1;
             if let Some(snapshot) = &recovered.snapshot {
                 match GraphExport::from_trace(snapshot, self.cfg.max_cache_entries) {
                     Ok(export) => {
@@ -549,6 +752,7 @@ impl Engine {
         let Some(store) = self.store.clone() else { return };
         let Some(entry) = self.graphs.remove(name) else { return };
         store.spill(name, &entry_to_trace(name, &entry));
+        self.obs.delta.spills += 1;
         self.spilled.insert(name.to_string());
         self.heat.remove(name);
     }
@@ -606,7 +810,7 @@ impl Engine {
         let Some(entry) = self.graphs.get_mut(name) else {
             return Response::Error { message: format!("no graph named '{name}'") };
         };
-        serve_query(&mut self.stats, &self.cfg, entry, query)
+        serve_query(&mut self.stats, &self.cfg, entry, query, &mut self.obs)
     }
 
     /// Execute a batch of queries against one graph — the registry lookup
@@ -636,19 +840,23 @@ impl Engine {
         let mut responses = Vec::with_capacity(queries.len());
         let mut heat = 0u64;
         for query in queries {
-            let response = serve_query(&mut self.stats, &self.cfg, entry, query);
+            let response = serve_query(&mut self.stats, &self.cfg, entry, query, &mut self.obs);
             if let Some(store) = &store {
                 // Same log-per-query discipline as the serial path, so a
                 // recovered engine replays batched reads identically.
+                let t0 = self.obs.now();
                 store.log(name, &Request::Query { name: name.to_string(), query }, &response);
+                self.obs.charge_store(t0);
             }
             heat += query.cost_weight();
             responses.push(response);
         }
         if let Some(store) = &store {
             if store.wants_snapshot(name) {
+                let t0 = self.obs.now();
                 let entry = self.graphs.get(name).expect("entry still resident");
                 store.snapshot(name, &entry_to_trace(name, entry));
+                self.obs.charge_store(t0);
             }
         }
         self.charge_heat(name, heat);
@@ -923,6 +1131,7 @@ pub(crate) fn serve_query(
     cfg: &EngineConfig,
     entry: &mut GraphEntry,
     query: Query,
+    obs: &mut ObsScratch,
 ) -> Response {
     stats.queries += 1;
 
@@ -951,7 +1160,7 @@ pub(crate) fn serve_query(
     // None = never touched (connectivity, errors, the edgeless
     // singleton-cut summary path), Some(built) otherwise.
     let mut csr: Option<bool> = None;
-    let answer = compute_query(entry, cfg, stats, query, &mut csr);
+    let answer = compute_query(entry, cfg, stats, query, &mut csr, obs);
     if let Some(built) = csr {
         let kind = query.kind_index();
         if built {
@@ -970,9 +1179,19 @@ pub(crate) fn serve_query(
     answer
 }
 
-/// Unpack a [`GraphIndex::snapshot`] result, recording into `slot`
-/// whether this access built the CSR or reused the stamped build.
-fn track<'g>((graph, built): (&'g Graph, bool), slot: &mut Option<bool>) -> &'g Graph {
+/// Take the CSR snapshot for a compute arm, recording into `slot` whether
+/// the access built it or reused the stamped build, and charging build
+/// time to the span's index bucket (reuses read the clock but charge ~0).
+fn track<'g>(
+    entry: &'g mut GraphEntry,
+    slot: &mut Option<bool>,
+    obs: &mut ObsScratch,
+) -> &'g Graph {
+    let t0 = obs.now();
+    let (graph, built) = entry.graph();
+    if built {
+        obs.charge_index(t0);
+    }
     *slot = Some(built);
     graph
 }
@@ -1043,6 +1262,7 @@ fn compute_query(
     stats: &mut EngineStats,
     query: Query,
     csr: &mut Option<bool>,
+    obs: &mut ObsScratch,
 ) -> Response {
     let n = entry.n;
     match query {
@@ -1062,7 +1282,7 @@ fn compute_query(
             if n < 2 {
                 return Response::Error { message: "min cut needs n >= 2".into() };
             }
-            let g = track(entry.graph(), csr);
+            let g = track(entry, csr, obs);
             match disconnected_cut(g) {
                 Some(cut) => cut_response(&cut),
                 None => cut_response(&stoer_wagner(g)),
@@ -1072,7 +1292,7 @@ fn compute_query(
             if n < 2 {
                 return Response::Error { message: "min cut needs n >= 2".into() };
             }
-            let g = track(entry.graph(), csr);
+            let g = track(entry, csr, obs);
             if let Some(cut) = disconnected_cut(g) {
                 return cut_response(&cut);
             }
@@ -1093,7 +1313,7 @@ fn compute_query(
                 // running edge count answers in O(1), no CSR.
                 return Response::CutValue { weight: 0, side_size: 1, cached: false };
             }
-            let g = track(entry.graph(), csr);
+            let g = track(entry, csr, obs);
             let mut rng = SmallRng::seed_from_u64(seed);
             let prio = exponential_priorities(g, &mut rng);
             let cut = smallest_singleton_cut(g, &prio);
@@ -1107,7 +1327,7 @@ fn compute_query(
                     message: format!("k-cut needs 1 <= k <= n (k = {k}, n = {n})"),
                 };
             }
-            let g = track(entry.graph(), csr);
+            let g = track(entry, csr, obs);
             let mut opts = KCutOptions::new(k);
             opts.exact_below = cfg.exact_below;
             opts.mincut.epsilon = cfg.epsilon;
@@ -1124,7 +1344,7 @@ fn compute_query(
             if s == t {
                 return Response::Error { message: "st-cut needs s != t".into() };
             }
-            let g = track(entry.graph(), csr);
+            let g = track(entry, csr, obs);
             let weight = cut_graph::maxflow::min_st_cut(g, s, t);
             Response::CutValue { weight, side_size: 0, cached: false }
         }

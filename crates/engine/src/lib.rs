@@ -107,6 +107,12 @@ pub mod workload;
 
 // The index layer under every registry entry (see the `cut_index` crate).
 pub use cut_index::{GraphSummary, IndexStats, LruCache};
+// The telemetry layer (see the `cut_obs` crate): the registry both fronts
+// export through `stats metrics`, the span/slow-log machinery behind
+// `stats slowlog`, and the clocks that drive them.
+pub use cut_obs::{
+    span_flags, Clock, Histogram, MonotonicClock, Registry, SlowLog, Span, TestClock,
+};
 pub use engine::BATCH_BUCKET_LABELS;
 pub use engine::{batch_bucket, Engine, EngineConfig, EngineStats, GraphExport, BATCH_BUCKETS};
 pub use request::{GraphSpec, Mutation, Query, Request, Response, QUERY_KINDS};

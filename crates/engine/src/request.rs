@@ -471,6 +471,12 @@ pub enum Request {
     ListGraphs,
     /// Engine-level counters.
     Stats,
+    /// Merged telemetry registry snapshot (`stats metrics` on the wire).
+    /// Broadcast with the same barrier semantics as [`Request::Stats`].
+    Metrics,
+    /// Merged slow-query log (`stats slowlog` on the wire). Broadcast
+    /// like [`Request::Stats`].
+    Slowlog,
 }
 
 impl Request {
@@ -485,6 +491,8 @@ impl Request {
             Request::Query { query, .. } => query.kind(),
             Request::ListGraphs => "list",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Slowlog => "slowlog",
         }
     }
 
@@ -530,6 +538,10 @@ impl Request {
             }
             Request::ListGraphs => "list".to_string(),
             Request::Stats => "stats".to_string(),
+            // Sub-commands of `stats`; a tab types the separator as easily
+            // as a space, so `stats\tmetrics` on a socket works verbatim.
+            Request::Metrics => "stats metrics".to_string(),
+            Request::Slowlog => "stats slowlog".to_string(),
         }
     }
 
@@ -593,7 +605,23 @@ impl Request {
                 },
             },
             "list" => Request::ListGraphs,
-            "stats" => Request::Stats,
+            "stats" => {
+                // Optional sub-command selects an introspection snapshot;
+                // bare `stats` keeps its original meaning. An unknown
+                // trailing word falls through to the trailing-token error.
+                let mut peek = tokens.clone();
+                match peek.next() {
+                    Some("metrics") => {
+                        tokens.next();
+                        Request::Metrics
+                    }
+                    Some("slowlog") => {
+                        tokens.next();
+                        Request::Slowlog
+                    }
+                    _ => Request::Stats,
+                }
+            }
             other => return Err(format!("unknown request kind '{other}'")),
         };
         if let Some(extra) = tokens.next() {
@@ -611,8 +639,12 @@ impl Request {
             Request::Create { .. } => 4,
             // Edge-list edit plus index notification.
             Request::Mutate { .. } => 2,
-            // Registry removal / registry scans: cheap.
-            Request::Drop { .. } | Request::ListGraphs | Request::Stats => 1,
+            // Registry removal / registry scans / telemetry snapshots: cheap.
+            Request::Drop { .. }
+            | Request::ListGraphs
+            | Request::Stats
+            | Request::Metrics
+            | Request::Slowlog => 1,
             Request::Query { query, .. } => query.cost_weight(),
         }
     }
@@ -642,6 +674,8 @@ impl fmt::Display for Request {
             Request::Query { name, query } => write!(f, "query {name} {query}"),
             Request::ListGraphs => write!(f, "list-graphs"),
             Request::Stats => write!(f, "stats"),
+            Request::Metrics => write!(f, "stats-metrics"),
+            Request::Slowlog => write!(f, "stats-slowlog"),
         }
     }
 }
@@ -718,6 +752,19 @@ pub enum Response {
         /// Mutations applied.
         mutations: u64,
     },
+    /// Merged telemetry registry snapshot (answer to [`Request::Metrics`]).
+    Metrics {
+        /// `cut-metrics/1` single-line wire form (see
+        /// `cut_obs::Registry::to_wire`); render with
+        /// `Registry::from_wire` + `render_text`/`render_json`.
+        snapshot: String,
+    },
+    /// Merged slow-query log (answer to [`Request::Slowlog`]).
+    Slowlog {
+        /// `cut-slowlog/1` single-line wire form (see
+        /// `cut_obs::SlowLog::to_wire`).
+        snapshot: String,
+    },
     /// The request failed; the engine state is unchanged.
     Error {
         /// What went wrong.
@@ -785,6 +832,8 @@ impl Response {
             Response::EngineStats { graphs, queries, cache_hits, cache_misses, mutations } => {
                 format!("stats {graphs} {queries} {cache_hits} {cache_misses} {mutations}")
             }
+            Response::Metrics { snapshot } => format!("metrics {}", encode_name(snapshot)),
+            Response::Slowlog { snapshot } => format!("slowlog {}", encode_name(snapshot)),
             Response::Error { message } => format!("error {}", encode_name(message)),
         }
     }
@@ -842,6 +891,8 @@ impl Response {
                 cache_misses: parse_tok(&mut tokens, "stats cache misses")?,
                 mutations: parse_tok(&mut tokens, "stats mutations")?,
             },
+            "metrics" => Response::Metrics { snapshot: name(&mut tokens)? },
+            "slowlog" => Response::Slowlog { snapshot: name(&mut tokens)? },
             "error" => Response::Error { message: name(&mut tokens)? },
             other => return Err(format!("unknown response kind '{other}'")),
         };
@@ -899,6 +950,10 @@ impl fmt::Display for Response {
                      misses={cache_misses} mutations={mutations}"
                 )
             }
+            // Telemetry snapshots log whole: they are on-demand diagnostic
+            // dumps, never part of a digest-compared stream.
+            Response::Metrics { snapshot } => write!(f, "metrics {snapshot}"),
+            Response::Slowlog { snapshot } => write!(f, "slowlog {snapshot}"),
             Response::Error { message } => write!(f, "error: {message}"),
         }
     }
@@ -969,11 +1024,25 @@ mod tests {
             Request::Query { name: "g".into(), query: Query::StCutWeight { s: 1, t: 8 } },
             Request::ListGraphs,
             Request::Stats,
+            Request::Metrics,
+            Request::Slowlog,
         ];
         for req in requests {
             let line = req.to_trace_line();
             assert_eq!(Request::from_trace_line(&line), Ok(req.clone()), "line: {line}");
         }
+    }
+
+    #[test]
+    fn stats_subcommands_parse_with_any_whitespace_separator() {
+        // The protocol docs advertise `stats\tmetrics`; the codec
+        // tokenizes on any whitespace, so tab and space both work.
+        assert_eq!(Request::from_trace_line("stats\tmetrics"), Ok(Request::Metrics));
+        assert_eq!(Request::from_trace_line("stats metrics"), Ok(Request::Metrics));
+        assert_eq!(Request::from_trace_line("stats\tslowlog"), Ok(Request::Slowlog));
+        assert_eq!(Request::from_trace_line("stats"), Ok(Request::Stats));
+        assert!(Request::from_trace_line("stats bogus").is_err());
+        assert!(Request::from_trace_line("stats metrics extra").is_err());
     }
 
     #[test]
@@ -1020,6 +1089,8 @@ mod tests {
                 cache_misses: 2_600,
                 mutations: 1_200,
             },
+            Response::Metrics { snapshot: "cut-metrics/1 c 0 g 0 h 0".into() },
+            Response::Slowlog { snapshot: "cut-slowlog/1 8 0".into() },
             Response::Error { message: "graph 'g' not found".into() },
             Response::Error { message: String::new() },
         ];
@@ -1048,6 +1119,8 @@ mod tests {
             "graphs 2 only-one", // fewer names than the count promises
             "graphs two a b",    // non-numeric count
             "stats 1 2 3 4",     // truncated stats
+            "metrics",           // missing snapshot token
+            "slowlog",           // missing snapshot token
             "error",             // missing message token
             "mutated g 1 2",     // truncated mutated
         ] {
@@ -1075,7 +1148,7 @@ mod tests {
         #[test]
         fn response_trace_round_trip_is_lossless(
             (variant, a, b, flag, nseed) in
-                (0u8..9, proptest::any::<u64>(), proptest::any::<u64>(),
+                (0u8..11, proptest::any::<u64>(), proptest::any::<u64>(),
                  proptest::any::<bool>(), proptest::any::<u64>())
         ) {
             let name = name_from_seed(nseed, (nseed % 7) as usize);
@@ -1098,6 +1171,8 @@ mod tests {
                     cache_misses: a.wrapping_add(b),
                     mutations: a.rotate_left(17),
                 },
+                8 => Response::Metrics { snapshot: name },
+                9 => Response::Slowlog { snapshot: name },
                 _ => Response::Error { message: name },
             };
             let line = resp.to_trace_line();

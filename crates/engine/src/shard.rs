@@ -89,13 +89,15 @@
 //! ```
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use cut_obs::{span_flags, Clock, MonotonicClock, Registry, SlowLog, Span};
 
-use crate::engine::{serve_query, Engine, EngineConfig, EngineStats, GraphEntry};
+use crate::engine::{serve_query, Engine, EngineConfig, EngineStats, GraphEntry, ObsScratch};
 use crate::request::{Request, Response};
 use crate::store_api::GraphStore;
 
@@ -210,6 +212,14 @@ pub struct ShardOptions {
     /// its own — so recovery needs no placement history and works for
     /// any shard count.
     pub store: Option<Arc<dyn GraphStore>>,
+    /// Telemetry clock stamping request lifecycles (enqueue, dequeue,
+    /// serve end) and serve-time attribution. Defaults to the monotonic
+    /// wall clock; tests inject a [`cut_obs::TestClock`] for exact,
+    /// deterministic stamps. Purely an observer — swapping clocks never
+    /// changes a response.
+    pub clock: Arc<dyn Clock>,
+    /// Worst-N capacity of each shard's slow-query log (0 disables it).
+    pub slowlog_cap: usize,
 }
 
 impl Default for ShardOptions {
@@ -220,6 +230,8 @@ impl Default for ShardOptions {
             max_batch: 256,
             placement: PlacementOptions::default(),
             store: None,
+            clock: Arc::new(MonotonicClock::new()),
+            slowlog_cap: 16,
         }
     }
 }
@@ -232,15 +244,19 @@ impl std::fmt::Debug for ShardOptions {
             .field("max_batch", &self.max_batch)
             .field("placement", &self.placement)
             .field("store", &self.store.as_ref().map(|_| "dyn GraphStore"))
+            .field("clock", &self.clock)
+            .field("slowlog_cap", &self.slowlog_cap)
             .finish()
     }
 }
 
 /// One unit of work for a shard worker: a request plus the channel its
-/// response goes back on.
+/// response goes back on, stamped with the telemetry clock reading at
+/// submission (the span's enqueue mark — queue wait is measured from it).
 struct Job {
     request: Request,
     reply: Sender<Response>,
+    enqueue: u64,
 }
 
 /// What travels through a shard's queue. Routing invariants: `Exec` jobs
@@ -325,6 +341,8 @@ impl Default for ShardQueue {
 enum MergeKind {
     ListGraphs,
     Stats,
+    Metrics,
+    Slowlog,
 }
 
 /// A pending response from [`ShardedEngine::submit`].
@@ -335,7 +353,12 @@ enum MergeKind {
 /// [`ShardedEngine::shutdown`]: workers drain their queues before exiting.
 #[must_use = "a ticket holds a pending response; call wait() to collect it"]
 pub struct Ticket {
-    inner: TicketInner,
+    /// `None` once the response has been collected (the ticket is spent).
+    inner: Option<TicketInner>,
+    /// Bumped at drop when the ticket still held a pending response —
+    /// the caller abandoned it without waiting. The work still executes
+    /// (mutations apply, the WAL is written); only the answer is lost.
+    abandoned: Option<Arc<AtomicU64>>,
 }
 
 enum TicketInner {
@@ -351,10 +374,11 @@ impl Ticket {
     ///
     /// If a shard worker died (panicked) before answering, this returns a
     /// [`Response::Error`] instead of hanging or propagating the panic.
-    pub fn wait(self) -> Response {
-        match self.inner {
-            TicketInner::Single(rx) => rx.recv().unwrap_or_else(|_| worker_lost()),
-            TicketInner::Merge { kind, parts, got } => {
+    pub fn wait(mut self) -> Response {
+        match self.inner.take() {
+            None => worker_lost(),
+            Some(TicketInner::Single(rx)) => rx.recv().unwrap_or_else(|_| worker_lost()),
+            Some(TicketInner::Merge { kind, parts, got }) => {
                 let mut partials = Vec::with_capacity(parts.len());
                 for (rx, buffered) in parts.iter().zip(got) {
                     match buffered {
@@ -375,10 +399,19 @@ impl Ticket {
     /// harness uses this to stamp per-request completion times without
     /// head-of-line blocking on slower earlier tickets.
     ///
-    /// Once this returns `Some`, the ticket is spent — drop it (further
-    /// calls report a disconnected-worker error).
+    /// Once this returns `Some`, the ticket is spent — further calls
+    /// return `None`, and dropping it no longer counts as abandonment.
     pub fn try_wait(&mut self) -> Option<Response> {
-        match &mut self.inner {
+        let response = Self::poll(self.inner.as_mut()?)?;
+        self.inner = None;
+        Some(response)
+    }
+
+    /// Non-blocking poll of a live ticket — the `try_wait` body, split
+    /// out so spending the ticket (clearing `inner`) happens in exactly
+    /// one place per public entry point.
+    fn poll(inner: &mut TicketInner) -> Option<Response> {
+        match inner {
             TicketInner::Single(rx) => match rx.try_recv() {
                 Ok(r) => Some(r),
                 Err(TryRecvError::Empty) => None,
@@ -410,14 +443,12 @@ impl Ticket {
     /// `None` means the timeout elapsed (any partials that arrived are
     /// buffered); `Some` spends the ticket exactly as `try_wait` does.
     pub fn wait_timeout(&mut self, timeout: Duration) -> Option<Response> {
-        match &mut self.inner {
-            TicketInner::Single(rx) => {
-                return match rx.recv_timeout(timeout) {
-                    Ok(r) => Some(r),
-                    Err(RecvTimeoutError::Timeout) => None,
-                    Err(RecvTimeoutError::Disconnected) => Some(worker_lost()),
-                };
-            }
+        let resolved = match self.inner.as_mut()? {
+            TicketInner::Single(rx) => match rx.recv_timeout(timeout) {
+                Ok(r) => Some(r),
+                Err(RecvTimeoutError::Timeout) => return None,
+                Err(RecvTimeoutError::Disconnected) => Some(worker_lost()),
+            },
             TicketInner::Merge { parts, got, .. } => {
                 // Park on the first missing partial only; the rest are
                 // swept non-blockingly below (they usually land together).
@@ -431,9 +462,26 @@ impl Ticket {
                         Err(RecvTimeoutError::Disconnected) => {}
                     }
                 }
+                None
+            }
+        };
+        match resolved {
+            Some(r) => {
+                self.inner = None;
+                Some(r)
+            }
+            None => self.try_wait(),
+        }
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        if self.inner.is_some() {
+            if let Some(counter) = &self.abandoned {
+                counter.fetch_add(1, Ordering::Relaxed);
             }
         }
-        self.try_wait()
     }
 }
 
@@ -488,6 +536,42 @@ fn merge_partials(kind: MergeKind, partials: Vec<Response>) -> Response {
                 cache_misses: misses,
                 mutations,
             }
+        }
+        MergeKind::Metrics => {
+            // Each shard snapshots its registry (counters, gauges,
+            // histograms) onto the wire; the merge is the same explicit
+            // addition `EngineStats` uses, so the merged answer equals
+            // what one engine serving the whole stream would report.
+            let mut merged = Registry::new();
+            for p in partials {
+                match p {
+                    Response::Metrics { snapshot } => match Registry::from_wire(&snapshot) {
+                        Ok(part) => merged.merge(&part),
+                        Err(e) => {
+                            return Response::Error { message: format!("bad metrics partial: {e}") }
+                        }
+                    },
+                    other => return unexpected_partial(other),
+                }
+            }
+            Response::Metrics { snapshot: merged.to_wire() }
+        }
+        MergeKind::Slowlog => {
+            // Worst-N across all shards: fold each shard's log and keep
+            // the globally slowest spans under the largest capacity.
+            let mut merged = SlowLog::new(0);
+            for p in partials {
+                match p {
+                    Response::Slowlog { snapshot } => match SlowLog::from_wire(&snapshot) {
+                        Ok(part) => merged.merge(&part),
+                        Err(e) => {
+                            return Response::Error { message: format!("bad slowlog partial: {e}") }
+                        }
+                    },
+                    other => return unexpected_partial(other),
+                }
+            }
+            Response::Slowlog { snapshot: merged.to_wire() }
         }
     }
 }
@@ -562,6 +646,11 @@ pub struct ShardedEngine {
     migrations: u64,
     rebalances: u64,
     generation: u64,
+    /// The telemetry clock, shared with every worker: the router stamps
+    /// each job's enqueue mark at submission.
+    clock: Arc<dyn Clock>,
+    /// Tickets dropped while still holding a pending response.
+    abandoned: Arc<AtomicU64>,
 }
 
 impl ShardedEngine {
@@ -601,6 +690,7 @@ impl ShardedEngine {
         let mut workers = Vec::with_capacity(shards);
         for shard in 0..shards {
             let mut engine = Engine::with_config(opts.cfg.clone());
+            engine.set_clock(Arc::clone(&opts.clock));
             if let Some(store) = &opts.store {
                 engine.attach_store(Arc::clone(store));
                 // Adopt this shard's slice of the durable graphs — by
@@ -622,6 +712,8 @@ impl ShardedEngine {
                 // will read them; otherwise skip the per-request lock.
                 observe: placement.rebalance && placement.latency_proxy,
                 board: Arc::clone(&board),
+                registry: Registry::new(),
+                slowlog: SlowLog::new(opts.slowlog_cap),
                 opts: opts.clone(),
                 lent: BTreeMap::new(),
                 pending: None,
@@ -632,6 +724,7 @@ impl ShardedEngine {
                 .expect("spawn shard worker");
             workers.push(handle);
         }
+        let clock = Arc::clone(&opts.clock);
         Self {
             queues,
             workers,
@@ -646,6 +739,8 @@ impl ShardedEngine {
             migrations: 0,
             rebalances: 0,
             generation: 0,
+            clock,
+            abandoned: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -728,23 +823,30 @@ impl ShardedEngine {
                 }
                 let (reply, rx) = unbounded();
                 self.routed[shard] += 1;
-                self.push(shard, WorkItem::Exec(Job { request, reply }));
-                Ticket { inner: TicketInner::Single(rx) }
+                let enqueue = self.clock.now();
+                self.push(shard, WorkItem::Exec(Job { request, reply, enqueue }));
+                self.ticket(TicketInner::Single(rx))
             }
-            Request::ListGraphs | Request::Stats => {
+            Request::ListGraphs | Request::Stats | Request::Metrics | Request::Slowlog => {
                 let kind = match request {
                     Request::ListGraphs => MergeKind::ListGraphs,
+                    Request::Metrics => MergeKind::Metrics,
+                    Request::Slowlog => MergeKind::Slowlog,
                     _ => MergeKind::Stats,
                 };
                 let mut parts = Vec::with_capacity(self.queues.len());
+                let enqueue = self.clock.now();
                 for shard in 0..self.queues.len() {
                     let (reply, rx) = unbounded();
                     self.routed[shard] += 1;
-                    self.push(shard, WorkItem::Exec(Job { request: request.clone(), reply }));
+                    self.push(
+                        shard,
+                        WorkItem::Exec(Job { request: request.clone(), reply, enqueue }),
+                    );
                     parts.push(rx);
                 }
                 let got = (0..parts.len()).map(|_| None).collect();
-                Ticket { inner: TicketInner::Merge { kind, parts, got } }
+                self.ticket(TicketInner::Merge { kind, parts, got })
             }
         };
         if self.placement.rebalance {
@@ -755,6 +857,19 @@ impl ShardedEngine {
             }
         }
         ticket
+    }
+
+    /// Wrap a pending response with the abandoned-ticket accounting.
+    fn ticket(&self, inner: TicketInner) -> Ticket {
+        Ticket { inner: Some(inner), abandoned: Some(Arc::clone(&self.abandoned)) }
+    }
+
+    /// Tickets dropped while still holding a pending response — callers
+    /// that fired a request and never waited. The work itself is not
+    /// lost (mutations apply, the WAL is written before the reply is
+    /// released); only the answer went uncollected.
+    pub fn abandoned_tickets(&self) -> u64 {
+        self.abandoned.load(Ordering::Relaxed)
     }
 
     /// Submit one request and block for its response — a drop-in for
@@ -1092,6 +1207,12 @@ struct Worker {
     /// (`rebalance && latency_proxy`).
     observe: bool,
     board: Arc<LoadBoard>,
+    /// Shard-local telemetry: queue-wait and serve-time histograms (one
+    /// observation per named request served here), merged across shards
+    /// at a `stats metrics` barrier. No locks — each worker owns its own.
+    registry: Registry,
+    /// Worst-N spans served by this shard, merged at `stats slowlog`.
+    slowlog: SlowLog,
     opts: ShardOptions,
     /// Graphs currently lent to thieves, with the channel each loan comes
     /// home on. Any job touching one of these (and every broadcast) is a
@@ -1204,7 +1325,9 @@ impl Worker {
         // This is what keeps merged broadcast answers exactly equal to the
         // unsharded engine's.
         match &job.request {
-            Request::ListGraphs | Request::Stats => self.reclaim_all(),
+            Request::ListGraphs | Request::Stats | Request::Metrics | Request::Slowlog => {
+                self.reclaim_all()
+            }
             Request::Create { name, .. }
             | Request::Drop { name }
             | Request::Mutate { name, .. }
@@ -1215,6 +1338,26 @@ impl Worker {
                 }
             }
         }
+        // Introspection broadcasts answer from the worker itself, not the
+        // engine: the snapshot covers the shard-local span histograms plus
+        // the engine's counter families, and (so a store shared by every
+        // shard is counted once, not `shards` times) worker 0 alone folds
+        // in the `store_` families. They record no spans of their own,
+        // which keeps each span histogram's total count equal to the
+        // named ops served.
+        match &job.request {
+            Request::Metrics => {
+                let _ = job
+                    .reply
+                    .send(Response::Metrics { snapshot: self.metrics_snapshot().to_wire() });
+                return;
+            }
+            Request::Slowlog => {
+                let _ = job.reply.send(Response::Slowlog { snapshot: self.slowlog.to_wire() });
+                return;
+            }
+            _ => {}
+        }
         if self.opts.batch {
             if let Request::Query { name, .. } = &job.request {
                 let name = name.clone();
@@ -1223,29 +1366,72 @@ impl Worker {
             }
         }
         // Broadcasts are cheap and not charged by the router's load
-        // accounting, so only named requests feed the measurements.
-        let observed = if self.observe {
-            match &job.request {
-                Request::Create { name, .. }
-                | Request::Drop { name }
-                | Request::Mutate { name, .. }
-                | Request::Query { name, .. } => Some(name.clone()),
-                Request::ListGraphs | Request::Stats => None,
-            }
-        } else {
-            None
+        // accounting, so only named requests feed the measurements — and
+        // only named requests get lifecycle spans.
+        let target = match &job.request {
+            Request::Create { name, .. }
+            | Request::Drop { name }
+            | Request::Mutate { name, .. }
+            | Request::Query { name, .. } => Some(name.clone()),
+            Request::ListGraphs | Request::Stats | Request::Metrics | Request::Slowlog => None,
         };
-        let Job { request, reply } = job;
+        let Job { request, reply, enqueue } = job;
+        let kind = request.kind();
         let start = std::time::Instant::now();
+        let dequeue = self.opts.clock.now();
         let response = self.engine.execute(request);
+        let end = self.opts.clock.now();
         let nanos = start.elapsed().as_nanos() as u64;
         self.engine.stats_mut().serve_nanos += nanos;
-        if let Some(name) = observed {
-            self.post_serve_time(&name, 1, nanos);
+        if let Some(name) = &target {
+            if self.observe {
+                self.post_serve_time(name, 1, nanos);
+            }
+        }
+        if let Some(name) = target {
+            let delta = self.engine.obs_mut().take_delta();
+            let mut flags = 0;
+            if delta.fault_ins > 0 {
+                flags |= span_flags::FAULT_IN;
+            }
+            if delta.spills > 0 {
+                flags |= span_flags::SPILL;
+            }
+            self.observe_span(Span {
+                kind: kind.to_string(),
+                target: name,
+                shard: self.id as u64,
+                enqueue,
+                dequeue,
+                end,
+                index_nanos: delta.index_nanos,
+                store_nanos: delta.store_nanos,
+                flags,
+            });
         }
         // A dropped ticket is fine — compute anyway (mutations must still
         // apply), discard the undeliverable answer.
         let _ = reply.send(response);
+    }
+
+    /// One span into the shard-local telemetry: queue-wait and serve-time
+    /// histogram observations plus a slow-log admission attempt.
+    fn observe_span(&mut self, span: Span) {
+        self.registry.observe("request_queue_wait_nanos", span.queue_nanos());
+        self.registry.observe("request_serve_nanos", span.serve_nanos());
+        self.slowlog.record(span);
+    }
+
+    /// This shard's `stats metrics` partial: span histograms merged with
+    /// the engine's counter families (and, on worker 0 only, the shared
+    /// store's `store_` families).
+    fn metrics_snapshot(&self) -> Registry {
+        let mut reg = self.registry.clone();
+        reg.merge(&self.engine.metrics_registry());
+        if self.id == 0 {
+            reg.merge(&self.engine.store_metrics());
+        }
+        reg
     }
 
     /// Post `nanos` of measured serve time covering `requests` requests
@@ -1267,12 +1453,13 @@ impl Worker {
     /// other queued item is the barrier that ends the run. Queue order is
     /// preserved exactly, so batching never changes a response.
     fn exec_batched(&mut self, name: String, job: Job) {
-        let Job { request, reply } = job;
+        let Job { request, reply, enqueue } = job;
         let Request::Query { query, .. } = request else {
             unreachable!("exec_batched is only called for queries");
         };
         let mut queries = vec![query];
         let mut replies = vec![reply];
+        let mut enqueues = vec![enqueue];
         {
             let mut st = self.queues[self.id].state.lock().expect("queue lock poisoned");
             while queries.len() < self.opts.max_batch {
@@ -1284,22 +1471,54 @@ impl Worker {
                 if !same_graph {
                     break;
                 }
-                let Some(WorkItem::Exec(Job { request: Request::Query { query, .. }, reply })) =
-                    st.items.pop_front()
+                let Some(WorkItem::Exec(Job {
+                    request: Request::Query { query, .. },
+                    reply,
+                    enqueue,
+                })) = st.items.pop_front()
                 else {
                     unreachable!("front matched a same-graph query");
                 };
                 queries.push(query);
                 replies.push(reply);
+                enqueues.push(enqueue);
             }
         }
         let batch_len = queries.len() as u64;
         let start = std::time::Instant::now();
+        let dequeue = self.opts.clock.now();
         let responses = self.engine.execute_read_batch(&name, queries);
+        let end = self.opts.clock.now();
         let nanos = start.elapsed().as_nanos() as u64;
         self.engine.stats_mut().serve_nanos += nanos;
         if self.observe {
             self.post_serve_time(&name, batch_len, nanos);
+        }
+        // One span per query so the histogram count stays equal to ops
+        // served: each member's serve share is the batch's clock window
+        // split evenly, and the whole batch's index/store attribution
+        // rides on the first member's span.
+        let delta = self.engine.obs_mut().take_delta();
+        let share = end.saturating_sub(dequeue) / batch_len;
+        let mut flags = if batch_len > 1 { span_flags::BATCHED } else { 0 };
+        if delta.fault_ins > 0 {
+            flags |= span_flags::FAULT_IN;
+        }
+        if delta.spills > 0 {
+            flags |= span_flags::SPILL;
+        }
+        for (i, &enq) in enqueues.iter().enumerate() {
+            self.observe_span(Span {
+                kind: "query".to_string(),
+                target: name.clone(),
+                shard: self.id as u64,
+                enqueue: enq,
+                dequeue,
+                end: dequeue + share,
+                index_nanos: if i == 0 { delta.index_nanos } else { 0 },
+                store_nanos: if i == 0 { delta.store_nanos } else { 0 },
+                flags,
+            });
         }
         for (reply, response) in replies.into_iter().zip(responses) {
             let _ = reply.send(response);
@@ -1361,27 +1580,53 @@ impl Worker {
             Some(mut entry) => {
                 let stolen = jobs.len() as u64;
                 let mut delta = EngineStats::default();
+                // Stolen runs serve outside any engine, so attribution
+                // (index builds, store appends) collects in a thief-local
+                // scratch and the spans land in the thief's telemetry —
+                // busy time belongs where it burned, same as serve_nanos.
+                let mut obs = ObsScratch::with_clock(Arc::clone(&self.opts.clock));
+                let enqueues: Vec<u64> = jobs.iter().map(|j| j.enqueue).collect();
                 let start = std::time::Instant::now();
+                let dequeue = self.opts.clock.now();
                 for job in jobs {
                     let Request::Query { query, .. } = job.request else {
                         unreachable!("steals only take query runs");
                     };
-                    let response = serve_query(&mut delta, &self.opts.cfg, &mut entry, query);
+                    let response =
+                        serve_query(&mut delta, &self.opts.cfg, &mut entry, query, &mut obs);
                     // The thief serves against the borrowed entry, so the
                     // thief also logs: during a loan nobody else appends
                     // to this graph's WAL, and the append must precede
                     // the response's release (log-then-ack).
                     if let Some(store) = &self.opts.store {
                         let request = Request::Query { name: name.clone(), query };
+                        let t0 = obs.now();
                         store.log(&name, &request, &response);
+                        obs.charge_store(t0);
                     }
                     let _ = job.reply.send(response);
                 }
+                let end = self.opts.clock.now();
                 // Stolen work still measures: the board is global, not
                 // per-shard, so it doesn't matter where the run executed.
                 let nanos = start.elapsed().as_nanos() as u64;
                 if self.observe {
                     self.post_serve_time(&name, stolen, nanos);
+                }
+                let obs_delta = obs.take_delta();
+                let share = end.saturating_sub(dequeue) / stolen;
+                for (i, &enq) in enqueues.iter().enumerate() {
+                    self.observe_span(Span {
+                        kind: "query".to_string(),
+                        target: name.clone(),
+                        shard: self.id as u64,
+                        enqueue: enq,
+                        dequeue,
+                        end: dequeue + share,
+                        index_nanos: if i == 0 { obs_delta.index_nanos } else { 0 },
+                        store_nanos: if i == 0 { obs_delta.store_nanos } else { 0 },
+                        flags: span_flags::STOLEN,
+                    });
                 }
                 let stats = self.engine.stats_mut();
                 // The delta's logical counters merge on the victim, but
@@ -1462,7 +1707,9 @@ impl Worker {
         for item in st.items.iter().take(rest) {
             match item {
                 WorkItem::Exec(Job { request, .. }) => match request {
-                    Request::ListGraphs | Request::Stats => return false,
+                    Request::ListGraphs | Request::Stats | Request::Metrics | Request::Slowlog => {
+                        return false
+                    }
                     Request::Create { name, .. }
                     | Request::Drop { name }
                     | Request::Mutate { name, .. }
@@ -2065,5 +2312,110 @@ mod tests {
         let _ = sharded.shutdown();
         let got: Vec<Response> = tickets.into_iter().map(|t| t.wait()).collect();
         assert_eq!(got, expected);
+    }
+
+    /// Pull the merged metrics registry out of a live sharded engine.
+    fn metrics_of(e: &mut ShardedEngine) -> cut_obs::Registry {
+        match e.execute(Request::Metrics) {
+            Response::Metrics { snapshot } => {
+                cut_obs::Registry::from_wire(&snapshot).expect("well-formed metrics wire")
+            }
+            other => panic!("expected a metrics snapshot, got {other}"),
+        }
+    }
+
+    #[test]
+    fn merged_span_histograms_count_every_named_op() {
+        let mut e = ShardedEngine::new(4);
+        let mut named_ops = 0u64;
+        for i in 0..6 {
+            create(&mut e, &format!("g{i}"), 8);
+            named_ops += 1;
+        }
+        for i in 0..30 {
+            let name = format!("g{}", i % 6);
+            let r = e.execute(Request::Query { name, query: Query::ExactMinCut });
+            assert!(matches!(r, Response::CutValue { .. }), "got {r}");
+            named_ops += 1;
+        }
+        // Broadcasts (including metrics itself) record no spans, so the
+        // histogram totals stay exactly the named ops served.
+        let _ = e.execute(Request::Stats);
+        let _ = e.execute(Request::ListGraphs);
+        let _ = metrics_of(&mut e);
+        let reg = metrics_of(&mut e);
+        for hist in ["request_queue_wait_nanos", "request_serve_nanos"] {
+            let h = reg.histogram(hist).unwrap_or_else(|| panic!("missing histogram {hist}"));
+            assert_eq!(h.count(), named_ops, "{hist} must count every named op exactly once");
+        }
+        // The engine counter families ride along, merged across shards.
+        assert_eq!(reg.counter("engine_queries"), 30);
+        assert_eq!(reg.counter("engine_graphs_created"), 6);
+        e.shutdown();
+    }
+
+    #[test]
+    fn deterministic_clock_spans_split_queue_wait_and_serve_exactly() {
+        // A counting clock makes every stamp exact: for each span,
+        // queue + serve == wall by construction, enqueue precedes
+        // dequeue, and the slow log surfaces the spans.
+        let clock = Arc::new(cut_obs::TestClock::new());
+        let opts = ShardOptions { clock, slowlog_cap: 64, ..ShardOptions::default() };
+        let mut e = ShardedEngine::with_options(2, opts);
+        create(&mut e, "ring", 12);
+        for _ in 0..5 {
+            let r = e.execute(Request::Query { name: "ring".into(), query: Query::ExactMinCut });
+            assert!(matches!(r, Response::CutValue { weight: 2, .. }), "got {r}");
+        }
+        let log = match e.execute(Request::Slowlog) {
+            Response::Slowlog { snapshot } => {
+                SlowLog::from_wire(&snapshot).expect("well-formed slowlog wire")
+            }
+            other => panic!("expected a slowlog snapshot, got {other}"),
+        };
+        assert_eq!(log.entries().len(), 6, "create + 5 queries all rank in a cap-64 log");
+        for span in log.entries() {
+            assert!(span.enqueue <= span.dequeue, "submit stamps precede dequeue: {span:?}");
+            assert!(span.dequeue <= span.end, "serve cannot end before it starts: {span:?}");
+            assert_eq!(
+                span.queue_nanos() + span.serve_nanos(),
+                span.wall_nanos(),
+                "queue wait + serve time must partition the wall span exactly: {span:?}"
+            );
+            assert_eq!(span.target, "ring");
+        }
+        e.shutdown();
+    }
+
+    #[test]
+    fn dropped_tickets_count_as_abandoned() {
+        let mut e = ShardedEngine::new(2);
+        create(&mut e, "ring", 8);
+        assert_eq!(e.abandoned_tickets(), 0, "waited tickets are not abandoned");
+        // Fire-and-forget: the mutation still applies, the ticket drop
+        // is counted.
+        let ticket = e.submit(Request::Mutate {
+            name: "ring".into(),
+            op: Mutation::InsertEdge { u: 0, v: 4, w: 3 },
+        });
+        drop(ticket);
+        assert_eq!(e.abandoned_tickets(), 1);
+        // A ticket resolved through try_wait is spent, not abandoned.
+        let mut ticket =
+            e.submit(Request::Query { name: "ring".into(), query: Query::ExactMinCut });
+        loop {
+            if ticket.try_wait().is_some() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        drop(ticket);
+        assert_eq!(e.abandoned_tickets(), 1);
+        // A broadcast ticket abandons too, and the mutation above landed.
+        drop(e.submit(Request::Stats));
+        assert_eq!(e.abandoned_tickets(), 2);
+        let r = e.execute(Request::Query { name: "ring".into(), query: Query::ExactMinCut });
+        assert!(matches!(r, Response::CutValue { .. }), "got {r}");
+        e.shutdown();
     }
 }

@@ -66,6 +66,17 @@ pub trait GraphStore: Send + Sync {
     /// Record a successful drop: tombstone the WAL, then garbage-collect
     /// `name`'s files.
     fn drop_graph(&self, name: &str, request: &Request, response: &Response);
+
+    /// The backend's counter families for the telemetry registry, as
+    /// `(name, value)` pairs — exported under the `store_` prefix by
+    /// `stats metrics` (recovery tallies like torn tails truncated and
+    /// tombstones collected, plus running append/compaction counts).
+    /// Defaults to none so trivial backends need not bother. Because the
+    /// store is shared across shards, exactly one shard exports these per
+    /// merged snapshot.
+    fn telemetry(&self) -> Vec<(String, u64)> {
+        Vec::new()
+    }
 }
 
 /// What [`GraphStore::load`] returns: the raw material for rebuilding one

@@ -309,9 +309,9 @@ impl ArrivalProcess {
 /// use cut_engine::{PopularityDrift, Request};
 /// use cut_engine::{ArrivalProcess, Phase, Timeline, Workload, WorkloadConfig};
 ///
-/// // A flash crowd: graph 2 takes the Zipf head for the whole phase.
+/// // A flash crowd: 3/4 of the phase's arrivals pile onto graph 2.
 /// let phase = Phase {
-///     drift: PopularityDrift::FlashCrowd { target: 2 },
+///     drift: PopularityDrift::FlashCrowd { target: 2, share: 0.75 },
 ///     ..Phase::named("flash", 400)
 /// };
 /// let cfg = WorkloadConfig { graphs: 4, zipf_exponent: 1.2, ..WorkloadConfig::default() };
@@ -326,7 +326,7 @@ impl ArrivalProcess {
 /// };
 /// assert!(on("g002") > on("g000"), "the flash target must out-draw the usual head");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PopularityDrift {
     /// Rank `i` is graph `i` for the whole phase — the classic static skew.
     None,
@@ -337,27 +337,37 @@ pub enum PopularityDrift {
         /// Operations between rotation steps.
         every: usize,
     },
-    /// Flash crowd: graph `target` swaps places with the usual head (rank
-    /// 0) for the whole phase; every other rank keeps its graph.
+    /// Flash crowd: a `share` fraction of the phase's arrivals *is* the
+    /// crowd and rides graph `target` directly; the rest is organic
+    /// traffic keeping the phase's unmodified Zipf ranking (the usual
+    /// head stays the organic head). This couples popularity to the
+    /// arrival surge: a phase arriving at `k×` the baseline rate with
+    /// `share = (k-1)/k` means exactly the *extra* arrivals are the
+    /// crowd — organic load on every other graph is unchanged, which is
+    /// what an engine under a real flash crowd sees. (The old head-swap
+    /// formulation re-drew popularity independently of arrivals, so the
+    /// "crowd" was just a relabeled static skew.)
     FlashCrowd {
-        /// Graph index that becomes the head (taken modulo the graph count).
+        /// Graph index the crowd lands on (taken modulo the graph count).
         target: usize,
+        /// Fraction of arrivals that are crowd traffic (clamped to 0..=1).
+        share: f64,
     },
 }
 
 impl PopularityDrift {
     /// Map a sampled Zipf rank to a graph index, `emitted` operations into
-    /// the phase.
-    fn graph_for(&self, rank: usize, emitted: usize, graphs: usize) -> usize {
+    /// the phase. Draws the crowd-vs-organic coin from `rng`, so the
+    /// mapping stays a pure function of the phase's seeded stream.
+    fn graph_for(&self, rank: usize, emitted: usize, graphs: usize, rng: &mut SmallRng) -> usize {
         match *self {
             PopularityDrift::None => rank,
             PopularityDrift::Rotate { every } => (rank + emitted / every.max(1)) % graphs,
-            PopularityDrift::FlashCrowd { target } => {
-                let target = target % graphs;
-                match rank {
-                    0 => target,
-                    r if r == target => 0,
-                    r => r,
+            PopularityDrift::FlashCrowd { target, share } => {
+                if rng.gen_bool(share.clamp(0.0, 1.0)) {
+                    target % graphs
+                } else {
+                    rank
                 }
             }
         }
@@ -466,7 +476,9 @@ impl Timeline {
                 },
                 Phase {
                     arrival: ArrivalProcess::Poisson { rate: 3.0 * rate },
-                    drift: PopularityDrift::FlashCrowd { target: 3 },
+                    // 3× the baseline rate: the extra 2/3 of arrivals are
+                    // the crowd, organic load stays at its usual skew.
+                    drift: PopularityDrift::FlashCrowd { target: 3, share: 2.0 / 3.0 },
                     ..Phase { name: "flash".into(), ops: flash, ..base.clone() }
                 },
                 Phase {
@@ -503,8 +515,9 @@ impl Timeline {
         }
     }
 
-    /// The flash preset: steady cruise, a 4× Poisson flash crowd pinning a
-    /// normally-cold graph at the Zipf head, then recovery at the old rate.
+    /// The flash preset: steady cruise, a 4× Poisson flash crowd piling
+    /// the surge (3/4 of arrivals) onto a normally-cold graph while
+    /// organic traffic keeps its skew, then recovery at the old rate.
     pub fn flash(ops: usize, rate: f64, mix: ActionMix, zipf_exponent: f64) -> Timeline {
         let cruise = ops * 2 / 5;
         let crowd = ops * 2 / 5;
@@ -518,7 +531,9 @@ impl Timeline {
                 },
                 Phase {
                     arrival: ArrivalProcess::Poisson { rate: 4.0 * rate },
-                    drift: PopularityDrift::FlashCrowd { target: 5 },
+                    // 4× the baseline rate: the extra 3/4 of arrivals are
+                    // the crowd piling onto the normally-cold target.
+                    drift: PopularityDrift::FlashCrowd { target: 5, share: 0.75 },
                     ..Phase { name: "crowd".into(), ops: crowd, ..base.clone() }
                 },
                 Phase {
@@ -706,7 +721,7 @@ impl Workload {
             let mut emitted = 0usize;
             while emitted < phase.ops {
                 let rank = zipf.sample(&mut rng);
-                let graph = phase.drift.graph_for(rank, emitted, cfg.graphs);
+                let graph = phase.drift.graph_for(rank, emitted, cfg.graphs, &mut rng);
                 let mirror = &mut mirrors[graph];
                 let action = actions.sample(&mut rng);
                 let n = mirror.n as u32;
@@ -1141,7 +1156,7 @@ mod tests {
                     ..Phase::named("spin", 100)
                 },
                 Phase {
-                    drift: PopularityDrift::FlashCrowd { target: 999 },
+                    drift: PopularityDrift::FlashCrowd { target: 999, share: 0.5 },
                     ..Phase::named("crowd", 100)
                 },
             ],
@@ -1178,6 +1193,41 @@ mod tests {
         // head has moved to g002 and g000 is a tail graph.
         assert!(count_on(&wl, 0..500, "g000") > count_on(&wl, 0..500, "g002"));
         assert!(count_on(&wl, 1000..1500, "g002") > count_on(&wl, 1000..1500, "g000"));
+    }
+
+    #[test]
+    fn flash_crowd_correlates_surge_with_target_deterministically() {
+        let cfg = WorkloadConfig { ops: 0, graphs: 8, seed: 21, ..WorkloadConfig::default() };
+        // flash preset: cruise 1600 ops, crowd 1600 (4× rate, share 3/4,
+        // target g005), recover 800.
+        let timeline = Timeline::flash(4_000, 50_000.0, ActionMix::default(), 1.1);
+        let wl = Workload::generate_timeline(&cfg, &timeline);
+
+        // Determinism pin: the crowd-vs-organic coin rides the phase's
+        // seeded stream, so regeneration is byte-identical.
+        assert_eq!(wl, Workload::generate_timeline(&cfg, &timeline));
+
+        let count_on = |range: std::ops::Range<usize>, g: &str| {
+            wl.operations[range]
+                .iter()
+                .filter(|r| {
+                    matches!(r, Request::Mutate { name, .. } | Request::Query { name, .. }
+                        if name == g)
+                })
+                .count()
+        };
+        // Correlation: the surge share of the crowd phase lands on the
+        // target — well over half of its traffic, not just a relabeled
+        // Zipf head (which would cap out around the head's ~35% mass).
+        let on_target = count_on(1600..3200, "g005");
+        assert!(
+            on_target * 10 > 1600 * 6,
+            "crowd target drew {on_target}/1600 ops; surge share should dominate"
+        );
+        // Organic traffic keeps its own head during the crowd …
+        assert!(count_on(1600..3200, "g000") > count_on(1600..3200, "g003"));
+        // … and before the crowd the target is cold.
+        assert!(count_on(0..1600, "g000") > count_on(0..1600, "g005"));
     }
 
     #[test]

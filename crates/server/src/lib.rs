@@ -54,7 +54,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use cut_engine::{EngineStats, Request, Response, ShardOptions, ShardedEngine, Ticket};
+use cut_engine::{EngineStats, Registry, Request, Response, ShardOptions, ShardedEngine, Ticket};
 
 /// The protocol version this server speaks. The handshake is strict
 /// equality — see `docs/PROTOCOL.md` for how versions evolve.
@@ -76,6 +76,17 @@ pub struct ServerConfig {
     /// When set, append the deterministic `{seq:06} {request} ->
     /// {response}` operation log here (the stress-digest format).
     pub log_path: Option<String>,
+    /// When set, write the merged telemetry registry as `cut-metrics/1`
+    /// JSON to this path — every [`ServerConfig::metrics_every`] while
+    /// running (tmp + atomic rename, so readers never see a torn file)
+    /// and once more at drain, when the slow-query log is also dumped to
+    /// stdout. The snapshot request goes straight to the engine without a
+    /// log sequence number, so the operation log stays byte-identical
+    /// with or without telemetry export.
+    pub metrics_out: Option<String>,
+    /// Interval between periodic metrics snapshots (ignored without
+    /// [`ServerConfig::metrics_out`]).
+    pub metrics_every: Duration,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +97,8 @@ impl Default for ServerConfig {
             max_conns: 64,
             idle_timeout: Duration::from_secs(30),
             log_path: None,
+            metrics_out: None,
+            metrics_every: Duration::from_secs(5),
         }
     }
 }
@@ -113,6 +126,9 @@ struct Shared {
     log: Option<Mutex<BufWriter<File>>>,
     /// Responses delivered over all sessions (reported at shutdown).
     served: AtomicU64,
+    /// Periodic `cut-metrics/1` JSON export target, if enabled.
+    metrics_out: Option<String>,
+    metrics_every: Duration,
 }
 
 impl Shared {
@@ -128,6 +144,39 @@ impl Shared {
     fn flush_log(&self) {
         if let Some(log) = &self.log {
             let _ = log.lock().expect("log lock").flush();
+        }
+    }
+
+    /// One introspection request through the engine, bypassing the
+    /// operation-log sequence counter: the broadcast barrier semantics
+    /// are the same as any session's, but no `{seq}` line is consumed,
+    /// so the server log digest is byte-identical with telemetry export
+    /// on or off.
+    fn introspect(&self, request: Request) -> Option<Response> {
+        let ticket = {
+            let mut slot = self.engine.lock().expect("engine lock");
+            slot.engine.as_mut().map(|engine| engine.submit(request))
+        }?;
+        Some(ticket.wait())
+    }
+
+    /// Fetch the merged telemetry registry and write it as
+    /// `cut-metrics/1` JSON (tmp + atomic rename) to `metrics_out`.
+    fn write_metrics_snapshot(&self) {
+        let Some(path) = &self.metrics_out else { return };
+        let Some(Response::Metrics { snapshot }) = self.introspect(Request::Metrics) else {
+            return;
+        };
+        let Ok(mut registry) = Registry::from_wire(&snapshot) else { return };
+        // Serving-layer families ride along with the engine's.
+        registry.inc("server_responses_served", self.served.load(Ordering::Relaxed));
+        registry.set_gauge(
+            "server_open_connections",
+            self.conns.lock().expect("conns lock").len() as u64,
+        );
+        let tmp = format!("{path}.tmp");
+        if std::fs::write(&tmp, registry.render_json()).is_ok() {
+            let _ = std::fs::rename(&tmp, path);
         }
     }
 }
@@ -194,6 +243,8 @@ impl Server {
             max_conns: cfg.max_conns,
             log,
             served: AtomicU64::new(0),
+            metrics_out: cfg.metrics_out,
+            metrics_every: cfg.metrics_every,
         });
         Ok(Server { listener, addr, shared })
     }
@@ -214,6 +265,23 @@ impl Server {
     pub fn run(self) -> Vec<EngineStats> {
         let mut sessions: Vec<JoinHandle<()>> = Vec::new();
         let mut next_conn = 0u64;
+        // Periodic telemetry export: snapshots every `metrics_every`
+        // until the drain flag rises. Sleeps in short ticks so a drain
+        // is noticed promptly.
+        let exporter = self.shared.metrics_out.as_ref().map(|_| {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || {
+                let mut since = Duration::ZERO;
+                while !shared.draining.load(Ordering::SeqCst) {
+                    std::thread::sleep(POLL_INTERVAL);
+                    since += POLL_INTERVAL;
+                    if since >= shared.metrics_every {
+                        since = Duration::ZERO;
+                        shared.write_metrics_snapshot();
+                    }
+                }
+            })
+        });
         for stream in self.listener.incoming() {
             let draining = self.shared.draining.load(Ordering::SeqCst);
             let Ok(stream) = stream else { continue };
@@ -251,7 +319,24 @@ impl Server {
         for session in sessions {
             let _ = session.join();
         }
+        if let Some(exporter) = exporter {
+            let _ = exporter.join();
+        }
         self.shared.flush_log();
+        if self.shared.metrics_out.is_some() {
+            // Final snapshot covers every served request, then the
+            // slow-query log dumps to stdout — the drain-time flight
+            // recorder.
+            self.shared.write_metrics_snapshot();
+            if let Some(Response::Slowlog { snapshot }) = self.shared.introspect(Request::Slowlog) {
+                if let Ok(log) = cut_engine::SlowLog::from_wire(&snapshot) {
+                    if !log.is_empty() {
+                        println!("cut-server: slow-query log ({} spans):", log.entries().len());
+                        print!("{}", log.render_text());
+                    }
+                }
+            }
+        }
         let engine = self.shared.engine.lock().expect("engine lock").engine.take();
         engine.map(ShardedEngine::shutdown).unwrap_or_default()
     }
@@ -340,6 +425,11 @@ enum Item {
     Ready(Response),
     /// A submitted request: resolve the ticket, log, respond.
     Pending { seq: u64, display: String, ticket: Ticket },
+    /// A submitted introspection (`stats metrics` / `stats slowlog`):
+    /// resolve the ticket and respond in pipeline position, but allocate
+    /// no sequence number and write no log line — telemetry rides
+    /// outside the op-log stream, so issuing it never perturbs a digest.
+    Introspection { ticket: Ticket },
 }
 
 /// One session: this thread reads, parses, and submits; a paired writer
@@ -414,19 +504,27 @@ fn serve_session(stream: TcpStream, shared: &Arc<Shared>) {
         };
         // The log line wants the compact Display form, not the wire form.
         let display = format!("{request}");
+        let introspection = matches!(request, Request::Metrics | Request::Slowlog);
         let submitted = {
             let mut slot = shared.engine.lock().expect("engine lock");
             let slot = &mut *slot;
             match slot.engine.as_mut() {
                 Some(engine) => {
-                    let seq = slot.next_seq;
-                    slot.next_seq += 1;
+                    // Introspections keep their pipeline position but
+                    // consume no sequence number (see Item::Introspection).
+                    let seq = if introspection {
+                        0
+                    } else {
+                        slot.next_seq += 1;
+                        slot.next_seq - 1
+                    };
                     Some((seq, engine.submit(request)))
                 }
                 None => None,
             }
         };
         let item = match submitted {
+            Some((_, ticket)) if introspection => Item::Introspection { ticket },
             Some((seq, ticket)) => Item::Pending { seq, display, ticket },
             None => Item::Ready(Response::Error { message: "server draining".into() }),
         };
@@ -458,6 +556,7 @@ fn writer_loop(stream: TcpStream, rx: Receiver<Item>, shared: &Arc<Shared>) {
                     shared.served.fetch_add(1, Ordering::Relaxed);
                     response.to_trace_line()
                 }
+                Item::Introspection { ticket } => ticket.wait().to_trace_line(),
             };
             if !client_gone {
                 let write = w.write_all(line.as_bytes()).and_then(|_| w.write_all(b"\n"));

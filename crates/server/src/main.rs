@@ -53,6 +53,8 @@ struct Args {
     snapshot_every: Option<u64>,
     resident_cap: usize,
     fsync: bool,
+    metrics_out: Option<String>,
+    metrics_every_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -73,6 +75,8 @@ fn parse_args() -> Result<Args, String> {
         snapshot_every: None,
         resident_cap: 0,
         fsync: false,
+        metrics_out: None,
+        metrics_every_ms: defaults.metrics_every.as_millis() as u64,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -117,12 +121,18 @@ fn parse_args() -> Result<Args, String> {
                     value(&mut i)?.parse().map_err(|e| format!("--resident-cap: {e}"))?
             }
             "--fsync" => args.fsync = true,
+            "--metrics-out" => args.metrics_out = Some(value(&mut i)?),
+            "--metrics-every" => {
+                args.metrics_every_ms =
+                    value(&mut i)?.parse().map_err(|e| format!("--metrics-every: {e}"))?
+            }
             "--help" | "-h" => {
                 println!(
                     "cut-server --addr HOST:PORT [--shards N] [--batch] [--rebalance] \
                      [--rebalance-window N] [--steal] [--latency-proxy] [--cache-entries N] \
                      [--max-conns N] [--idle-timeout-ms N] [--log PATH] [--data-dir PATH] \
-                     [--snapshot-every N] [--resident-cap N] [--fsync]\n\
+                     [--snapshot-every N] [--resident-cap N] [--fsync] \
+                     [--metrics-out PATH] [--metrics-every MS]\n\
                      send 'shutdown' on stdin for a graceful drain"
                 );
                 std::process::exit(0);
@@ -145,6 +155,14 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.rebalance_window == 0 {
         return Err("--rebalance-window must be at least 1".into());
+    }
+    if args.metrics_every_ms == 0 {
+        return Err("--metrics-every must be at least 1 (milliseconds)".into());
+    }
+    if args.metrics_out.is_none()
+        && args.metrics_every_ms != defaults.metrics_every.as_millis() as u64
+    {
+        return Err("--metrics-every needs --metrics-out".into());
     }
     if args.data_dir.is_none() {
         if args.resident_cap != 0 {
@@ -211,6 +229,8 @@ fn main() {
         max_conns: args.max_conns,
         idle_timeout: Duration::from_millis(args.idle_timeout_ms),
         log_path: args.log.clone(),
+        metrics_out: args.metrics_out.clone(),
+        metrics_every: Duration::from_millis(args.metrics_every_ms),
     };
 
     let server = match Server::bind(&args.addr, cfg) {
@@ -233,6 +253,12 @@ fn main() {
         args.idle_timeout_ms,
         args.log.as_deref().map(|p| format!(" log={p}")).unwrap_or_default(),
     );
+    if let Some(path) = &args.metrics_out {
+        println!(
+            "cut-server: exporting cut-metrics/1 JSON to {path} every {}ms",
+            args.metrics_every_ms
+        );
+    }
 
     // The SIGTERM-equivalent: a `shutdown` line on stdin triggers the
     // graceful drain. EOF on stdin (e.g. a backgrounded shell job) is

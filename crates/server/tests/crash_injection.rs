@@ -52,7 +52,7 @@ fn graph_name(request: &Request) -> &str {
         | Request::Drop { name }
         | Request::Mutate { name, .. }
         | Request::Query { name, .. } => name,
-        Request::ListGraphs | Request::Stats => {
+        Request::ListGraphs | Request::Stats | Request::Metrics | Request::Slowlog => {
             panic!("the workload generator never emits broadcasts")
         }
     }
@@ -299,6 +299,64 @@ fn mid_spill_crash_leaves_an_orphan_tmp_and_resumes() {
     );
     assert_eq!(log, reference, "a crash mid-spill must not change any response");
     assert_final_state_matches(&dir, &requests);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn recovered_server_reports_repairs_through_stats_metrics() {
+    // Run the workload durably, kill the server, then tear a WAL tail by
+    // hand (trailing garbage that decodes as no record). The restarted
+    // server's own recovery scan must repair it — and `stats metrics`
+    // over the live connection must surface the repair in the `store_`
+    // counter families the introspection surface exports.
+    let requests = workload_requests();
+    let dir = temp_dir("metrics");
+    let (_, _, crashes) = run_with_crashes(&dir, &requests, 2, None, &[]);
+    assert_eq!(crashes, 0, "this scenario crashes only after the run");
+    let wal = std::fs::read_dir(&dir)
+        .expect("read store dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.extension().is_some_and(|e| e == "wal"))
+        .expect("a durable run leaves WAL files");
+    let mut f = std::fs::OpenOptions::new().append(true).open(&wal).expect("open WAL");
+    std::io::Write::write_all(&mut f, b"deadbeef torn tail").expect("tear the tail");
+    drop(f);
+
+    let server = spawn_server(&dir, 2, None);
+    let mut conn = connect(&server.addr);
+    let response = conn.execute(&Request::Metrics).expect("metrics over the wire");
+    let Response::Metrics { snapshot } = response else {
+        panic!("stats metrics must answer with a metrics snapshot, got {response}");
+    };
+    let registry = cut_engine::Registry::from_wire(&snapshot).expect("well-formed metrics wire");
+    assert_eq!(
+        registry.counter("store_recovery_torn_tails"),
+        1,
+        "the recovered server must report the torn tail it truncated"
+    );
+    assert!(
+        registry.counter("store_recovered_graphs") > 0,
+        "the recovered server must report its durable graphs"
+    );
+    // Replaying recovered graphs is lazy; after a query the fault-in
+    // shows up in the running counter families too.
+    let Response::Graphs { names } = conn.execute(&Request::ListGraphs).expect("list") else {
+        panic!("list must answer");
+    };
+    let probe = Request::Query { name: names[0].clone(), query: Query::ExactMinCut };
+    conn.execute(&probe).expect("probe a recovered graph");
+    let Response::Metrics { snapshot } = conn.execute(&Request::Metrics).expect("metrics again")
+    else {
+        panic!("metrics must answer");
+    };
+    let registry = cut_engine::Registry::from_wire(&snapshot).expect("well-formed metrics wire");
+    assert!(
+        registry.counter("store_fault_ins") >= 1,
+        "touching a recovered graph must fault it in from the store"
+    );
+    let mut child = server.child;
+    child.kill().expect("final kill");
+    child.wait().expect("final reap");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

@@ -666,6 +666,28 @@ impl GraphStore for Store {
         Some(RecoveredGraph { snapshot: snapshot.map(|(_, state)| state), wal })
     }
 
+    fn telemetry(&self) -> Vec<(String, u64)> {
+        // Exported under the `store_` prefix by `stats metrics` (exactly
+        // one shard exports the shared store per merged snapshot). The
+        // recovery families are frozen at open(); the counter families
+        // advance as the store runs.
+        let r = self.recovery_report();
+        let c = self.counters();
+        vec![
+            ("recovered_graphs".to_string(), r.graphs),
+            ("recovered_wal_records".to_string(), r.wal_records),
+            ("recovery_torn_tails".to_string(), r.torn_tails),
+            ("recovery_tombstones_gcd".to_string(), r.tombstones_gcd),
+            ("recovery_orphan_tmps".to_string(), r.orphan_tmps),
+            ("wal_appends".to_string(), c.wal_appends),
+            ("snapshots".to_string(), c.snapshots),
+            ("compactions".to_string(), c.compactions),
+            ("spills".to_string(), c.spills),
+            ("fault_ins".to_string(), c.fault_ins),
+            ("replayed".to_string(), c.replayed),
+        ]
+    }
+
     fn drop_graph(&self, name: &str, request: &Request, response: &Response) {
         // Tombstone first (flushed by append), then delete. A crash
         // between the steps leaves a WAL ending in the tombstone, which
