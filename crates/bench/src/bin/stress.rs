@@ -210,6 +210,7 @@ struct Args {
     snapshot_every: Option<u64>,
     resident_cap: usize,
     fsync: bool,
+    no_dynconn: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -242,6 +243,7 @@ fn parse_args() -> Result<Args, String> {
         snapshot_every: None,
         resident_cap: 0,
         fsync: false,
+        no_dynconn: false,
     };
     let mut connections_given = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -310,14 +312,15 @@ fn parse_args() -> Result<Args, String> {
                     value(&mut i)?.parse().map_err(|e| format!("--resident-cap: {e}"))?
             }
             "--fsync" => args.fsync = true,
+            "--no-dynconn" => args.no_dynconn = true,
             "--help" | "-h" => {
                 println!(
                     "stress --ops N --seed S [--graphs G] [--initial-n N] [--zipf Z] \
                      [--mix default|read-only|write-heavy] [--shards N] [--batch] \
                      [--rebalance] [--rebalance-window N] [--steal] [--latency-proxy] \
                      [--arrival closed|steady:R|poisson:R|bursts:B:P|diurnal:L:H] \
-                     [--phases single|bursty|diurnal|flash] \
-                     [--trace-out PATH] [--trace-in PATH] [--cache-entries N] \
+                     [--phases single|bursty|diurnal|flash|write-storm] \
+                     [--trace-out PATH] [--trace-in PATH] [--cache-entries N] [--no-dynconn] \
                      [--dump-log PATH] [--remote ADDR [--connections N]] \
                      [--json-out PATH] [--metrics-out PATH] [--metrics-text PATH] \
                      [--data-dir PATH [--snapshot-every N] \
@@ -347,9 +350,9 @@ fn parse_args() -> Result<Args, String> {
     if args.rebalance_window == 0 {
         return Err("--rebalance-window must be at least 1".into());
     }
-    if !matches!(args.phases.as_str(), "single" | "bursty" | "diurnal" | "flash") {
+    if !matches!(args.phases.as_str(), "single" | "bursty" | "diurnal" | "flash" | "write-storm") {
         return Err(format!(
-            "--phases must be single|bursty|diurnal|flash (got '{}')",
+            "--phases must be single|bursty|diurnal|flash|write-storm (got '{}')",
             args.phases
         ));
     }
@@ -393,12 +396,13 @@ fn parse_args() -> Result<Args, String> {
             || args.steal
             || args.latency_proxy
             || args.rebalance_window != PlacementOptions::default().window
-            || args.cache_entries != EngineConfig::default().max_cache_entries;
+            || args.cache_entries != EngineConfig::default().max_cache_entries
+            || args.no_dynconn;
         if engine_flags_touched {
             return Err(
                 "--remote drives a cut-server: engine flags (--shards, --batch, --rebalance, \
-                 --rebalance-window, --steal, --latency-proxy, --cache-entries) belong on the \
-                 cut-server command line, not here"
+                 --rebalance-window, --steal, --latency-proxy, --cache-entries, --no-dynconn) \
+                 belong on the cut-server command line, not here"
                     .into(),
             );
         }
@@ -470,6 +474,7 @@ fn build_workload(args: &Args) -> Result<Workload, String> {
         "bursty" => Timeline::bursty(args.ops, rate, args.mix, args.zipf),
         "diurnal" => Timeline::diurnal(args.ops, rate, args.mix, args.zipf),
         "flash" => Timeline::flash(args.ops, rate, args.mix, args.zipf),
+        "write-storm" => Timeline::write_storm(args.ops, rate, args.mix, args.zipf),
         other => return Err(format!("unknown phases preset '{other}'")),
     };
     // `single` + `closed` must stay the legacy closed-loop workload.
@@ -493,19 +498,20 @@ fn main() {
     if let Some(path) = &args.trace_in {
         println!(
             "cut-engine stress: trace={path} shards={} batch={} rebalance={} steal={} \
-             latency-proxy={} cache-entries={}",
+             latency-proxy={} cache-entries={} dynconn={}",
             args.shards,
             args.batch,
             args.rebalance,
             args.steal,
             args.latency_proxy,
-            args.cache_entries
+            args.cache_entries,
+            !args.no_dynconn
         );
     } else {
         println!(
             "cut-engine stress: ops={} seed={} graphs={} initial-n={} zipf={} mix={} shards={} \
              batch={} rebalance={} steal={} latency-proxy={} arrival={:?} phases={} \
-             cache-entries={}",
+             cache-entries={} dynconn={}",
             args.ops,
             args.seed,
             args.graphs,
@@ -519,7 +525,8 @@ fn main() {
             args.latency_proxy,
             args.arrival,
             args.phases,
-            args.cache_entries
+            args.cache_entries,
+            !args.no_dynconn
         );
     }
 
@@ -575,6 +582,7 @@ fn main() {
     let engine_cfg = EngineConfig {
         max_cache_entries: args.cache_entries,
         resident_cap: args.resident_cap,
+        dynamic_index: !args.no_dynconn,
         ..EngineConfig::default()
     };
     let placement = PlacementOptions {
@@ -921,12 +929,18 @@ fn print_index_efficiency(stats: &EngineStats, batch: bool) {
     let idx = &stats.index;
     println!();
     println!(
-        "index: csr builds={} reuses={} (reuse rate {:.1}%)  dsu fast-path={} rebuilds={}",
+        "index: csr builds={} reuses={} (reuse rate {:.1}%)  dsu fast-path={} rebuilds={} \
+         resizes={}",
         idx.csr_builds,
         idx.csr_reuses,
         idx.reuse_rate() * 100.0,
         idx.dsu_fast_hits,
         idx.dsu_rebuilds,
+        idx.dsu_resizes,
+    );
+    println!(
+        "cut gate: recomputes={} certified-skips={}",
+        stats.cut_recomputes, stats.cut_certified_skips,
     );
 
     let any_kind = stats.builds_by_kind.iter().zip(&stats.reuse_by_kind).any(|(b, r)| *b + *r > 0);
@@ -1727,6 +1741,7 @@ fn render_json(
     out.push_str(&format!("    \"arrival\": {},\n", json_str(&format!("{:?}", args.arrival))));
     out.push_str(&format!("    \"phases\": {},\n", json_str(&args.phases)));
     out.push_str(&format!("    \"cache_entries\": {},\n", args.cache_entries));
+    out.push_str(&format!("    \"dynconn\": {},\n", !args.no_dynconn));
     out.push_str(&format!("    \"remote\": {},\n", json_opt_str(args.remote.as_ref())));
     out.push_str(&format!(
         "    \"connections\": {}\n",
@@ -1760,6 +1775,9 @@ fn render_json(
         out.push_str(&format!("    \"csr_reuses\": {},\n", s.index.csr_reuses));
         out.push_str(&format!("    \"dsu_fast_hits\": {},\n", s.index.dsu_fast_hits));
         out.push_str(&format!("    \"dsu_rebuilds\": {},\n", s.index.dsu_rebuilds));
+        out.push_str(&format!("    \"dsu_resizes\": {},\n", s.index.dsu_resizes));
+        out.push_str(&format!("    \"cut_recomputes\": {},\n", s.cut_recomputes));
+        out.push_str(&format!("    \"cut_certified_skips\": {},\n", s.cut_certified_skips));
         out.push_str(&format!("    \"batches\": {},\n", s.batches));
         out.push_str(&format!("    \"batched_reads\": {}\n", s.batched_reads));
         out.push_str("  },\n");

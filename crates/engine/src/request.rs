@@ -269,6 +269,16 @@ impl Query {
         }
     }
 
+    /// True for the query kinds the engine's certificate gate covers:
+    /// expensive cut computations whose stale cached answers can
+    /// sometimes be proven still exact (partition unchanged + answer a
+    /// pure function of the partition) and carried instead of recomputed.
+    /// These are the kinds `cut_recomputes` / `cut_certified_skips`
+    /// count.
+    pub fn is_certificate_gated(&self) -> bool {
+        matches!(self, Query::ExactMinCut | Query::ApproxMinCut { .. } | Query::StCutWeight { .. })
+    }
+
     /// Relative serve-cost weight of this query — the **serve-time proxy**
     /// the sharded router's load accounting uses (it cannot observe real
     /// serve times, since it never waits for responses). The scale is

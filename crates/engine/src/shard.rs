@@ -1982,6 +1982,38 @@ mod tests {
     }
 
     #[test]
+    fn cut_gate_counters_merge_across_shards() {
+        // Two graphs, wherever the router places them: each serves one
+        // real cut compute and one certified carry (parallel-edge insert
+        // freezes the partition). The per-shard counters must fold into
+        // the fleet view through the same exhaustive merge the broadcast
+        // Stats path uses.
+        let mut e = ShardedEngine::new(2);
+        for name in ["left", "right"] {
+            let r = e.execute(Request::Create {
+                name: name.into(),
+                spec: GraphSpec::Edges { n: 4, edges: vec![(0, 1, 1), (2, 3, 1)] },
+            });
+            assert!(matches!(r, Response::Created { .. }), "create failed: {r}");
+            let first = e.execute(Request::Query { name: name.into(), query: Query::ExactMinCut });
+            assert!(matches!(first, Response::CutValue { weight: 0, .. }), "got {first}");
+            e.execute(Request::Mutate {
+                name: name.into(),
+                op: Mutation::InsertEdge { u: 0, v: 1, w: 7 },
+            });
+            let again = e.execute(Request::Query { name: name.into(), query: Query::ExactMinCut });
+            assert_eq!(format!("{again}"), format!("{first}"), "carried answer for {name}");
+        }
+        let mut total = EngineStats::default();
+        for s in e.shutdown() {
+            total.merge(&s);
+        }
+        assert_eq!(total.cut_recomputes, 2, "one real compute per graph");
+        assert_eq!(total.cut_certified_skips, 2, "one carry per graph");
+        assert_eq!(total.index.dsu_rebuilds, 0, "dynamic path: no rebuilds anywhere");
+    }
+
+    #[test]
     fn single_shard_matches_engine_exactly() {
         let mut sharded = ShardedEngine::new(1);
         let mut plain = Engine::new();

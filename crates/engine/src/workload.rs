@@ -544,6 +544,62 @@ impl Timeline {
         }
     }
 
+    /// The write-storm preset: the adversarial shape for the dynamic
+    /// index. A steady soak builds up graph state, then a delete-heavy
+    /// mutation storm (bursty arrivals at 5× peak, hot-set rotation) keeps
+    /// invalidating between reads — the regime where the incremental DSU
+    /// pays a full rebuild per connectivity read — and a read-mostly audit
+    /// sweep closes over the churned graphs. `mix` shapes the soak and
+    /// audit phases; the storm forces its own delete-heavy mix so the
+    /// preset is adversarial regardless of the configured mix.
+    pub fn write_storm(ops: usize, rate: f64, mix: ActionMix, zipf_exponent: f64) -> Timeline {
+        let soak = ops / 5;
+        let storm = ops * 3 / 5;
+        let audit = ops - soak - storm;
+        // Deletes rival inserts (the generator only emits a delete while
+        // the mirror has spare edges, so heavier delete weight saturates
+        // that bound), and connectivity reads land between invalidations.
+        let storm_mix = ActionMix {
+            insert_edge: 30.0,
+            delete_edge: 32.0,
+            contract: 2.0,
+            approx_min_cut: 3.0,
+            exact_min_cut: 4.0,
+            singleton_cut: 2.0,
+            kcut: 1.0,
+            connectivity: 20.0,
+            st_cut: 6.0,
+        };
+        // ~4 on/off cycles across the storm (mean rate ≈ 7/3 baseline
+        // with a 1:2 on:off split at 5×).
+        let storm_span = storm as f64 / (rate * 7.0 / 3.0).max(f64::MIN_POSITIVE);
+        let period = (storm_span / 4.0).max(1e-6);
+        let base = Phase { mix, zipf_exponent, ..Phase::named("", 0) };
+        Timeline {
+            phases: vec![
+                Phase {
+                    arrival: ArrivalProcess::Steady { rate },
+                    ..Phase { name: "soak".into(), ops: soak, ..base.clone() }
+                },
+                Phase {
+                    arrival: ArrivalProcess::Bursts {
+                        base: rate,
+                        peak: 5.0 * rate,
+                        period,
+                        burst: period / 3.0,
+                    },
+                    mix: storm_mix,
+                    drift: PopularityDrift::Rotate { every: (storm / 8).max(1) },
+                    ..Phase { name: "storm".into(), ops: storm, ..base.clone() }
+                },
+                Phase {
+                    arrival: ArrivalProcess::Poisson { rate },
+                    ..Phase { name: "audit".into(), ops: audit, ..base }
+                },
+            ],
+        }
+    }
+
     /// Total operations across all phases.
     pub fn total_ops(&self) -> usize {
         self.phases.iter().map(|p| p.ops).sum()
@@ -1228,6 +1284,32 @@ mod tests {
         assert!(count_on(1600..3200, "g000") > count_on(1600..3200, "g003"));
         // … and before the crowd the target is cold.
         assert!(count_on(0..1600, "g000") > count_on(0..1600, "g005"));
+    }
+
+    #[test]
+    fn write_storm_preset_shape() {
+        let timeline = Timeline::write_storm(10_000, 20_000.0, ActionMix::default(), 1.1);
+        assert_eq!(timeline.total_ops(), 10_000);
+        let names: Vec<&str> = timeline.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["soak", "storm", "audit"]);
+        let storm = &timeline.phases[1];
+        assert!(storm.ops >= timeline.total_ops() / 2, "the storm dominates the run");
+        assert!(
+            storm.mix.delete_edge > storm.mix.insert_edge,
+            "the storm is delete-heavy regardless of the configured mix"
+        );
+        assert!(matches!(storm.arrival, ArrivalProcess::Bursts { .. }));
+        assert!(matches!(storm.drift, PopularityDrift::Rotate { .. }));
+        // Soak/audit keep the caller's mix.
+        assert_eq!(timeline.phases[0].mix, ActionMix::default());
+        assert_eq!(timeline.phases[2].mix, ActionMix::default());
+        // Deterministic generation, like every preset.
+        let cfg = WorkloadConfig { ops: 0, graphs: 6, seed: 11, ..WorkloadConfig::default() };
+        let small = Timeline::write_storm(600, 20_000.0, ActionMix::default(), 1.1);
+        let a = Workload::generate_timeline(&cfg, &small);
+        let b = Workload::generate_timeline(&cfg, &small);
+        assert_eq!(a, b);
+        assert_eq!(a.operations.len(), 600);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The per-graph incremental index: generation-stamped CSR snapshots,
-//! incremental DSU connectivity, and running degree/weight summaries.
+//! fully dynamic connectivity (with the incremental DSU as legacy path
+//! and shadow oracle), and running degree/weight summaries.
 
+use crate::dynconn::DynConn;
 use cut_graph::{Dsu, Edge, Graph};
 
 /// Counters for how much work the index layer absorbed. Owned by whoever
@@ -13,11 +15,18 @@ pub struct IndexStats {
     pub csr_builds: u64,
     /// Snapshot requests served by an already-stamped build (builds avoided).
     pub csr_reuses: u64,
-    /// Connectivity reads answered by the live DSU (no rebuild, no BFS).
+    /// Connectivity reads answered without any rebuild: the dynamic-forest
+    /// labels or the live DSU (no rebuild, no BFS either way).
     pub dsu_fast_hits: u64,
     /// Connectivity reads that had to rebuild the DSU (after a delete or
-    /// contraction invalidated it).
+    /// contraction invalidated it). Legacy-path only — the dynamic forest
+    /// never rebuilds on read.
     pub dsu_rebuilds: u64,
+    /// Connectivity reads that rebuilt only because the DSU was sized for
+    /// a different vertex count (clean resize, e.g. after vertex growth) —
+    /// *not* because a mutation dirtied it. Attributed separately so
+    /// `dsu_rebuilds` measures exactly the invalidation cost.
+    pub dsu_resizes: u64,
     /// Entries evicted from LRU query caches.
     pub lru_evictions: u64,
 }
@@ -26,12 +35,19 @@ impl IndexStats {
     /// Fold another set of counters into this one. Exhaustive
     /// destructuring: adding a field is a compile error until it merges.
     pub fn merge(&mut self, other: &IndexStats) {
-        let IndexStats { csr_builds, csr_reuses, dsu_fast_hits, dsu_rebuilds, lru_evictions } =
-            *other;
+        let IndexStats {
+            csr_builds,
+            csr_reuses,
+            dsu_fast_hits,
+            dsu_rebuilds,
+            dsu_resizes,
+            lru_evictions,
+        } = *other;
         self.csr_builds += csr_builds;
         self.csr_reuses += csr_reuses;
         self.dsu_fast_hits += dsu_fast_hits;
         self.dsu_rebuilds += dsu_rebuilds;
+        self.dsu_resizes += dsu_resizes;
         self.lru_evictions += lru_evictions;
     }
 
@@ -60,6 +76,21 @@ pub struct GraphSummary {
     pub max_weighted_degree: u64,
 }
 
+/// How a legacy-path connectivity read was served — the attribution the
+/// rebuild counters are built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnRead {
+    /// The live DSU answered as-is: no rebuild of any kind.
+    Fast,
+    /// The DSU was clean but sized for a different vertex count, so it was
+    /// re-derived. This is capacity bookkeeping, not mutation cost — it
+    /// feeds [`IndexStats::dsu_resizes`], never `dsu_rebuilds`.
+    Resized,
+    /// A delete/contraction had dirtied the DSU and this read paid the
+    /// O(m α) reconstruction ([`IndexStats::dsu_rebuilds`]).
+    Rebuilt,
+}
+
 /// The incremental index kept alongside one graph's edge list.
 ///
 /// The owner holds the authoritative `(n, edges)` state and *notifies* the
@@ -73,10 +104,19 @@ pub struct GraphSummary {
 ///   snapshot is stamped with the generation it was built at and is valid
 ///   iff the stamps match — so between two mutations, any number of reads
 ///   share one build.
-/// - **DSU.** Inserts union in O(α) (connectivity can only increase).
-///   Deletes and contractions can split or relabel components, which a DSU
-///   cannot track, so they mark it dirty; the next connectivity read
-///   rebuilds it from the edge list in O(m α) and fast-paths thereafter.
+/// - **Dynamic forest.** A [`DynConn`] level structure is maintained
+///   through every notification in amortized polylog time, so
+///   [`components_live`](GraphIndex::components_live) /
+///   [`same_component_live`](GraphIndex::same_component_live) answer in
+///   O(1) with zero rebuilds — deletes included. Its partition version
+///   feeds [`partition_generation`](GraphIndex::partition_generation),
+///   the certificate the engine's cut-cache gating keys on.
+/// - **DSU (legacy path + shadow oracle).** Inserts union in O(α)
+///   (connectivity can only increase). Deletes and contractions can split
+///   or relabel components, which a DSU cannot track, so they mark it
+///   dirty; the next [`components`](GraphIndex::components) read rebuilds
+///   it from the edge list in O(m α) and fast-paths thereafter. In debug
+///   builds the live reads cross-check against a from-scratch DSU.
 /// - **Summaries.** Degree/weight totals update in O(1) per edge
 ///   notification and are recomputed only on
 ///   [`rebuild_for`](GraphIndex::rebuild_for).
@@ -91,6 +131,13 @@ pub struct GraphIndex {
     dsu: Dsu,
     /// Set by deletes/contractions; cleared by the lazy rebuild.
     dsu_dirty: bool,
+    /// Always-maintained dynamic connectivity (never dirty, never rebuilt
+    /// on read).
+    dynconn: DynConn,
+    /// The generation at (or before) which the vertex partition last
+    /// changed. A cached partition-dependent answer stamped at generation
+    /// `g` is still exact iff `partition_generation <= g`.
+    partition_generation: u64,
     /// Weighted degree per vertex.
     degrees: Vec<u64>,
     total_weight: u64,
@@ -107,6 +154,8 @@ impl GraphIndex {
             snapshot_generation: 0,
             dsu: Dsu::new(0),
             dsu_dirty: false,
+            dynconn: DynConn::new(0, &[]),
+            partition_generation: 0,
             degrees: Vec::new(),
             total_weight: 0,
             m: 0,
@@ -124,6 +173,10 @@ impl GraphIndex {
         let mut index = Self::new(n, edges);
         index.generation = generation;
         index.snapshot_generation = generation;
+        // Conservative: the restored index cannot know when the partition
+        // last changed in the previous process, so it claims "now" —
+        // certificate checks then deny carries rather than risk staleness.
+        index.partition_generation = generation;
         index
     }
 
@@ -147,6 +200,11 @@ impl GraphIndex {
         if !self.dsu_dirty {
             self.dsu.union(u, v);
         }
+        let was = self.dynconn.version();
+        self.dynconn.insert(u, v);
+        if self.dynconn.version() != was {
+            self.partition_generation = self.generation;
+        }
         self.degrees[u as usize] += w;
         self.degrees[v as usize] += w;
         self.total_weight += w;
@@ -157,8 +215,15 @@ impl GraphIndex {
     pub fn note_delete(&mut self, u: u32, v: u32, w: u64) {
         self.generation += 1;
         // A deletion can split a component; the DSU cannot un-union, so it
-        // goes dirty and rebuilds lazily on the next connectivity read.
+        // goes dirty and rebuilds lazily on the next legacy read. The
+        // dynamic forest absorbs the delete exactly (replacement-edge
+        // search), so the live path never rebuilds.
         self.dsu_dirty = true;
+        let was = self.dynconn.version();
+        self.dynconn.delete(u, v);
+        if self.dynconn.version() != was {
+            self.partition_generation = self.generation;
+        }
         self.degrees[u as usize] -= w;
         self.degrees[v as usize] -= w;
         self.total_weight -= w;
@@ -184,6 +249,10 @@ impl GraphIndex {
             self.total_weight += e.w;
         }
         self.dsu_dirty = false;
+        self.dynconn = DynConn::new(n, edges);
+        // A wholesale rebuild (contraction) can change the partition
+        // arbitrarily; claim the current generation.
+        self.partition_generation = self.generation;
     }
 
     /// The CSR view of `(n, edges)` at the current generation, building it
@@ -201,20 +270,29 @@ impl GraphIndex {
         (self.snapshot.as_ref().expect("snapshot just ensured"), built)
     }
 
-    /// Connected-component count. Returns `(components, rebuilt)`: the
-    /// fast path reads the live DSU in O(α · n-ish) bookkeeping (no BFS,
-    /// no CSR); `rebuilt` is true iff a delete/contract forced the O(m α)
-    /// DSU reconstruction first.
-    pub fn components(&mut self, n: usize, edges: &[Edge]) -> (usize, bool) {
-        let rebuilt = self.dsu_dirty || self.dsu.len() != n;
-        if rebuilt {
+    /// Connected-component count on the legacy DSU path. Returns
+    /// `(components, read)`: [`ConnRead::Fast`] reads the live DSU as-is;
+    /// [`ConnRead::Rebuilt`] means a delete/contract forced the O(m α)
+    /// reconstruction; [`ConnRead::Resized`] means the DSU was clean but
+    /// sized for a different `n` — same reconstruction cost, different
+    /// cause, attributed separately so the rebuild counter measures
+    /// exactly the mutation-invalidation cost.
+    pub fn components(&mut self, n: usize, edges: &[Edge]) -> (usize, ConnRead) {
+        let read = if self.dsu_dirty {
+            ConnRead::Rebuilt
+        } else if self.dsu.len() != n {
+            ConnRead::Resized
+        } else {
+            ConnRead::Fast
+        };
+        if read != ConnRead::Fast {
             self.dsu = Dsu::new(n);
             for e in edges {
                 self.dsu.union(e.u, e.v);
             }
             self.dsu_dirty = false;
         }
-        (self.dsu.set_count(), rebuilt)
+        (self.dsu.set_count(), read)
     }
 
     /// True if `u` and `v` are connected, through the same DSU (and the
@@ -222,6 +300,56 @@ impl GraphIndex {
     pub fn connected(&mut self, n: usize, edges: &[Edge], u: u32, v: u32) -> bool {
         self.components(n, edges);
         self.dsu.same(u, v)
+    }
+
+    /// Connected-component count from the dynamic forest: O(1), never
+    /// rebuilds, exact through arbitrary insert/delete interleavings. In
+    /// debug builds the answer is cross-checked against a from-scratch
+    /// DSU over `(n, edges)` — the shadow oracle; release builds ignore
+    /// the arguments entirely.
+    pub fn components_live(&mut self, n: usize, edges: &[Edge]) -> usize {
+        let live = self.dynconn.component_count();
+        debug_assert_eq!(self.dynconn.n(), n, "index vs owner vertex count");
+        debug_assert_eq!(
+            live,
+            {
+                let mut oracle = Dsu::new(n);
+                for e in edges {
+                    oracle.union(e.u, e.v);
+                }
+                oracle.set_count()
+            },
+            "dynamic forest diverged from the DSU shadow oracle"
+        );
+        let _ = (n, edges);
+        live
+    }
+
+    /// True if `u` and `v` are connected, from the dynamic forest's O(1)
+    /// component labels (debug-checked against the DSU shadow oracle).
+    pub fn same_component_live(&mut self, n: usize, edges: &[Edge], u: u32, v: u32) -> bool {
+        let live = self.dynconn.connected(u, v);
+        debug_assert_eq!(
+            live,
+            {
+                let mut oracle = Dsu::new(n);
+                for e in edges {
+                    oracle.union(e.u, e.v);
+                }
+                oracle.same(u, v)
+            },
+            "dynamic forest diverged from the DSU shadow oracle for ({u}, {v})"
+        );
+        let _ = (n, edges);
+        live
+    }
+
+    /// The generation at (or before) which the vertex partition last
+    /// changed. A partition-dependent answer computed at generation `g`
+    /// is still exact iff `partition_generation() <= g` — the certificate
+    /// behind the engine's cut-cache carry path.
+    pub fn partition_generation(&self) -> u64 {
+        self.partition_generation
     }
 
     /// The running O(1) summaries (max degree is an O(n) scan over the
@@ -297,12 +425,12 @@ mod tests {
         let edges = vec![Edge::new(0, 1, 1), Edge::new(2, 3, 1)];
         let mut idx = GraphIndex::new(5, &edges);
         // 0-1 | 2-3 | 4.
-        assert_eq!(idx.components(5, &edges), (3, false));
+        assert_eq!(idx.components(5, &edges), (3, ConnRead::Fast));
         let mut edges = edges;
         edges.push(Edge::new(1, 2, 1));
         idx.note_insert(1, 2, 1);
         // Insert merged in O(α): still no rebuild.
-        assert_eq!(idx.components(5, &edges), (2, false));
+        assert_eq!(idx.components(5, &edges), (2, ConnRead::Fast));
         assert!(idx.connected(5, &edges, 0, 3));
         assert!(!idx.connected(5, &edges, 0, 4));
     }
@@ -311,13 +439,13 @@ mod tests {
     fn delete_goes_dirty_and_rebuilds_lazily() {
         let mut edges = vec![Edge::new(0, 1, 1), Edge::new(1, 2, 1)];
         let mut idx = GraphIndex::new(3, &edges);
-        assert_eq!(idx.components(3, &edges), (1, false));
+        assert_eq!(idx.components(3, &edges), (1, ConnRead::Fast));
         let e = edges.pop().unwrap();
         idx.note_delete(e.u, e.v, e.w);
         // The split is only visible after the lazy rebuild.
-        assert_eq!(idx.components(3, &edges), (2, true));
+        assert_eq!(idx.components(3, &edges), (2, ConnRead::Rebuilt));
         // ... and the rebuilt DSU fast-paths again.
-        assert_eq!(idx.components(3, &edges), (2, false));
+        assert_eq!(idx.components(3, &edges), (2, ConnRead::Fast));
     }
 
     #[test]
@@ -329,7 +457,7 @@ mod tests {
         let contracted = vec![Edge::new(0, 1, 3), Edge::new(1, 2, 2), Edge::new(3, 4, 7)];
         idx.rebuild_for(5, &contracted);
         assert!(!idx.snapshot_is_fresh());
-        assert_eq!(idx.components(5, &contracted), (2, false));
+        assert_eq!(idx.components(5, &contracted), (2, ConnRead::Fast));
         assert_eq!(
             idx.summary(),
             GraphSummary { n: 5, m: 3, total_weight: 12, max_weighted_degree: 7 }
@@ -365,10 +493,10 @@ mod tests {
     #[test]
     fn edgeless_and_empty_graphs() {
         let mut idx = GraphIndex::new(0, &[]);
-        assert_eq!(idx.components(0, &[]), (0, false));
+        assert_eq!(idx.components(0, &[]), (0, ConnRead::Fast));
         assert_eq!(idx.summary().max_weighted_degree, 0);
         let mut idx = GraphIndex::new(3, &[]);
-        assert_eq!(idx.components(3, &[]), (3, false));
+        assert_eq!(idx.components(3, &[]), (3, ConnRead::Fast));
         let (g, built) = idx.snapshot(3, &[]);
         assert!(built);
         assert_eq!((g.n(), g.m()), (3, 0));
@@ -382,6 +510,7 @@ mod tests {
             csr_reuses: 3,
             dsu_fast_hits: 5,
             dsu_rebuilds: 2,
+            dsu_resizes: 4,
             lru_evictions: 7,
         };
         a.merge(&b);
@@ -389,8 +518,111 @@ mod tests {
         assert_eq!(a.csr_reuses, 6);
         assert_eq!(a.dsu_fast_hits, 5);
         assert_eq!(a.dsu_rebuilds, 2);
+        assert_eq!(a.dsu_resizes, 4);
         assert_eq!(a.lru_evictions, 7);
         assert!((a.reuse_rate() - 0.75).abs() < 1e-12);
         assert_eq!(IndexStats::default().reuse_rate(), 0.0);
+    }
+
+    #[test]
+    fn clean_resize_is_not_a_rebuild() {
+        // A clean DSU asked about a different vertex count re-derives, but
+        // the cause is capacity bookkeeping — attributed as Resized, never
+        // Rebuilt (the pre-fix code folded this into dsu_rebuilds and
+        // inflated the counter the write-heavy acceptance gate measures).
+        let edges = vec![Edge::new(0, 1, 1)];
+        let mut idx = GraphIndex::new(2, &edges);
+        assert_eq!(idx.components(2, &edges), (1, ConnRead::Fast));
+        // Owner grew to 4 vertices without an index notification.
+        assert_eq!(idx.components(4, &edges), (3, ConnRead::Resized));
+        assert_eq!(idx.components(4, &edges), (3, ConnRead::Fast), "resize sticks");
+    }
+
+    #[test]
+    fn dirty_wins_over_resize_attribution() {
+        // When a mutation dirtied the DSU *and* the vertex count moved,
+        // the read is attributed to the mutation (Rebuilt): the rebuild
+        // would have happened regardless of the resize.
+        let mut edges = vec![Edge::new(0, 1, 1), Edge::new(1, 2, 1)];
+        let mut idx = GraphIndex::new(3, &edges);
+        let e = edges.pop().unwrap();
+        idx.note_delete(e.u, e.v, e.w);
+        assert_eq!(idx.components(4, &edges), (3, ConnRead::Rebuilt));
+    }
+
+    #[test]
+    fn note_insert_while_dirty_drops_the_union() {
+        // Pinned legacy semantics: with a rebuild pending, note_insert
+        // deliberately skips the DSU union (the rebuild covers the edge).
+        // The dynamic structure must mirror the *graph*, not this DSU
+        // laziness — components_live sees the insert immediately.
+        let mut edges = vec![Edge::new(0, 1, 1), Edge::new(1, 2, 1)];
+        let mut idx = GraphIndex::new(4, &edges);
+        let e = edges.pop().unwrap(); // drop (1,2)
+        idx.note_delete(e.u, e.v, e.w);
+        assert!(idx.dsu_dirty, "delete marks the DSU dirty");
+        let before = idx.dsu.set_count();
+        edges.push(Edge::new(2, 3, 1));
+        idx.note_insert(2, 3, 1);
+        assert!(idx.dsu_dirty, "insert while dirty leaves the rebuild pending");
+        assert_eq!(idx.dsu.set_count(), before, "the union was dropped, not applied");
+        // The dynamic path answers the true partition regardless:
+        // {0,1} {2,3}.
+        assert_eq!(idx.components_live(4, &edges), 2);
+        // ... and the legacy read converges to the same answer via its
+        // rebuild.
+        assert_eq!(idx.components(4, &edges), (2, ConnRead::Rebuilt));
+    }
+
+    #[test]
+    fn live_path_absorbs_deletes_without_rebuilds() {
+        let mut edges = vec![Edge::new(0, 1, 1), Edge::new(1, 2, 1), Edge::new(0, 2, 1)];
+        let mut idx = GraphIndex::new(4, &edges);
+        assert_eq!(idx.components_live(4, &edges), 2); // {0,1,2} {3}
+        assert!(idx.same_component_live(4, &edges, 0, 2));
+        // Delete a cycle edge: still connected, no legacy rebuild needed
+        // for the live answer.
+        let e = edges.remove(2);
+        idx.note_delete(e.u, e.v, e.w);
+        assert_eq!(idx.components_live(4, &edges), 2);
+        // Delete a bridge: the live path sees the split immediately.
+        let e = edges.remove(1);
+        idx.note_delete(e.u, e.v, e.w);
+        assert_eq!(idx.components_live(4, &edges), 3);
+        assert!(!idx.same_component_live(4, &edges, 1, 2));
+        // The legacy DSU is still dirty the whole time — the live reads
+        // never rebuilt it.
+        assert!(idx.dsu_dirty);
+    }
+
+    #[test]
+    fn partition_generation_tracks_only_partition_changes() {
+        let mut edges = vec![Edge::new(0, 1, 1)];
+        let mut idx = GraphIndex::new(3, &edges);
+        assert_eq!(idx.partition_generation(), 0);
+        // A cycle-closing insert does not move the partition.
+        edges.push(Edge::new(0, 1, 5));
+        idx.note_insert(0, 1, 5);
+        assert_eq!(idx.generation(), 1);
+        assert_eq!(idx.partition_generation(), 0);
+        // Deleting one parallel copy does not either.
+        let e = edges.pop().unwrap();
+        idx.note_delete(e.u, e.v, e.w);
+        assert_eq!(idx.generation(), 2);
+        assert_eq!(idx.partition_generation(), 0);
+        // A merging insert does.
+        edges.push(Edge::new(1, 2, 1));
+        idx.note_insert(1, 2, 1);
+        assert_eq!(idx.partition_generation(), 3);
+        // A splitting delete does.
+        let e = edges.pop().unwrap();
+        idx.note_delete(e.u, e.v, e.w);
+        assert_eq!(idx.partition_generation(), 4);
+        // rebuild_for claims the current generation conservatively.
+        idx.rebuild_for(3, &edges);
+        assert_eq!(idx.partition_generation(), idx.generation());
+        // ... as does a restore.
+        let idx = GraphIndex::with_generation(3, &edges, 41);
+        assert_eq!(idx.partition_generation(), 41);
     }
 }

@@ -9,10 +9,17 @@
 //!   - a **generation-stamped CSR snapshot**: the adjacency structure is
 //!     built at most once per mutation generation, and every read between
 //!     two mutations shares the same build;
-//!   - an **incremental DSU** for connectivity: edge inserts union in
-//!     O(α), so `Connectivity` queries skip BFS entirely; deletes and
-//!     contractions mark the DSU dirty and it is rebuilt lazily on the
-//!     next connectivity read (never eagerly on the mutation path);
+//!   - **fully dynamic connectivity** ([`DynConn`], a Holm–de
+//!     Lichtenberg–Thorup-style level structure): inserts *and* deletes
+//!     are absorbed in amortized polylog time, so
+//!     [`GraphIndex::components_live`] answers `Connectivity` in O(1)
+//!     with zero BFS and zero rebuilds, and
+//!     [`GraphIndex::partition_generation`] certifies when the vertex
+//!     partition last changed (the engine's cut-cache gate);
+//!   - an **incremental DSU** kept as the legacy read path
+//!     ([`GraphIndex::components`]) and debug-assert shadow oracle: edge
+//!     inserts union in O(α); deletes and contractions mark it dirty and
+//!     it is rebuilt lazily on the next legacy connectivity read;
 //!   - **running degree/weight summaries** (per-vertex weighted degrees,
 //!     total weight, edge count) maintained O(1) per edge mutation.
 //! - [`LruCache`] — a real least-recently-used map (doubly-linked order
@@ -45,8 +52,10 @@
 //! assert!(!built, "second read reuses the stamped snapshot");
 //! ```
 
+pub mod dynconn;
 pub mod index;
 pub mod lru;
 
-pub use index::{GraphIndex, GraphSummary, IndexStats};
+pub use dynconn::DynConn;
+pub use index::{ConnRead, GraphIndex, GraphSummary, IndexStats};
 pub use lru::LruCache;
