@@ -1,0 +1,80 @@
+//! Replay of the pinned whale trace (`traces/whale.trace`): an
+//! adversarial s-t-heavy phase mix over one large sparse graph, generated
+//! by `stress --phases whale --ops 2000 --seed 7`. The trace pins three
+//! things at once:
+//!
+//! 1. **Determinism** — the response log digests to the committed
+//!    constant, so workload generation, request formatting, and every
+//!    engine answer are all frozen.
+//! 2. **Kernel byte-identity** — a kernelized engine replays the exact
+//!    same log, byte for byte. Counters may move; responses may not.
+//! 3. **Kernel effectiveness** — the reduction genuinely fires on this
+//!    mix (rules applied, s-t serves) and sheds at least half the
+//!    vertices (the same `vertex_ratio <= 0.5` gate CI enforces).
+//!
+//! If an intentional engine change moves the digest, regenerate with the
+//! command above and update `WHALE_DIGEST` in the same commit.
+
+use cut_engine::{Engine, EngineConfig, Response, Workload};
+
+const WHALE_TRACE: &str = include_str!("../traces/whale.trace");
+
+/// The digest `stress --trace-in traces/whale.trace` prints, at any shard
+/// count, with `--kernel` on or off.
+const WHALE_DIGEST: u64 = 0xda29_c44a_450a_6ca4;
+
+/// FNV-1a, exactly as the stress driver folds its response log.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Replay the workload through one engine, building the stress driver's
+/// log format (`{i:06} {request} -> {response}`, no timing).
+fn replay(workload: &Workload, cfg: EngineConfig) -> (String, Engine) {
+    let mut engine = Engine::with_config(cfg);
+    let mut log = String::with_capacity(workload.len() * 64);
+    for (i, request) in workload.all_requests().enumerate() {
+        let response = engine.execute(request.clone());
+        assert!(
+            !matches!(response, Response::Error { .. }),
+            "whale trace op {i} errored: {response}"
+        );
+        log.push_str(&format!("{i:06} {request} -> {response}\n"));
+    }
+    (log, engine)
+}
+
+#[test]
+fn whale_trace_digest_is_pinned_and_kernel_invariant() {
+    let workload = Workload::from_trace(WHALE_TRACE).expect("committed trace parses");
+
+    let (plain_log, plain) = replay(&workload, EngineConfig::default());
+    let (kernel_log, kernelized) =
+        replay(&workload, EngineConfig { kernel: true, ..EngineConfig::default() });
+
+    assert_eq!(
+        fnv1a(plain_log.as_bytes()),
+        WHALE_DIGEST,
+        "unkernelized whale digest moved — regenerate traces/whale.trace \
+         and update WHALE_DIGEST if the change is intentional"
+    );
+    assert!(plain_log == kernel_log, "kernelized replay diverged from the unkernelized log");
+
+    // The replay must have exercised the kernel, not bypassed it.
+    let stats = kernelized.stats();
+    assert!(stats.index.kernel_rules_applied() > 0, "no reduction rules fired");
+    assert!(stats.kernel_cut_serves > 0, "kernel never served a cut");
+    assert!(stats.index.kernel_builds > 0, "kernel never built");
+    assert!(stats.index.kernel_patches > 0, "whale insert phase never patched");
+    let ratio = stats.index.kernel_vertex_ratio();
+    assert!(ratio <= 0.5, "whale kernel kept {ratio:.4} of vertices; the gate requires <= 0.5");
+
+    // The plain engine's counters prove the baseline truly ran unkernelized.
+    assert_eq!(plain.stats().index.kernel_builds, 0);
+    assert_eq!(plain.stats().kernel_cut_serves, 0);
+}

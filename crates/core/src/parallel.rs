@@ -1,0 +1,111 @@
+//! Borrowed-worker parallel cut kernel: fan the independent repetitions
+//! of [`approx_min_cut`](crate::approx_min_cut) out across a small
+//! thread pool, merging to the **byte-identical** sequential answer.
+//!
+//! Why this is the right axis of parallelism: Stoer–Wagner's minimum-cut
+//! phases pick one most-tightly-connected vertex at a time, so a
+//! per-phase parallelization needs a synchronization barrier per
+//! selection step — Θ(n²) barriers for the whole run, which on a
+//! handful of borrowed shard workers costs more than it saves. The
+//! boosted recursion's top-level repetitions, by contrast, share no
+//! state at all: each seeds its own RNG from `seed + rep`
+//! ([`approx_min_cut_repetition`]),
+//! and Stoer–Wagner runs *inside* each repetition's base cases. So
+//! repetitions are the unit of work: embarrassingly parallel, and the
+//! merge (strictly-better-wins, scanned in repetition order) is exactly
+//! the sequential fold — any worker count, including zero, produces the
+//! same bytes.
+//!
+//! The engine passes `helpers` from the shard pool's loan
+//! (`cut_engine`'s `CutPool`): idle shard workers lend capacity, the
+//! caller's own thread always works too, and a loan of 0 degrades to
+//! the plain sequential call.
+
+use crate::mincut::{approx_min_cut_repetition, repetition_count, MinCutOptions};
+use cut_graph::{cut::CutResult, Graph};
+
+/// [`approx_min_cut`](crate::approx_min_cut) with its repetitions
+/// distributed over `1 + helpers` threads (the caller's thread plus
+/// `helpers` borrowed workers). The result — weight *and* side — is
+/// byte-identical to the sequential call for every `helpers` value.
+pub fn par_approx_min_cut(g: &Graph, opts: &MinCutOptions, helpers: usize) -> CutResult {
+    assert!(g.n() >= 2, "a cut needs at least two vertices");
+    let reps = repetition_count(g.n(), opts);
+    let workers = (helpers + 1).min(reps);
+    if workers <= 1 {
+        return crate::approx_min_cut(g, opts);
+    }
+    // Stripe repetitions over workers; indices ride along so the merge
+    // can replay the exact sequential repetition order.
+    let mut results: Vec<(usize, CutResult)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (1..workers)
+            .map(|w| {
+                s.spawn(move || -> Vec<(usize, CutResult)> {
+                    (w..reps)
+                        .step_by(workers)
+                        .map(|r| (r, approx_min_cut_repetition(g, opts, r as u64)))
+                        .collect()
+                })
+            })
+            .collect();
+        let mut all: Vec<(usize, CutResult)> = (0..reps)
+            .step_by(workers)
+            .map(|r| (r, approx_min_cut_repetition(g, opts, r as u64)))
+            .collect();
+        for h in handles {
+            all.extend(h.join().expect("repetition worker panicked"));
+        }
+        all
+    });
+    results.sort_by_key(|&(r, _)| r);
+    // The sequential fold: strictly-better-wins in repetition order, so
+    // ties keep the earliest repetition's side.
+    let mut best: Option<CutResult> = None;
+    for (_, cut) in results {
+        if best.as_ref().is_none_or(|b| cut.weight < b.weight) {
+            best = Some(cut);
+        }
+    }
+    best.expect("at least one repetition")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cut_graph::gen;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn any_helper_count_matches_sequential() {
+        let mut rng = SmallRng::seed_from_u64(0x5EED);
+        let g = gen::connected_gnm(48, 120, 1..=9, &mut rng);
+        let opts = MinCutOptions { repetitions: 7, base_size: 8, ..Default::default() };
+        let seq = crate::approx_min_cut(&g, &opts);
+        for helpers in 0..5 {
+            let par = par_approx_min_cut(&g, &opts, helpers);
+            assert_eq!(par.weight, seq.weight, "helpers = {helpers}");
+            assert_eq!(par.side, seq.side, "helpers = {helpers}");
+        }
+    }
+
+    #[test]
+    fn more_helpers_than_repetitions_is_fine() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = gen::connected_gnm(16, 40, 1..=5, &mut rng);
+        let opts = MinCutOptions { repetitions: 2, base_size: 4, ..Default::default() };
+        let seq = crate::approx_min_cut(&g, &opts);
+        let par = par_approx_min_cut(&g, &opts, 16);
+        assert_eq!((par.weight, par.side), (seq.weight, seq.side));
+    }
+
+    #[test]
+    fn default_repetition_schedule_matches_too() {
+        // repetitions: 0 resolves to ⌈log₂ n⌉ on both paths.
+        let mut rng = SmallRng::seed_from_u64(99);
+        let g = gen::connected_gnm(40, 100, 1..=12, &mut rng);
+        let opts = MinCutOptions { base_size: 8, ..Default::default() };
+        let seq = crate::approx_min_cut(&g, &opts);
+        let par = par_approx_min_cut(&g, &opts, 3);
+        assert_eq!((par.weight, par.side), (seq.weight, seq.side));
+    }
+}

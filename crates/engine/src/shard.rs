@@ -98,6 +98,7 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvE
 use cut_obs::{span_flags, Clock, MonotonicClock, Registry, SlowLog, Span};
 
 use crate::engine::{serve_query, Engine, EngineConfig, EngineStats, GraphEntry, ObsScratch};
+use crate::pool::CutPool;
 use crate::request::{Request, Response};
 use crate::store_api::GraphStore;
 
@@ -683,6 +684,14 @@ impl ShardedEngine {
     /// the stress harness caps at 1024).
     pub fn with_options(shards: usize, opts: ShardOptions) -> Self {
         assert!(shards > 0, "a sharded engine needs at least one shard");
+        let mut opts = opts;
+        // With the kernel on, every shard's engine shares one idle-worker
+        // ledger: a worker parking with an empty queue becomes loanable
+        // capacity for whichever shard is chewing a whale cut. (The plain
+        // Engine keeps the disabled pool: nobody to borrow from.)
+        if opts.cfg.kernel && shards > 1 && !opts.cfg.pool.is_enabled() {
+            opts.cfg.pool = CutPool::enabled();
+        }
         let queues: Arc<Vec<ShardQueue>> =
             Arc::new((0..shards).map(|_| ShardQueue::default()).collect());
         let placement = opts.placement;
@@ -1265,6 +1274,10 @@ impl Worker {
                 std::thread::sleep(POLL);
                 continue;
             }
+            // A parked worker's core is loanable: register it with the
+            // kernel pool for the duration of the wait (no-op when the
+            // pool is disabled).
+            self.opts.cfg.pool.enter_idle();
             if self.opts.placement.steal || self.pending.is_some() {
                 // Bounded park: steal opportunities and pending loans need
                 // periodic re-polling even while this queue sleeps.
@@ -1272,6 +1285,7 @@ impl Worker {
             } else {
                 drop(self.queues[self.id].cv.wait(st).expect("queue lock poisoned"));
             }
+            self.opts.cfg.pool.leave_idle();
         }
     }
 
@@ -1448,80 +1462,114 @@ impl Worker {
     }
 
     /// Batch mode: extend `job` with the maximal run of consecutive
-    /// same-graph queries at the queue front (up to `max_batch`) and
-    /// execute them through one [`Engine::execute_read_batch`] call. Any
-    /// other queued item is the barrier that ends the run. Queue order is
-    /// preserved exactly, so batching never changes a response.
+    /// queries at the queue front (up to `max_batch` members in total),
+    /// coalescing **across graph boundaries**: the run splits into
+    /// per-graph groups — a new group opens whenever the graph name
+    /// changes — and each group executes through one
+    /// [`Engine::execute_read_batch`] call, groups in queue order and
+    /// replies in queue order. Any non-query item is the barrier that
+    /// ends the run, as is a query against a graph currently lent to a
+    /// thief (that job must take the normal [`Worker::exec`] path so its
+    /// reclaim barrier fires). Queue order is preserved exactly, so
+    /// batching never changes a response; reads against *different*
+    /// graphs touch disjoint entries and caches, so crossing the graph
+    /// boundary is as invisible as staying inside it. A run spanning two
+    /// or more graphs counts one `cross_batches`.
     fn exec_batched(&mut self, name: String, job: Job) {
         let Job { request, reply, enqueue } = job;
         let Request::Query { query, .. } = request else {
             unreachable!("exec_batched is only called for queries");
         };
-        let mut queries = vec![query];
-        let mut replies = vec![reply];
-        let mut enqueues = vec![enqueue];
+        struct Group {
+            name: String,
+            queries: Vec<crate::request::Query>,
+            replies: Vec<Sender<Response>>,
+            enqueues: Vec<u64>,
+        }
+        let mut groups = vec![Group {
+            name,
+            queries: vec![query],
+            replies: vec![reply],
+            enqueues: vec![enqueue],
+        }];
+        let mut total = 1;
         {
             let mut st = self.queues[self.id].state.lock().expect("queue lock poisoned");
-            while queries.len() < self.opts.max_batch {
-                let same_graph = matches!(
+            while total < self.opts.max_batch {
+                let joinable = matches!(
                     st.items.front(),
                     Some(WorkItem::Exec(Job { request: Request::Query { name: next, .. }, .. }))
-                        if *next == name
+                        if !self.lent.contains_key(next.as_str())
                 );
-                if !same_graph {
+                if !joinable {
                     break;
                 }
                 let Some(WorkItem::Exec(Job {
-                    request: Request::Query { query, .. },
+                    request: Request::Query { name: next, query },
                     reply,
                     enqueue,
                 })) = st.items.pop_front()
                 else {
-                    unreachable!("front matched a same-graph query");
+                    unreachable!("front matched an unlent query");
                 };
-                queries.push(query);
-                replies.push(reply);
-                enqueues.push(enqueue);
+                if groups.last().expect("run is seeded").name != next {
+                    groups.push(Group {
+                        name: next,
+                        queries: Vec::new(),
+                        replies: Vec::new(),
+                        enqueues: Vec::new(),
+                    });
+                }
+                let group = groups.last_mut().expect("run is seeded");
+                group.queries.push(query);
+                group.replies.push(reply);
+                group.enqueues.push(enqueue);
+                total += 1;
             }
         }
-        let batch_len = queries.len() as u64;
-        let start = std::time::Instant::now();
-        let dequeue = self.opts.clock.now();
-        let responses = self.engine.execute_read_batch(&name, queries);
-        let end = self.opts.clock.now();
-        let nanos = start.elapsed().as_nanos() as u64;
-        self.engine.stats_mut().serve_nanos += nanos;
-        if self.observe {
-            self.post_serve_time(&name, batch_len, nanos);
+        if groups.len() > 1 {
+            self.engine.stats_mut().cross_batches += 1;
         }
-        // One span per query so the histogram count stays equal to ops
-        // served: each member's serve share is the batch's clock window
-        // split evenly, and the whole batch's index/store attribution
-        // rides on the first member's span.
-        let delta = self.engine.obs_mut().take_delta();
-        let share = end.saturating_sub(dequeue) / batch_len;
-        let mut flags = if batch_len > 1 { span_flags::BATCHED } else { 0 };
-        if delta.fault_ins > 0 {
-            flags |= span_flags::FAULT_IN;
-        }
-        if delta.spills > 0 {
-            flags |= span_flags::SPILL;
-        }
-        for (i, &enq) in enqueues.iter().enumerate() {
-            self.observe_span(Span {
-                kind: "query".to_string(),
-                target: name.clone(),
-                shard: self.id as u64,
-                enqueue: enq,
-                dequeue,
-                end: dequeue + share,
-                index_nanos: if i == 0 { delta.index_nanos } else { 0 },
-                store_nanos: if i == 0 { delta.store_nanos } else { 0 },
-                flags,
-            });
-        }
-        for (reply, response) in replies.into_iter().zip(responses) {
-            let _ = reply.send(response);
+        for Group { name, queries, replies, enqueues } in groups {
+            let batch_len = queries.len() as u64;
+            let start = std::time::Instant::now();
+            let dequeue = self.opts.clock.now();
+            let responses = self.engine.execute_read_batch(&name, queries);
+            let end = self.opts.clock.now();
+            let nanos = start.elapsed().as_nanos() as u64;
+            self.engine.stats_mut().serve_nanos += nanos;
+            if self.observe {
+                self.post_serve_time(&name, batch_len, nanos);
+            }
+            // One span per query so the histogram count stays equal to ops
+            // served: each member's serve share is its group's clock window
+            // split evenly, and the whole group's index/store attribution
+            // rides on its first member's span.
+            let delta = self.engine.obs_mut().take_delta();
+            let share = end.saturating_sub(dequeue) / batch_len;
+            let mut flags = if batch_len > 1 { span_flags::BATCHED } else { 0 };
+            if delta.fault_ins > 0 {
+                flags |= span_flags::FAULT_IN;
+            }
+            if delta.spills > 0 {
+                flags |= span_flags::SPILL;
+            }
+            for (i, &enq) in enqueues.iter().enumerate() {
+                self.observe_span(Span {
+                    kind: "query".to_string(),
+                    target: name.clone(),
+                    shard: self.id as u64,
+                    enqueue: enq,
+                    dequeue,
+                    end: dequeue + share,
+                    index_nanos: if i == 0 { delta.index_nanos } else { 0 },
+                    store_nanos: if i == 0 { delta.store_nanos } else { 0 },
+                    flags,
+                });
+            }
+            for (reply, response) in replies.into_iter().zip(responses) {
+                let _ = reply.send(response);
+            }
         }
     }
 
@@ -1982,6 +2030,88 @@ mod tests {
     }
 
     #[test]
+    fn batched_worker_coalesces_across_graphs() {
+        // One shard, two graphs, reads strictly alternating: under
+        // per-graph-only batching every run would have length 1; the
+        // cross-graph coalescer must fold the queued burst into runs
+        // spanning both graphs — while answering byte-identically to the
+        // plain engine.
+        let mut requests = vec![
+            Request::Create { name: "a".into(), spec: GraphSpec::Cycle { n: 48 } },
+            Request::Create { name: "b".into(), spec: GraphSpec::Cycle { n: 54 } },
+            // An expensive head occupies the worker so the alternating
+            // burst queues up behind it.
+            Request::Query { name: "a".into(), query: Query::KCut { k: 4 } },
+        ];
+        for i in 0..120u32 {
+            requests.push(Request::Query {
+                // Runs of four per graph, alternating graphs: a graph
+                // switch every fourth read.
+                name: if (i / 4) % 2 == 0 { "a" } else { "b" }.into(),
+                query: Query::StCutWeight { s: i % 48, t: (i + 5) % 48 },
+            });
+        }
+        let mut plain = Engine::new();
+        let expected: Vec<Response> = requests.iter().map(|r| plain.execute(r.clone())).collect();
+
+        let mut e =
+            ShardedEngine::with_options(1, ShardOptions { batch: true, ..ShardOptions::default() });
+        let tickets: Vec<Ticket> = requests.iter().map(|r| e.submit(r.clone())).collect();
+        let got: Vec<Response> = tickets.into_iter().map(|t| t.wait()).collect();
+        assert_eq!(got, expected, "cross-graph batching changed a response");
+
+        let stats = &e.shutdown()[0];
+        assert_eq!(stats.batched_reads, 121, "every read went through the batch path");
+        assert!(
+            stats.cross_batches >= 1,
+            "queued alternating-graph burst must form at least one cross-graph run"
+        );
+    }
+
+    #[test]
+    fn cross_graph_runs_stop_at_mutation_barriers() {
+        // Mutations interleaved in the alternating stream are still
+        // barriers: the stream must answer identically to the plain
+        // engine at 1 and 4 shards, and the mutated graph's epoch must
+        // observe every insert in submission order.
+        let mut requests = vec![
+            Request::Create { name: "a".into(), spec: GraphSpec::Cycle { n: 12 } },
+            Request::Create { name: "b".into(), spec: GraphSpec::Cycle { n: 16 } },
+        ];
+        for round in 0..5u64 {
+            for i in 0..6u32 {
+                requests.push(Request::Query {
+                    name: if i % 2 == 0 { "a" } else { "b" }.into(),
+                    query: Query::Connectivity,
+                });
+            }
+            requests.push(Request::Mutate {
+                name: if round % 2 == 0 { "a" } else { "b" }.into(),
+                op: Mutation::InsertEdge { u: 0, v: 3 + round as u32, w: 1 + round },
+            });
+            requests.push(Request::Query { name: "a".into(), query: Query::ExactMinCut });
+            requests.push(Request::Query { name: "b".into(), query: Query::ExactMinCut });
+        }
+        let mut plain = Engine::new();
+        let expected: Vec<Response> = requests.iter().map(|r| plain.execute(r.clone())).collect();
+        for shards in [1, 4] {
+            let mut e = ShardedEngine::with_options(
+                shards,
+                ShardOptions { batch: true, ..ShardOptions::default() },
+            );
+            let tickets: Vec<Ticket> = requests.iter().map(|r| e.submit(r.clone())).collect();
+            let got: Vec<Response> = tickets.into_iter().map(|t| t.wait()).collect();
+            assert_eq!(got, expected, "diverged at shards={shards}");
+            let mut total = EngineStats::default();
+            for s in e.shutdown() {
+                total.merge(&s);
+            }
+            assert_eq!(total.mutations, plain.stats().mutations);
+            assert_eq!(total.queries, plain.stats().queries);
+        }
+    }
+
+    #[test]
     fn cut_gate_counters_merge_across_shards() {
         // Two graphs, wherever the router places them: each serves one
         // real cut compute and one certified carry (parallel-edge insert
@@ -2132,6 +2262,79 @@ mod tests {
         }
         assert_eq!(total.queries, plain.stats().queries);
         assert_eq!(total.cache_hits, plain.stats().cache_hits);
+        assert_eq!(total.mutations, plain.stats().mutations);
+    }
+
+    #[test]
+    fn migrations_with_kernel_caches_preserve_responses() {
+        // Kernelized shards under a dense migration schedule: graphs move
+        // between workers with their kernel caches *not* travelling (the
+        // kernel is per-engine derived state), so the destination rebuilds
+        // — and every response must still equal an unkernelized,
+        // unsharded engine's, cached flags included.
+        let placement = PlacementOptions {
+            rebalance: true,
+            window: 3,
+            max_moves: 4,
+            ..PlacementOptions::default()
+        };
+        let cfg = EngineConfig { kernel: true, kernel_threshold: 4, ..EngineConfig::default() };
+        let mut sharded = ShardedEngine::with_options(
+            3,
+            ShardOptions { cfg, placement, ..ShardOptions::default() },
+        );
+        let mut plain = Engine::new();
+
+        let mut requests: Vec<Request> = Vec::new();
+        for i in 0..4usize {
+            // Sparse connected graphs: rich stage-1 structure, so the
+            // kernel path genuinely serves s-t reads.
+            requests.push(Request::Create {
+                name: format!("g{i}"),
+                spec: GraphSpec::ConnectedGnm {
+                    n: 18 + i,
+                    m: 22 + i,
+                    w_min: 1,
+                    w_max: 8,
+                    seed: i as u64,
+                },
+            });
+        }
+        for round in 0..30u64 {
+            let (s, t) = ((round % 7) as u32, 17 - (round % 5) as u32);
+            requests.push(Request::Query { name: "g0".into(), query: Query::ExactMinCut });
+            requests.push(Request::Query { name: "g0".into(), query: Query::StCutWeight { s, t } });
+            requests.push(Request::Query {
+                name: "g0".into(),
+                query: Query::ApproxMinCut { seed: round },
+            });
+            if round % 3 == 0 {
+                requests.push(Request::Mutate {
+                    name: "g0".into(),
+                    op: Mutation::InsertEdge { u: 0, v: 2 + (round % 9) as u32, w: 1 + round },
+                });
+            }
+            if round % 7 == 0 {
+                requests.push(Request::Query {
+                    name: format!("g{}", round % 4),
+                    query: Query::StCutWeight { s: 1, t: 16 },
+                });
+            }
+        }
+        for req in requests {
+            assert_eq!(sharded.execute(req.clone()), plain.execute(req));
+        }
+
+        let report = sharded.placement_report();
+        assert!(report.migrations > 0, "window=3 under hot skew must migrate");
+        let per_shard = sharded.shutdown();
+        let mut total = EngineStats::default();
+        for s in &per_shard {
+            total.merge(s);
+        }
+        assert!(total.kernel_cut_serves > 0, "kernel path never served");
+        assert!(total.index.kernel_builds > 0, "kernel never built");
+        assert_eq!(total.queries, plain.stats().queries);
         assert_eq!(total.mutations, plain.stats().mutations);
     }
 

@@ -148,6 +148,13 @@ pub struct WorkloadConfig {
     pub query_seed_pool: u64,
     /// The action mix.
     pub mix: ActionMix,
+    /// When nonzero, graph 0 (`g000`) is created as a *whale*: a sparse
+    /// connected G(n, m) with this many vertices instead of the
+    /// `initial_n`-sized family member — the one-huge-graph shape the
+    /// [`Timeline::whale`] preset pairs with. Zero (the default) leaves
+    /// the population unchanged, and the prologue's random draws are
+    /// identical either way.
+    pub whale_n: usize,
 }
 
 impl Default for WorkloadConfig {
@@ -160,6 +167,7 @@ impl Default for WorkloadConfig {
             zipf_exponent: 1.1,
             query_seed_pool: 4,
             mix: ActionMix::default(),
+            whale_n: 0,
         }
     }
 }
@@ -600,6 +608,56 @@ impl Timeline {
         }
     }
 
+    /// The whale preset: the kernel showcase. Pair it with
+    /// [`WorkloadConfig::whale_n`] so `g000` is one huge sparse graph;
+    /// the timeline then runs a short warm-up ramp, a long cut-heavy
+    /// phase pinned to the whale (Zipf exponent forced to 1.6, so rank 0
+    /// — the whale — absorbs most traffic; the mix forces s-t and global
+    /// cut reads with a trickle of inserts that exercise kernel patching
+    /// and rarer deletes that force rebuilds), and a cool-down at the
+    /// configured mix. A sparse whale is exactly the shape the
+    /// Padberg–Rinaldi rules eat: most vertices are degree-1/-2 and the
+    /// kernel keeps `kernel_vertex_ratio` well under one half.
+    pub fn whale(ops: usize, rate: f64, mix: ActionMix, zipf_exponent: f64) -> Timeline {
+        let ramp = ops / 8;
+        let hunt = ops * 3 / 4;
+        let cool = ops - ramp - hunt;
+        // Cut-read-heavy and mutation-light: inserts keep the kernel's
+        // patch path hot without drowning it, deletes (and no contracts)
+        // stay rare so cached kernels actually get reused, and the read
+        // mass sits on the queries the kernel accelerates.
+        let hunt_mix = ActionMix {
+            insert_edge: 8.0,
+            delete_edge: 3.0,
+            contract: 0.0,
+            approx_min_cut: 6.0,
+            exact_min_cut: 2.0,
+            singleton_cut: 4.0,
+            kcut: 0.0,
+            connectivity: 15.0,
+            st_cut: 62.0,
+        };
+        let base = Phase { mix, zipf_exponent, ..Phase::named("", 0) };
+        Timeline {
+            phases: vec![
+                Phase {
+                    arrival: ArrivalProcess::Steady { rate },
+                    ..Phase { name: "ramp".into(), ops: ramp, ..base.clone() }
+                },
+                Phase {
+                    arrival: ArrivalProcess::Poisson { rate: 2.0 * rate },
+                    mix: hunt_mix,
+                    zipf_exponent: 1.6,
+                    ..Phase { name: "hunt".into(), ops: hunt, ..base.clone() }
+                },
+                Phase {
+                    arrival: ArrivalProcess::Steady { rate },
+                    ..Phase { name: "cool".into(), ops: cool, ..base }
+                },
+            ],
+        }
+    }
+
     /// Total operations across all phases.
     pub fn total_ops(&self) -> usize {
         self.phases.iter().map(|p| p.ops).sum()
@@ -743,7 +801,14 @@ impl Workload {
         let mut prologue = Vec::with_capacity(cfg.graphs);
         for i in 0..cfg.graphs {
             let name = format!("g{i:03}");
-            let spec = spec_for(i, cfg.initial_n, rng.gen());
+            // Each graph consumes exactly one seed draw, whale or not, so
+            // flipping `whale_n` never reshuffles the rest of the fleet.
+            let spec = if i == 0 && cfg.whale_n > 0 {
+                let n = cfg.whale_n;
+                GraphSpec::ConnectedGnm { n, m: n + n / 10, w_min: 1, w_max: 12, seed: rng.gen() }
+            } else {
+                spec_for(i, cfg.initial_n, rng.gen())
+            };
             let (n, edges) = spec.materialize().expect("workload specs are valid by construction");
             let mut mirror = GraphMirror { name: name.clone(), n, pairs: BTreeMap::new(), m: 0 };
             for e in &edges {
@@ -1310,6 +1375,42 @@ mod tests {
         let b = Workload::generate_timeline(&cfg, &small);
         assert_eq!(a, b);
         assert_eq!(a.operations.len(), 600);
+    }
+
+    #[test]
+    fn whale_preset_shape_and_whale_graph() {
+        let timeline = Timeline::whale(2_000, 20_000.0, ActionMix::default(), 1.1);
+        assert_eq!(timeline.total_ops(), 2_000);
+        let names: Vec<&str> = timeline.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["ramp", "hunt", "cool"]);
+        let hunt = &timeline.phases[1];
+        assert!(hunt.ops >= timeline.total_ops() / 2, "the hunt dominates the run");
+        assert!(
+            hunt.mix.st_cut > hunt.mix.connectivity,
+            "the hunt is s-t-cut-heavy regardless of the configured mix"
+        );
+        assert_eq!(hunt.mix.contract, 0.0, "contracts would churn the kernel cache away");
+        assert!(hunt.zipf_exponent > timeline.phases[0].zipf_exponent, "traffic pins the whale");
+        // Ramp/cool keep the caller's mix.
+        assert_eq!(timeline.phases[0].mix, ActionMix::default());
+        assert_eq!(timeline.phases[2].mix, ActionMix::default());
+
+        // whale_n swaps g000 for the huge sparse graph — and only g000:
+        // the other specs (one seed draw each) are byte-identical.
+        let cfg = WorkloadConfig { ops: 0, graphs: 4, seed: 11, ..WorkloadConfig::default() };
+        let whale_cfg = WorkloadConfig { whale_n: 300, ..cfg.clone() };
+        let small = Timeline::whale(400, 20_000.0, ActionMix::default(), 1.1);
+        let plain = Workload::generate_timeline(&cfg, &small);
+        let whaled = Workload::generate_timeline(&whale_cfg, &small);
+        assert!(matches!(
+            &whaled.prologue[0],
+            Request::Create { spec: GraphSpec::ConnectedGnm { n: 300, m: 330, .. }, .. }
+        ));
+        assert_ne!(plain.prologue[0], whaled.prologue[0]);
+        assert_eq!(plain.prologue[1..], whaled.prologue[1..]);
+        // Deterministic generation, like every preset.
+        let again = Workload::generate_timeline(&whale_cfg, &small);
+        assert_eq!(whaled, again);
     }
 
     #[test]

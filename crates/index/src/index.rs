@@ -3,6 +3,7 @@
 //! and shadow oracle), and running degree/weight summaries.
 
 use crate::dynconn::DynConn;
+use crate::kernel::{Kernel, KernelRead, MAX_PENDING_PATCH};
 use cut_graph::{Dsu, Edge, Graph};
 
 /// Counters for how much work the index layer absorbed. Owned by whoever
@@ -29,6 +30,25 @@ pub struct IndexStats {
     pub dsu_resizes: u64,
     /// Entries evicted from LRU query caches.
     pub lru_evictions: u64,
+    /// Kernels built from scratch (two-stage reduction over the full
+    /// edge list).
+    pub kernel_builds: u64,
+    /// Kernel reads served by an already-stamped kernel untouched.
+    pub kernel_reuses: u64,
+    /// Kernel reads served by folding pending live-endpoint inserts into
+    /// the cached kernel instead of rebuilding.
+    pub kernel_patches: u64,
+    /// Degree-one eliminations applied (both stages, builds + patches).
+    pub kernel_rules_deg1: u64,
+    /// Degree-two smoothings applied (both stages, builds + patches).
+    pub kernel_rules_deg2: u64,
+    /// Heavy-edge contractions applied.
+    pub kernel_rules_heavy: u64,
+    /// Vertices fed into kernel builds (patches excluded: the ratio
+    /// measures at-build shrink).
+    pub kernel_in_vertices: u64,
+    /// Live stage-2 vertices surviving kernel builds.
+    pub kernel_out_vertices: u64,
 }
 
 impl IndexStats {
@@ -42,6 +62,14 @@ impl IndexStats {
             dsu_rebuilds,
             dsu_resizes,
             lru_evictions,
+            kernel_builds,
+            kernel_reuses,
+            kernel_patches,
+            kernel_rules_deg1,
+            kernel_rules_deg2,
+            kernel_rules_heavy,
+            kernel_in_vertices,
+            kernel_out_vertices,
         } = *other;
         self.csr_builds += csr_builds;
         self.csr_reuses += csr_reuses;
@@ -49,6 +77,30 @@ impl IndexStats {
         self.dsu_rebuilds += dsu_rebuilds;
         self.dsu_resizes += dsu_resizes;
         self.lru_evictions += lru_evictions;
+        self.kernel_builds += kernel_builds;
+        self.kernel_reuses += kernel_reuses;
+        self.kernel_patches += kernel_patches;
+        self.kernel_rules_deg1 += kernel_rules_deg1;
+        self.kernel_rules_deg2 += kernel_rules_deg2;
+        self.kernel_rules_heavy += kernel_rules_heavy;
+        self.kernel_in_vertices += kernel_in_vertices;
+        self.kernel_out_vertices += kernel_out_vertices;
+    }
+
+    /// Total reduction-rule applications across every build and patch.
+    pub fn kernel_rules_applied(&self) -> u64 {
+        self.kernel_rules_deg1 + self.kernel_rules_deg2 + self.kernel_rules_heavy
+    }
+
+    /// Surviving-vertex fraction over all kernel builds, in `[0, 1]`
+    /// (0 when no kernel was ever built). The whale CI gate requires
+    /// this `<= 0.5`: the kernel must shed at least half the vertices.
+    pub fn kernel_vertex_ratio(&self) -> f64 {
+        if self.kernel_in_vertices == 0 {
+            0.0
+        } else {
+            self.kernel_out_vertices as f64 / self.kernel_in_vertices as f64
+        }
     }
 
     /// Fraction of snapshot requests that reused a stamped build, in
@@ -142,6 +194,13 @@ pub struct GraphIndex {
     degrees: Vec<u64>,
     total_weight: u64,
     m: usize,
+    /// Cached two-stage reduction ([`Kernel`]), stamped with the
+    /// generation its last build/patch brought it up to.
+    kernel: Option<Kernel>,
+    kernel_generation: u64,
+    /// Inserts noted since the stamp whose endpoints may still allow a
+    /// patch; drained by the next [`kernel`](GraphIndex::kernel) read.
+    kernel_pending: Vec<(u32, u32, u64)>,
 }
 
 impl GraphIndex {
@@ -159,6 +218,9 @@ impl GraphIndex {
             degrees: Vec::new(),
             total_weight: 0,
             m: 0,
+            kernel: None,
+            kernel_generation: 0,
+            kernel_pending: Vec::new(),
         };
         index.refresh(n, edges);
         index
@@ -194,6 +256,16 @@ impl GraphIndex {
     /// An edge `(u, v, w)` was appended to the owner's edge list.
     pub fn note_insert(&mut self, u: u32, v: u32, w: u64) {
         self.generation += 1;
+        // The cached kernel may be patchable across inserts (degrees only
+        // grow, so the stage-1 fixpoint survives) — defer the edge and let
+        // the next kernel read decide. Past the patch budget, a rebuild is
+        // cheaper than replaying the backlog.
+        if self.kernel.is_some() {
+            self.kernel_pending.push((u, v, w));
+            if self.kernel_pending.len() > MAX_PENDING_PATCH {
+                self.drop_kernel();
+            }
+        }
         // Connectivity only grows under insertion, so the DSU stays exact
         // in O(α) — unless it is already dirty, in which case the pending
         // rebuild covers this edge too.
@@ -214,6 +286,10 @@ impl GraphIndex {
     /// An edge `(u, v, w)` was removed from the owner's edge list.
     pub fn note_delete(&mut self, u: u32, v: u32, w: u64) {
         self.generation += 1;
+        // A delete can resurrect reduction preconditions retroactively
+        // (e.g. un-justify a heavy contraction); no patch rule is sound,
+        // so the kernel invalidates outright.
+        self.drop_kernel();
         // A deletion can split a component; the DSU cannot un-union, so it
         // goes dirty and rebuilds lazily on the next legacy read. The
         // dynamic forest absorbs the delete exactly (replacement-edge
@@ -253,6 +329,54 @@ impl GraphIndex {
         // A wholesale rebuild (contraction) can change the partition
         // arbitrarily; claim the current generation.
         self.partition_generation = self.generation;
+        // ... and relabel vertices, which no kernel patch can follow.
+        self.drop_kernel();
+    }
+
+    fn drop_kernel(&mut self) {
+        self.kernel = None;
+        self.kernel_pending.clear();
+    }
+
+    /// The two-stage reduction kernel of `(n, edges)` at the current
+    /// generation. Serves the stamped kernel when no mutation intervened,
+    /// patches it across pending live-endpoint inserts, and otherwise
+    /// runs a full build (seeding the heavy-edge bound from the running
+    /// min weighted degree — an achieved singleton cut). Returns the
+    /// kernel and the [`KernelRead`] attribution the caller folds into
+    /// [`IndexStats`].
+    pub fn kernel(&mut self, n: usize, edges: &[Edge]) -> (&Kernel, KernelRead) {
+        // `if let Some(k)` can't return the borrow here (it would pin
+        // `self.kernel` across the rebuild below), hence check-then-expect.
+        #[allow(clippy::unnecessary_unwrap)]
+        if self.kernel.is_some() && self.kernel_generation == self.generation {
+            debug_assert!(self.kernel_pending.is_empty(), "stamped kernel with backlog");
+            return (self.kernel.as_ref().expect("checked above"), KernelRead::Reused);
+        }
+        if let Some(k) = self.kernel.as_mut() {
+            let pending = std::mem::take(&mut self.kernel_pending);
+            let min_wdeg = self.degrees.iter().copied().min().unwrap_or(u64::MAX);
+            if let Some(delta) = k.patch(&pending, min_wdeg) {
+                self.kernel_generation = self.generation;
+                return (
+                    self.kernel.as_ref().expect("patched in place"),
+                    KernelRead::Patched(delta),
+                );
+            }
+        }
+        self.drop_kernel();
+        let min_wdeg = self.degrees.iter().copied().min().unwrap_or(u64::MAX);
+        let (k, delta) = Kernel::build(n, edges, min_wdeg);
+        self.kernel = Some(k);
+        self.kernel_generation = self.generation;
+        (self.kernel.as_ref().expect("just built"), KernelRead::Built(delta))
+    }
+
+    /// True when the stamped kernel matches the current generation (the
+    /// next [`kernel`](GraphIndex::kernel) call will neither patch nor
+    /// build).
+    pub fn kernel_is_fresh(&self) -> bool {
+        self.kernel.is_some() && self.kernel_generation == self.generation
     }
 
     /// The CSR view of `(n, edges)` at the current generation, building it
@@ -512,6 +636,14 @@ mod tests {
             dsu_rebuilds: 2,
             dsu_resizes: 4,
             lru_evictions: 7,
+            kernel_builds: 1,
+            kernel_reuses: 2,
+            kernel_patches: 3,
+            kernel_rules_deg1: 4,
+            kernel_rules_deg2: 5,
+            kernel_rules_heavy: 6,
+            kernel_in_vertices: 10,
+            kernel_out_vertices: 4,
         };
         a.merge(&b);
         assert_eq!(a.csr_builds, 2);
@@ -520,8 +652,65 @@ mod tests {
         assert_eq!(a.dsu_rebuilds, 2);
         assert_eq!(a.dsu_resizes, 4);
         assert_eq!(a.lru_evictions, 7);
+        assert_eq!(a.kernel_builds, 1);
+        assert_eq!(a.kernel_reuses, 2);
+        assert_eq!(a.kernel_patches, 3);
+        assert_eq!(a.kernel_rules_applied(), 4 + 5 + 6);
+        assert!((a.kernel_vertex_ratio() - 0.4).abs() < 1e-12);
         assert!((a.reuse_rate() - 0.75).abs() < 1e-12);
         assert_eq!(IndexStats::default().reuse_rate(), 0.0);
+        assert_eq!(IndexStats::default().kernel_vertex_ratio(), 0.0);
+    }
+
+    #[test]
+    fn kernel_cache_reuses_patches_and_invalidates() {
+        // Two bridged K4 cliques: every vertex has degree >= 3, so all
+        // eight survive stage 1 and stay patchable.
+        let mut edges = Vec::new();
+        for c in [0u32, 4] {
+            for i in c..c + 4 {
+                for j in i + 1..c + 4 {
+                    edges.push(Edge::new(i, j, 4));
+                }
+            }
+        }
+        edges.push(Edge::new(3, 4, 1));
+        let mut idx = GraphIndex::new(8, &edges);
+        assert!(!idx.kernel_is_fresh());
+        let (_, read) = idx.kernel(8, &edges);
+        assert!(matches!(read, KernelRead::Built(_)));
+        assert!(idx.kernel_is_fresh());
+        assert!(matches!(idx.kernel(8, &edges).1, KernelRead::Reused));
+
+        // A live-endpoint insert patches in place.
+        edges.push(Edge::new(0, 7, 2));
+        idx.note_insert(0, 7, 2);
+        assert!(!idx.kernel_is_fresh());
+        assert!(matches!(idx.kernel(8, &edges).1, KernelRead::Patched(_)));
+        assert!(idx.kernel_is_fresh());
+
+        // A delete invalidates outright: next read is a full build.
+        let e = edges.pop().unwrap();
+        idx.note_delete(e.u, e.v, e.w);
+        assert!(matches!(idx.kernel(8, &edges).1, KernelRead::Built(_)));
+
+        // A wholesale rebuild (contraction shape) also invalidates.
+        idx.rebuild_for(8, &edges);
+        assert!(!idx.kernel_is_fresh());
+        assert!(matches!(idx.kernel(8, &edges).1, KernelRead::Built(_)));
+    }
+
+    #[test]
+    fn kernel_insert_touching_eliminated_vertex_forces_rebuild() {
+        // Pendant 3 hangs off the triangle: stage 1 eliminates it, so an
+        // insert at 3 cannot patch.
+        let mut edges =
+            vec![Edge::new(0, 1, 2), Edge::new(1, 2, 2), Edge::new(0, 2, 2), Edge::new(0, 3, 1)];
+        let mut idx = GraphIndex::new(4, &edges);
+        assert!(matches!(idx.kernel(4, &edges).1, KernelRead::Built(_)));
+        edges.push(Edge::new(3, 1, 5));
+        idx.note_insert(3, 1, 5);
+        assert!(matches!(idx.kernel(4, &edges).1, KernelRead::Built(_)));
     }
 
     #[test]

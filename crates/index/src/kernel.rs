@@ -1,0 +1,863 @@
+//! Exact min-cut kernelization: Padberg–Rinaldi-style reductions that
+//! shrink a graph *before* any expensive cut runs, without ever changing
+//! an answer the engine serves from it.
+//!
+//! The kernel is built in two stages, because the rules preserve
+//! different invariants:
+//!
+//! - **Stage 1 — s-t-exact reductions.** Parallel edges collapse into
+//!   weighted simple edges, degree-one vertices are eliminated into
+//!   their neighbor (recording the pendant edge as a candidate cut and
+//!   the `(parent, weight)` chain link), and degree-two vertices are
+//!   smoothed: the series pair `(v,a,w1)/(v,b,w2)` becomes `w(a,b) +=
+//!   min(w1, w2)` with the candidate cut `w1 + w2`. Every one of these
+//!   steps preserves *all* pairwise min-cut weights among surviving
+//!   vertices exactly, so the stage-1 kernel can answer s-t cut weights
+//!   for live vertices (and, through the pendant chains, for eliminated
+//!   ones — see [`Kernel::st_cut_weight`]).
+//! - **Stage 2 — global-only reductions.** On a copy of the stage-1
+//!   kernel, heavy-edge contraction fires against the running upper
+//!   bound `λ̄ = min(resolved candidate, min weighted degree)`: an edge
+//!   with `w(u, v) > λ̄` cannot cross any minimum cut (such a cut would
+//!   cost more than a cut we have already *witnessed*), so `u` and `v`
+//!   merge. Contractions destroy pairwise exactness, so stage 2 serves
+//!   nothing per-pair; it exists for the global invariant
+//!   `λ(G) = min(resolved, λ(K₂))` (pinned by the differential tests)
+//!   and for the vertex-ratio counters the CI gate reads. The bound is
+//!   seeded from the [`GraphIndex`](crate::GraphIndex) summaries' running
+//!   min weighted degree — every component of `λ̄` is an *achieved* cut
+//!   weight, never a mere estimate, which is what makes the rule safe.
+//!
+//! Connected-component structure is captured at build time (and patched
+//! across live-endpoint inserts), so a disconnected graph's zero cut —
+//! weight 0, side = the component of vertex 0, exactly what the engine's
+//! unkernelized path reports — is served without touching a CSR.
+//!
+//! **Incremental maintenance.** The kernel is generation-stamped and
+//! cached in [`GraphIndex`](crate::GraphIndex). Edge inserts whose
+//! endpoints are both stage-1 survivors *patch* the kernel (degrees only
+//! grow under insertion, so the stage-1 fixpoint stays a fixpoint; stage
+//! 2 re-derives, because a heavier graph can invalidate old heavy
+//! contractions). Anything else — deletes, contractions, inserts that
+//! touch an eliminated vertex — invalidates, and the next read rebuilds.
+
+use cut_graph::{maxflow, Dsu, Edge, Graph};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How many pending live-endpoint inserts a cached kernel absorbs before
+/// a patch stops being cheaper than a rebuild.
+pub(crate) const MAX_PENDING_PATCH: usize = 64;
+
+/// Rule applications (and vertex in/out totals) one build or patch
+/// performed — the delta the caller folds into its counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelDelta {
+    /// Degree-one eliminations applied.
+    pub deg1: u64,
+    /// Degree-two smoothings applied.
+    pub deg2: u64,
+    /// Heavy-edge contractions applied.
+    pub heavy: u64,
+    /// Vertices fed into this build (0 for patches: the vertex ratio
+    /// measures at-build shrink, and a patch reuses the build's input).
+    pub in_vertices: u64,
+    /// Live stage-2 vertices out of this build (0 for patches).
+    pub out_vertices: u64,
+}
+
+/// How a [`GraphIndex::kernel`](crate::GraphIndex::kernel) read was
+/// served — the attribution the kernel counters are built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelRead {
+    /// The stamped kernel matched the current generation.
+    Reused,
+    /// Pending live-endpoint inserts were folded into the cached kernel
+    /// (stage-1 edge updates plus a stage-2 re-derivation) — no full
+    /// rebuild.
+    Patched(KernelDelta),
+    /// A full two-stage build ran.
+    Built(KernelDelta),
+}
+
+/// Stage-1 reduction state of one original vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Reduced {
+    /// Survives into the stage-1 kernel.
+    Live,
+    /// Eliminated as degree-one: hangs off `parent` by an edge of weight
+    /// `w`. Chains of these links form the pendant forest
+    /// [`Kernel::st_cut_weight`] resolves through.
+    Deg1 { parent: u32, w: u64 },
+    /// Eliminated by degree-two smoothing: the vertex dissolved into an
+    /// edge between its neighbors, so no single chain link can represent
+    /// it — s-t reads through it fall back to the full graph.
+    Deg2,
+}
+
+/// A generation-stamped reduction of one graph. Built (and cached) by
+/// [`GraphIndex::kernel`](crate::GraphIndex::kernel).
+pub struct Kernel {
+    /// Vertex count of the graph this kernel reduces.
+    n_in: usize,
+    /// Connected components of the *original* graph (kept current across
+    /// patches), and the size of vertex 0's component — together exactly
+    /// the disconnected-cut answer the engine's unkernelized path gives.
+    components: usize,
+    component0_size: usize,
+    /// Cheapest cut witnessed by a *stage-1* elimination (pendant and
+    /// series candidates): an *achieved* global cut weight, not an
+    /// estimate. Stays valid across patches because `patch` rejects
+    /// inserts touching eliminated vertices, so no insert can cross an
+    /// eliminated cluster's boundary and raise a witnessed cut.
+    resolved1: Option<u64>,
+    /// Cheapest cut witnessed by a *stage-2* elimination. Kept separate
+    /// from `resolved1` and reset on every `run_stage2`: a patched
+    /// insert between stage-1 survivors *can* cross an old stage-2
+    /// cluster boundary, so stage-2 witnesses from before the patch may
+    /// under-report the new graph's cut. `λ(G) = min(resolved,
+    /// λ(stage-2))`.
+    resolved2: Option<u64>,
+    /// Min weighted degree of the full graph at build (or last patch)
+    /// time — the index-summary seed for `λ̄` (itself an achieved
+    /// singleton cut).
+    full_min_wdeg: u64,
+    /// Rule applications over this kernel's lifetime (build + patches).
+    deg1: u64,
+    deg2: u64,
+    heavy: u64,
+    /// Stage-1 per-vertex state.
+    state: Vec<Reduced>,
+    /// Stage-1 adjacency (live vertices only; eliminated slots empty).
+    adj1: Vec<BTreeMap<u32, u64>>,
+    /// Stage-1 kernel as a CSR for max-flow, plus original-id -> kernel-id.
+    st_graph: Graph,
+    st_map: Vec<u32>,
+    /// Stage-2 liveness (after heavy contraction) and live count.
+    alive2: Vec<bool>,
+    n_out: usize,
+    /// Stage-2 adjacency, for the contracted-graph view tests pin.
+    adj2: Vec<BTreeMap<u32, u64>>,
+    /// Component tracker over original edges, patched by inserts.
+    comp_dsu: Dsu,
+}
+
+impl Kernel {
+    /// Run the two-stage reduction. `full_min_wdeg` is the running min
+    /// weighted degree from the index summaries (an achieved singleton
+    /// cut of the full graph; `u64::MAX` when unknown). Returns the
+    /// kernel and the build's rule/vertex delta.
+    pub fn build(n: usize, edges: &[Edge], full_min_wdeg: u64) -> (Kernel, KernelDelta) {
+        let mut adj1: Vec<BTreeMap<u32, u64>> = vec![BTreeMap::new(); n];
+        let mut comp_dsu = Dsu::new(n);
+        for e in edges {
+            if e.u == e.v {
+                continue;
+            }
+            *adj1[e.u as usize].entry(e.v).or_insert(0) += e.w;
+            *adj1[e.v as usize].entry(e.u).or_insert(0) += e.w;
+            comp_dsu.union(e.u, e.v);
+        }
+        let mut k = Kernel {
+            n_in: n,
+            components: comp_dsu.set_count(),
+            component0_size: 0,
+            resolved1: None,
+            resolved2: None,
+            full_min_wdeg,
+            deg1: 0,
+            deg2: 0,
+            heavy: 0,
+            state: vec![Reduced::Live; n],
+            adj1,
+            st_graph: Graph::new_unchecked(0, Vec::new()),
+            st_map: vec![u32::MAX; n],
+            alive2: Vec::new(),
+            n_out: 0,
+            adj2: Vec::new(),
+            comp_dsu,
+        };
+        k.refresh_component0();
+
+        // Stage 1: deg-1 / deg-2 fixpoint.
+        k.stage1_fixpoint();
+        k.rebuild_st_graph();
+
+        // Stage 2: heavy contraction interleaved with more deg passes.
+        k.run_stage2();
+
+        let delta = KernelDelta {
+            deg1: k.deg1,
+            deg2: k.deg2,
+            heavy: k.heavy,
+            in_vertices: n as u64,
+            out_vertices: k.n_out as u64,
+        };
+        (k, delta)
+    }
+
+    /// Fold pending inserts into the cached kernel. Sound only when every
+    /// endpoint is a stage-1 survivor (eliminated clusters and their
+    /// candidate cuts stay untouched, and — since degrees only grow under
+    /// insertion — the stage-1 fixpoint needs no re-run); stage 2 always
+    /// re-derives, because raising cut weights can invalidate old heavy
+    /// contractions. `full_min_wdeg` is the *current* min weighted
+    /// degree from the index summaries — the build-time seed is stale
+    /// (too low) once inserts land, and a too-low λ̄ term could contract
+    /// an edge the new graph's min cut crosses. Returns `None` (caller
+    /// must rebuild) otherwise.
+    pub fn patch(
+        &mut self,
+        inserts: &[(u32, u32, u64)],
+        full_min_wdeg: u64,
+    ) -> Option<KernelDelta> {
+        for &(u, v, _) in inserts {
+            if u == v
+                || u as usize >= self.n_in
+                || v as usize >= self.n_in
+                || self.state[u as usize] != Reduced::Live
+                || self.state[v as usize] != Reduced::Live
+            {
+                return None;
+            }
+        }
+        let (deg1_before, deg2_before, heavy_before) = (self.deg1, self.deg2, self.heavy);
+        for &(u, v, w) in inserts {
+            *self.adj1[u as usize].entry(v).or_insert(0) += w;
+            *self.adj1[v as usize].entry(u).or_insert(0) += w;
+            self.comp_dsu.union(u, v);
+        }
+        self.components = self.comp_dsu.set_count();
+        self.full_min_wdeg = full_min_wdeg;
+        self.refresh_component0();
+        self.rebuild_st_graph();
+        self.run_stage2();
+        Some(KernelDelta {
+            deg1: self.deg1 - deg1_before,
+            deg2: self.deg2 - deg2_before,
+            heavy: self.heavy - heavy_before,
+            in_vertices: 0,
+            out_vertices: 0,
+        })
+    }
+
+    /// Connected components of the original graph.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the component containing vertex 0 — the `side_size` the
+    /// engine's disconnected-cut path reports.
+    pub fn component0_size(&self) -> usize {
+        self.component0_size
+    }
+
+    /// Vertices fed in / live stage-2 vertices out.
+    pub fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    /// Live stage-2 vertex count (pendants, series vertices, and heavy
+    /// clusters all collapsed) — the size a global cut would now run on.
+    pub fn n_out(&self) -> usize {
+        self.n_out
+    }
+
+    /// Cheapest cut witnessed by an elimination, if any rule fired
+    /// (stage-1 witnesses persist; stage-2 witnesses are from the most
+    /// recent re-derivation only, so every term is a cut of the
+    /// *current* graph).
+    pub fn resolved(&self) -> Option<u64> {
+        match (self.resolved1, self.resolved2) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// `(deg1, deg2, heavy)` rule applications over this kernel's life.
+    pub fn rules(&self) -> (u64, u64, u64) {
+        (self.deg1, self.deg2, self.heavy)
+    }
+
+    /// The stage-1 kernel (s-t-exact) as a graph, with the original-id
+    /// to kernel-id map alongside.
+    pub fn st_kernel(&self) -> (&Graph, &[u32]) {
+        (&self.st_graph, &self.st_map)
+    }
+
+    /// The stage-2 kernel as a graph over its live vertices (relabelled
+    /// ascending). Global min-cut *value* satisfies
+    /// `λ(G) = min(resolved, λ(this))` — the invariant the differential
+    /// suite pins; per-pair cuts are **not** preserved here.
+    pub fn contracted_kernel(&self) -> Graph {
+        let live: Vec<u32> = (0..self.n_in as u32).filter(|&v| self.alive2[v as usize]).collect();
+        let mut id = vec![u32::MAX; self.n_in];
+        for (i, &v) in live.iter().enumerate() {
+            id[v as usize] = i as u32;
+        }
+        let mut edges = Vec::new();
+        for &u in &live {
+            for (&v, &w) in &self.adj2[u as usize] {
+                if u < v {
+                    edges.push(Edge::new(id[u as usize], id[v as usize], w));
+                }
+            }
+        }
+        Graph::new_unchecked(live.len(), edges)
+    }
+
+    /// Exact s-t min-cut weight from the stage-1 kernel, or `None` when
+    /// an endpoint cannot be resolved (it was smoothed away by a deg-2
+    /// rule, or hangs below one) and the caller must fall back to the
+    /// full graph.
+    ///
+    /// Both endpoints resolve along their pendant chains to live hosts.
+    /// With distinct hosts the answer is `min(b_s, b_t, λ_K(host_s,
+    /// host_t))` where `b_x` is the lightest chain edge from `x` to its
+    /// host (severing `x`'s subtree there is a real s-t cut, and any cut
+    /// separating `x` from its host must pay at least that edge); with a
+    /// shared host it is the lightest edge on the unique pendant-tree
+    /// path between `s` and `t`.
+    pub fn st_cut_weight(&self, s: u32, t: u32) -> Option<u64> {
+        if s == t || s as usize >= self.n_in || t as usize >= self.n_in {
+            return None;
+        }
+        let (host_s, bound_s, chain_s) = self.resolve_chain(s)?;
+        let (host_t, bound_t, chain_t) = self.resolve_chain(t)?;
+        if host_s == host_t {
+            // Shared host: lightest edge on the pendant-tree path. The
+            // first vertex of t's chain that also lies on s's chain is
+            // the paths' meeting point.
+            let on_s: BTreeMap<u32, u64> = chain_s.into_iter().collect();
+            for (v, min_to_v) in chain_t {
+                if let Some(&min_s) = on_s.get(&v) {
+                    return Some(min_s.min(min_to_v));
+                }
+            }
+            unreachable!("chains to a shared host must meet");
+        }
+        let ks = self.st_map[host_s as usize];
+        let kt = self.st_map[host_t as usize];
+        debug_assert!(ks != u32::MAX && kt != u32::MAX, "live hosts must be mapped");
+        let between = maxflow::min_st_cut(&self.st_graph, ks, kt);
+        Some(bound_s.min(bound_t).min(between))
+    }
+
+    /// Walk `v`'s pendant chain to its live host. Returns the host, the
+    /// lightest chain edge, and the chain as `(vertex, lightest edge
+    /// from v so far)` pairs ending at the host — `v` itself first with
+    /// `u64::MAX` (no edges traversed yet).
+    #[allow(clippy::type_complexity)]
+    fn resolve_chain(&self, v: u32) -> Option<(u32, u64, Vec<(u32, u64)>)> {
+        let mut cur = v;
+        let mut bound = u64::MAX;
+        let mut chain = vec![(v, u64::MAX)];
+        loop {
+            match self.state[cur as usize] {
+                Reduced::Live => return Some((cur, bound, chain)),
+                Reduced::Deg1 { parent, w } => {
+                    bound = bound.min(w);
+                    cur = parent;
+                    chain.push((cur, bound));
+                }
+                Reduced::Deg2 => return None,
+            }
+        }
+    }
+
+    /// Recount vertex 0's component from the tracker.
+    fn refresh_component0(&mut self) {
+        if self.n_in == 0 {
+            self.component0_size = 0;
+            return;
+        }
+        let labels = self.comp_dsu.labels();
+        self.component0_size = labels.iter().filter(|&&l| l == labels[0]).count();
+    }
+
+    /// Stage-1 deg-1/deg-2 fixpoint over `adj1`, recording chain links,
+    /// candidates, and rule counts.
+    ///
+    /// Degree-one eliminations take strict priority over degree-two
+    /// smoothing (two worklists, each drained ascending — still fully
+    /// deterministic): a pendant *chain* then cascades into `Deg1` links
+    /// that [`Kernel::st_cut_weight`] can resolve through, instead of a
+    /// smoothing pass dissolving its interior vertices into unservable
+    /// `Deg2` states. Either order would be exact; this one keeps more
+    /// vertices answerable.
+    fn stage1_fixpoint(&mut self) {
+        let mut work1 = BTreeSet::new();
+        let mut work2 = BTreeSet::new();
+        for v in 0..self.n_in as u32 {
+            match self.adj1[v as usize].len() {
+                1 => work1.insert(v),
+                2 => work2.insert(v),
+                _ => false,
+            };
+        }
+        while let Some(v) = work1.pop_first().or_else(|| work2.pop_first()) {
+            if self.state[v as usize] != Reduced::Live {
+                continue;
+            }
+            // Dispatch on the *current* degree: entries go stale when a
+            // neighbor's elimination changes v's degree after queueing.
+            match self.adj1[v as usize].len() {
+                1 => {
+                    let (&u, &w) = self.adj1[v as usize].iter().next().expect("degree 1");
+                    self.state[v as usize] = Reduced::Deg1 { parent: u, w };
+                    self.adj1[v as usize].clear();
+                    self.adj1[u as usize].remove(&v);
+                    self.resolved1 = Some(self.resolved1.map_or(w, |r| r.min(w)));
+                    self.deg1 += 1;
+                    match self.adj1[u as usize].len() {
+                        1 => work1.insert(u),
+                        2 => work2.insert(u),
+                        _ => false,
+                    };
+                }
+                2 => {
+                    let mut it = self.adj1[v as usize].iter();
+                    let (&a, &w1) = it.next().expect("degree 2");
+                    let (&b, &w2) = it.next().expect("degree 2");
+                    self.state[v as usize] = Reduced::Deg2;
+                    self.adj1[v as usize].clear();
+                    self.adj1[a as usize].remove(&v);
+                    self.adj1[b as usize].remove(&v);
+                    let series = w1.min(w2);
+                    *self.adj1[a as usize].entry(b).or_insert(0) += series;
+                    *self.adj1[b as usize].entry(a).or_insert(0) += series;
+                    let cand = w1 + w2;
+                    self.resolved1 = Some(self.resolved1.map_or(cand, |r| r.min(cand)));
+                    self.deg2 += 1;
+                    for x in [a, b] {
+                        match self.adj1[x as usize].len() {
+                            1 => work1.insert(x),
+                            2 => work2.insert(x),
+                            _ => false,
+                        };
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Rebuild the stage-1 CSR and id map from `adj1`/`state`.
+    fn rebuild_st_graph(&mut self) {
+        let live: Vec<u32> =
+            (0..self.n_in as u32).filter(|&v| self.state[v as usize] == Reduced::Live).collect();
+        self.st_map = vec![u32::MAX; self.n_in];
+        for (i, &v) in live.iter().enumerate() {
+            self.st_map[v as usize] = i as u32;
+        }
+        let mut edges = Vec::new();
+        for &u in &live {
+            for (&v, &w) in &self.adj1[u as usize] {
+                if u < v {
+                    edges.push(Edge::new(self.st_map[u as usize], self.st_map[v as usize], w));
+                }
+            }
+        }
+        self.st_graph = Graph::new_unchecked(live.len(), edges);
+    }
+
+    /// Stage 2 from scratch: copy the stage-1 kernel, then alternate
+    /// deg-1/deg-2 passes with heavy-edge contraction against the
+    /// running witnessed bound until neither fires.
+    fn run_stage2(&mut self) {
+        let n = self.n_in;
+        // Discard witnesses from any previous derivation: a patch may
+        // have raised the weight of a cut an old stage-2 elimination
+        // recorded, so only this run's candidates may be served.
+        self.resolved2 = None;
+        self.adj2 = self.adj1.clone();
+        self.alive2 = (0..n).map(|v| self.state[v] == Reduced::Live).collect();
+        let mut work1 = BTreeSet::new();
+        let mut work2 = BTreeSet::new();
+        for v in 0..n as u32 {
+            if self.alive2[v as usize] {
+                match self.adj2[v as usize].len() {
+                    1 => work1.insert(v),
+                    2 => work2.insert(v),
+                    _ => false,
+                };
+            }
+        }
+        loop {
+            self.stage2_deg_fixpoint(&mut work1, &mut work2);
+            let bound = self.stage2_bound();
+            let Some((u, v)) = self.find_heavy_edge(bound) else { break };
+            self.contract2(u, v);
+            self.heavy += 1;
+            match self.adj2[u as usize].len() {
+                1 => work1.insert(u),
+                2 => work2.insert(u),
+                _ => false,
+            };
+            let touched: Vec<u32> = self.adj2[u as usize].keys().copied().collect();
+            for x in touched {
+                match self.adj2[x as usize].len() {
+                    1 => work1.insert(x),
+                    2 => work2.insert(x),
+                    _ => false,
+                };
+            }
+        }
+        self.n_out = self.alive2.iter().filter(|&&a| a).count();
+    }
+
+    /// Deg-1/deg-2 eliminations on the stage-2 copy, same two-worklist
+    /// priority as stage 1 — but only candidates and liveness are
+    /// recorded: stage 2 serves no per-pair reads, so no chain
+    /// bookkeeping.
+    fn stage2_deg_fixpoint(&mut self, work1: &mut BTreeSet<u32>, work2: &mut BTreeSet<u32>) {
+        while let Some(v) = work1.pop_first().or_else(|| work2.pop_first()) {
+            if !self.alive2[v as usize] {
+                continue;
+            }
+            match self.adj2[v as usize].len() {
+                1 => {
+                    let (&u, &w) = self.adj2[v as usize].iter().next().expect("degree 1");
+                    self.alive2[v as usize] = false;
+                    self.adj2[v as usize].clear();
+                    self.adj2[u as usize].remove(&v);
+                    self.resolved2 = Some(self.resolved2.map_or(w, |r| r.min(w)));
+                    self.deg1 += 1;
+                    match self.adj2[u as usize].len() {
+                        1 => work1.insert(u),
+                        2 => work2.insert(u),
+                        _ => false,
+                    };
+                }
+                2 => {
+                    let mut it = self.adj2[v as usize].iter();
+                    let (&a, &w1) = it.next().expect("degree 2");
+                    let (&b, &w2) = it.next().expect("degree 2");
+                    self.alive2[v as usize] = false;
+                    self.adj2[v as usize].clear();
+                    self.adj2[a as usize].remove(&v);
+                    self.adj2[b as usize].remove(&v);
+                    let series = w1.min(w2);
+                    *self.adj2[a as usize].entry(b).or_insert(0) += series;
+                    *self.adj2[b as usize].entry(a).or_insert(0) += series;
+                    let cand = w1 + w2;
+                    self.resolved2 = Some(self.resolved2.map_or(cand, |r| r.min(cand)));
+                    self.deg2 += 1;
+                    for x in [a, b] {
+                        match self.adj2[x as usize].len() {
+                            1 => work1.insert(x),
+                            2 => work2.insert(x),
+                            _ => false,
+                        };
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The running upper bound `λ̄`: every term is a cut weight some
+    /// witness achieves — an elimination candidate, the min weighted
+    /// degree of the full graph (index summaries), or a live stage-2
+    /// cluster's singleton cut.
+    fn stage2_bound(&self) -> u64 {
+        let mut bound = self.resolved().unwrap_or(u64::MAX).min(self.full_min_wdeg);
+        for v in 0..self.n_in {
+            if self.alive2[v] {
+                bound = bound.min(self.adj2[v].values().sum::<u64>());
+            }
+        }
+        bound
+    }
+
+    /// First stage-2 edge (ascending `(u, v)`) strictly heavier than the
+    /// bound. Strict: at `w == λ̄` a minimum cut could still cross the
+    /// edge, and contracting would destroy it.
+    fn find_heavy_edge(&self, bound: u64) -> Option<(u32, u32)> {
+        for u in 0..self.n_in as u32 {
+            if !self.alive2[u as usize] {
+                continue;
+            }
+            for (&v, &w) in &self.adj2[u as usize] {
+                if u < v && w > bound {
+                    return Some((u, v));
+                }
+            }
+        }
+        None
+    }
+
+    /// Contract stage-2 vertex `v` into `u` (fold adjacency, drop the
+    /// merged self-edge, sum any parallels).
+    fn contract2(&mut self, u: u32, v: u32) {
+        let moved = std::mem::take(&mut self.adj2[v as usize]);
+        self.alive2[v as usize] = false;
+        for (x, w) in moved {
+            if x == u {
+                continue;
+            }
+            self.adj2[x as usize].remove(&v);
+            *self.adj2[u as usize].entry(x).or_insert(0) += w;
+            *self.adj2[x as usize].entry(u).or_insert(0) += w;
+        }
+        self.adj2[u as usize].remove(&v);
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("n_in", &self.n_in)
+            .field("n_out", &self.n_out)
+            .field("components", &self.components)
+            .field("resolved", &(self.resolved1, self.resolved2))
+            .field("rules", &(self.deg1, self.deg2, self.heavy))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cut_graph::stoer_wagner;
+
+    fn edges(list: &[(u32, u32, u64)]) -> Vec<Edge> {
+        list.iter().map(|&(u, v, w)| Edge::new(u, v, w)).collect()
+    }
+
+    /// Global min-cut value through the kernel: the invariant under test.
+    fn kernel_min_cut(n: usize, es: &[Edge]) -> u64 {
+        let (k, _) = Kernel::build(n, es, u64::MAX);
+        if k.components() > 1 {
+            return 0;
+        }
+        let contracted = k.contracted_kernel();
+        let residual =
+            if contracted.n() >= 2 { stoer_wagner(&contracted).weight } else { u64::MAX };
+        k.resolved().unwrap_or(u64::MAX).min(residual)
+    }
+
+    #[test]
+    fn pendant_candidate_is_recorded_before_removal() {
+        // Path 0-1 (w 3): the deg-1 rule must witness the pendant cut —
+        // dropping the candidate would leave nothing to answer with.
+        assert_eq!(kernel_min_cut(2, &edges(&[(0, 1, 3)])), 3);
+    }
+
+    #[test]
+    fn series_smoothing_uses_min_not_sum() {
+        // Two heavy triangles joined by a light edge (0,3) *and* a series
+        // bypass 0-6-3 with weights 1/50. Smoothing 6 with min(1, 50)
+        // keeps the merged (0,3) edge at 2 + 1 = 3 — the true min cut
+        // (separate the triangles, cutting the bypass at its light edge).
+        // Smoothing with the *sum* would inflate the merged edge to 53
+        // and report 40, the cheapest elimination candidate: the global
+        // answer flips.
+        let mut es = Vec::new();
+        for (a, b, c) in [(0u32, 1u32, 2u32), (3, 4, 5)] {
+            es.push(Edge::new(a, b, 20));
+            es.push(Edge::new(b, c, 20));
+            es.push(Edge::new(a, c, 20));
+        }
+        es.push(Edge::new(0, 3, 2));
+        es.push(Edge::new(0, 6, 1));
+        es.push(Edge::new(6, 3, 50));
+        let g = Graph::new_unchecked(7, es.clone());
+        assert_eq!(stoer_wagner(&g).weight, 3);
+        assert_eq!(kernel_min_cut(7, &es), 3);
+    }
+
+    #[test]
+    fn st_chain_answers_use_min_not_sum() {
+        // Three series paths between 3 and 4 (through 0, 1, 2) and no
+        // direct edge: each smoothing must merge min(w_light, 10) into
+        // (3,4). The final deg-1 elimination of 3 then records the chain
+        // link st reads resolve through — sum-smoothing would answer 33
+        // instead of 6.
+        let es = edges(&[(3, 0, 1), (0, 4, 10), (3, 1, 2), (1, 4, 10), (3, 2, 3), (2, 4, 10)]);
+        let g = Graph::new_unchecked(5, es.clone());
+        let (k, _) = Kernel::build(5, &es, u64::MAX);
+        assert_eq!(maxflow::min_st_cut(&g, 3, 4), 6);
+        assert_eq!(k.st_cut_weight(3, 4), Some(6));
+    }
+
+    #[test]
+    fn series_candidate_covers_the_eliminated_vertex() {
+        // Cycle 0-1-2 with weights 2, 5, 4: the min cut isolates 0
+        // (2 + 4 = 6). Smoothing dissolves vertex 0 — only its candidate
+        // keeps the answer reachable.
+        let es = edges(&[(0, 1, 2), (1, 2, 5), (2, 0, 4)]);
+        let g = Graph::new_unchecked(3, es.clone());
+        assert_eq!(stoer_wagner(&g).weight, 6);
+        assert_eq!(kernel_min_cut(3, &es), 6);
+    }
+
+    #[test]
+    fn heavy_contraction_is_strict_at_the_bound() {
+        // Dumbbell: two K4 cliques (w 2) joined by a bridge whose weight
+        // equals the witnessed bound (min weighted degree 6). With `>=`
+        // the rule would contract the bridge; with strict `>` it must
+        // not, because the bridge cut *is* a minimum cut.
+        let mut es = Vec::new();
+        for c in [0u32, 4] {
+            for i in c..c + 4 {
+                for j in i + 1..c + 4 {
+                    es.push(Edge::new(i, j, 2));
+                }
+            }
+        }
+        es.push(Edge::new(0, 4, 6));
+        let (k, _) = Kernel::build(8, &es, u64::MAX);
+        assert_eq!(k.rules().2, 0, "no edge is strictly above the bound");
+        assert_eq!(k.n_out(), 8);
+        assert_eq!(kernel_min_cut(8, &es), 6);
+    }
+
+    #[test]
+    fn heavy_contraction_fires_above_the_bound_and_keeps_the_value() {
+        // K4 (w 3) with a light pendant: resolved = 2 bounds λ̄, every
+        // clique edge is heavier, the whole clique collapses — and the
+        // global value survives in `resolved`.
+        let mut es = Vec::new();
+        for i in 0u32..4 {
+            for j in i + 1..4 {
+                es.push(Edge::new(i, j, 3));
+            }
+        }
+        es.push(Edge::new(0, 4, 2));
+        let g = Graph::new_unchecked(5, es.clone());
+        assert_eq!(stoer_wagner(&g).weight, 2);
+        let (k, _) = Kernel::build(5, &es, u64::MAX);
+        assert!(k.rules().2 > 0, "clique edges are strictly heavy");
+        assert_eq!(kernel_min_cut(5, &es), 2);
+    }
+
+    #[test]
+    fn disconnected_graphs_report_component_zero() {
+        // {0,1,2} triangle + {3,4} edge: weight 0, side = |component 0|.
+        let es = edges(&[(0, 1, 1), (1, 2, 1), (0, 2, 1), (3, 4, 9)]);
+        let (k, _) = Kernel::build(5, &es, u64::MAX);
+        assert_eq!(k.components(), 2);
+        assert_eq!(k.component0_size(), 3);
+        assert_eq!(kernel_min_cut(5, &es), 0);
+    }
+
+    #[test]
+    fn st_resolution_walks_pendant_chains() {
+        // K4 core (w 10, every vertex degree 3 survives stage 1) with the
+        // chain 4-5-6 hanging off vertex 0: 0-4 (w 7), 4-5 (w 2),
+        // 5-6 (w 5). Deg-1 priority turns the chain into Deg1 links.
+        let mut es = Vec::new();
+        for i in 0u32..4 {
+            for j in i + 1..4 {
+                es.push(Edge::new(i, j, 10));
+            }
+        }
+        es.push(Edge::new(0, 4, 7));
+        es.push(Edge::new(4, 5, 2));
+        es.push(Edge::new(5, 6, 5));
+        let g = Graph::new_unchecked(7, es.clone());
+        let (k, _) = Kernel::build(7, &es, u64::MAX);
+        // Same-host pairs (lightest chain-path edge) and cross-host pairs
+        // (chain bound vs kernel max-flow) both match the full graph.
+        for (s, t) in [(6u32, 4u32), (6, 0), (5, 0), (4, 5), (6, 1), (5, 2), (4, 3)] {
+            assert_eq!(k.st_cut_weight(s, t), Some(maxflow::min_st_cut(&g, s, t)), "st({s},{t})");
+        }
+    }
+
+    #[test]
+    fn deg2_eliminated_endpoints_refuse_to_answer() {
+        // Cycle: everything smooths away; s-t reads must fall back.
+        let es = edges(&[(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4)]);
+        let (k, _) = Kernel::build(4, &es, u64::MAX);
+        assert!(k.st_cut_weight(0, 2).is_none());
+    }
+
+    /// Two K4 cliques (w 4) on 0-3 and 4-7, optionally bridged — every
+    /// vertex has degree >= 3, so all eight survive stage 1.
+    fn double_k4(bridge: Option<(u32, u32, u64)>) -> Vec<Edge> {
+        let mut es = Vec::new();
+        for c in [0u32, 4] {
+            for i in c..c + 4 {
+                for j in i + 1..c + 4 {
+                    es.push(Edge::new(i, j, 4));
+                }
+            }
+        }
+        if let Some((u, v, w)) = bridge {
+            es.push(Edge::new(u, v, w));
+        }
+        es
+    }
+
+    #[test]
+    fn patch_applies_live_inserts_and_rejects_eliminated_endpoints() {
+        let mut es = double_k4(Some((3, 4, 2)));
+        let (mut k, _) = Kernel::build(8, &es, u64::MAX);
+        assert_eq!(
+            k.st_cut_weight(0, 7),
+            Some(maxflow::min_st_cut(&Graph::new_unchecked(8, es.clone()), 0, 7))
+        );
+        // Live-endpoint insert patches; the s-t read follows the change.
+        es.push(Edge::new(0, 7, 3));
+        assert!(k.patch(&[(0, 7, 3)], u64::MAX).is_some());
+        let g = Graph::new_unchecked(8, es.clone());
+        assert_eq!(k.st_cut_weight(0, 7), Some(maxflow::min_st_cut(&g, 0, 7)));
+
+        // A pendant hangs off 0; inserts touching it must refuse.
+        let mut es2 = Vec::new();
+        for i in 0u32..4 {
+            for j in i + 1..4 {
+                es2.push(Edge::new(i, j, 2));
+            }
+        }
+        es2.push(Edge::new(0, 4, 1));
+        let (mut k2, _) = Kernel::build(5, &es2, u64::MAX);
+        assert!(k2.patch(&[(4, 1, 5)], u64::MAX).is_none(), "eliminated endpoint");
+    }
+
+    /// Global min-cut value through an already-built (possibly patched)
+    /// kernel — the quantity the engine serves.
+    fn kernel_value(k: &Kernel) -> u64 {
+        if k.components() > 1 {
+            return 0;
+        }
+        let c = k.contracted_kernel();
+        let residual = if c.n() >= 2 { stoer_wagner(&c).weight } else { u64::MAX };
+        k.resolved().unwrap_or(u64::MAX).min(residual)
+    }
+
+    #[test]
+    fn patch_discards_stale_stage2_witnesses() {
+        // K4-ish gadget: 0-1 is heavy (100), everything else light.
+        // Stage 1 keeps all four vertices (degree 3); stage 2 contracts
+        // 0-1 (100 > λ̄ = 7), which drops the merged vertex to degree 2
+        // and cascades eliminations that *witness* the cheap cuts
+        // {0,1}|{2,3} = 12 and {2}/{3} = 7. λ(G) = 7.
+        let es = edges(&[(0, 1, 100), (0, 2, 3), (1, 2, 3), (0, 3, 3), (1, 3, 3), (2, 3, 1)]);
+        let (mut k, _) = Kernel::build(4, &es, u64::MAX);
+        assert_eq!(kernel_value(&k), stoer_wagner(&Graph::new_unchecked(4, es.clone())).weight);
+        assert_eq!(kernel_value(&k), 7);
+
+        // Insert 2-3 (+10): both endpoints are stage-1 survivors, so the
+        // kernel patches in place — but the insert crosses the old
+        // stage-2 singleton cuts {2} and {3}, raising them to 17. The
+        // new minimum is 12; serving the pre-patch witness 7 would
+        // under-report. Stage-2 witnesses must be re-derived from
+        // scratch on every patch.
+        let mut es2 = es.clone();
+        es2.push(Edge::new(2, 3, 10));
+        assert!(k.patch(&[(2, 3, 10)], 17).is_some());
+        let truth = stoer_wagner(&Graph::new_unchecked(4, es2)).weight;
+        assert_eq!(truth, 12);
+        assert_eq!(kernel_value(&k), truth);
+    }
+
+    #[test]
+    fn patch_merges_components() {
+        let es = double_k4(None);
+        let (mut k, _) = Kernel::build(8, &es, u64::MAX);
+        assert_eq!((k.components(), k.component0_size()), (2, 4));
+        assert!(k.patch(&[(3, 4, 1)], u64::MAX).is_some());
+        assert_eq!((k.components(), k.component0_size()), (1, 8));
+    }
+}

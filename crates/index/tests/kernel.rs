@@ -1,0 +1,293 @@
+//! Differential battery for the Padberg–Rinaldi kernel: over every
+//! generator family and arbitrary insert/delete interleavings, the
+//! kernelized answers must match from-scratch oracles — Stoer–Wagner on
+//! the full graph for the global value (`λ(G) = min(resolved,
+//! λ(stage-2 kernel))`, the invariant `Kernel::contracted_kernel` pins)
+//! and Dinic max-flow for every s-t answer the stage-1 kernel serves.
+//! The per-rule counterexample tests (min-vs-sum series smoothing,
+//! strictness at the heavy bound, chain resolution) live next to the
+//! implementation in `src/kernel.rs`; this suite is the randomized
+//! complement.
+//!
+//! Op streams are decoded from a seeded RNG, so a failure's
+//! `(seed, family, …)` tuple replays the exact sequence. Families cover
+//! the shapes each rule eats: chains (deg-1 cascades), stars (one hub,
+//! all pendants), bridged cliques (heavy contraction plus a light
+//! bridge), multigraphs with parallel edges (weight coalescing), skewed
+//! weights (heavy-edge bounds), and sparse trees with a few extra edges
+//! (the whale preset's regime).
+
+use cut_graph::{maxflow, stoer_wagner, Dsu, Edge, Graph};
+use cut_index::{GraphIndex, Kernel, KernelRead};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The value invariant under test: disconnected graphs cut at zero, and
+/// otherwise the kernel preserves the global min-cut value as the min of
+/// the cheapest elimination-witnessed cut and the contracted kernel's
+/// exact cut.
+fn kernel_min_cut(kernel: &Kernel) -> u64 {
+    if kernel.components() > 1 {
+        return 0;
+    }
+    let mut best = kernel.resolved().unwrap_or(u64::MAX);
+    let contracted = kernel.contracted_kernel();
+    if contracted.n() >= 2 {
+        best = best.min(stoer_wagner(&contracted).weight);
+    }
+    best
+}
+
+/// From-scratch oracle: zero when disconnected, else Stoer–Wagner.
+fn oracle_min_cut(n: usize, edges: &[Edge]) -> u64 {
+    let mut dsu = Dsu::new(n);
+    for e in edges {
+        dsu.union(e.u, e.v);
+    }
+    if dsu.set_count() > 1 {
+        return 0;
+    }
+    stoer_wagner(&Graph::new_unchecked(n, edges.to_vec())).weight
+}
+
+/// Min weighted degree of the full graph — the index-summary seed the
+/// engine hands `Kernel::build` for the heavy-contraction bound.
+fn min_wdeg(n: usize, edges: &[Edge]) -> u64 {
+    let mut deg = vec![0u64; n];
+    for e in edges {
+        if e.u != e.v {
+            deg[e.u as usize] += e.w;
+            deg[e.v as usize] += e.w;
+        }
+    }
+    deg.into_iter().min().unwrap_or(u64::MAX)
+}
+
+/// Check every kernel-served s-t answer against Dinic on the full graph
+/// for `samples` random pairs (plus, when `exhaustive`, all pairs).
+fn assert_st_matches(
+    kernel: &Kernel,
+    n: usize,
+    edges: &[Edge],
+    rng: &mut SmallRng,
+    samples: usize,
+    ctx: &str,
+) {
+    let full = Graph::new_unchecked(n, edges.to_vec());
+    for _ in 0..samples {
+        let s = rng.gen_range(0..n as u32);
+        let t = rng.gen_range(0..n as u32);
+        if s == t {
+            continue;
+        }
+        if let Some(w) = kernel.st_cut_weight(s, t) {
+            let want = maxflow::min_st_cut(&full, s, t);
+            assert_eq!(w, want, "st({s}, {t}) {ctx}");
+        }
+    }
+}
+
+/// One generator family's initial edge list.
+fn family_edges(family: usize, n: usize, rng: &mut SmallRng) -> Vec<Edge> {
+    let nu = n as u32;
+    let w = |rng: &mut SmallRng| rng.gen_range(1..=12u64);
+    match family {
+        // Chain: every interior vertex is deg-2, the ends deg-1.
+        0 => (1..nu).map(|i| Edge::new(i - 1, i, w(rng))).collect(),
+        // Star: all pendants on one hub.
+        1 => (1..nu).map(|i| Edge::new(0, i, w(rng))).collect(),
+        // Two cliques joined by one light bridge: the heavy rule's shape.
+        2 => {
+            let half = (nu / 2).max(2);
+            let mut edges = Vec::new();
+            for a in 0..half {
+                for b in (a + 1)..half {
+                    edges.push(Edge::new(a, b, rng.gen_range(4..=9)));
+                    if b + half < nu {
+                        edges.push(Edge::new(a + half, b + half, rng.gen_range(4..=9)));
+                    }
+                }
+            }
+            edges.push(Edge::new(0, half, w(rng)));
+            edges
+        }
+        // Multigraph: parallel edges must coalesce by summed weight.
+        3 => (0..2 * n)
+            .filter_map(|_| {
+                let u = rng.gen_range(0..nu);
+                let v = rng.gen_range(0..nu);
+                (u != v).then(|| Edge::new(u, v, w(rng)))
+            })
+            .collect(),
+        // Zipf-skewed weights: a few heavy edges over a light sea.
+        4 => (0..2 * n)
+            .filter_map(|_| {
+                let u = rng.gen_range(0..nu);
+                let v = rng.gen_range(0..nu);
+                let heavy = [1u64, 1, 1, 2, 2, 3, 8, 20][rng.gen_range(0..8usize)];
+                (u != v).then(|| Edge::new(u, v, heavy))
+            })
+            .collect(),
+        // Random tree plus a few extra edges: sparse, mostly reducible —
+        // the whale preset's regime.
+        _ => {
+            let mut edges: Vec<Edge> =
+                (1..nu).map(|i| Edge::new(rng.gen_range(0..i), i, w(rng))).collect();
+            for _ in 0..n / 4 {
+                let u = rng.gen_range(0..nu);
+                let v = rng.gen_range(0..nu);
+                if u != v {
+                    edges.push(Edge::new(u, v, w(rng)));
+                }
+            }
+            edges
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Fresh builds across every family: global value and sampled s-t
+    /// answers match the oracles, and the reported vertex delta is
+    /// consistent with the kernel's own counts.
+    #[test]
+    fn fresh_kernels_match_oracles(seed in any::<u64>(), family in 0usize..6, n in 4usize..24) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let edges = family_edges(family, n, &mut rng);
+        let (kernel, delta) = Kernel::build(n, &edges, min_wdeg(n, &edges));
+        prop_assert_eq!(delta.in_vertices, n as u64);
+        prop_assert_eq!(delta.out_vertices, kernel.n_out() as u64);
+        prop_assert!(kernel.n_out() <= n);
+        let got = kernel_min_cut(&kernel);
+        let want = oracle_min_cut(n, &edges);
+        prop_assert!(got == want, "family {} n {}: {} vs {}", family, n, got, want);
+        assert_st_matches(&kernel, n, &edges, &mut rng, 8, &format!("family {family}"));
+    }
+
+    /// The cached-kernel lifecycle under random mutation interleavings,
+    /// driven through `GraphIndex` exactly as the engine drives it:
+    /// after *every* op the kernelized global and s-t answers match the
+    /// from-scratch oracles, reuse only happens on clean generations,
+    /// and a patched kernel answers identically to a freshly built one.
+    #[test]
+    fn kernelized_answers_survive_mutation_interleavings(
+        seed in any::<u64>(), family in 0usize..6, n in 4usize..18, steps in 1usize..40,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut edges = family_edges(family, n, &mut rng);
+        let mut idx = GraphIndex::new(n, &edges);
+        for step in 0..steps {
+            let ctx = format!("family {family} step {step}");
+            let kind: u32 = rng.gen_range(0..100);
+            if kind < 60 || edges.is_empty() {
+                let u = rng.gen_range(0..n as u32);
+                let mut v = rng.gen_range(0..n as u32);
+                if u == v {
+                    v = (v + 1) % n as u32;
+                }
+                let w = rng.gen_range(1..=12u64);
+                edges.push(Edge::new(u, v, w));
+                idx.note_insert(u, v, w);
+            } else {
+                let i = rng.gen_range(0..edges.len());
+                let e = edges.swap_remove(i);
+                idx.note_delete(e.u, e.v, e.w);
+            }
+            let (read, value, st_probe) = {
+                let (kernel, read) = idx.kernel(n, &edges);
+                let s = rng.gen_range(0..n as u32);
+                let t = rng.gen_range(0..n as u32);
+                let st = (s != t).then(|| (s, t, kernel.st_cut_weight(s, t)));
+                (read, kernel_min_cut(kernel), st)
+            };
+            prop_assert!(
+                !matches!(read, KernelRead::Reused),
+                "a mutated generation must not serve a stale kernel ({})", &ctx
+            );
+            let want = oracle_min_cut(n, &edges);
+            prop_assert!(value == want, "global value {} vs {}, {}", value, want, &ctx);
+            if let Some((s, t, Some(w))) = st_probe {
+                let full = Graph::new_unchecked(n, edges.clone());
+                let want = maxflow::min_st_cut(&full, s, t);
+                prop_assert!(w == want, "st({}, {}) {} vs {}, {}", s, t, w, want, &ctx);
+            }
+            // The clean-generation re-read reuses, answering identically.
+            let (kernel, read) = idx.kernel(n, &edges);
+            prop_assert!(matches!(read, KernelRead::Reused), "clean re-read must reuse, {}", &ctx);
+            prop_assert_eq!(kernel_min_cut(kernel), oracle_min_cut(n, &edges));
+        }
+    }
+
+    /// A patched kernel is answer-equivalent to a from-scratch build on
+    /// the same edge multiset: same global value, same s-t answers on
+    /// every pair the patched kernel serves. (The patched kernel may be
+    /// *less* reduced — patching never re-runs stage 1 — so it may serve
+    /// a superset of pairs; every served answer must still be exact.)
+    #[test]
+    fn patched_kernels_answer_like_fresh_builds(
+        seed in any::<u64>(), family in 0usize..6, n in 4usize..16, inserts in 1usize..8,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut edges = family_edges(family, n, &mut rng);
+        let (mut kernel, _) = Kernel::build(n, &edges, min_wdeg(n, &edges));
+        let mut batch = Vec::new();
+        for _ in 0..inserts {
+            let u = rng.gen_range(0..n as u32);
+            let mut v = rng.gen_range(0..n as u32);
+            if u == v {
+                v = (v + 1) % n as u32;
+            }
+            batch.push((u, v, rng.gen_range(1..=12u64)));
+        }
+        let mut post = edges.clone();
+        post.extend(batch.iter().map(|&(u, v, w)| Edge::new(u, v, w)));
+        let Some(_) = kernel.patch(&batch, min_wdeg(n, &post)) else {
+            // An insert touched an eliminated vertex: the index would
+            // rebuild; nothing to compare here.
+            return Ok(());
+        };
+        edges = post;
+        let (fresh, _) = Kernel::build(n, &edges, min_wdeg(n, &edges));
+        prop_assert_eq!(kernel_min_cut(&kernel), kernel_min_cut(&fresh));
+        prop_assert_eq!(kernel_min_cut(&kernel), oracle_min_cut(n, &edges));
+        let full = Graph::new_unchecked(n, edges.clone());
+        for s in 0..n as u32 {
+            for t in (s + 1)..n as u32 {
+                let want = maxflow::min_st_cut(&full, s, t);
+                if let Some(w) = kernel.st_cut_weight(s, t) {
+                    prop_assert!(w == want, "patched st({}, {}): {} vs {}", s, t, w, want);
+                }
+                if let Some(w) = fresh.st_cut_weight(s, t) {
+                    prop_assert!(w == want, "fresh st({}, {}): {} vs {}", s, t, w, want);
+                }
+            }
+        }
+    }
+
+    /// Exhaustive s-t sweep on fresh kernels: every pair the stage-1
+    /// kernel answers agrees with Dinic, across all families.
+    #[test]
+    fn every_served_st_pair_matches_dinic(seed in any::<u64>(), family in 0usize..6, n in 4usize..14) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let edges = family_edges(family, n, &mut rng);
+        let (kernel, _) = Kernel::build(n, &edges, min_wdeg(n, &edges));
+        let full = Graph::new_unchecked(n, edges.clone());
+        let mut served = 0u32;
+        for s in 0..n as u32 {
+            for t in (s + 1)..n as u32 {
+                if let Some(w) = kernel.st_cut_weight(s, t) {
+                    served += 1;
+                    let want = maxflow::min_st_cut(&full, s, t);
+                    prop_assert!(w == want, "st({}, {}): {} vs {}", s, t, w, want);
+                }
+            }
+        }
+        // Chains and stars resolve entirely through pendant logic; at
+        // least the families with live cores must serve *something*.
+        if matches!(family, 1 | 2) {
+            prop_assert!(served > 0, "family {} served no pairs", family);
+        }
+    }
+}
